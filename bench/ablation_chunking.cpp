@@ -1,0 +1,21 @@
+// Ablation: effect of the MPI message-size cap on one distributed-gate
+// exchange (the paper's setup sends 32 x 2 GiB messages per gate).
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "harness/experiments.hpp"
+
+int main() {
+  using namespace qsv;
+  bench::print_header("message-cap ablation (exchange chunking)");
+
+  const MachineModel m = archer2();
+  experiment_chunking(m).print(std::cout);
+
+  bench::print_note(
+      "per-message latency is microseconds against multi-second transfers, "
+      "so the cap mainly determines the message count (the paper's 32); the "
+      "blocking-vs-non-blocking gap comes from pipelining the chunks, not "
+      "from their size.");
+  return 0;
+}

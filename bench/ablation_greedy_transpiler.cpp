@@ -1,0 +1,75 @@
+// Ablation: the generalized (greedy) cache-blocking transpiler on circuits
+// that do NOT end in a convenient SWAP suffix — the paper's future-work
+// "cache-blocking transpiler" (§4), in the spirit of Qiskit's approach
+// (Doi & Horii 2020).
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "circuit/builders.hpp"
+#include "circuit/locality.hpp"
+#include "circuit/transpile/greedy_cache_blocking.hpp"
+#include "common/format.hpp"
+#include "common/rng.hpp"
+#include "harness/experiments.hpp"
+#include "machine/job.hpp"
+#include "perf/runner.hpp"
+
+int main() {
+  using namespace qsv;
+  bench::print_header("greedy cache-blocking transpiler ablation (§4)");
+
+  const MachineModel m = archer2();
+  JobConfig job;
+  job.num_qubits = 38;
+  job.node_kind = NodeKind::kStandard;
+  job.freq = CpuFreq::kMedium2000;
+  job.nodes = 64;
+  const int local = 32;
+
+  Table t("Greedy transpilation at 38 qubits / 64 nodes");
+  t.header({"workload", "variant", "distributed ops", "runtime", "energy"});
+
+  auto add = [&](const std::string& name, const Circuit& c) {
+    GreedyCacheBlockingOptions gopts;
+    gopts.local_qubits = local;
+    const Circuit blocked = GreedyCacheBlockingPass(gopts).run(c);
+
+    GreedyCacheBlockingOptions lopts = gopts;
+    lopts.min_reuse = 2;  // only localise targets that are reused
+    const Circuit lookahead = GreedyCacheBlockingPass(lopts).run(c);
+
+    for (const auto& [variant, circuit] :
+         {std::pair<const char*, const Circuit*>{"original", &c},
+          {"greedy-blocked", &blocked},
+          {"lookahead(2)", &lookahead}}) {
+      const LocalityStats stats = analyze_locality(*circuit, local);
+      DistOptions opts;
+      opts.policy = CommPolicy::kNonBlocking;
+      const RunReport r = run_model(*circuit, m, job, opts);
+      t.row({name, variant, std::to_string(stats.distributed),
+             fmt::seconds(r.runtime_s), fmt::energy_j(r.total_energy_j())});
+    }
+  };
+
+  // Worst case: repeated work on a distributed qubit.
+  add("hadamard x50 on q37", build_hadamard_bench(38, 37, 50));
+  // Phase estimation working register spread across the rank bits.
+  add("ghz chain", build_ghz(38));
+  // A random circuit (seeded) with gates everywhere.
+  Rng rng(7);
+  add("random depth-200", build_random(38, 200, rng));
+
+  t.print(std::cout);
+
+  bench::print_note(
+      "the greedy pass inserts SWAPs to pull hot distributed qubits into "
+      "local memory: it wins big on repeated-target workloads (the Hadamard "
+      "benchmark collapses to one localising SWAP) but LOSES on circuits "
+      "that touch each distributed qubit only once — every inserted SWAP "
+      "costs a full exchange that buys nothing. This is why the paper "
+      "transpiles the QFT structurally (hoisting its own SWAPs) instead of "
+      "relying on a greedy pass. The lookahead(2) variant only localises "
+      "targets that are reused, keeping the Hadamard-benchmark win while "
+      "refusing the losing trades.");
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Sensitivity analysis: how robust are the paper's *conclusions* to the
+// calibrated constants? Each scenario perturbs one model parameter well
+// beyond its calibration uncertainty and re-evaluates the qualitative
+// claims. Conclusions that hold across every scenario do not depend on the
+// fit — they follow from the structure (bytes moved, phase powers).
+#include <functional>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/format.hpp"
+#include "harness/experiments.hpp"
+#include "machine/job.hpp"
+#include "perf/runner.hpp"
+
+namespace {
+
+using namespace qsv;
+
+struct Scenario {
+  std::string name;
+  std::function<void(MachineModel&)> tweak;
+};
+
+struct Verdicts {
+  bool fast_wins_runtime;
+  bool fast_wins_energy;
+  bool high_freq_costs_energy;
+  bool half_exchange_helps;
+};
+
+Verdicts evaluate(const MachineModel& m) {
+  JobConfig job;
+  job.num_qubits = 44;
+  job.node_kind = NodeKind::kStandard;
+  job.freq = CpuFreq::kMedium2000;
+  job.nodes = 4096;
+
+  DistOptions blocking;
+  DistOptions fast_opts;
+  fast_opts.policy = CommPolicy::kNonBlocking;
+  DistOptions half_opts = fast_opts;
+  half_opts.half_exchange_swaps = true;
+
+  const RunReport builtin = run_model(builtin_qft(44), m, job, blocking);
+  const RunReport fast = run_model(fast_qft(44, 32), m, job, fast_opts);
+  const RunReport half = run_model(fast_qft(44, 32), m, job, half_opts);
+
+  JobConfig high_job = job;
+  high_job.freq = CpuFreq::kHigh2250;
+  const RunReport builtin_high =
+      run_model(builtin_qft(44), m, high_job, blocking);
+
+  return Verdicts{
+      fast.runtime_s < builtin.runtime_s,
+      fast.total_energy_j() < builtin.total_energy_j(),
+      builtin_high.total_energy_j() > builtin.total_energy_j(),
+      half.runtime_s < fast.runtime_s,
+  };
+}
+
+}  // namespace
+
+int main() {
+  using namespace qsv;
+  bench::print_header("sensitivity of the paper's conclusions (44q/4096)");
+
+  const std::vector<Scenario> scenarios = {
+      {"calibrated baseline", [](MachineModel&) {}},
+      {"network 25% slower",
+       [](MachineModel& m) {
+         m.network.bw_blocking_bytes_per_s *= 0.75;
+         m.network.bw_nonblocking_bytes_per_s *= 0.75;
+       }},
+      {"network 25% faster",
+       [](MachineModel& m) {
+         m.network.bw_blocking_bytes_per_s *= 1.25;
+         m.network.bw_nonblocking_bytes_per_s *= 1.25;
+       }},
+      {"no congestion",
+       [](MachineModel& m) { m.network.congestion_per_doubling = 0; }},
+      {"double congestion",
+       [](MachineModel& m) { m.network.congestion_per_doubling *= 2; }},
+      {"memory 25% slower",
+       [](MachineModel& m) { m.memory.stream_bw_bytes_per_s *= 0.75; }},
+      {"gate arithmetic 2x faster",
+       [](MachineModel& m) { m.compute.flops_per_s *= 2; }},
+      {"DVFS boost only +20% power",
+       [](MachineModel& m) { m.power.cpu_dvfs.high = 1.20; }},
+      {"MPI power == local power",
+       [](MachineModel& m) { m.power.mpi = m.power.local; }},
+      {"switches 3x hungrier",
+       [](MachineModel& m) { m.switches.power_w *= 3; }},
+  };
+
+  Table t("Conclusion robustness");
+  t.header({"scenario", "fast faster", "fast greener", "2.25GHz costlier",
+            "half-exch helps"});
+  bool all_hold = true;
+  for (const Scenario& s : scenarios) {
+    MachineModel m = archer2();
+    s.tweak(m);
+    const Verdicts v = evaluate(m);
+    all_hold = all_hold && v.fast_wins_runtime && v.fast_wins_energy &&
+               v.high_freq_costs_energy && v.half_exchange_helps;
+    auto yn = [](bool b) { return b ? "yes" : "NO"; };
+    t.row({s.name, yn(v.fast_wins_runtime), yn(v.fast_wins_energy),
+           yn(v.high_freq_costs_energy), yn(v.half_exchange_helps)});
+  }
+  t.print(std::cout);
+
+  bench::print_note(
+      all_hold
+          ? "every qualitative conclusion survives every perturbation: the "
+            "paper's findings follow from communication volume and phase "
+            "power ordering, not from the exact calibration."
+          : "at least one conclusion flipped under perturbation — see the "
+            "NO entries above.");
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Shared scaffolding for the table/figure reproduction binaries.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "common/csv.hpp"
+#include "common/table.hpp"
+#include "machine/archer2.hpp"
+
+namespace qsv::bench {
+
+/// Prints a banner, the table, and an optional note. If argv[1] is given it
+/// is treated as a CSV output path for the raw rows.
+inline void print_header(const std::string& what) {
+  std::cout << "# Reproduction of " << what << "\n"
+            << "# Paper: Adamski, Richings, Brown, \"Energy Efficiency of "
+               "Quantum Statevector Simulation at Scale\", SC-W 2023\n"
+            << "# Machine model: calibrated ARCHER2 (see DESIGN.md)\n\n";
+}
+
+inline void print_note(const std::string& note) {
+  std::cout << "\nNote: " << note << "\n";
+}
+
+}  // namespace qsv::bench

@@ -1,0 +1,39 @@
+// Regenerates Fig 2: built-in QFT runtimes at 33-44 qubits on minimum node
+// counts, standard vs high-memory nodes, medium vs high CPU frequency.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/csv.hpp"
+#include "common/format.hpp"
+#include "harness/experiments.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qsv;
+  bench::print_header("Fig 2 (QFT runtimes vs register size)");
+
+  const MachineModel m = archer2();
+  const Fig2Result res = experiment_fig2(m);
+  res.table.print(std::cout);
+
+  bench::print_note(
+      "runtimes rise linearly with register size on standard nodes (the "
+      "distributed gate count grows by 2 per qubit); high-mem nodes are "
+      "slower but less than 2x (paper §3.1). 33q standard and 34q high-mem "
+      "entries are single-node runs with no MPI buffer.");
+
+  if (argc > 1) {
+    CsvWriter csv(argv[1]);
+    csv.row({"qubits", "node_kind", "freq_ghz", "nodes", "runtime_s",
+             "node_energy_j", "switch_energy_j", "cu"});
+    for (const Fig2Row& r : res.rows) {
+      csv.row({std::to_string(r.qubits), node_kind_name(r.kind),
+               fmt::fixed(freq_ghz(r.freq), 2), std::to_string(r.nodes),
+               fmt::fixed(r.report.runtime_s, 3),
+               fmt::fixed(r.report.node_energy_j, 0),
+               fmt::fixed(r.report.switch_energy_j, 0),
+               fmt::fixed(r.report.cu, 2)});
+    }
+    std::cout << "CSV written to " << argv[1] << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Regenerates Fig 4: energy per gate of the SWAP benchmark (50 gates) for
+// local targets {0,4,8,12,16} x distributed targets {35,36,37}.
+#include <iostream>
+
+#include "common/csv.hpp"
+#include "common/format.hpp"
+
+#include "bench_util.hpp"
+#include "harness/experiments.hpp"
+#include "harness/paper_reference.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qsv;
+  bench::print_header("Fig 4 (SWAP benchmark energy)");
+
+  const MachineModel m = archer2();
+  const Fig4Result res = experiment_fig4(m);
+  res.table.print(std::cout);
+  if (argc > 1) {
+    CsvWriter csv(argv[1]);
+    csv.row({"local_target", "distributed_target", "blocking_time_s",
+             "blocking_energy_j", "nonblocking_time_s",
+             "nonblocking_energy_j"});
+    for (const auto& row : res.rows) {
+      csv.row({std::to_string(row.local_target),
+               std::to_string(row.distributed_target),
+               fmt::fixed(row.blocking.time_per_gate(), 4),
+               fmt::fixed(row.blocking.energy_per_gate(), 0),
+               fmt::fixed(row.nonblocking.time_per_gate(), 4),
+               fmt::fixed(row.nonblocking.energy_per_gate(), 0)});
+    }
+    std::cout << "CSV written to " << argv[1] << "\n";
+  }
+
+  std::cout << "\nPaper bands: blocking " << paper::kFig4BlockingTimeLo
+            << "-" << paper::kFig4BlockingTimeHi << " s and "
+            << paper::kFig4BlockingEnergyLo / 1e3 << "-"
+            << paper::kFig4BlockingEnergyHi / 1e3
+            << " kJ per gate; non-blocking " << paper::kFig4NonblockingTimeLo
+            << "-" << paper::kFig4NonblockingTimeHi << " s and "
+            << paper::kFig4NonblockingEnergyLo / 1e3 << "-"
+            << paper::kFig4NonblockingEnergyHi / 1e3 << " kJ.\n";
+  bench::print_note(
+      "the model is deterministic, so every target combination lands on the "
+      "same value inside the paper's band; the paper's spread across "
+      "combinations is run-to-run variation on the real machine.");
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Runs every reproduction check and writes reproduction_report.md.
+#include <fstream>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "harness/validation.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qsv;
+  bench::print_header("full reproduction check suite");
+
+  const MachineModel m = archer2();
+  const auto checks = validate_reproduction(m);
+  render_checks(checks).print(std::cout);
+
+  std::size_t passed = 0;
+  for (const Check& c : checks) {
+    passed += c.passed();
+  }
+  std::cout << "\n" << passed << " / " << checks.size() << " checks pass\n";
+
+  const char* path = argc > 1 ? argv[1] : "reproduction_report.md";
+  std::ofstream out(path);
+  out << render_markdown_report(m);
+  std::cout << "report written to " << path << "\n";
+  return passed == checks.size() ? 0 : 1;
+}

@@ -1,0 +1,93 @@
+// Google-benchmark micros for the local gate kernels (host-machine
+// throughput; the ARCHER2 numbers come from the calibrated model, not from
+// these).
+#include <benchmark/benchmark.h>
+
+#include "circuit/gate.hpp"
+#include "sv/kernels.hpp"
+#include "sv/statevector.hpp"
+
+namespace qsv {
+namespace {
+
+constexpr int kQubits = 18;  // 256k amplitudes: fits comfortably in RAM
+
+template <class S>
+BasicStateVector<S> prepared() {
+  BasicStateVector<S> sv(kQubits);
+  Rng rng(1);
+  sv.init_random_state(rng);
+  return sv;
+}
+
+template <class S>
+void BM_Hadamard(benchmark::State& state) {
+  auto sv = prepared<S>();
+  const Gate g = make_h(static_cast<qubit_t>(state.range(0)));
+  for (auto _ : state) {
+    sv.apply(g);
+    benchmark::ClobberMemory();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(sv.num_amps()) *
+                          static_cast<std::int64_t>(2 * kBytesPerAmp));
+}
+BENCHMARK(BM_Hadamard<SoaStorage>)->Arg(0)->Arg(8)->Arg(17);
+BENCHMARK(BM_Hadamard<AosStorage>)->Arg(0)->Arg(8)->Arg(17);
+
+template <class S>
+void BM_ControlledPhase(benchmark::State& state) {
+  auto sv = prepared<S>();
+  const Gate g = make_cphase(3, 11, 0.37);
+  for (auto _ : state) {
+    sv.apply(g);
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_ControlledPhase<SoaStorage>);
+BENCHMARK(BM_ControlledPhase<AosStorage>);
+
+template <class S>
+void BM_FusedPhaseLayer(benchmark::State& state) {
+  auto sv = prepared<S>();
+  std::vector<qubit_t> controls;
+  std::vector<real_t> angles;
+  for (qubit_t c = 1; c < kQubits; ++c) {
+    controls.push_back(c);
+    angles.push_back(0.01 * c);
+  }
+  const Gate g = make_fused_phase(0, controls, angles);
+  for (auto _ : state) {
+    sv.apply(g);
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_FusedPhaseLayer<SoaStorage>);
+BENCHMARK(BM_FusedPhaseLayer<AosStorage>);
+
+template <class S>
+void BM_LocalSwap(benchmark::State& state) {
+  auto sv = prepared<S>();
+  const Gate g = make_swap(2, static_cast<qubit_t>(state.range(0)));
+  for (auto _ : state) {
+    sv.apply(g);
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_LocalSwap<SoaStorage>)->Arg(9)->Arg(17);
+BENCHMARK(BM_LocalSwap<AosStorage>)->Arg(9)->Arg(17);
+
+template <class S>
+void BM_GatherHalf(benchmark::State& state) {
+  auto sv = prepared<S>();
+  std::vector<std::byte> buf(kern::half_payload_bytes(sv.num_amps()));
+  for (auto _ : state) {
+    kern::gather_half(sv.storage(), 5, 1, buf.data());
+    benchmark::DoNotOptimize(buf.data());
+  }
+}
+BENCHMARK(BM_GatherHalf<SoaStorage>);
+BENCHMARK(BM_GatherHalf<AosStorage>);
+
+}  // namespace
+}  // namespace qsv

@@ -1,0 +1,44 @@
+// Future-work ablation (§4): "reimplement QuEST's core data-structures
+// using a complex data type rather than separate real and imaginary arrays,
+// in order to improve data locality". Runs the same QFT on both layouts.
+#include <benchmark/benchmark.h>
+
+#include "circuit/builders.hpp"
+#include "sv/statevector.hpp"
+
+namespace qsv {
+namespace {
+
+template <class S>
+void BM_QftFullCircuit(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const Circuit qft = build_qft(n);
+  BasicStateVector<S> sv(n);
+  for (auto _ : state) {
+    sv.init_zero_state();
+    sv.apply(qft);
+    benchmark::DoNotOptimize(sv.storage());
+  }
+  state.SetLabel(layout_name(S::kLayout));
+}
+BENCHMARK(BM_QftFullCircuit<SoaStorage>)->Arg(12)->Arg(16)->Arg(18);
+BENCHMARK(BM_QftFullCircuit<AosStorage>)->Arg(12)->Arg(16)->Arg(18);
+
+template <class S>
+void BM_RandomCircuit(benchmark::State& state) {
+  const int n = 16;
+  Rng rng(3);
+  const Circuit c = build_random(n, 200, rng);
+  BasicStateVector<S> sv(n);
+  for (auto _ : state) {
+    sv.init_zero_state();
+    sv.apply(c);
+    benchmark::DoNotOptimize(sv.storage());
+  }
+  state.SetLabel(layout_name(S::kLayout));
+}
+BENCHMARK(BM_RandomCircuit<SoaStorage>);
+BENCHMARK(BM_RandomCircuit<AosStorage>);
+
+}  // namespace
+}  // namespace qsv

@@ -1,0 +1,57 @@
+// Transpiler throughput micros: the cache-blocking passes must stay cheap
+// even for large gate lists (they run once per job submission).
+#include <benchmark/benchmark.h>
+
+#include "circuit/builders.hpp"
+#include "circuit/transpile/cache_blocking.hpp"
+#include "circuit/transpile/cleanup.hpp"
+#include "circuit/transpile/greedy_cache_blocking.hpp"
+#include "common/rng.hpp"
+
+namespace qsv {
+namespace {
+
+void BM_CacheBlockQft(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  QftOptions qopts;
+  qopts.ascending = true;
+  qopts.fused_phases = true;
+  const Circuit qft = build_qft(n, qopts);
+  CacheBlockingOptions copts;
+  copts.local_qubits = n - 6;
+  const CacheBlockingPass pass(copts);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pass.run(qft));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(qft.size()));
+}
+BENCHMARK(BM_CacheBlockQft)->Arg(20)->Arg(32)->Arg(44);
+
+void BM_GreedyBlockRandom(benchmark::State& state) {
+  const int n = 38;
+  Rng rng(1);
+  const Circuit c = build_random(n, static_cast<int>(state.range(0)), rng);
+  GreedyCacheBlockingOptions gopts;
+  gopts.local_qubits = 32;
+  const GreedyCacheBlockingPass pass(gopts);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pass.run(c));
+  }
+}
+BENCHMARK(BM_GreedyBlockRandom)->Arg(100)->Arg(1000);
+
+void BM_CleanupPass(benchmark::State& state) {
+  const int n = 20;
+  Rng rng(2);
+  Circuit c = build_random(n, 500, rng);
+  c.append(c.inverse());  // plenty of adjacent cancellations
+  const CleanupPass pass;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pass.run(c));
+  }
+}
+BENCHMARK(BM_CleanupPass);
+
+}  // namespace
+}  // namespace qsv

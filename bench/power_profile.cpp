@@ -1,0 +1,95 @@
+// Power-over-time profile of the paper's flagship runs: what SLURM's node
+// counters would integrate. Prints a coarse textual power trace and dumps a
+// CSV when given a path.
+#include <algorithm>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/csv.hpp"
+#include "common/format.hpp"
+#include "dist/trace.hpp"
+#include "harness/experiments.hpp"
+#include "machine/job.hpp"
+#include "perf/cost_model.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qsv;
+  bench::print_header("power profile of the 44-qubit runs (model)");
+
+  const MachineModel m = archer2();
+  JobConfig job;
+  job.num_qubits = 44;
+  job.node_kind = NodeKind::kStandard;
+  job.freq = CpuFreq::kMedium2000;
+  job.nodes = 4096;
+
+  for (const bool fast : {false, true}) {
+    const Circuit c = fast ? fast_qft(44, 32) : builtin_qft(44);
+    DistOptions opts;
+    opts.policy = fast ? CommPolicy::kNonBlocking : CommPolicy::kBlocking;
+
+    TraceSim sim(44, job.nodes, opts);
+    CostModel cost(m, job);
+    cost.enable_timeline();
+    sim.set_listener(&cost);
+    sim.apply(c);
+
+    const auto& tl = cost.timeline();
+    const RunReport r = cost.report();
+
+    // Collapse the timeline into fixed bins for a text sparkline.
+    constexpr int kBins = 60;
+    const double bin_w = r.runtime_s / kBins;
+    std::vector<double> bins(kBins, 0.0);
+    for (const PowerSample& s : tl) {
+      for (int b = 0; b < kBins; ++b) {
+        const double lo = b * bin_w;
+        const double hi = lo + bin_w;
+        const double overlap =
+            std::max(0.0, std::min(hi, s.t_start_s + s.duration_s) -
+                              std::max(lo, s.t_start_s));
+        bins[b] += overlap * s.power_w;
+      }
+    }
+    const double peak =
+        *std::max_element(bins.begin(), bins.end()) / bin_w;
+
+    std::cout << (fast ? "Fast" : "Built-in") << " 44q/4096 nodes — runtime "
+              << fmt::seconds(r.runtime_s) << ", avg power "
+              << fmt::power_w(r.total_energy_j() / r.runtime_s)
+              << ", peak bin " << fmt::power_w(peak) << "\n";
+    const char* glyphs = " .:-=+*#%@";
+    std::cout << "  [";
+    for (double b : bins) {
+      const double frac = b / bin_w / peak;
+      std::cout << glyphs[std::min(9, static_cast<int>(frac * 9.99))];
+    }
+    std::cout << "]\n  high draw = memory-bound gate kernels (~"
+              << fmt::power_w(4096 * 440.0 + 512 * 235) << " total), low = "
+              << "MPI exchanges (~" << fmt::power_w(4096 * 272.0 + 512 * 235)
+              << ")\n\n";
+
+    if (argc > 1) {
+      const std::string path =
+          std::string(argv[1]) + (fast ? ".fast.csv" : ".builtin.csv");
+      CsvWriter csv(path);
+      csv.row({"t_start_s", "duration_s", "phase", "power_w"});
+      for (const PowerSample& s : tl) {
+        const char* phase =
+            s.phase == MachineModel::Phase::kMpi
+                ? "mpi"
+                : (s.phase == MachineModel::Phase::kStall ? "stall"
+                                                          : "local");
+        csv.row({fmt::fixed(s.t_start_s, 4), fmt::fixed(s.duration_s, 4),
+                 phase, fmt::fixed(s.power_w, 1)});
+      }
+      std::cout << "  wrote " << path << "\n";
+    }
+  }
+
+  bench::print_note(
+      "the Fast run spends proportionally less time in the low-power MPI "
+      "troughs AND finishes sooner — both factors behind the paper's 35% "
+      "energy saving.");
+  return 0;
+}

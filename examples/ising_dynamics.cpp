@@ -1,0 +1,83 @@
+// Trotterised dynamics of the transverse-field Ising model — a realistic
+// physics workload on the distributed engine, read out with Pauli-string
+// observables rather than sampling.
+//
+//   H = -J sum_i Z_i Z_{i+1} - h sum_i X_i
+//
+// One first-order Trotter step of exp(-i H dt):
+//   exp(i J dt Z_i Z_{i+1}) for every bond   (CX - RZ - CX)
+//   exp(i h dt X_i) = RX(-2 h dt) per site
+//
+//   $ ./ising_dynamics [sites] [J] [h] [steps]
+#include <cstdlib>
+#include <iostream>
+
+#include "circuit/circuit.hpp"
+#include "circuit/gate.hpp"
+#include "common/format.hpp"
+#include "dist/dist_statevector.hpp"
+#include "dist/observables.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qsv;
+  const int n = argc > 1 ? std::atoi(argv[1]) : 10;
+  const real_t j_coupling = argc > 2 ? std::atof(argv[2]) : 1.0;
+  const real_t h_field = argc > 3 ? std::atof(argv[3]) : 0.5;
+  const int steps = argc > 4 ? std::atoi(argv[4]) : 20;
+  const real_t dt = 0.05;
+  if (n < 2 || n > 20 || steps < 1) {
+    std::cerr << "usage: ising_dynamics [sites 2-20] [J] [h] [steps]\n";
+    return 1;
+  }
+
+  std::cout << "TFIM quench: " << n << " sites, J=" << j_coupling
+            << ", h=" << h_field << ", dt=" << dt << ", " << steps
+            << " Trotter steps, 4 virtual ranks\n\n";
+
+  // One Trotter step.
+  Circuit step(n, "trotter_step");
+  for (qubit_t q = 0; q + 1 < n; ++q) {
+    step.add(make_cx(q, q + 1));
+    step.add(make_rz(q + 1, -2 * j_coupling * dt));
+    step.add(make_cx(q, q + 1));
+  }
+  for (qubit_t q = 0; q < n; ++q) {
+    step.add(make_rx(q, -2 * h_field * dt));
+  }
+
+  // Observables: total magnetisations and a mid-chain correlator.
+  PauliSum mz;
+  PauliSum mx;
+  for (qubit_t q = 0; q < n; ++q) {
+    PauliTerm z;
+    z.coefficient = 1.0 / n;
+    z.factors = {{q, Pauli::kZ}};
+    mz.terms.push_back(z);
+    PauliTerm x = z;
+    x.factors = {{q, Pauli::kX}};
+    mx.terms.push_back(x);
+  }
+  PauliTerm corr;
+  corr.factors = {{static_cast<qubit_t>(n / 4), Pauli::kZ},
+                  {static_cast<qubit_t>(3 * n / 4), Pauli::kZ}};
+
+  // Start from the fully polarised |0...0> state and evolve.
+  DistStateVector<SoaStorage> sv(n, 4);
+  std::cout << "step |   <Mz>   |   <Mx>   | <Z Z> corr | norm drift\n";
+  std::cout << "-----------------------------------------------------\n";
+  for (int s = 0; s <= steps; ++s) {
+    if (s > 0) {
+      sv.apply(step);
+    }
+    if (s % 4 == 0 || s == steps) {
+      std::printf("%4d | %8.4f | %8.4f | %10.4f | %.2e\n", s,
+                  expectation(sv, mz), expectation(sv, mx),
+                  expectation(sv, corr), std::abs(sv.norm_sq() - 1.0));
+    }
+  }
+
+  std::cout << "\nThe Z magnetisation decays from 1 while X magnetisation "
+               "builds — the transverse field rotates the order parameter; "
+               "unitarity holds to rounding (norm drift column).\n";
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Quickstart: build a circuit, run it on the statevector simulator, inspect
+// amplitudes and sample measurements — then run the same circuit on the
+// distributed engine (a 4-rank virtual cluster) and check they agree.
+//
+//   $ ./quickstart
+#include <iostream>
+
+#include "circuit/builders.hpp"
+#include "common/format.hpp"
+#include "common/rng.hpp"
+#include "dist/dist_statevector.hpp"
+#include "sv/statevector.hpp"
+
+int main() {
+  using namespace qsv;
+
+  // 1. Build a 3-qubit GHZ circuit: H(0), CX(0,1), CX(1,2).
+  const int n = 3;
+  const Circuit ghz = build_ghz(n);
+  std::cout << ghz.str() << "\n";
+
+  // 2. Simulate it on a single address space.
+  StateVector sv(n);
+  sv.apply(ghz);
+
+  std::cout << "Amplitudes:\n";
+  for (amp_index i = 0; i < sv.num_amps(); ++i) {
+    const cplx a = sv.amplitude(i);
+    if (std::abs(a) > 1e-12) {
+      std::cout << "  |" << i << ">  " << a.real() << (a.imag() < 0 ? " - " : " + ")
+                << std::abs(a.imag()) << "i\n";
+    }
+  }
+
+  // 3. Sample measurements.
+  Rng rng(42);
+  int zeros = 0;
+  int sevens = 0;
+  const int shots = 1000;
+  for (int s = 0; s < shots; ++s) {
+    const amp_index outcome = sv.sample(rng);
+    zeros += outcome == 0;
+    sevens += outcome == 7;
+  }
+  std::cout << "\n" << shots << " shots: |000> x" << zeros << ", |111> x"
+            << sevens << " (GHZ: only these two occur)\n";
+
+  // 4. Run the same circuit on the distributed engine: 4 virtual ranks,
+  //    each holding a quarter of the statevector, QuEST-style.
+  DistStateVector<SoaStorage> dist(n, /*num_ranks=*/4);
+  dist.apply(ghz);
+  std::cout << "\nDistributed run (4 ranks): max amplitude difference = "
+            << sv.max_amp_diff(dist.gather()) << "\n";
+  std::cout << "Messages exchanged: " << dist.comm_stats().messages << " ("
+            << fmt::bytes(dist.comm_stats().bytes) << ") — the CX(1,2) "
+            << "targets a rank bit, so slices crossed the network\n";
+  return 0;
+}

@@ -1,0 +1,151 @@
+#include "api/quest_compat.hpp"
+
+#include "circuit/builders.hpp"
+#include "circuit/gate.hpp"
+#include "common/error.hpp"
+
+namespace qsv::quest {
+
+QuESTEnv createQuESTEnv(int num_ranks) {
+  QSV_REQUIRE(num_ranks >= 1, "environment needs at least one rank");
+  return QuESTEnv{num_ranks, 0x5eed};
+}
+
+void destroyQuESTEnv(const QuESTEnv& env) { (void)env; }
+
+Qureg createQureg(int numQubits, const QuESTEnv& env) {
+  Qureg q;
+  q.state = std::make_shared<DistStateVector<SoaStorage>>(numQubits,
+                                                          env.num_ranks);
+  q.rng = std::make_shared<Rng>(env.seed);
+  return q;
+}
+
+void destroyQureg(Qureg& qureg, const QuESTEnv& env) {
+  (void)env;
+  qureg.state.reset();
+  qureg.rng.reset();
+}
+
+namespace {
+
+DistStateVector<SoaStorage>& sv(Qureg& q) {
+  QSV_REQUIRE(q.state != nullptr, "qureg was destroyed");
+  return *q.state;
+}
+
+const DistStateVector<SoaStorage>& sv(const Qureg& q) {
+  QSV_REQUIRE(q.state != nullptr, "qureg was destroyed");
+  return *q.state;
+}
+
+}  // namespace
+
+void initZeroState(Qureg& qureg) { sv(qureg).init_zero_state(); }
+
+void initPlusState(Qureg& qureg) {
+  sv(qureg).init_zero_state();
+  for (qubit_t q = 0; q < sv(qureg).num_qubits(); ++q) {
+    sv(qureg).apply(make_h(q));
+  }
+}
+
+void initClassicalState(Qureg& qureg, long long stateInd) {
+  QSV_REQUIRE(stateInd >= 0, "negative basis state");
+  sv(qureg).init_basis_state(static_cast<amp_index>(stateInd));
+}
+
+void hadamard(Qureg& qureg, int targetQubit) {
+  sv(qureg).apply(make_h(targetQubit));
+}
+void pauliX(Qureg& qureg, int targetQubit) {
+  sv(qureg).apply(make_x(targetQubit));
+}
+void pauliY(Qureg& qureg, int targetQubit) {
+  sv(qureg).apply(make_y(targetQubit));
+}
+void pauliZ(Qureg& qureg, int targetQubit) {
+  sv(qureg).apply(make_z(targetQubit));
+}
+void sGate(Qureg& qureg, int targetQubit) {
+  sv(qureg).apply(make_s(targetQubit));
+}
+void tGate(Qureg& qureg, int targetQubit) {
+  sv(qureg).apply(make_t_gate(targetQubit));
+}
+void phaseShift(Qureg& qureg, int targetQubit, qreal angle) {
+  sv(qureg).apply(make_phase(targetQubit, angle));
+}
+void rotateX(Qureg& qureg, int targetQubit, qreal angle) {
+  sv(qureg).apply(make_rx(targetQubit, angle));
+}
+void rotateY(Qureg& qureg, int targetQubit, qreal angle) {
+  sv(qureg).apply(make_ry(targetQubit, angle));
+}
+void rotateZ(Qureg& qureg, int targetQubit, qreal angle) {
+  sv(qureg).apply(make_rz(targetQubit, angle));
+}
+void controlledNot(Qureg& qureg, int controlQubit, int targetQubit) {
+  sv(qureg).apply(make_cx(controlQubit, targetQubit));
+}
+void controlledPhaseFlip(Qureg& qureg, int idQubit1, int idQubit2) {
+  sv(qureg).apply(make_cz(idQubit1, idQubit2));
+}
+void controlledPhaseShift(Qureg& qureg, int idQubit1, int idQubit2,
+                          qreal angle) {
+  sv(qureg).apply(make_cphase(idQubit1, idQubit2, angle));
+}
+void swapGate(Qureg& qureg, int qubit1, int qubit2) {
+  sv(qureg).apply(make_swap(qubit1, qubit2));
+}
+
+void unitary(Qureg& qureg, int targetQubit, const ComplexMatrix2& u) {
+  std::vector<real_t> params;
+  params.reserve(8);
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < 2; ++c) {
+      params.push_back(u.real[r][c]);
+      params.push_back(u.imag[r][c]);
+    }
+  }
+  sv(qureg).apply(make_unitary1(targetQubit, params));
+}
+
+void applyFullQFT(Qureg& qureg) {
+  QftOptions opts;
+  opts.ascending = true;
+  opts.fused_phases = true;
+  opts.final_swaps = true;
+  sv(qureg).apply(build_qft(sv(qureg).num_qubits(), opts));
+}
+
+qreal calcTotalProb(const Qureg& qureg) { return sv(qureg).norm_sq(); }
+
+Complex getAmp(const Qureg& qureg, long long index) {
+  QSV_REQUIRE(index >= 0, "negative amplitude index");
+  const cplx a = sv(qureg).amplitude(static_cast<amp_index>(index));
+  return Complex{a.real(), a.imag()};
+}
+
+qreal calcProbOfOutcome(const Qureg& qureg, int measureQubit, int outcome) {
+  QSV_REQUIRE(outcome == 0 || outcome == 1, "outcome must be 0 or 1");
+  const qreal p1 = sv(qureg).probability_of_one(measureQubit);
+  return outcome == 1 ? p1 : 1 - p1;
+}
+
+int measure(Qureg& qureg, int measureQubit) {
+  QSV_REQUIRE(qureg.rng != nullptr, "qureg was destroyed");
+  return sv(qureg).measure(measureQubit, *qureg.rng);
+}
+
+qreal calcFidelity(const Qureg& qureg, const Qureg& pureState) {
+  // Gather-based (test-scale registers); QuEST computes this distributed.
+  return sv(qureg).gather().fidelity(sv(pureState).gather());
+}
+
+void seedQuEST(Qureg& qureg, unsigned long seed) {
+  QSV_REQUIRE(qureg.rng != nullptr, "qureg was destroyed");
+  *qureg.rng = Rng(seed);
+}
+
+}  // namespace qsv::quest

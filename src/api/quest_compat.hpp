@@ -1,0 +1,101 @@
+// QuEST-style API facade.
+//
+// The paper's experiments are QuEST runs; this header lets code written
+// against QuEST's C API (Jones et al. 2019) drive this library with minimal
+// edits: the same function names and argument orders, backed by the
+// distributed engine. Coverage is the subset the paper's workloads touch
+// plus the common measurement calls.
+//
+//   QuESTEnv env = createQuESTEnv(8);            // 8 virtual ranks
+//   Qureg q = createQureg(20, env);
+//   hadamard(q, 0);
+//   controlledPhaseShift(q, 1, 0, M_PI / 2);
+//   qreal p = calcProbOfOutcome(q, 0, 1);
+//   applyFullQFT(q);
+//   destroyQureg(q, env);
+#pragma once
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "dist/dist_statevector.hpp"
+
+namespace qsv::quest {
+
+using qreal = real_t;
+
+/// Stands in for QuEST's execution environment: the virtual cluster shape.
+struct QuESTEnv {
+  int num_ranks = 1;
+  std::uint64_t seed = 0x5eed;
+};
+
+/// A quantum register handle (value-semantic wrapper over the engine).
+struct Qureg {
+  std::shared_ptr<DistStateVector<SoaStorage>> state;
+  std::shared_ptr<Rng> rng;
+
+  [[nodiscard]] int numQubitsRepresented() const {
+    return state->num_qubits();
+  }
+};
+
+struct Complex {
+  qreal real;
+  qreal imag;
+};
+
+struct ComplexMatrix2 {
+  qreal real[2][2];
+  qreal imag[2][2];
+};
+
+// --- environment & register lifecycle --------------------------------------
+
+[[nodiscard]] QuESTEnv createQuESTEnv(int num_ranks = 1);
+void destroyQuESTEnv(const QuESTEnv& env);
+
+[[nodiscard]] Qureg createQureg(int numQubits, const QuESTEnv& env);
+void destroyQureg(Qureg& qureg, const QuESTEnv& env);
+
+void initZeroState(Qureg& qureg);
+void initPlusState(Qureg& qureg);
+void initClassicalState(Qureg& qureg, long long stateInd);
+
+// --- gates (QuEST names and argument orders) --------------------------------
+
+void hadamard(Qureg& qureg, int targetQubit);
+void pauliX(Qureg& qureg, int targetQubit);
+void pauliY(Qureg& qureg, int targetQubit);
+void pauliZ(Qureg& qureg, int targetQubit);
+void sGate(Qureg& qureg, int targetQubit);
+void tGate(Qureg& qureg, int targetQubit);
+void phaseShift(Qureg& qureg, int targetQubit, qreal angle);
+void rotateX(Qureg& qureg, int targetQubit, qreal angle);
+void rotateY(Qureg& qureg, int targetQubit, qreal angle);
+void rotateZ(Qureg& qureg, int targetQubit, qreal angle);
+void controlledNot(Qureg& qureg, int controlQubit, int targetQubit);
+void controlledPhaseFlip(Qureg& qureg, int idQubit1, int idQubit2);
+void controlledPhaseShift(Qureg& qureg, int idQubit1, int idQubit2,
+                          qreal angle);
+void swapGate(Qureg& qureg, int qubit1, int qubit2);
+void unitary(Qureg& qureg, int targetQubit, const ComplexMatrix2& u);
+
+/// QuEST's built-in QFT (ascending Hadamards, fused phase layers, final
+/// swaps — exactly the paper's "Built-in" workload).
+void applyFullQFT(Qureg& qureg);
+
+// --- measurements & calculations --------------------------------------------
+
+[[nodiscard]] qreal calcTotalProb(const Qureg& qureg);
+[[nodiscard]] Complex getAmp(const Qureg& qureg, long long index);
+[[nodiscard]] qreal calcProbOfOutcome(const Qureg& qureg, int measureQubit,
+                                      int outcome);
+[[nodiscard]] int measure(Qureg& qureg, int measureQubit);
+[[nodiscard]] qreal calcFidelity(const Qureg& qureg, const Qureg& pureState);
+
+/// Seeds the measurement RNG (QuEST: seedQuEST).
+void seedQuEST(Qureg& qureg, unsigned long seed);
+
+}  // namespace qsv::quest

@@ -1,0 +1,246 @@
+#include "circuit/builders.hpp"
+
+#include "circuit/matrix.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace qsv {
+
+namespace {
+constexpr real_t kPi = std::numbers::pi_v<real_t>;
+}
+
+Circuit build_qft(int n, const QftOptions& opts) {
+  Circuit c(n, "qft");
+  auto emit_target = [&](qubit_t t) {
+    c.add(make_h(t));
+    // Controlled phases between t and every not-yet-processed qubit u:
+    // angle pi / 2^{|u - t|}.
+    if (opts.fused_phases) {
+      std::vector<qubit_t> controls;
+      std::vector<real_t> angles;
+      if (opts.ascending) {
+        for (qubit_t u = t + 1; u < n; ++u) {
+          controls.push_back(u);
+          angles.push_back(kPi / std::pow(real_t{2}, u - t));
+        }
+      } else {
+        for (qubit_t u = t - 1; u >= 0; --u) {
+          controls.push_back(u);
+          angles.push_back(kPi / std::pow(real_t{2}, t - u));
+        }
+      }
+      if (!controls.empty()) {
+        c.add(make_fused_phase(t, std::move(controls), std::move(angles)));
+      }
+    } else {
+      if (opts.ascending) {
+        for (qubit_t u = t + 1; u < n; ++u) {
+          c.add(make_cphase(u, t, kPi / std::pow(real_t{2}, u - t)));
+        }
+      } else {
+        for (qubit_t u = t - 1; u >= 0; --u) {
+          c.add(make_cphase(u, t, kPi / std::pow(real_t{2}, t - u)));
+        }
+      }
+    }
+  };
+
+  if (opts.ascending) {
+    for (qubit_t t = 0; t < n; ++t) {
+      emit_target(t);
+    }
+  } else {
+    for (qubit_t t = n - 1; t >= 0; --t) {
+      emit_target(t);
+    }
+  }
+
+  if (opts.final_swaps) {
+    for (qubit_t i = 0; i < n / 2; ++i) {
+      c.add(make_swap(i, n - 1 - i));
+    }
+  }
+  return c;
+}
+
+Circuit build_hadamard_bench(int n, qubit_t target, int count) {
+  QSV_REQUIRE(count >= 1, "need at least one gate");
+  Circuit c(n, "hadamard_bench");
+  for (int i = 0; i < count; ++i) {
+    c.add(make_h(target));
+  }
+  return c;
+}
+
+Circuit build_swap_bench(int n, qubit_t a, qubit_t b, int count) {
+  QSV_REQUIRE(count >= 1, "need at least one gate");
+  Circuit c(n, "swap_bench");
+  for (int i = 0; i < count; ++i) {
+    c.add(make_swap(a, b));
+  }
+  return c;
+}
+
+Circuit build_ghz(int n) {
+  Circuit c(n, "ghz");
+  c.add(make_h(0));
+  for (qubit_t q = 1; q < n; ++q) {
+    c.add(make_cx(q - 1, q));
+  }
+  return c;
+}
+
+Circuit build_qpe(int counting_qubits, real_t phase) {
+  QSV_REQUIRE(counting_qubits >= 1, "need at least one counting qubit");
+  const int n = counting_qubits + 1;
+  const qubit_t eigen = counting_qubits;
+  Circuit c(n, "qpe");
+
+  // Prepare the eigenstate |1> of P(theta).
+  c.add(make_x(eigen));
+
+  // Superpose the counting register.
+  for (qubit_t q = 0; q < counting_qubits; ++q) {
+    c.add(make_h(q));
+  }
+
+  // Controlled-U^{2^q}: U = P(2*pi*phase), so U^{2^q} = P(2*pi*phase*2^q).
+  // Counting qubit q carries weight 2^q (little-endian result).
+  for (qubit_t q = 0; q < counting_qubits; ++q) {
+    const real_t theta = 2 * kPi * phase * std::pow(real_t{2}, q);
+    c.add(make_cphase(q, eigen, theta));
+  }
+
+  // Inverse QFT on the counting register (little-endian convention, i.e.
+  // descending build), acting only on qubits [0, counting).
+  QftOptions opts;
+  opts.ascending = false;
+  Circuit qft = build_qft(counting_qubits, opts);
+  Circuit inv = qft.inverse();
+  for (const Gate& g : inv) {
+    c.add(g);  // qubit indices already within [0, counting)
+  }
+  c.set_name("qpe");
+  return c;
+}
+
+Circuit build_grover(int n, amp_index marked) {
+  QSV_REQUIRE(n >= 2 && n <= 30, "grover builder supports 2..30 qubits");
+  QSV_REQUIRE(marked < (amp_index{1} << n), "marked state out of range");
+  Circuit c(n, "grover");
+
+  for (qubit_t q = 0; q < n; ++q) {
+    c.add(make_h(q));
+  }
+
+  const int iterations = static_cast<int>(
+      std::round(kPi / 4 * std::sqrt(std::pow(real_t{2}, n))));
+
+  // Multi-controlled Z on all qubits: controls = [1, n), target = 0.
+  auto add_mcz = [&c, n]() {
+    Gate g = make_z(0);
+    for (qubit_t q = 1; q < n; ++q) {
+      g.controls.push_back(q);
+    }
+    c.add(std::move(g));
+  };
+
+  for (int it = 0; it < iterations; ++it) {
+    // Oracle: flip the phase of |marked| = X-conjugated MCZ.
+    for (qubit_t q = 0; q < n; ++q) {
+      if (((marked >> q) & 1u) == 0) {
+        c.add(make_x(q));
+      }
+    }
+    add_mcz();
+    for (qubit_t q = 0; q < n; ++q) {
+      if (((marked >> q) & 1u) == 0) {
+        c.add(make_x(q));
+      }
+    }
+    // Diffusion: H X mcz X H.
+    for (qubit_t q = 0; q < n; ++q) {
+      c.add(make_h(q));
+    }
+    for (qubit_t q = 0; q < n; ++q) {
+      c.add(make_x(q));
+    }
+    add_mcz();
+    for (qubit_t q = 0; q < n; ++q) {
+      c.add(make_x(q));
+    }
+    for (qubit_t q = 0; q < n; ++q) {
+      c.add(make_h(q));
+    }
+  }
+  return c;
+}
+
+Circuit build_random(int n, int num_gates, Rng& rng) {
+  Circuit c(n, "random");
+  for (int i = 0; i < num_gates; ++i) {
+    const auto pick = rng.below(16);
+    const qubit_t t = static_cast<qubit_t>(rng.below(n));
+    qubit_t u = t;
+    if (n > 1) {
+      while (u == t) {
+        u = static_cast<qubit_t>(rng.below(n));
+      }
+    }
+    const real_t theta = rng.uniform(-kPi, kPi);
+    switch (pick) {
+      case 0: c.add(make_h(t)); break;
+      case 1: c.add(make_x(t)); break;
+      case 2: c.add(make_y(t)); break;
+      case 3: c.add(make_z(t)); break;
+      case 4: c.add(make_s(t)); break;
+      case 5: c.add(make_t_gate(t)); break;
+      case 6: c.add(make_phase(t, theta)); break;
+      case 7: c.add(make_rx(t, theta)); break;
+      case 8: c.add(make_ry(t, theta)); break;
+      case 9: c.add(make_rz(t, theta)); break;
+      case 10:
+        if (n > 1) c.add(make_cx(u, t));
+        break;
+      case 11:
+        if (n > 1) c.add(make_cz(u, t));
+        break;
+      case 12:
+        if (n > 1) c.add(make_cphase(u, t, theta));
+        break;
+      case 13:
+        if (n > 1) c.add(make_swap(u, t));
+        break;
+      case 14:
+        c.add(make_unitary1(t, random_unitary1_params(rng)));
+        break;
+      case 15:
+        if (n > 1) c.add(make_unitary2(u, t, random_unitary2_params(rng)));
+        break;
+      default: break;
+    }
+  }
+  return c;
+}
+
+Circuit build_rcs(int n, int depth, Rng& rng) {
+  QSV_REQUIRE(n >= 2, "RCS needs at least two qubits");
+  QSV_REQUIRE(depth >= 1, "RCS needs at least one cycle");
+  Circuit c(n, "rcs");
+  for (int layer = 0; layer < depth; ++layer) {
+    for (qubit_t q = 0; q < n; ++q) {
+      c.add(make_unitary1(q, random_unitary1_params(rng)));
+    }
+    const qubit_t first = layer % 2;  // alternate even/odd bonds
+    for (qubit_t q = first; q + 1 < n; q += 2) {
+      c.add(make_unitary2(q, q + 1, random_unitary2_params(rng)));
+    }
+  }
+  return c;
+}
+
+}  // namespace qsv

@@ -1,0 +1,67 @@
+// Circuit builders: the paper's workloads (QFT, Hadamard benchmark, SWAP
+// benchmark) plus standard algorithm circuits used by the examples and the
+// randomized property tests.
+#pragma once
+
+#include "circuit/circuit.hpp"
+#include "common/rng.hpp"
+
+namespace qsv {
+
+/// Options for the QFT builder.
+struct QftOptions {
+  /// Apply Hadamards in ascending target order (qubit 0 first), as drawn in
+  /// the paper's fig. 1a, so the *last* Hadamards hit the high (distributed)
+  /// qubits. When false, targets descend (plain little-endian QFT).
+  bool ascending = true;
+
+  /// Fuse each target's run of controlled-phase gates into one diagonal
+  /// kFusedPhase pass — QuEST's "controlled phase gates applied more
+  /// efficiently" (§3.2 of the paper).
+  bool fused_phases = false;
+
+  /// Emit the terminal bit-reversal SWAP(i, n-1-i) gates.
+  bool final_swaps = true;
+};
+
+/// Quantum Fourier Transform on n qubits.
+///
+/// With `ascending=false` and final swaps, the circuit implements the DFT
+/// |j> -> 1/sqrt(N) sum_k exp(2*pi*i*j*k/N) |k> with qubit 0 the least
+/// significant bit. With `ascending=true` (paper convention) it implements
+/// the same transform with big-endian bit significance, i.e. R * DFT * R for
+/// the bit-reversal permutation R.
+[[nodiscard]] Circuit build_qft(int n, const QftOptions& opts = {});
+
+/// The paper's Hadamard benchmark: `count` H gates applied to `target`.
+[[nodiscard]] Circuit build_hadamard_bench(int n, qubit_t target, int count);
+
+/// The paper's SWAP benchmark: `count` SWAP gates applied to (a, b).
+[[nodiscard]] Circuit build_swap_bench(int n, qubit_t a, qubit_t b, int count);
+
+/// GHZ state preparation: H(0) then a CX chain.
+[[nodiscard]] Circuit build_ghz(int n);
+
+/// Quantum Phase Estimation of the single-qubit phase gate P(2*pi*phase),
+/// using `counting_qubits` counting qubits plus 1 eigenstate qubit prepared
+/// in |1>. Register layout: counting qubits [0, counting), eigenstate qubit
+/// at index `counting`. Measuring the counting register (as an integer read
+/// with qubit `counting-1` as MSB... see example) yields round(phase * 2^c).
+[[nodiscard]] Circuit build_qpe(int counting_qubits, real_t phase);
+
+/// Grover search for the single basis state `marked` on n qubits, with the
+/// standard optimal iteration count round(pi/4*sqrt(2^n)).
+[[nodiscard]] Circuit build_grover(int n, amp_index marked);
+
+/// Random circuit over the full gate set (including dense 1- and 2-qubit
+/// unitaries), used for property tests. Deterministic for a given rng state.
+[[nodiscard]] Circuit build_random(int n, int num_gates, Rng& rng);
+
+/// Random circuit sampling workload (the paper's introduction motivates
+/// large simulations with Google's 2019 experiment): `depth` cycles, each a
+/// layer of random single-qubit unitaries on every qubit followed by random
+/// two-qubit dense unitaries on a brick pattern alternating between even
+/// and odd bonds. Deterministic for a given rng state.
+[[nodiscard]] Circuit build_rcs(int n, int depth, Rng& rng);
+
+}  // namespace qsv

@@ -1,0 +1,169 @@
+#include "circuit/circuit.hpp"
+
+#include <algorithm>
+#include <numbers>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace qsv {
+
+Circuit::Circuit(int num_qubits, std::string name)
+    : num_qubits_(num_qubits), name_(std::move(name)) {
+  QSV_REQUIRE(num_qubits >= 1 && num_qubits <= 62,
+              "register size must be in [1, 62]");
+}
+
+Circuit& Circuit::add(Gate g) {
+  for (qubit_t q : g.targets) {
+    QSV_REQUIRE(q >= 0 && q < num_qubits_,
+                "gate target out of range: " + g.str());
+  }
+  for (qubit_t c : g.controls) {
+    QSV_REQUIRE(c >= 0 && c < num_qubits_,
+                "gate control out of range: " + g.str());
+    QSV_REQUIRE(std::find(g.targets.begin(), g.targets.end(), c) ==
+                    g.targets.end(),
+                "control duplicates a target: " + g.str());
+  }
+  const std::size_t want_targets =
+      (g.kind == GateKind::kSwap || g.kind == GateKind::kUnitary2) ? 2u : 1u;
+  QSV_REQUIRE(g.targets.size() == want_targets,
+              "wrong target arity: " + g.str());
+  QSV_REQUIRE(g.targets.size() < 2 || g.targets[0] != g.targets[1],
+              "duplicate targets: " + g.str());
+  gates_.push_back(std::move(g));
+  return *this;
+}
+
+Circuit& Circuit::append(const Circuit& other) {
+  QSV_REQUIRE(other.num_qubits_ == num_qubits_,
+              "appending circuit with different register size");
+  for (const Gate& g : other.gates_) {
+    gates_.push_back(g);
+  }
+  return *this;
+}
+
+namespace {
+
+Gate inverse_gate(const Gate& g) {
+  Gate inv = g;
+  switch (g.kind) {
+    // Self-inverse kinds.
+    case GateKind::kH:
+    case GateKind::kX:
+    case GateKind::kY:
+    case GateKind::kZ:
+    case GateKind::kCx:
+    case GateKind::kCz:
+    case GateKind::kSwap:
+      return inv;
+    case GateKind::kS:
+      // S^-1 = P(-pi/2).
+      inv.kind = GateKind::kPhase;
+      inv.params = {-std::numbers::pi_v<real_t> / 2};
+      return inv;
+    case GateKind::kT:
+      inv.kind = GateKind::kPhase;
+      inv.params = {-std::numbers::pi_v<real_t> / 4};
+      return inv;
+    case GateKind::kPhase:
+    case GateKind::kRx:
+    case GateKind::kRy:
+    case GateKind::kRz:
+    case GateKind::kCPhase:
+      inv.params[0] = -inv.params[0];
+      return inv;
+    case GateKind::kFusedPhase:
+      for (real_t& p : inv.params) {
+        p = -p;
+      }
+      return inv;
+    case GateKind::kUnitary1: {
+      // Conjugate transpose of the embedded 2x2 matrix.
+      const auto& p = g.params;
+      // params layout: [re00, im00, re01, im01, re10, im10, re11, im11]
+      inv.params = {p[0], -p[1], p[4], -p[5], p[2], -p[3], p[6], -p[7]};
+      return inv;
+    }
+    case GateKind::kUnitary2: {
+      // Conjugate transpose of the embedded 4x4 matrix.
+      inv.params.assign(32, 0);
+      for (int r = 0; r < 4; ++r) {
+        for (int col = 0; col < 4; ++col) {
+          const std::size_t src = 2 * (4 * r + col);
+          const std::size_t dst = 2 * (4 * col + r);
+          inv.params[dst] = g.params[src];
+          inv.params[dst + 1] = -g.params[src + 1];
+        }
+      }
+      return inv;
+    }
+  }
+  QSV_REQUIRE(false, "unreachable: unknown gate kind");
+  return inv;
+}
+
+}  // namespace
+
+Circuit Circuit::inverse() const {
+  Circuit inv(num_qubits_, name_.empty() ? "" : name_ + "_inv");
+  for (auto it = gates_.rbegin(); it != gates_.rend(); ++it) {
+    inv.add(inverse_gate(*it));
+  }
+  return inv;
+}
+
+Circuit Circuit::remapped(const std::vector<qubit_t>& perm) const {
+  validate_permutation(perm, num_qubits_);
+  Circuit out(num_qubits_, name_);
+  for (const Gate& g : gates_) {
+    Gate r = g;
+    for (qubit_t& q : r.targets) {
+      q = perm[q];
+    }
+    for (qubit_t& q : r.controls) {
+      q = perm[q];
+    }
+    // Keep SWAP/CPhase/CZ canonical (sorted / min-target) after remapping.
+    if (r.kind == GateKind::kSwap) {
+      std::sort(r.targets.begin(), r.targets.end());
+    }
+    if ((r.kind == GateKind::kCPhase || r.kind == GateKind::kCz) &&
+        r.controls[0] < r.targets[0]) {
+      std::swap(r.controls[0], r.targets[0]);
+    }
+    out.add(std::move(r));
+  }
+  return out;
+}
+
+std::size_t Circuit::count_kind(GateKind kind) const {
+  return static_cast<std::size_t>(
+      std::count_if(gates_.begin(), gates_.end(),
+                    [kind](const Gate& g) { return g.kind == kind; }));
+}
+
+std::string Circuit::str() const {
+  std::ostringstream os;
+  os << "Circuit '" << name_ << "' on " << num_qubits_ << " qubits, "
+     << gates_.size() << " gates\n";
+  for (std::size_t i = 0; i < gates_.size(); ++i) {
+    os << "  [" << i << "] " << gates_[i].str() << '\n';
+  }
+  return os.str();
+}
+
+void validate_permutation(const std::vector<qubit_t>& perm, int n) {
+  QSV_REQUIRE(perm.size() == static_cast<std::size_t>(n),
+              "permutation size mismatch");
+  std::vector<bool> seen(perm.size(), false);
+  for (qubit_t v : perm) {
+    QSV_REQUIRE(v >= 0 && v < n, "permutation value out of range");
+    QSV_REQUIRE(!seen[v], "permutation has duplicate value");
+    seen[v] = true;
+  }
+}
+
+}  // namespace qsv

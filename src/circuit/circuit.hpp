@@ -1,0 +1,58 @@
+// Circuit container: an ordered gate list over a fixed-size register, plus
+// structural queries used by the transpiler and the cost model.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "circuit/gate.hpp"
+
+namespace qsv {
+
+class Circuit {
+ public:
+  explicit Circuit(int num_qubits, std::string name = {});
+
+  [[nodiscard]] int num_qubits() const { return num_qubits_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Appends a gate; validates operands against the register size.
+  Circuit& add(Gate g);
+
+  /// Appends every gate of `other` (registers must match).
+  Circuit& append(const Circuit& other);
+
+  [[nodiscard]] std::size_t size() const { return gates_.size(); }
+  [[nodiscard]] bool empty() const { return gates_.empty(); }
+  [[nodiscard]] const Gate& gate(std::size_t i) const { return gates_[i]; }
+  [[nodiscard]] const std::vector<Gate>& gates() const { return gates_; }
+
+  [[nodiscard]] auto begin() const { return gates_.begin(); }
+  [[nodiscard]] auto end() const { return gates_.end(); }
+
+  /// Inverse circuit (gates reversed and conjugated). Supported for every
+  /// kind in the IR; throws for none.
+  [[nodiscard]] Circuit inverse() const;
+
+  /// Returns a circuit with every qubit index remapped by `perm`, where
+  /// `perm[q]` is the new label of qubit q. `perm` must be a permutation of
+  /// [0, num_qubits).
+  [[nodiscard]] Circuit remapped(const std::vector<qubit_t>& perm) const;
+
+  /// Number of gates of a given kind (used by structure tests).
+  [[nodiscard]] std::size_t count_kind(GateKind kind) const;
+
+  /// Multi-line textual dump.
+  [[nodiscard]] std::string str() const;
+
+ private:
+  int num_qubits_;
+  std::string name_;
+  std::vector<Gate> gates_;
+};
+
+/// Verifies `perm` is a permutation of [0, n); throws otherwise.
+void validate_permutation(const std::vector<qubit_t>& perm, int n);
+
+}  // namespace qsv

@@ -1,0 +1,199 @@
+#include "circuit/gate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace qsv {
+
+std::vector<qubit_t> Gate::qubits() const {
+  std::vector<qubit_t> all = targets;
+  all.insert(all.end(), controls.begin(), controls.end());
+  return all;
+}
+
+bool Gate::is_diagonal() const { return kind_is_diagonal(kind); }
+
+qubit_t Gate::max_qubit() const {
+  qubit_t m = -1;
+  for (qubit_t q : targets) {
+    m = std::max(m, q);
+  }
+  for (qubit_t q : controls) {
+    m = std::max(m, q);
+  }
+  return m;
+}
+
+std::string Gate::str() const {
+  std::ostringstream os;
+  os << kind_name(kind);
+  if (!params.empty() && kind != GateKind::kFusedPhase &&
+      kind != GateKind::kUnitary1) {
+    os << "(" << params[0] << ")";
+  }
+  if (!controls.empty()) {
+    os << " c=";
+    for (std::size_t i = 0; i < controls.size(); ++i) {
+      os << (i != 0 ? "," : "") << controls[i];
+    }
+  }
+  os << " t=";
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    os << (i != 0 ? "," : "") << targets[i];
+  }
+  return os.str();
+}
+
+namespace {
+
+Gate simple(GateKind kind, qubit_t t) {
+  QSV_REQUIRE(t >= 0, "qubit index must be non-negative");
+  Gate g;
+  g.kind = kind;
+  g.targets = {t};
+  return g;
+}
+
+Gate angled(GateKind kind, qubit_t t, real_t theta) {
+  Gate g = simple(kind, t);
+  g.params = {theta};
+  return g;
+}
+
+}  // namespace
+
+Gate make_h(qubit_t t) { return simple(GateKind::kH, t); }
+Gate make_x(qubit_t t) { return simple(GateKind::kX, t); }
+Gate make_y(qubit_t t) { return simple(GateKind::kY, t); }
+Gate make_z(qubit_t t) { return simple(GateKind::kZ, t); }
+Gate make_s(qubit_t t) { return simple(GateKind::kS, t); }
+Gate make_t_gate(qubit_t t) { return simple(GateKind::kT, t); }
+Gate make_phase(qubit_t t, real_t theta) {
+  return angled(GateKind::kPhase, t, theta);
+}
+Gate make_rx(qubit_t t, real_t theta) { return angled(GateKind::kRx, t, theta); }
+Gate make_ry(qubit_t t, real_t theta) { return angled(GateKind::kRy, t, theta); }
+Gate make_rz(qubit_t t, real_t theta) { return angled(GateKind::kRz, t, theta); }
+
+Gate make_cx(qubit_t control, qubit_t target) {
+  QSV_REQUIRE(control >= 0 && target >= 0 && control != target,
+              "CX needs two distinct qubits");
+  Gate g;
+  g.kind = GateKind::kCx;
+  g.targets = {target};
+  g.controls = {control};
+  return g;
+}
+
+Gate make_cz(qubit_t a, qubit_t b) {
+  QSV_REQUIRE(a >= 0 && b >= 0 && a != b, "CZ needs two distinct qubits");
+  // CZ is symmetric; store the lower qubit as target for a canonical form.
+  Gate g;
+  g.kind = GateKind::kCz;
+  g.targets = {std::min(a, b)};
+  g.controls = {std::max(a, b)};
+  return g;
+}
+
+Gate make_cphase(qubit_t control, qubit_t target, real_t theta) {
+  QSV_REQUIRE(control >= 0 && target >= 0 && control != target,
+              "CPhase needs two distinct qubits");
+  // Controlled phase is symmetric under control/target exchange; canonical
+  // form keeps the lower index as the target, which also helps locality:
+  // the diagonal kernel only needs the *bit mask*, not the role split.
+  Gate g;
+  g.kind = GateKind::kCPhase;
+  g.targets = {std::min(control, target)};
+  g.controls = {std::max(control, target)};
+  g.params = {theta};
+  return g;
+}
+
+Gate make_swap(qubit_t a, qubit_t b) {
+  QSV_REQUIRE(a >= 0 && b >= 0 && a != b, "SWAP needs two distinct qubits");
+  Gate g;
+  g.kind = GateKind::kSwap;
+  g.targets = {std::min(a, b), std::max(a, b)};
+  return g;
+}
+
+Gate make_fused_phase(qubit_t target, std::vector<qubit_t> controls,
+                      std::vector<real_t> thetas) {
+  QSV_REQUIRE(target >= 0, "fused phase target must be non-negative");
+  QSV_REQUIRE(controls.size() == thetas.size(),
+              "fused phase needs one angle per control");
+  for (qubit_t c : controls) {
+    QSV_REQUIRE(c >= 0 && c != target,
+                "fused phase controls must differ from the target");
+  }
+  Gate g;
+  g.kind = GateKind::kFusedPhase;
+  g.targets = {target};
+  g.controls = std::move(controls);
+  g.params = std::move(thetas);
+  return g;
+}
+
+Gate make_unitary1(qubit_t t, const std::vector<real_t>& matrix8) {
+  QSV_REQUIRE(matrix8.size() == 8, "unitary1 needs 8 reals (2x2 re/im pairs)");
+  Gate g = simple(GateKind::kUnitary1, t);
+  g.params = matrix8;
+  return g;
+}
+
+Gate make_unitary2(qubit_t t0, qubit_t t1,
+                   const std::vector<real_t>& matrix32) {
+  QSV_REQUIRE(t0 >= 0 && t1 >= 0 && t0 != t1,
+              "unitary2 needs two distinct qubits");
+  QSV_REQUIRE(matrix32.size() == 32,
+              "unitary2 needs 32 reals (4x4 re/im pairs)");
+  Gate g;
+  g.kind = GateKind::kUnitary2;
+  g.targets = {t0, t1};  // order is significant: t0 is the low subspace bit
+  g.params = matrix32;
+  return g;
+}
+
+bool kind_is_diagonal(GateKind kind) {
+  switch (kind) {
+    case GateKind::kZ:
+    case GateKind::kS:
+    case GateKind::kT:
+    case GateKind::kPhase:
+    case GateKind::kRz:
+    case GateKind::kCz:
+    case GateKind::kCPhase:
+    case GateKind::kFusedPhase:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const char* kind_name(GateKind kind) {
+  switch (kind) {
+    case GateKind::kH: return "H";
+    case GateKind::kX: return "X";
+    case GateKind::kY: return "Y";
+    case GateKind::kZ: return "Z";
+    case GateKind::kS: return "S";
+    case GateKind::kT: return "T";
+    case GateKind::kPhase: return "P";
+    case GateKind::kRx: return "RX";
+    case GateKind::kRy: return "RY";
+    case GateKind::kRz: return "RZ";
+    case GateKind::kCx: return "CX";
+    case GateKind::kCz: return "CZ";
+    case GateKind::kCPhase: return "CP";
+    case GateKind::kSwap: return "SWAP";
+    case GateKind::kFusedPhase: return "FPHASE";
+    case GateKind::kUnitary1: return "U1Q";
+    case GateKind::kUnitary2: return "U2Q";
+  }
+  return "?";
+}
+
+}  // namespace qsv

@@ -1,0 +1,104 @@
+// Gate intermediate representation.
+//
+// The gate set covers everything the paper's circuits use (H, controlled
+// phase, SWAP) plus enough general gates (Paulis, rotations, CX) for
+// realistic example applications and randomized property tests.
+//
+// QuEST's optimised QFT applies all controlled-phase rotations sharing a
+// target in a single pass over the statevector; we model that as the
+// kFusedPhase gate, a diagonal operator parameterised by one angle per
+// control qubit.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace qsv {
+
+enum class GateKind {
+  kH,           // Hadamard
+  kX,           // Pauli-X
+  kY,           // Pauli-Y
+  kZ,           // Pauli-Z (diagonal)
+  kS,           // phase(pi/2) (diagonal)
+  kT,           // phase(pi/4) (diagonal)
+  kPhase,       // diag(1, e^{i*theta}) on target (diagonal)
+  kRx,          // rotation-X(theta)
+  kRy,          // rotation-Y(theta)
+  kRz,          // rotation-Z(theta) (diagonal)
+  kCx,          // controlled-X
+  kCz,          // controlled-Z (diagonal)
+  kCPhase,      // controlled phase(theta) (diagonal)
+  kSwap,        // SWAP of two qubits
+  kFusedPhase,  // diagonal: for each control c_i with bit set AND target bit
+                // set, multiply amplitude by e^{i*theta_i} (QuEST-style fused
+                // controlled-phase layer; the QFT applies one per target)
+  kUnitary1,    // arbitrary single-qubit unitary, params = 8 reals
+                // (row-major re/im of a 2x2 matrix); used by QPE & tests
+  kUnitary2,    // arbitrary two-qubit unitary, params = 32 reals (row-major
+                // re/im of a 4x4 matrix); subspace index = 2*bit(targets[1])
+                // + bit(targets[0]). Distributed execution decomposes into
+                // SWAPs + a local application (see expand_for_decomposition)
+};
+
+/// A gate instance: kind + qubit operands + real parameters.
+///
+/// Conventions:
+///  * `targets` holds 1 qubit (2 for kSwap).
+///  * `controls` holds any number of control qubits (all must read 1).
+///  * `params` meaning depends on kind: rotation/phase angle;
+///    kFusedPhase: params[i] is the angle paired with controls[i];
+///    kUnitary1: 8 reals encoding the 2x2 matrix.
+struct Gate {
+  GateKind kind{};
+  std::vector<qubit_t> targets;
+  std::vector<qubit_t> controls;
+  std::vector<real_t> params;
+
+  /// All qubits the gate touches (targets then controls).
+  [[nodiscard]] std::vector<qubit_t> qubits() const;
+
+  /// True if the gate's matrix is diagonal in the computational basis
+  /// (the paper's "fully local" class — applied without pairing amplitudes).
+  [[nodiscard]] bool is_diagonal() const;
+
+  /// Highest qubit index the gate touches.
+  [[nodiscard]] qubit_t max_qubit() const;
+
+  /// Short human-readable form, e.g. "CP(pi/4) c=3 t=7".
+  [[nodiscard]] std::string str() const;
+
+  /// Structural equality (kind, operands, params exactly equal).
+  bool operator==(const Gate& other) const = default;
+};
+
+/// Factory helpers — the only supported way to build gates, so operand
+/// arities are validated in exactly one place.
+Gate make_h(qubit_t t);
+Gate make_x(qubit_t t);
+Gate make_y(qubit_t t);
+Gate make_z(qubit_t t);
+Gate make_s(qubit_t t);
+Gate make_t_gate(qubit_t t);
+Gate make_phase(qubit_t t, real_t theta);
+Gate make_rx(qubit_t t, real_t theta);
+Gate make_ry(qubit_t t, real_t theta);
+Gate make_rz(qubit_t t, real_t theta);
+Gate make_cx(qubit_t control, qubit_t target);
+Gate make_cz(qubit_t a, qubit_t b);
+Gate make_cphase(qubit_t control, qubit_t target, real_t theta);
+Gate make_swap(qubit_t a, qubit_t b);
+Gate make_fused_phase(qubit_t target, std::vector<qubit_t> controls,
+                      std::vector<real_t> thetas);
+Gate make_unitary1(qubit_t t, const std::vector<real_t>& matrix8);
+Gate make_unitary2(qubit_t t0, qubit_t t1, const std::vector<real_t>& matrix32);
+
+/// True if `kind` is one of the diagonal kinds.
+[[nodiscard]] bool kind_is_diagonal(GateKind kind);
+
+/// Gate name for printing ("H", "CP", "SWAP", ...).
+[[nodiscard]] const char* kind_name(GateKind kind);
+
+}  // namespace qsv

@@ -1,0 +1,152 @@
+#include "circuit/locality.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace qsv {
+
+const char* locality_name(GateLocality loc) {
+  switch (loc) {
+    case GateLocality::kFullyLocal: return "fully-local";
+    case GateLocality::kLocalMemory: return "local-memory";
+    case GateLocality::kDistributed: return "distributed";
+  }
+  return "?";
+}
+
+GateLocality classify_gate(const Gate& g, int local_qubits) {
+  QSV_REQUIRE(local_qubits >= 0, "negative local qubit count");
+  if (g.is_diagonal()) {
+    // Diagonal gates never pair amplitudes; control bits held in the rank id
+    // are known locally, so no communication regardless of qubit indices.
+    return GateLocality::kFullyLocal;
+  }
+  for (qubit_t t : g.targets) {
+    if (t >= local_qubits) {
+      return GateLocality::kDistributed;
+    }
+  }
+  // Non-diagonal with all targets local. High controls merely gate whether a
+  // rank participates; they require no communication.
+  return GateLocality::kLocalMemory;
+}
+
+CommFootprint comm_footprint(const Gate& g, int num_qubits, int local_qubits) {
+  QSV_REQUIRE(classify_gate(g, local_qubits) == GateLocality::kDistributed,
+              "comm_footprint requires a distributed gate");
+  QSV_REQUIRE(local_qubits < num_qubits, "no ranks to communicate between");
+  QSV_REQUIRE(g.kind != GateKind::kUnitary2,
+              "distributed unitary2 must go through "
+              "expand_for_decomposition first");
+
+  const std::uint64_t slice_bytes =
+      (std::uint64_t{1} << local_qubits) * kBytesPerAmp;
+
+  CommFootprint f;
+  if (g.kind == GateKind::kSwap) {
+    const qubit_t a = g.targets[0];  // canonical: a < b
+    const qubit_t b = g.targets[1];
+    if (a >= local_qubits) {
+      // Both targets distributed: amplitudes move only between rank pairs
+      // whose bits at (a, b) differ; those ranks trade their entire slice
+      // (a pure relabelling), the other half of the ranks are idle.
+      f.rank_xor_mask = (std::uint64_t{1} << (a - local_qubits)) |
+                        (std::uint64_t{1} << (b - local_qubits));
+      f.participating_fraction = 0.5;
+      f.bytes_full = slice_bytes;
+      f.bytes_half = slice_bytes;  // every amplitude genuinely moves
+    } else {
+      // One local target a, one distributed target b: every rank pairs with
+      // the rank across bit b. Only amplitudes whose local bit a differs
+      // from the rank's b bit move — half the slice.
+      f.rank_xor_mask = std::uint64_t{1} << (b - local_qubits);
+      f.participating_fraction = 1.0;
+      f.bytes_full = slice_bytes;
+      f.bytes_half = slice_bytes / 2;
+    }
+    return f;
+  }
+
+  // Distributed single-target gate: the update of every local amplitude
+  // needs its partner from the paired rank, so the whole slice crosses.
+  const qubit_t t = g.targets[0];
+  f.rank_xor_mask = std::uint64_t{1} << (t - local_qubits);
+  f.participating_fraction = 1.0;
+  f.bytes_full = slice_bytes;
+  f.bytes_half = slice_bytes;
+  return f;
+}
+
+std::vector<Gate> expand_for_decomposition(const Gate& g, int local_qubits) {
+  if (g.kind != GateKind::kUnitary2 ||
+      classify_gate(g, local_qubits) != GateLocality::kDistributed) {
+    return {};
+  }
+
+  // Victim slots: the lowest local qubits the gate does not touch.
+  std::vector<Gate> out;
+  Gate local_gate = g;
+  std::vector<Gate> unswaps;
+  qubit_t victim = 0;
+  for (qubit_t& t : local_gate.targets) {
+    if (t < local_qubits) {
+      continue;
+    }
+    auto in_use = [&](qubit_t q) {
+      const auto& ts = local_gate.targets;
+      const auto& cs = local_gate.controls;
+      return std::find(ts.begin(), ts.end(), q) != ts.end() ||
+             std::find(cs.begin(), cs.end(), q) != cs.end();
+    };
+    while (victim < local_qubits && in_use(victim)) {
+      ++victim;
+    }
+    QSV_REQUIRE(victim < local_qubits,
+                "no free local qubit to stage a distributed unitary2 into");
+    out.push_back(make_swap(victim, t));
+    unswaps.push_back(make_swap(victim, t));
+    t = victim;
+    ++victim;
+  }
+  out.push_back(std::move(local_gate));
+  for (auto it = unswaps.rbegin(); it != unswaps.rend(); ++it) {
+    out.push_back(std::move(*it));
+  }
+  return out;
+}
+
+LocalityStats analyze_locality(const Circuit& c, int local_qubits) {
+  LocalityStats s;
+  std::vector<Gate> expanded;
+  for (const Gate& top : c) {
+    expanded.clear();
+    auto sub = expand_for_decomposition(top, local_qubits);
+    if (sub.empty()) {
+      expanded.push_back(top);
+    } else {
+      expanded = std::move(sub);
+    }
+    for (const Gate& g : expanded) {
+    switch (classify_gate(g, local_qubits)) {
+      case GateLocality::kFullyLocal:
+        ++s.fully_local;
+        break;
+      case GateLocality::kLocalMemory:
+        ++s.local_memory;
+        break;
+      case GateLocality::kDistributed: {
+        ++s.distributed;
+        const CommFootprint f = comm_footprint(g, c.num_qubits(), local_qubits);
+        s.exchange_bytes_full += f.bytes_full;
+        s.exchange_bytes_half += f.bytes_half;
+        break;
+      }
+    }
+    }
+  }
+  return s;
+}
+
+}  // namespace qsv

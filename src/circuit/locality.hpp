@@ -1,0 +1,90 @@
+// Locality analysis: the paper's three-way taxonomy of quantum operators
+// (§2.1) plus the per-gate communication footprint under QuEST's
+// distribution rules (2^k ranks, little-endian qubit-to-bit mapping: the top
+// k qubits select the rank, the low L = n - k qubits index into the local
+// statevector slice).
+#pragma once
+
+#include <cstdint>
+
+#include "circuit/circuit.hpp"
+#include "circuit/gate.hpp"
+
+namespace qsv {
+
+/// The paper's operator classes.
+enum class GateLocality {
+  kFullyLocal,   // diagonal: each amplitude updated independently
+  kLocalMemory,  // pairing within the local slice (target below L)
+  kDistributed,  // pairing across ranks (target at or above L)
+};
+
+[[nodiscard]] const char* locality_name(GateLocality loc);
+
+/// Classifies `g` for ranks holding 2^local_qubits amplitudes each.
+/// A register that fits a single rank (local_qubits >= num_qubits) never
+/// yields kDistributed; callers pass local_qubits = n for single-node runs.
+[[nodiscard]] GateLocality classify_gate(const Gate& g, int local_qubits);
+
+/// Communication footprint of one distributed gate.
+struct CommFootprint {
+  /// XOR mask on the rank id giving the exchange peer (always a single
+  /// pairwise exchange under QuEST's power-of-two layout).
+  std::uint64_t rank_xor_mask = 0;
+
+  /// Fraction of ranks that take part in the exchange. 1.0 for a distributed
+  /// single-target gate and for a SWAP with one distributed target; 0.5 for a
+  /// SWAP with both targets distributed (ranks whose two bits already agree
+  /// hold amplitudes that do not move).
+  double participating_fraction = 1.0;
+
+  /// Bytes each participating rank sends (equal to bytes received) under
+  /// QuEST's baseline "exchange the entire local slice" implementation.
+  std::uint64_t bytes_full = 0;
+
+  /// Bytes under the half-exchange optimisation (the paper's future-work
+  /// item: a SWAP only displaces the half of the slice whose low target bit
+  /// disagrees with the destination). For non-SWAP distributed gates the
+  /// full slice is genuinely needed, so bytes_half == bytes_full.
+  std::uint64_t bytes_half = 0;
+};
+
+/// Computes the footprint of a distributed gate (classify_gate must have
+/// returned kDistributed). `local_qubits` = L, `num_qubits` = n.
+[[nodiscard]] CommFootprint comm_footprint(const Gate& g, int num_qubits,
+                                           int local_qubits);
+
+/// Aggregate locality statistics for a circuit at a given decomposition.
+struct LocalityStats {
+  std::size_t fully_local = 0;
+  std::size_t local_memory = 0;
+  std::size_t distributed = 0;
+
+  /// Total bytes exchanged per participating rank over the whole circuit,
+  /// baseline full exchanges.
+  std::uint64_t exchange_bytes_full = 0;
+  /// Same, with half-exchange SWAPs.
+  std::uint64_t exchange_bytes_half = 0;
+
+  [[nodiscard]] std::size_t total() const {
+    return fully_local + local_memory + distributed;
+  }
+};
+
+/// Rewrites a gate the distributed engines cannot execute natively into an
+/// equivalent supported sequence for the given decomposition. Currently:
+/// a two-qubit dense unitary with distributed target(s) becomes
+/// SWAP(victim, target) pairs around a local application (the standard
+/// technique; each SWAP is itself a native distributed gate). Returns an
+/// empty vector when the gate is natively supported as-is. Both the
+/// functional and the trace engine call this, so their schedules stay
+/// identical by construction.
+[[nodiscard]] std::vector<Gate> expand_for_decomposition(const Gate& g,
+                                                         int local_qubits);
+
+/// Walks the circuit once and accumulates stats (gates needing expansion
+/// are analysed in expanded form).
+[[nodiscard]] LocalityStats analyze_locality(const Circuit& c,
+                                             int local_qubits);
+
+}  // namespace qsv

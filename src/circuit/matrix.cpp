@@ -1,0 +1,385 @@
+#include "circuit/matrix.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+
+namespace qsv {
+
+namespace {
+constexpr real_t kInvSqrt2 = std::numbers::sqrt2_v<real_t> / 2;
+}
+
+Mat2 Mat2::identity() {
+  Mat2 r;
+  r.m[0][0] = 1;
+  r.m[1][1] = 1;
+  return r;
+}
+
+Mat2 Mat2::mul(const Mat2& rhs) const {
+  Mat2 r;
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 2; ++j) {
+      r.m[i][j] = m[i][0] * rhs.m[0][j] + m[i][1] * rhs.m[1][j];
+    }
+  }
+  return r;
+}
+
+Mat2 Mat2::dagger() const {
+  Mat2 r;
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 2; ++j) {
+      r.m[i][j] = std::conj(m[j][i]);
+    }
+  }
+  return r;
+}
+
+bool Mat2::is_unitary(real_t tol) const {
+  return dagger().mul(*this).approx_equal(identity(), tol);
+}
+
+bool Mat2::approx_equal(const Mat2& rhs, real_t tol) const {
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 2; ++j) {
+      if (std::abs(m[i][j] - rhs.m[i][j]) > tol) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+Mat2 gate_matrix2(const Gate& g) {
+  const cplx i{0, 1};
+  Mat2 r;
+  const real_t theta = g.params.empty() ? 0 : g.params[0];
+  switch (g.kind) {
+    case GateKind::kH:
+      r.m = {{{kInvSqrt2, kInvSqrt2}, {kInvSqrt2, -kInvSqrt2}}};
+      break;
+    case GateKind::kX:
+      r.m = {{{0, 1}, {1, 0}}};
+      break;
+    case GateKind::kY:
+      r.m = {{{cplx{0, 0}, -i}, {i, cplx{0, 0}}}};
+      break;
+    case GateKind::kZ:
+      r.m = {{{1, 0}, {0, -1}}};
+      break;
+    case GateKind::kS:
+      r.m = {{{1, 0}, {cplx{0, 0}, i}}};
+      break;
+    case GateKind::kT:
+      r.m = {{{1, 0}, {cplx{0, 0}, std::polar<real_t>(1, std::numbers::pi_v<real_t> / 4)}}};
+      break;
+    case GateKind::kPhase:
+    case GateKind::kCPhase:
+      r.m = {{{1, 0}, {cplx{0, 0}, std::polar<real_t>(1, theta)}}};
+      break;
+    case GateKind::kRx:
+      r.m = {{{std::cos(theta / 2), -i * std::sin(theta / 2)},
+              {-i * std::sin(theta / 2), std::cos(theta / 2)}}};
+      break;
+    case GateKind::kRy:
+      r.m = {{{std::cos(theta / 2), -std::sin(theta / 2)},
+              {std::sin(theta / 2), std::cos(theta / 2)}}};
+      break;
+    case GateKind::kRz:
+      r.m = {{{std::polar<real_t>(1, -theta / 2), 0},
+              {cplx{0, 0}, std::polar<real_t>(1, theta / 2)}}};
+      break;
+    case GateKind::kCx:
+      r.m = {{{0, 1}, {1, 0}}};  // X on target; control handled by caller
+      break;
+    case GateKind::kCz:
+      r.m = {{{1, 0}, {0, -1}}};  // Z on target; control handled by caller
+      break;
+    case GateKind::kUnitary1: {
+      QSV_REQUIRE(g.params.size() == 8, "unitary1 needs 8 params");
+      for (int row = 0; row < 2; ++row) {
+        for (int col = 0; col < 2; ++col) {
+          const std::size_t base = 2 * (2 * row + col);
+          r.m[row][col] = cplx{g.params[base], g.params[base + 1]};
+        }
+      }
+      break;
+    }
+    default:
+      QSV_REQUIRE(false, "gate kind has no single 2x2 matrix: " + g.str());
+  }
+  return r;
+}
+
+Mat4 Mat4::identity() {
+  Mat4 r;
+  for (int i = 0; i < 4; ++i) {
+    r.m[i][i] = 1;
+  }
+  return r;
+}
+
+Mat4 Mat4::mul(const Mat4& rhs) const {
+  Mat4 r;
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      cplx acc = 0;
+      for (int k = 0; k < 4; ++k) {
+        acc += m[i][k] * rhs.m[k][j];
+      }
+      r.m[i][j] = acc;
+    }
+  }
+  return r;
+}
+
+Mat4 Mat4::dagger() const {
+  Mat4 r;
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      r.m[i][j] = std::conj(m[j][i]);
+    }
+  }
+  return r;
+}
+
+bool Mat4::is_unitary(real_t tol) const {
+  return dagger().mul(*this).approx_equal(identity(), tol);
+}
+
+bool Mat4::approx_equal(const Mat4& rhs, real_t tol) const {
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      if (std::abs(m[i][j] - rhs.m[i][j]) > tol) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+Mat4 gate_matrix4(const Gate& g) {
+  QSV_REQUIRE(g.kind == GateKind::kUnitary2 && g.params.size() == 32,
+              "gate_matrix4 needs a kUnitary2 gate");
+  Mat4 r;
+  for (int row = 0; row < 4; ++row) {
+    for (int col = 0; col < 4; ++col) {
+      const std::size_t base = 2 * (4 * row + col);
+      r.m[row][col] = cplx{g.params[base], g.params[base + 1]};
+    }
+  }
+  return r;
+}
+
+namespace {
+
+/// Gram-Schmidt orthonormalisation of a random complex dim x dim matrix,
+/// returned flattened as re/im pairs, row-major.
+std::vector<real_t> random_unitary_params(Rng& rng, int dim) {
+  std::vector<std::vector<cplx>> cols(dim, std::vector<cplx>(dim));
+  for (int c = 0; c < dim; ++c) {
+    for (;;) {
+      for (int r = 0; r < dim; ++r) {
+        cols[c][r] = cplx{rng.uniform(-1, 1), rng.uniform(-1, 1)};
+      }
+      // Remove projections onto earlier columns.
+      for (int p = 0; p < c; ++p) {
+        cplx dot = 0;
+        for (int r = 0; r < dim; ++r) {
+          dot += std::conj(cols[p][r]) * cols[c][r];
+        }
+        for (int r = 0; r < dim; ++r) {
+          cols[c][r] -= dot * cols[p][r];
+        }
+      }
+      real_t norm = 0;
+      for (int r = 0; r < dim; ++r) {
+        norm += std::norm(cols[c][r]);
+      }
+      if (norm > 1e-6) {  // retry on (vanishingly unlikely) degeneracy
+        const real_t inv = 1 / std::sqrt(norm);
+        for (int r = 0; r < dim; ++r) {
+          cols[c][r] *= inv;
+        }
+        break;
+      }
+    }
+  }
+  std::vector<real_t> params;
+  params.reserve(2 * dim * dim);
+  for (int r = 0; r < dim; ++r) {
+    for (int c = 0; c < dim; ++c) {
+      params.push_back(cols[c][r].real());
+      params.push_back(cols[c][r].imag());
+    }
+  }
+  return params;
+}
+
+}  // namespace
+
+std::vector<real_t> random_unitary1_params(Rng& rng) {
+  return random_unitary_params(rng, 2);
+}
+
+std::vector<real_t> random_unitary2_params(Rng& rng) {
+  return random_unitary_params(rng, 4);
+}
+
+DenseMatrix::DenseMatrix(int num_qubits)
+    : num_qubits_(num_qubits),
+      dim_(amp_index{1} << num_qubits),
+      data_(dim_ * dim_) {
+  QSV_REQUIRE(num_qubits >= 0 && num_qubits <= 12,
+              "DenseMatrix is a test utility limited to 12 qubits");
+}
+
+cplx& DenseMatrix::at(amp_index row, amp_index col) {
+  return data_[row * dim_ + col];
+}
+
+const cplx& DenseMatrix::at(amp_index row, amp_index col) const {
+  return data_[row * dim_ + col];
+}
+
+DenseMatrix DenseMatrix::identity(int num_qubits) {
+  DenseMatrix m(num_qubits);
+  for (amp_index d = 0; d < m.dim_; ++d) {
+    m.at(d, d) = 1;
+  }
+  return m;
+}
+
+DenseMatrix DenseMatrix::of_gate(const Gate& g, int num_qubits) {
+  QSV_REQUIRE(g.max_qubit() < num_qubits, "gate qubit out of register range");
+  DenseMatrix out(num_qubits);
+  const amp_index dim = out.dim();
+
+  amp_index control_mask = 0;
+  for (qubit_t c : g.controls) {
+    control_mask = bits::set_bit(control_mask, c);
+  }
+
+  if (g.kind == GateKind::kSwap) {
+    const qubit_t a = g.targets[0];
+    const qubit_t b = g.targets[1];
+    for (amp_index col = 0; col < dim; ++col) {
+      amp_index row = col;
+      if (bits::bit(col, a) != bits::bit(col, b)) {
+        row = bits::flip_bit(bits::flip_bit(col, a), b);
+      }
+      out.at(row, col) = 1;
+    }
+    return out;
+  }
+
+  if (g.kind == GateKind::kFusedPhase) {
+    const qubit_t t = g.targets[0];
+    for (amp_index col = 0; col < dim; ++col) {
+      cplx v = 1;
+      if (bits::bit(col, t) == 1) {
+        real_t phase = 0;
+        for (std::size_t ci = 0; ci < g.controls.size(); ++ci) {
+          if (bits::bit(col, g.controls[ci]) == 1) {
+            phase += g.params[ci];
+          }
+        }
+        v = std::polar<real_t>(1, phase);
+      }
+      out.at(col, col) = v;
+    }
+    return out;
+  }
+
+  if (g.kind == GateKind::kUnitary2) {
+    const Mat4 u = gate_matrix4(g);
+    const qubit_t a = g.targets[0];
+    const qubit_t b = g.targets[1];
+    for (amp_index col = 0; col < dim; ++col) {
+      if (!bits::all_set(col, control_mask)) {
+        out.at(col, col) = 1;
+        continue;
+      }
+      const int sub_col = 2 * bits::bit(col, b) + bits::bit(col, a);
+      for (int sub_row = 0; sub_row < 4; ++sub_row) {
+        amp_index row = col;
+        row = (sub_row & 1) ? bits::set_bit(row, a) : bits::clear_bit(row, a);
+        row = (sub_row & 2) ? bits::set_bit(row, b) : bits::clear_bit(row, b);
+        out.at(row, col) += u.m[sub_row][sub_col];
+      }
+    }
+    return out;
+  }
+
+  // Single-target gate, possibly controlled.
+  const Mat2 u = gate_matrix2(g);
+  const qubit_t t = g.targets[0];
+  for (amp_index col = 0; col < dim; ++col) {
+    if (!bits::all_set(col, control_mask)) {
+      out.at(col, col) = 1;
+      continue;
+    }
+    const int tb = bits::bit(col, t);
+    const amp_index row0 = bits::clear_bit(col, t);
+    const amp_index row1 = bits::set_bit(col, t);
+    out.at(row0, col) += u.m[0][tb];
+    out.at(row1, col) += u.m[1][tb];
+  }
+  return out;
+}
+
+DenseMatrix DenseMatrix::mul(const DenseMatrix& rhs) const {
+  QSV_REQUIRE(num_qubits_ == rhs.num_qubits_, "dimension mismatch");
+  DenseMatrix out(num_qubits_);
+  for (amp_index i = 0; i < dim_; ++i) {
+    for (amp_index k = 0; k < dim_; ++k) {
+      const cplx a = at(i, k);
+      if (a == cplx{}) {
+        continue;
+      }
+      for (amp_index j = 0; j < dim_; ++j) {
+        out.at(i, j) += a * rhs.at(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<cplx> DenseMatrix::apply(const std::vector<cplx>& v) const {
+  QSV_REQUIRE(v.size() == dim_, "vector dimension mismatch");
+  std::vector<cplx> out(dim_);
+  for (amp_index i = 0; i < dim_; ++i) {
+    cplx acc = 0;
+    for (amp_index j = 0; j < dim_; ++j) {
+      acc += at(i, j) * v[j];
+    }
+    out[i] = acc;
+  }
+  return out;
+}
+
+real_t DenseMatrix::max_diff(const DenseMatrix& rhs) const {
+  QSV_REQUIRE(num_qubits_ == rhs.num_qubits_, "dimension mismatch");
+  real_t m = 0;
+  for (amp_index i = 0; i < dim_ * dim_; ++i) {
+    m = std::max(m, std::abs(data_[i] - rhs.data_[i]));
+  }
+  return m;
+}
+
+bool DenseMatrix::is_unitary(real_t tol) const {
+  // U^dagger * U == I.
+  DenseMatrix dag(num_qubits_);
+  for (amp_index i = 0; i < dim_; ++i) {
+    for (amp_index j = 0; j < dim_; ++j) {
+      dag.at(i, j) = std::conj(at(j, i));
+    }
+  }
+  return dag.mul(*this).max_diff(identity(num_qubits_)) <= tol;
+}
+
+}  // namespace qsv

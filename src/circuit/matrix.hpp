@@ -1,0 +1,85 @@
+// Small dense complex matrices: the 2x2 unitaries behind each gate kind, and
+// an NxN dense matrix used as the brute-force reference in tests.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "circuit/gate.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace qsv {
+
+/// Column-major-free 2x2 complex matrix: m[r][c].
+struct Mat2 {
+  std::array<std::array<cplx, 2>, 2> m{};
+
+  [[nodiscard]] static Mat2 identity();
+  [[nodiscard]] Mat2 mul(const Mat2& rhs) const;
+  [[nodiscard]] Mat2 dagger() const;
+  [[nodiscard]] bool is_unitary(real_t tol = 1e-12) const;
+  [[nodiscard]] bool approx_equal(const Mat2& rhs, real_t tol = 1e-12) const;
+};
+
+/// Returns the 2x2 matrix of a single-target gate (controls excluded).
+/// Precondition: `g.kind` is a single-qubit kind (not kSwap/kFusedPhase).
+[[nodiscard]] Mat2 gate_matrix2(const Gate& g);
+
+/// 4x4 complex matrix: m[r][c]. Subspace basis order: index =
+/// 2*bit(targets[1]) + bit(targets[0]).
+struct Mat4 {
+  std::array<std::array<cplx, 4>, 4> m{};
+
+  [[nodiscard]] static Mat4 identity();
+  [[nodiscard]] Mat4 mul(const Mat4& rhs) const;
+  [[nodiscard]] Mat4 dagger() const;
+  [[nodiscard]] bool is_unitary(real_t tol = 1e-12) const;
+  [[nodiscard]] bool approx_equal(const Mat4& rhs, real_t tol = 1e-12) const;
+};
+
+/// The 4x4 matrix embedded in a kUnitary2 gate's params.
+[[nodiscard]] Mat4 gate_matrix4(const Gate& g);
+
+/// Haar-ish random unitaries (Gram-Schmidt over uniform complex entries —
+/// not exactly Haar, but full-support; used by tests and the random-circuit
+/// builder). Returned in the kUnitary1/kUnitary2 params layout.
+[[nodiscard]] std::vector<real_t> random_unitary1_params(Rng& rng);
+[[nodiscard]] std::vector<real_t> random_unitary2_params(Rng& rng);
+
+/// Dense 2^n x 2^n matrix for brute-force reference application in tests.
+class DenseMatrix {
+ public:
+  explicit DenseMatrix(int num_qubits);
+
+  [[nodiscard]] int num_qubits() const { return num_qubits_; }
+  [[nodiscard]] amp_index dim() const { return dim_; }
+
+  [[nodiscard]] cplx& at(amp_index row, amp_index col);
+  [[nodiscard]] const cplx& at(amp_index row, amp_index col) const;
+
+  /// Identity matrix on n qubits.
+  [[nodiscard]] static DenseMatrix identity(int num_qubits);
+
+  /// Full 2^n x 2^n matrix of an arbitrary gate (including controls, SWAP and
+  /// fused phases) embedded in an n-qubit register.
+  [[nodiscard]] static DenseMatrix of_gate(const Gate& g, int num_qubits);
+
+  /// this * rhs.
+  [[nodiscard]] DenseMatrix mul(const DenseMatrix& rhs) const;
+
+  /// Matrix-vector product.
+  [[nodiscard]] std::vector<cplx> apply(const std::vector<cplx>& v) const;
+
+  /// Max |element| difference.
+  [[nodiscard]] real_t max_diff(const DenseMatrix& rhs) const;
+
+  [[nodiscard]] bool is_unitary(real_t tol = 1e-10) const;
+
+ private:
+  int num_qubits_;
+  amp_index dim_;
+  std::vector<cplx> data_;  // row-major
+};
+
+}  // namespace qsv

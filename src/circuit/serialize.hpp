@@ -1,0 +1,42 @@
+// Plain-text circuit serialisation.
+//
+// Format (one instruction per line; '#' starts a comment):
+//
+//   qubits 5                  # required header
+//   name   my_circuit         # optional
+//   h 0
+//   x 3
+//   p 2 0.7853981633974483    # phase(theta)
+//   rz 1 -0.5
+//   cx 1 4                    # control target
+//   cp 1 0 1.5707963267948966 # control target theta
+//   swap 0 4
+//   fphase 0 | 1:0.5 2:0.25   # fused phase: target | control:angle ...
+//   u1q 2 | 0.6 0 0.8 0 -0.8 0 0.6 0   # 2x2 matrix, re/im row-major
+//   ctrl 3 4 | x 0            # arbitrary extra controls on any gate
+//
+// Round-trip guarantee: parse(print(c)) reproduces the gate list exactly
+// (angles are printed with max_digits10).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "circuit/circuit.hpp"
+
+namespace qsv {
+
+/// Renders a circuit in the text format above.
+[[nodiscard]] std::string circuit_to_text(const Circuit& c);
+void write_circuit(std::ostream& os, const Circuit& c);
+
+/// Parses the text format; throws qsv::Error with a line number on any
+/// malformed input.
+[[nodiscard]] Circuit parse_circuit(const std::string& text);
+[[nodiscard]] Circuit read_circuit(std::istream& is);
+
+/// File helpers.
+void save_circuit(const std::string& path, const Circuit& c);
+[[nodiscard]] Circuit load_circuit(const std::string& path);
+
+}  // namespace qsv

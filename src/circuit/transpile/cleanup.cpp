@@ -1,0 +1,83 @@
+#include "circuit/transpile/cleanup.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace qsv {
+namespace {
+
+bool self_inverse(GateKind k) {
+  switch (k) {
+    case GateKind::kH:
+    case GateKind::kX:
+    case GateKind::kY:
+    case GateKind::kZ:
+    case GateKind::kCx:
+    case GateKind::kCz:
+    case GateKind::kSwap:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool same_operands(const Gate& a, const Gate& b) {
+  return a.targets == b.targets && a.controls == b.controls;
+}
+
+bool phase_like(GateKind k) {
+  return k == GateKind::kPhase || k == GateKind::kCPhase ||
+         k == GateKind::kRz;
+}
+
+bool angle_is_trivial(real_t theta) {
+  constexpr real_t two_pi = 2 * std::numbers::pi_v<real_t>;
+  const real_t r = std::remainder(theta, two_pi);
+  return std::abs(r) < 1e-14;
+}
+
+/// One left-to-right sweep; returns true if anything changed.
+bool sweep(const std::vector<Gate>& in, std::vector<Gate>& out) {
+  bool changed = false;
+  out.clear();
+  for (const Gate& g : in) {
+    if (!out.empty()) {
+      Gate& prev = out.back();
+      if (self_inverse(g.kind) && prev.kind == g.kind &&
+          same_operands(prev, g)) {
+        out.pop_back();
+        changed = true;
+        continue;
+      }
+      if (phase_like(g.kind) && prev.kind == g.kind &&
+          same_operands(prev, g)) {
+        prev.params[0] += g.params[0];
+        changed = true;
+        if (angle_is_trivial(prev.params[0]) &&
+            prev.kind != GateKind::kRz) {  // Rz(2*pi) = -I globally: keep it
+          out.pop_back();
+        }
+        continue;
+      }
+    }
+    out.push_back(g);
+  }
+  return changed;
+}
+
+}  // namespace
+
+Circuit CleanupPass::run(const Circuit& input) const {
+  std::vector<Gate> current(input.gates());
+  std::vector<Gate> next;
+  while (sweep(current, next)) {
+    current.swap(next);
+  }
+  Circuit out(input.num_qubits(), input.name());
+  for (Gate& g : current) {
+    out.add(std::move(g));
+  }
+  return out;
+}
+
+}  // namespace qsv

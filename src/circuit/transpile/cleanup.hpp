@@ -1,0 +1,18 @@
+// Peephole cleanup passes run after cache blocking.
+#pragma once
+
+#include "circuit/transpile/pass.hpp"
+
+namespace qsv {
+
+/// Cancels adjacent self-inverse pairs acting on identical operands
+/// (H-H, X-X, Y-Y, Z-Z, CX-CX, CZ-CZ, SWAP-SWAP) and merges adjacent
+/// phase-like gates on identical operands (P/CP/RZ angle addition, dropping
+/// gates whose merged angle is 0 mod 2*pi). Iterates to a fixed point.
+class CleanupPass final : public Pass {
+ public:
+  [[nodiscard]] std::string name() const override { return "cleanup"; }
+  [[nodiscard]] Circuit run(const Circuit& input) const override;
+};
+
+}  // namespace qsv

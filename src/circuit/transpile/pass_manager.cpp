@@ -1,0 +1,25 @@
+#include "circuit/transpile/pass.hpp"
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace qsv {
+
+PassManager& PassManager::add(std::unique_ptr<Pass> pass) {
+  QSV_REQUIRE(pass != nullptr, "null pass");
+  passes_.push_back(std::move(pass));
+  return *this;
+}
+
+Circuit PassManager::run(const Circuit& input) const {
+  Circuit current = input;
+  for (const auto& pass : passes_) {
+    const std::size_t before = current.size();
+    current = pass->run(current);
+    QSV_DEBUG("pass " << pass->name() << ": " << before << " -> "
+                      << current.size() << " gates");
+  }
+  return current;
+}
+
+}  // namespace qsv

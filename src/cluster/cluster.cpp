@@ -1,0 +1,77 @@
+#include "cluster/cluster.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+
+namespace qsv {
+
+VirtualCluster::VirtualCluster(int num_ranks, std::size_t max_message_bytes)
+    : num_ranks_(num_ranks), max_message_bytes_(max_message_bytes) {
+  QSV_REQUIRE(num_ranks >= 1, "need at least one rank");
+  QSV_REQUIRE(bits::is_pow2(static_cast<std::uint64_t>(num_ranks)),
+              "QuEST-style decomposition requires a power-of-two rank count");
+  QSV_REQUIRE(max_message_bytes >= kBytesPerAmp,
+              "message cap below one amplitude");
+}
+
+void VirtualCluster::check_rank(rank_t r) const {
+  QSV_REQUIRE(r >= 0 && r < num_ranks_,
+              "rank out of range: " + std::to_string(r));
+}
+
+void VirtualCluster::send(rank_t from, rank_t to,
+                          std::span<const std::byte> payload) {
+  check_rank(from);
+  check_rank(to);
+  QSV_REQUIRE(from != to, "self-send is not a message");
+  QSV_REQUIRE(payload.size() <= max_message_bytes_,
+              "message exceeds the MPI size cap; chunk the payload");
+  queues_[{from, to}].emplace_back(payload.begin(), payload.end());
+  ++in_flight_;
+  ++stats_.messages;
+  stats_.bytes += payload.size();
+  stats_.max_message_bytes =
+      std::max<std::uint64_t>(stats_.max_message_bytes, payload.size());
+  stats_.max_in_flight = std::max(stats_.max_in_flight, in_flight_);
+}
+
+void VirtualCluster::recv(rank_t from, rank_t to, std::span<std::byte> out) {
+  check_rank(from);
+  check_rank(to);
+  auto it = queues_.find({from, to});
+  QSV_REQUIRE(it != queues_.end() && !it->second.empty(),
+              "recv with no matching message queued (from " +
+                  std::to_string(from) + " to " + std::to_string(to) + ")");
+  const std::vector<std::byte>& msg = it->second.front();
+  QSV_REQUIRE(msg.size() == out.size(),
+              "recv buffer size does not match the message size");
+  std::copy(msg.begin(), msg.end(), out.begin());
+  it->second.pop_front();
+  --in_flight_;
+  if (it->second.empty()) {
+    queues_.erase(it);
+  }
+}
+
+std::size_t VirtualCluster::pending(rank_t from, rank_t to) const {
+  const auto it = queues_.find({from, to});
+  return it == queues_.end() ? 0 : it->second.size();
+}
+
+bool VirtualCluster::quiescent() const { return in_flight_ == 0; }
+
+void VirtualCluster::barrier() { ++stats_.barriers; }
+
+int message_count(std::uint64_t total_bytes, std::size_t max_message_bytes) {
+  QSV_REQUIRE(max_message_bytes > 0, "zero message cap");
+  if (total_bytes == 0) {
+    return 0;
+  }
+  return static_cast<int>((total_bytes + max_message_bytes - 1) /
+                          max_message_bytes);
+}
+
+}  // namespace qsv

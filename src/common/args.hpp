@@ -1,0 +1,47 @@
+// Minimal command-line argument helper for the CLI tool and examples.
+//
+// Grammar: positionals, boolean flags ("--verbose"), and valued options
+// ("--nodes 64" or "--nodes=64"). Unknown flags are errors, so typos fail
+// loudly.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace qsv {
+
+class ArgParser {
+ public:
+  /// Declare accepted names before parsing.
+  ArgParser& flag(const std::string& name);
+  ArgParser& option(const std::string& name);
+
+  /// Parses argv[1..); throws qsv::Error on unknown or malformed input.
+  void parse(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] std::optional<std::string> value(
+      const std::string& name) const;
+
+  /// Value with a default.
+  [[nodiscard]] std::string value_or(const std::string& name,
+                                     const std::string& def) const;
+  [[nodiscard]] int int_or(const std::string& name, int def) const;
+  [[nodiscard]] double double_or(const std::string& name, double def) const;
+
+  [[nodiscard]] const std::vector<std::string>& positionals() const {
+    return positionals_;
+  }
+
+ private:
+  std::set<std::string> known_flags_;
+  std::set<std::string> known_options_;
+  std::set<std::string> seen_flags_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positionals_;
+};
+
+}  // namespace qsv

@@ -1,0 +1,72 @@
+// Bit-twiddling helpers for statevector amplitude indexing.
+//
+// Amplitude indices are little-endian with respect to qubits: bit q of an
+// amplitude index is the computational-basis value of qubit q. Gate kernels
+// enumerate index *pairs* that differ only in the target bit; these helpers
+// build such indices branch-free.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace qsv::bits {
+
+/// Value (0/1) of bit `pos` of `x`.
+[[nodiscard]] constexpr int bit(amp_index x, int pos) noexcept {
+  return static_cast<int>((x >> pos) & 1u);
+}
+
+/// `x` with bit `pos` set to 1.
+[[nodiscard]] constexpr amp_index set_bit(amp_index x, int pos) noexcept {
+  return x | (amp_index{1} << pos);
+}
+
+/// `x` with bit `pos` cleared.
+[[nodiscard]] constexpr amp_index clear_bit(amp_index x, int pos) noexcept {
+  return x & ~(amp_index{1} << pos);
+}
+
+/// `x` with bit `pos` flipped.
+[[nodiscard]] constexpr amp_index flip_bit(amp_index x, int pos) noexcept {
+  return x ^ (amp_index{1} << pos);
+}
+
+/// Inserts a zero bit at position `pos`, shifting higher bits left by one.
+/// Mapping the compact pair-counter k in [0, 2^(n-1)) to the index of the
+/// pair member whose target bit is 0.
+[[nodiscard]] constexpr amp_index insert_zero_bit(amp_index x,
+                                                  int pos) noexcept {
+  const amp_index low_mask = (amp_index{1} << pos) - 1;
+  return ((x & ~low_mask) << 1) | (x & low_mask);
+}
+
+/// Inserts two zero bits at positions `lo < hi` (positions in the *output*
+/// index). Used by two-qubit kernels enumerating quadruples.
+[[nodiscard]] constexpr amp_index insert_two_zero_bits(amp_index x, int lo,
+                                                       int hi) noexcept {
+  return insert_zero_bit(insert_zero_bit(x, lo), hi);
+}
+
+/// True if every bit listed in `mask` is set in `x`. Used for control bits.
+[[nodiscard]] constexpr bool all_set(amp_index x, amp_index mask) noexcept {
+  return (x & mask) == mask;
+}
+
+/// True iff `x` is a power of two (and nonzero).
+[[nodiscard]] constexpr bool is_pow2(std::uint64_t x) noexcept {
+  return x != 0 && std::has_single_bit(x);
+}
+
+/// log2 of a power of two.
+[[nodiscard]] constexpr int log2_exact(std::uint64_t x) noexcept {
+  return std::countr_zero(x);
+}
+
+/// Smallest power of two >= x (x must be nonzero).
+[[nodiscard]] constexpr std::uint64_t ceil_pow2(std::uint64_t x) noexcept {
+  return std::bit_ceil(x);
+}
+
+}  // namespace qsv::bits

@@ -1,0 +1,47 @@
+#include "common/csv.hpp"
+
+#include "common/error.hpp"
+
+namespace qsv {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {
+  QSV_REQUIRE(out_.good(), "cannot open CSV file for writing: " + path);
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) {
+      out_ << ',';
+    }
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::close() {
+  if (out_.is_open()) {
+    out_.close();
+  }
+}
+
+CsvWriter::~CsvWriter() { close(); }
+
+std::string CsvWriter::escape(const std::string& cell) {
+  const bool needs_quotes =
+      cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) {
+    return cell;
+  }
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') {
+      out += "\"\"";
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace qsv

@@ -1,0 +1,34 @@
+// CSV writer for dumping experiment sweeps so figures can be re-plotted.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace qsv {
+
+/// Streams rows of cells to a CSV file with minimal quoting (cells containing
+/// commas, quotes or newlines are quoted with doubled inner quotes).
+class CsvWriter {
+ public:
+  /// Opens `path` for writing; throws qsv::Error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  /// Writes one row.
+  void row(const std::vector<std::string>& cells);
+
+  /// Flushes and closes. Also invoked by the destructor.
+  void close();
+
+  ~CsvWriter();
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  /// Escapes a single cell per RFC 4180 (exposed for tests).
+  [[nodiscard]] static std::string escape(const std::string& cell);
+
+ private:
+  std::ofstream out_;
+};
+
+}  // namespace qsv

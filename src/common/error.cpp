@@ -1,0 +1,17 @@
+#include "common/error.hpp"
+
+#include <sstream>
+
+namespace qsv {
+
+void throw_error(const char* cond, const char* file, int line,
+                 const std::string& detail) {
+  std::ostringstream os;
+  os << "qsv precondition failed: (" << cond << ") at " << file << ":" << line;
+  if (!detail.empty()) {
+    os << " — " << detail;
+  }
+  throw Error(os.str());
+}
+
+}  // namespace qsv

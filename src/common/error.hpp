@@ -1,0 +1,31 @@
+// Error handling: a single exception type plus a checked-precondition macro.
+//
+// Following the C++ Core Guidelines (E.2, I.6) preconditions on public APIs
+// are validated and reported via exceptions rather than UB; hot kernels use
+// assertions only in debug builds.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace qsv {
+
+/// Exception thrown on any violated precondition or invariant in qsv code.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Builds the message and throws. Out-of-line to keep call sites small.
+[[noreturn]] void throw_error(const char* cond, const char* file, int line,
+                              const std::string& detail);
+
+}  // namespace qsv
+
+/// Validate a precondition; throws qsv::Error with location info on failure.
+#define QSV_REQUIRE(cond, detail)                                   \
+  do {                                                              \
+    if (!(cond)) {                                                  \
+      ::qsv::throw_error(#cond, __FILE__, __LINE__, (detail));      \
+    }                                                               \
+  } while (false)

@@ -1,0 +1,95 @@
+#include "common/format.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace qsv::fmt {
+namespace {
+
+std::string printf_str(const char* f, double v, const char* suffix) {
+  std::array<char, 64> buf{};
+  std::snprintf(buf.data(), buf.size(), f, v);
+  std::string out(buf.data());
+  out += suffix;
+  return out;
+}
+
+/// Format v with three significant figures (no exponent for our ranges).
+std::string three_sig(double v) {
+  if (v == 0.0) {
+    return "0";
+  }
+  const double av = std::fabs(v);
+  int decimals = 0;
+  if (av < 10.0) {
+    decimals = 2;
+  } else if (av < 100.0) {
+    decimals = 1;
+  }
+  std::array<char, 64> buf{};
+  std::snprintf(buf.data(), buf.size(), "%.*f", decimals, v);
+  return std::string(buf.data());
+}
+
+}  // namespace
+
+std::string bytes(std::uint64_t n) {
+  constexpr std::uint64_t k = 1024;
+  const char* units[] = {"B", "KiB", "MiB", "GiB", "TiB", "PiB"};
+  double v = static_cast<double>(n);
+  int u = 0;
+  while (v >= static_cast<double>(k) && u < 5) {
+    v /= static_cast<double>(k);
+    ++u;
+  }
+  return three_sig(v) + " " + units[u];
+}
+
+std::string seconds(double s) {
+  if (std::fabs(s) < 1.0 && s != 0.0) {
+    if (std::fabs(s) < 1e-3) {
+      return three_sig(s * 1e6) + " us";
+    }
+    if (std::fabs(s) < 0.1) {
+      return three_sig(s * 1e3) + " ms";
+    }
+  }
+  return three_sig(s) + " s";
+}
+
+std::string energy_j(double joules) {
+  const double a = std::fabs(joules);
+  if (a >= 1e6) {
+    return three_sig(joules / 1e6) + " MJ";
+  }
+  if (a >= 1e3) {
+    return three_sig(joules / 1e3) + " kJ";
+  }
+  return three_sig(joules) + " J";
+}
+
+std::string power_w(double watts) {
+  const double a = std::fabs(watts);
+  if (a >= 1e6) {
+    return three_sig(watts / 1e6) + " MW";
+  }
+  if (a >= 1e3) {
+    return three_sig(watts / 1e3) + " kW";
+  }
+  return three_sig(watts) + " W";
+}
+
+std::string fixed(double v, int digits) {
+  std::array<char, 64> buf{};
+  std::snprintf(buf.data(), buf.size(), "%.*f", digits, v);
+  return std::string(buf.data());
+}
+
+std::string percent(double fraction) {
+  return printf_str("%.1f", fraction * 100.0, "%");
+}
+
+std::string sig3(double v) { return three_sig(v); }
+
+}  // namespace qsv::fmt

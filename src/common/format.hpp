@@ -1,0 +1,31 @@
+// Human-readable formatting of bytes, durations, energies and counts, used
+// by the experiment harness and the bench binaries to print paper-style rows.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace qsv::fmt {
+
+/// "64 GiB", "1.0 PiB", ...
+[[nodiscard]] std::string bytes(std::uint64_t n);
+
+/// "9.63 s", "285 s", "0.53 s", "12.4 ms" — three significant figures.
+[[nodiscard]] std::string seconds(double s);
+
+/// "15.3 kJ", "191 kJ", "664 MJ".
+[[nodiscard]] std::string energy_j(double joules);
+
+/// "235 W", "1.4 MW".
+[[nodiscard]] std::string power_w(double watts);
+
+/// Fixed-point with `digits` decimals.
+[[nodiscard]] std::string fixed(double v, int digits);
+
+/// Percentage with one decimal, e.g. "43.0%".
+[[nodiscard]] std::string percent(double fraction);
+
+/// Three-significant-figure general number.
+[[nodiscard]] std::string sig3(double v);
+
+}  // namespace qsv::fmt

@@ -1,0 +1,36 @@
+// Tiny leveled logger. Bench binaries set the level from QSV_LOG; library
+// code logs sparingly (setup summaries, warnings about fallback paths).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace qsv {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Returns the process-wide minimum level (default kWarn, overridable via the
+/// QSV_LOG environment variable: debug|info|warn|error|off).
+LogLevel log_level();
+
+/// Overrides the process-wide level (used by tests).
+void set_log_level(LogLevel level);
+
+/// Emits one line to stderr if `level` passes the filter.
+void log_line(LogLevel level, const std::string& msg);
+
+}  // namespace qsv
+
+#define QSV_LOG(level, expr)                                   \
+  do {                                                         \
+    if (static_cast<int>(level) >=                             \
+        static_cast<int>(::qsv::log_level())) {                \
+      std::ostringstream qsv_log_os;                           \
+      qsv_log_os << expr;                                      \
+      ::qsv::log_line(level, qsv_log_os.str());                \
+    }                                                          \
+  } while (false)
+
+#define QSV_INFO(expr) QSV_LOG(::qsv::LogLevel::kInfo, expr)
+#define QSV_WARN(expr) QSV_LOG(::qsv::LogLevel::kWarn, expr)
+#define QSV_DEBUG(expr) QSV_LOG(::qsv::LogLevel::kDebug, expr)

@@ -1,0 +1,100 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <ostream>
+#include <sstream>
+
+namespace qsv {
+namespace {
+
+bool right_align(const std::string& cell) {
+  if (cell.empty()) {
+    return false;
+  }
+  const char c = cell.front();
+  return (std::isdigit(static_cast<unsigned char>(c)) != 0) || c == '-' ||
+         c == '+' || c == '.';
+}
+
+}  // namespace
+
+Table& Table::header(std::vector<std::string> cells) {
+  header_ = std::move(cells);
+  return *this;
+}
+
+Table& Table::row(std::vector<std::string> cells) {
+  rows_.push_back(Row{std::move(cells), false});
+  return *this;
+}
+
+Table& Table::separator() {
+  rows_.push_back(Row{{}, true});
+  return *this;
+}
+
+void Table::print(std::ostream& os) const {
+  // Determine column widths across header and all rows.
+  std::vector<std::size_t> widths;
+  auto absorb = [&widths](const std::vector<std::string>& cells) {
+    if (cells.size() > widths.size()) {
+      widths.resize(cells.size(), 0);
+    }
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      widths[i] = std::max(widths[i], cells[i].size());
+    }
+  };
+  absorb(header_);
+  for (const auto& r : rows_) {
+    absorb(r.cells);
+  }
+
+  std::size_t total = 0;
+  for (std::size_t w : widths) {
+    total += w + 3;
+  }
+  if (total >= 3) {
+    total -= 3;
+  }
+
+  auto print_cells = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string cell = i < cells.size() ? cells[i] : std::string{};
+      const std::size_t pad = widths[i] - cell.size();
+      if (right_align(cell)) {
+        os << std::string(pad, ' ') << cell;
+      } else {
+        os << cell << std::string(pad, ' ');
+      }
+      if (i + 1 < widths.size()) {
+        os << " | ";
+      }
+    }
+    os << '\n';
+  };
+
+  if (!title_.empty()) {
+    os << title_ << '\n';
+    os << std::string(std::max(total, title_.size()), '=') << '\n';
+  }
+  if (!header_.empty()) {
+    print_cells(header_);
+    os << std::string(total, '-') << '\n';
+  }
+  for (const auto& r : rows_) {
+    if (r.is_separator) {
+      os << std::string(total, '-') << '\n';
+    } else {
+      print_cells(r.cells);
+    }
+  }
+}
+
+std::string Table::str() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+}  // namespace qsv

@@ -1,0 +1,47 @@
+// Minimal console table printer used by bench binaries and examples to print
+// rows in the same layout as the paper's tables.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace qsv {
+
+/// Collects rows of string cells and renders them with aligned columns,
+/// an optional title and a header separator. Cells are right-aligned if they
+/// start with a digit/sign, left-aligned otherwise.
+class Table {
+ public:
+  explicit Table(std::string title = {}) : title_(std::move(title)) {}
+
+  /// Sets the header row (printed above a separator line).
+  Table& header(std::vector<std::string> cells);
+
+  /// Appends a data row. Rows may have differing cell counts; columns are
+  /// sized to the maximum.
+  Table& row(std::vector<std::string> cells);
+
+  /// Appends a horizontal separator between data rows.
+  Table& separator();
+
+  /// Renders the table to `os`.
+  void print(std::ostream& os) const;
+
+  /// Renders to a string (used by tests).
+  [[nodiscard]] std::string str() const;
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool is_separator = false;
+  };
+
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace qsv

@@ -1,0 +1,32 @@
+// Fundamental scalar types shared by every qsv module.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+
+namespace qsv {
+
+/// Floating-point type used for statevector amplitudes. QuEST supports
+/// single/double/quad precision; ARCHER2 runs in the paper used double
+/// (16 bytes per amplitude), which all memory-sizing rules assume.
+using real_t = double;
+
+/// A complex amplitude.
+using cplx = std::complex<real_t>;
+
+/// Index into a (possibly distributed) statevector. 2^44 amplitudes is the
+/// largest register the paper simulates, so 64 bits are required.
+using amp_index = std::uint64_t;
+
+/// Zero-based qubit label. Qubit q corresponds to bit q of the amplitude
+/// index (little-endian convention, as in QuEST).
+using qubit_t = int;
+
+/// Rank id within the virtual cluster.
+using rank_t = int;
+
+/// Bytes per stored amplitude (double real + double imaginary).
+inline constexpr std::size_t kBytesPerAmp = 2 * sizeof(real_t);
+
+}  // namespace qsv

@@ -1,0 +1,32 @@
+// Unit constants and small helpers for memory sizes, times and energies.
+#pragma once
+
+#include <cstdint>
+
+namespace qsv::units {
+
+inline constexpr std::uint64_t KiB = 1024ull;
+inline constexpr std::uint64_t MiB = 1024ull * KiB;
+inline constexpr std::uint64_t GiB = 1024ull * MiB;
+inline constexpr std::uint64_t TiB = 1024ull * GiB;
+
+// The paper (and vendor documentation) quote node memory and message limits
+// in power-of-two units: 256 GB nodes hold 2^33 double-complex amplitudes.
+inline constexpr std::uint64_t GB = GiB;
+inline constexpr std::uint64_t TB = TiB;
+
+inline constexpr double kJ = 1e3;  // joules
+inline constexpr double MJ = 1e6;
+inline constexpr double kWh_in_J = 3.6e6;
+
+/// Converts joules to kilowatt-hours (the paper quotes 233 MJ ≈ 65 kWh).
+[[nodiscard]] constexpr double joules_to_kwh(double j) noexcept {
+  return j / kWh_in_J;
+}
+
+/// Node-hours to ARCHER2 "CU" (1 CU = 1 standard-node-hour).
+[[nodiscard]] constexpr double node_hours(double nodes, double seconds) noexcept {
+  return nodes * seconds / 3600.0;
+}
+
+}  // namespace qsv::units

@@ -1,0 +1,370 @@
+#include "dist/dist_statevector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+#include "sv/kernels.hpp"
+
+namespace qsv {
+
+template <class S>
+DistStateVector<S>::DistStateVector(int num_qubits, int num_ranks,
+                                    DistOptions opts)
+    : num_qubits_(num_qubits),
+      local_qubits_(num_qubits - bits::log2_exact(
+                                     static_cast<std::uint64_t>(num_ranks))),
+      opts_(opts),
+      cluster_(num_ranks, opts.max_message_bytes) {
+  QSV_REQUIRE(num_qubits >= 1 && num_qubits <= 30,
+              "functional distributed engine supports 1..30 qubits");
+  QSV_REQUIRE(bits::is_pow2(static_cast<std::uint64_t>(num_ranks)),
+              "rank count must be a power of two");
+  QSV_REQUIRE(local_qubits_ >= 1,
+              "each rank must hold at least 2 amplitudes (QuEST's rule)");
+
+  const amp_index n_local = amp_index{1} << local_qubits_;
+  slices_.reserve(num_ranks);
+  recv_bufs_.reserve(num_ranks);
+  for (int r = 0; r < num_ranks; ++r) {
+    slices_.emplace_back(n_local);
+    recv_bufs_.emplace_back(n_local);
+  }
+  const std::size_t chunk_bytes = std::min<std::size_t>(
+      opts_.max_message_bytes, n_local * kBytesPerAmp);
+  scratch_.resize(chunk_bytes);
+  init_zero_state();
+}
+
+template <class S>
+void DistStateVector<S>::init_zero_state() {
+  for (auto& s : slices_) {
+    s.fill_zero();
+  }
+  slices_[0].set(0, cplx{1, 0});
+}
+
+template <class S>
+void DistStateVector<S>::init_basis_state(amp_index index) {
+  QSV_REQUIRE(index < (amp_index{1} << num_qubits_), "basis state range");
+  for (auto& s : slices_) {
+    s.fill_zero();
+  }
+  const rank_t r = static_cast<rank_t>(index >> local_qubits_);
+  slices_[r].set(index & (local_amps() - 1), cplx{1, 0});
+}
+
+template <class S>
+void DistStateVector<S>::init_from(const BasicStateVector<S>& sv) {
+  QSV_REQUIRE(sv.num_qubits() == num_qubits_, "register size mismatch");
+  for (amp_index g = 0; g < sv.num_amps(); ++g) {
+    set_amplitude(g, sv.amplitude(g));
+  }
+}
+
+template <class S>
+cplx DistStateVector<S>::amplitude(amp_index global) const {
+  QSV_REQUIRE(global < (amp_index{1} << num_qubits_), "amplitude range");
+  const rank_t r = static_cast<rank_t>(global >> local_qubits_);
+  return slices_[r].get(global & (local_amps() - 1));
+}
+
+template <class S>
+void DistStateVector<S>::set_amplitude(amp_index global, cplx v) {
+  QSV_REQUIRE(global < (amp_index{1} << num_qubits_), "amplitude range");
+  const rank_t r = static_cast<rank_t>(global >> local_qubits_);
+  slices_[r].set(global & (local_amps() - 1), v);
+}
+
+template <class S>
+void DistStateVector<S>::emit(const ExecEvent& e) {
+  if (listener_ != nullptr) {
+    listener_->on_event(e);
+  }
+}
+
+template <class S>
+void DistStateVector<S>::exchange_full(rank_t r, rank_t peer) {
+  const amp_index n_local = local_amps();
+  const amp_index chunk_amps = std::min<amp_index>(
+      n_local, opts_.max_message_bytes / kBytesPerAmp);
+  const amp_index chunks = (n_local + chunk_amps - 1) / chunk_amps;
+
+  auto send_chunk = [this](rank_t from, rank_t to, amp_index first,
+                           amp_index count) {
+    const std::size_t bytes = slices_[from].pack(first, count, scratch_.data());
+    cluster_.send(from, to, {scratch_.data(), bytes});
+  };
+  auto recv_chunk = [this](rank_t from, rank_t to, amp_index first,
+                           amp_index count) {
+    const std::size_t bytes = count * kBytesPerAmp;
+    cluster_.recv(from, to, {scratch_.data(), bytes});
+    recv_bufs_[to].unpack(first, count, scratch_.data());
+  };
+
+  if (opts_.policy == CommPolicy::kBlocking) {
+    // QuEST default: a sequence of blocking Sendrecv calls, one chunk fully
+    // completing before the next is posted.
+    for (amp_index c = 0; c < chunks; ++c) {
+      const amp_index first = c * chunk_amps;
+      const amp_index count = std::min(chunk_amps, n_local - first);
+      send_chunk(r, peer, first, count);
+      send_chunk(peer, r, first, count);
+      recv_chunk(r, peer, first, count);
+      recv_chunk(peer, r, first, count);
+    }
+  } else {
+    // Non-blocking rewrite: every Isend/Irecv posted up front, one WaitAll.
+    for (amp_index c = 0; c < chunks; ++c) {
+      const amp_index first = c * chunk_amps;
+      const amp_index count = std::min(chunk_amps, n_local - first);
+      send_chunk(r, peer, first, count);
+      send_chunk(peer, r, first, count);
+    }
+    for (amp_index c = 0; c < chunks; ++c) {
+      const amp_index first = c * chunk_amps;
+      const amp_index count = std::min(chunk_amps, n_local - first);
+      recv_chunk(r, peer, first, count);
+      recv_chunk(peer, r, first, count);
+    }
+  }
+}
+
+template <class S>
+void DistStateVector<S>::exchange_half(rank_t r, rank_t peer, int local_bit) {
+  // Which half each side ships: the amplitudes whose local bit disagrees
+  // with the rank's own bit of the distributed target; see kernels.hpp.
+  const int high_bit =
+      bits::log2_exact(static_cast<std::uint64_t>(r ^ peer));
+  const std::size_t half_bytes = kern::half_payload_bytes(local_amps());
+
+  std::vector<std::byte> out_r(half_bytes);
+  std::vector<std::byte> out_peer(half_bytes);
+  std::vector<std::byte> in_r(half_bytes);
+  std::vector<std::byte> in_peer(half_bytes);
+
+  const int rb = bits::bit(static_cast<amp_index>(r), high_bit);
+  kern::gather_half(slices_[r], local_bit, 1 - rb, out_r.data());
+  kern::gather_half(slices_[peer], local_bit, rb, out_peer.data());
+
+  const std::size_t chunk = std::min(opts_.max_message_bytes, half_bytes);
+  const std::size_t chunks = (half_bytes + chunk - 1) / chunk;
+
+  auto ship = [&](rank_t from, rank_t to, const std::vector<std::byte>& buf,
+                  std::size_t c) {
+    const std::size_t first = c * chunk;
+    const std::size_t len = std::min(chunk, half_bytes - first);
+    cluster_.send(from, to, {buf.data() + first, len});
+  };
+  auto land = [&](rank_t from, rank_t to, std::vector<std::byte>& buf,
+                  std::size_t c) {
+    const std::size_t first = c * chunk;
+    const std::size_t len = std::min(chunk, half_bytes - first);
+    cluster_.recv(from, to, {buf.data() + first, len});
+  };
+
+  if (opts_.policy == CommPolicy::kBlocking) {
+    for (std::size_t c = 0; c < chunks; ++c) {
+      ship(r, peer, out_r, c);
+      ship(peer, r, out_peer, c);
+      land(r, peer, in_peer, c);
+      land(peer, r, in_r, c);
+    }
+  } else {
+    for (std::size_t c = 0; c < chunks; ++c) {
+      ship(r, peer, out_r, c);
+      ship(peer, r, out_peer, c);
+    }
+    for (std::size_t c = 0; c < chunks; ++c) {
+      land(r, peer, in_peer, c);
+      land(peer, r, in_r, c);
+    }
+  }
+
+  kern::scatter_half(slices_[r], local_bit, 1 - rb, in_r.data());
+  kern::scatter_half(slices_[peer], local_bit, rb, in_peer.data());
+}
+
+template <class S>
+void DistStateVector<S>::apply_distributed(const Gate& g, const OpPlan& plan) {
+  const int R = num_ranks();
+  const amp_index local_ctrl =
+      kern::split_controls(g.controls, local_qubits_).local;
+
+  for (rank_t r = 0; r < R; ++r) {
+    const rank_t peer = static_cast<rank_t>(
+        static_cast<std::uint64_t>(r) ^ plan.rank_xor_mask);
+    if (peer <= r) {
+      continue;  // each pair once
+    }
+    if (!bits::all_set(static_cast<amp_index>(r), plan.high_mask)) {
+      continue;  // high controls unsatisfied: the pair is idle
+    }
+
+    switch (plan.combine) {
+      case OpPlan::Combine::kMatrix1: {
+        exchange_full(r, peer);
+        const Mat2 u = gate_matrix2(g);
+        const int row_r = bits::bit(static_cast<amp_index>(r), plan.high_bit);
+        kern::combine_matrix1(slices_[r], recv_bufs_[r], row_r, u, local_ctrl);
+        kern::combine_matrix1(slices_[peer], recv_bufs_[peer], 1 - row_r, u,
+                              local_ctrl);
+        break;
+      }
+      case OpPlan::Combine::kSwapOneHigh: {
+        const int a = g.targets[0];
+        if (plan.half_exchange) {
+          exchange_half(r, peer, a);
+        } else {
+          exchange_full(r, peer);
+          kern::combine_swap_one_high(
+              slices_[r], recv_bufs_[r], a,
+              bits::bit(static_cast<amp_index>(r), plan.high_bit));
+          kern::combine_swap_one_high(
+              slices_[peer], recv_bufs_[peer], a,
+              bits::bit(static_cast<amp_index>(peer), plan.high_bit));
+        }
+        break;
+      }
+      case OpPlan::Combine::kSwapTwoHigh: {
+        // Only rank pairs whose two high bits differ hold moving amplitudes.
+        const std::uint64_t m = plan.rank_xor_mask;
+        const std::uint64_t rb = static_cast<std::uint64_t>(r) & m;
+        if (rb != 0 && rb != m) {
+          // r has exactly one of the two bits set: it pairs with r ^ m.
+          exchange_full(r, peer);
+          kern::combine_swap_two_high(slices_[r], recv_bufs_[r]);
+          kern::combine_swap_two_high(slices_[peer], recv_bufs_[peer]);
+        }
+        break;
+      }
+      case OpPlan::Combine::kNone:
+        QSV_REQUIRE(false, "distributed plan without a combine kind");
+    }
+  }
+  QSV_REQUIRE(cluster_.quiescent(),
+              "messages left in flight after a distributed gate");
+}
+
+template <class S>
+void DistStateVector<S>::apply(const Gate& g) {
+  QSV_REQUIRE(g.max_qubit() < num_qubits_, "gate qubit out of range");
+
+  // Gates without a native distributed execution (two-qubit dense
+  // unitaries on rank bits) run as their SWAP-staged expansion.
+  const std::vector<Gate> expansion =
+      expand_for_decomposition(g, local_qubits_);
+  if (!expansion.empty()) {
+    for (const Gate& sub : expansion) {
+      apply(sub);
+    }
+    return;
+  }
+
+  const OpPlan plan = plan_gate(g, num_qubits_, local_qubits_, opts_);
+
+  ExecEvent e;
+  e.gate = g.kind;
+  e.locality = plan.locality;
+  e.local_amps = local_amps();
+  e.local_target = plan.local_target;
+  e.participating_fraction = plan.participating_fraction;
+
+  if (plan.locality == GateLocality::kDistributed) {
+    apply_distributed(g, plan);
+    e.kind = ExecEvent::Kind::kExchange;
+    e.bytes_per_rank = plan.exchange_bytes;
+    e.messages_per_rank = plan.messages;
+    e.policy = opts_.policy;
+    e.half_exchange = plan.half_exchange;
+  } else {
+    for (rank_t r = 0; r < num_ranks(); ++r) {
+      kern::apply_gate_slice(slices_[r], g, local_qubits_,
+                             static_cast<amp_index>(r));
+    }
+    e.kind = ExecEvent::Kind::kLocalGate;
+  }
+  emit(e);
+}
+
+template <class S>
+void DistStateVector<S>::apply(const Circuit& c) {
+  QSV_REQUIRE(c.num_qubits() == num_qubits_, "register size mismatch");
+  for (const Gate& g : c) {
+    apply(g);
+  }
+}
+
+template <class S>
+real_t DistStateVector<S>::probability_of_one(qubit_t qubit) const {
+  QSV_REQUIRE(qubit >= 0 && qubit < num_qubits_, "qubit out of range");
+  real_t p = 0;
+  for (rank_t r = 0; r < num_ranks(); ++r) {
+    if (qubit >= local_qubits_) {
+      if (bits::bit(static_cast<amp_index>(r), qubit - local_qubits_) == 0) {
+        continue;
+      }
+      for (amp_index i = 0; i < local_amps(); ++i) {
+        p += std::norm(slices_[r].get(i));
+      }
+    } else {
+      for (amp_index i = 0; i < local_amps(); ++i) {
+        if (bits::bit(i, qubit)) {
+          p += std::norm(slices_[r].get(i));
+        }
+      }
+    }
+  }
+  return p;  // conceptually an MPI_Allreduce of the local partial sums
+}
+
+template <class S>
+real_t DistStateVector<S>::norm_sq() const {
+  real_t acc = 0;
+  for (rank_t r = 0; r < num_ranks(); ++r) {
+    for (amp_index i = 0; i < local_amps(); ++i) {
+      acc += std::norm(slices_[r].get(i));
+    }
+  }
+  return acc;
+}
+
+template <class S>
+int DistStateVector<S>::measure(qubit_t qubit, Rng& rng) {
+  const real_t p1 = probability_of_one(qubit);
+  const int outcome = rng.uniform() < p1 ? 1 : 0;
+  const real_t keep_p = outcome ? p1 : 1 - p1;
+  QSV_REQUIRE(keep_p > 0, "measured an outcome with zero probability");
+  const real_t scale = 1 / std::sqrt(keep_p);
+  for (rank_t r = 0; r < num_ranks(); ++r) {
+    const bool rank_bit_known = qubit >= local_qubits_;
+    const int rank_bit =
+        rank_bit_known
+            ? bits::bit(static_cast<amp_index>(r), qubit - local_qubits_)
+            : 0;
+    for (amp_index i = 0; i < local_amps(); ++i) {
+      const int b = rank_bit_known ? rank_bit : bits::bit(i, qubit);
+      if (b == outcome) {
+        slices_[r].set(i, slices_[r].get(i) * scale);
+      } else {
+        slices_[r].set(i, cplx{0, 0});
+      }
+    }
+  }
+  return outcome;
+}
+
+template <class S>
+BasicStateVector<S> DistStateVector<S>::gather() const {
+  BasicStateVector<S> sv(num_qubits_);
+  for (amp_index g = 0; g < (amp_index{1} << num_qubits_); ++g) {
+    sv.set_amplitude(g, amplitude(g));
+  }
+  return sv;
+}
+
+template class DistStateVector<SoaStorage>;
+template class DistStateVector<AosStorage>;
+
+}  // namespace qsv

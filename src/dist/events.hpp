@@ -1,0 +1,71 @@
+// Execution events: the factual record of what the engine did per gate.
+//
+// Both the functional engine (which really moves amplitudes) and the trace
+// engine (which only plans) emit identical event streams for the same
+// circuit and decomposition — asserted by tests — so a cost model listening
+// to a trace run prices exactly the work a real run performs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/gate.hpp"
+#include "circuit/locality.hpp"
+#include "cluster/cluster.hpp"
+#include "common/types.hpp"
+
+namespace qsv {
+
+struct ExecEvent {
+  enum class Kind {
+    kLocalGate,  // fully-local or local-memory application on each slice
+    kExchange,   // pairwise slice exchange + combine (distributed gate)
+  };
+
+  Kind kind{};
+  GateKind gate{};
+  GateLocality locality{};
+
+  /// Per-rank slice size in amplitudes.
+  amp_index local_amps = 0;
+
+  /// Lowest local target qubit (-1 when the operands are all rank bits).
+  /// The cost model uses this for the NUMA stride penalty.
+  int local_target = -1;
+
+  /// Fraction of ranks doing work for this gate (idle ranks burn idle
+  /// power but add no runtime, since gates synchronise globally).
+  double participating_fraction = 1.0;
+
+  // --- exchange-only fields ---
+  /// Payload bytes each participating rank sends (== receives).
+  std::uint64_t bytes_per_rank = 0;
+  /// Messages each participating rank sends.
+  int messages_per_rank = 0;
+  CommPolicy policy = CommPolicy::kBlocking;
+  bool half_exchange = false;
+
+  bool operator==(const ExecEvent&) const = default;
+};
+
+/// Receiver of engine events (implemented by the cost model and by tests).
+class ExecListener {
+ public:
+  virtual ~ExecListener() = default;
+  virtual void on_event(const ExecEvent& e) = 0;
+};
+
+/// Listener that simply records the stream (tests, event-stream diffing).
+class RecordingListener final : public ExecListener {
+ public:
+  void on_event(const ExecEvent& e) override { events_.push_back(e); }
+  [[nodiscard]] const std::vector<ExecEvent>& events() const {
+    return events_;
+  }
+  void clear() { events_.clear(); }
+
+ private:
+  std::vector<ExecEvent> events_;
+};
+
+}  // namespace qsv

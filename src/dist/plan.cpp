@@ -1,0 +1,107 @@
+#include "dist/plan.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "cluster/cluster.hpp"
+#include "common/bits.hpp"
+#include "common/error.hpp"
+
+namespace qsv {
+namespace {
+
+/// Fraction of ranks whose id has all `mask` bits set: 2^-popcount(mask).
+double mask_fraction(std::uint64_t mask) {
+  return 1.0 / static_cast<double>(std::uint64_t{1} << std::popcount(mask));
+}
+
+}  // namespace
+
+OpPlan plan_gate(const Gate& g, int num_qubits, int local_qubits,
+                 const DistOptions& opts) {
+  QSV_REQUIRE(local_qubits >= 1 && local_qubits <= num_qubits,
+              "invalid decomposition");
+  const int L = local_qubits;
+  const amp_index slice = amp_index{1} << L;
+  const std::uint64_t slice_bytes = slice * kBytesPerAmp;
+
+  OpPlan p;
+  p.locality = classify_gate(g, L);
+
+  // High control bits gate participation — except for the fused phase
+  // layer, where each control contributes an *independent* angle, so a rank
+  // missing one control bit still phases amplitudes via the others.
+  if (g.kind != GateKind::kFusedPhase) {
+    for (qubit_t c : g.controls) {
+      if (c >= L) {
+        p.high_mask = bits::set_bit(p.high_mask, c - L);
+      }
+    }
+  }
+
+  // Lowest local target (used for the NUMA penalty).
+  for (qubit_t t : g.targets) {
+    if (t < L && (p.local_target < 0 || t < p.local_target)) {
+      p.local_target = t;
+    }
+  }
+
+  if (p.locality != GateLocality::kDistributed) {
+    // Diagonal gates whose target sits in the rank bits only touch slices
+    // with that bit set (kFusedPhase keeps scanning: its target may combine
+    // with per-control angles, handled inside the kernel, but a high target
+    // bit of 0 still means an untouched slice).
+    // kRz is the exception: it phases *both* target halves, so every rank
+    // works regardless of where the target bit lives.
+    if (g.is_diagonal() && g.kind != GateKind::kRz) {
+      for (qubit_t t : g.targets) {
+        if (t >= L) {
+          p.high_mask = bits::set_bit(p.high_mask, t - L);
+        }
+      }
+    }
+    p.participating_fraction = mask_fraction(p.high_mask);
+    return p;
+  }
+
+  // Distributed gate.
+  const CommFootprint f = comm_footprint(g, num_qubits, L);
+  p.rank_xor_mask = f.rank_xor_mask;
+  p.participating_fraction = f.participating_fraction * mask_fraction(p.high_mask);
+
+  if (g.kind == GateKind::kSwap) {
+    const qubit_t a = g.targets[0];
+    const qubit_t b = g.targets[1];
+    if (a >= L) {
+      p.combine = OpPlan::Combine::kSwapTwoHigh;
+      p.exchange_bytes = slice_bytes;
+      p.high_bit = b - L;  // informational; the xor mask carries both bits
+    } else {
+      p.combine = OpPlan::Combine::kSwapOneHigh;
+      p.high_bit = b - L;
+      if (opts.half_exchange_swaps) {
+        p.exchange_bytes = f.bytes_half;
+        p.half_exchange = true;
+      } else {
+        p.exchange_bytes = f.bytes_full;
+      }
+    }
+  } else {
+    p.combine = OpPlan::Combine::kMatrix1;
+    p.high_bit = g.targets[0] - L;
+    p.exchange_bytes = f.bytes_full;
+  }
+
+  if (p.half_exchange) {
+    // Half payloads are shipped as raw byte streams, chunked by bytes.
+    p.messages = message_count(p.exchange_bytes, opts.max_message_bytes);
+  } else {
+    // Full-slice exchanges chunk by whole amplitudes (as QuEST does).
+    const amp_index chunk_amps = std::max<amp_index>(
+        1, opts.max_message_bytes / kBytesPerAmp);
+    p.messages = static_cast<int>((slice + chunk_amps - 1) / chunk_amps);
+  }
+  return p;
+}
+
+}  // namespace qsv

@@ -1,0 +1,60 @@
+// Gate execution planning, shared verbatim by the functional and trace
+// engines so their behaviour cannot diverge.
+#pragma once
+
+#include <cstdint>
+
+#include "circuit/gate.hpp"
+#include "circuit/locality.hpp"
+#include "common/types.hpp"
+#include "dist/options.hpp"
+
+namespace qsv {
+
+/// Fully resolved execution plan for one gate at one decomposition.
+struct OpPlan {
+  GateLocality locality{};
+
+  /// Rank bits (mask within the rank id) that must all be 1 for a rank to
+  /// participate. Derived from control qubits at or above L; for diagonal
+  /// gates the high part of the target also lands here (slices whose target
+  /// bit is 0 are untouched by a phase).
+  std::uint64_t high_mask = 0;
+
+  /// Fraction of ranks doing work (see ExecEvent).
+  double participating_fraction = 1.0;
+
+  /// Lowest local target (-1 when no target is below L).
+  int local_target = -1;
+
+  // --- distributed gates only ---
+  enum class Combine {
+    kNone,
+    kMatrix1,      // distributed single-target gate
+    kSwapOneHigh,  // SWAP, one target local
+    kSwapTwoHigh,  // SWAP, both targets in rank bits
+  };
+  Combine combine = Combine::kNone;
+
+  /// Peer = rank XOR this mask.
+  std::uint64_t rank_xor_mask = 0;
+
+  /// Rank-bit position of the distributed target (kMatrix1/kSwapOneHigh).
+  int high_bit = -1;
+
+  /// Payload bytes per participating rank, after the half-exchange decision.
+  std::uint64_t exchange_bytes = 0;
+
+  /// Messages per participating rank (chunking under the MPI cap).
+  int messages = 0;
+
+  bool half_exchange = false;
+};
+
+/// Builds the plan for `g` on an n-qubit register split over 2^(n-L) ranks
+/// holding 2^L amplitudes each. L == n means a single rank (nothing is ever
+/// distributed).
+[[nodiscard]] OpPlan plan_gate(const Gate& g, int num_qubits, int local_qubits,
+                               const DistOptions& opts);
+
+}  // namespace qsv

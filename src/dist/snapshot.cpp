@@ -1,0 +1,135 @@
+#include "dist/snapshot.hpp"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace qsv {
+namespace {
+
+constexpr char kMagic[8] = {'Q', 'S', 'V', 'S', 'N', 'A', 'P', '1'};
+
+void write_header(std::ofstream& out, int num_qubits) {
+  out.write(kMagic, sizeof kMagic);
+  const std::uint32_t n = static_cast<std::uint32_t>(num_qubits);
+  const std::uint32_t reserved = 0;
+  out.write(reinterpret_cast<const char*>(&n), sizeof n);
+  out.write(reinterpret_cast<const char*>(&reserved), sizeof reserved);
+}
+
+int read_header(std::ifstream& in, const std::string& path) {
+  std::array<char, 8> magic{};
+  in.read(magic.data(), magic.size());
+  QSV_REQUIRE(in.good() && std::memcmp(magic.data(), kMagic, 8) == 0,
+              "not a qsv snapshot: " + path);
+  std::uint32_t n = 0;
+  std::uint32_t reserved = 0;
+  in.read(reinterpret_cast<char*>(&n), sizeof n);
+  in.read(reinterpret_cast<char*>(&reserved), sizeof reserved);
+  QSV_REQUIRE(in.good() && n >= 1 && n <= 62,
+              "corrupt snapshot header: " + path);
+  return static_cast<int>(n);
+}
+
+template <class GetAmp>
+void write_amps(std::ofstream& out, amp_index count, GetAmp get) {
+  for (amp_index i = 0; i < count; ++i) {
+    const cplx a = get(i);
+    const real_t re = a.real();
+    const real_t im = a.imag();
+    out.write(reinterpret_cast<const char*>(&re), sizeof re);
+    out.write(reinterpret_cast<const char*>(&im), sizeof im);
+  }
+}
+
+template <class SetAmp>
+void read_amps(std::ifstream& in, const std::string& path, amp_index count,
+               SetAmp set) {
+  for (amp_index i = 0; i < count; ++i) {
+    real_t re = 0;
+    real_t im = 0;
+    in.read(reinterpret_cast<char*>(&re), sizeof re);
+    in.read(reinterpret_cast<char*>(&im), sizeof im);
+    QSV_REQUIRE(in.good(), "snapshot truncated: " + path);
+    set(i, cplx{re, im});
+  }
+}
+
+std::ofstream open_out(const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  QSV_REQUIRE(out.good(), "cannot open snapshot for writing: " + path);
+  return out;
+}
+
+std::ifstream open_in(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  QSV_REQUIRE(in.good(), "cannot open snapshot: " + path);
+  return in;
+}
+
+}  // namespace
+
+template <class S>
+void save_state(const std::string& path, const BasicStateVector<S>& sv) {
+  std::ofstream out = open_out(path);
+  write_header(out, sv.num_qubits());
+  write_amps(out, sv.num_amps(), [&](amp_index i) { return sv.amplitude(i); });
+  QSV_REQUIRE(out.good(), "short write while snapshotting: " + path);
+}
+
+template <class S>
+void save_state(const std::string& path, const DistStateVector<S>& sv) {
+  std::ofstream out = open_out(path);
+  write_header(out, sv.num_qubits());
+  write_amps(out, amp_index{1} << sv.num_qubits(),
+             [&](amp_index i) { return sv.amplitude(i); });
+  QSV_REQUIRE(out.good(), "short write while snapshotting: " + path);
+}
+
+template <class S>
+void load_state(const std::string& path, BasicStateVector<S>& sv) {
+  std::ifstream in = open_in(path);
+  const int n = read_header(in, path);
+  QSV_REQUIRE(n == sv.num_qubits(),
+              "snapshot holds " + std::to_string(n) + " qubits, register has " +
+                  std::to_string(sv.num_qubits()));
+  read_amps(in, path, sv.num_amps(),
+            [&](amp_index i, cplx v) { sv.set_amplitude(i, v); });
+}
+
+template <class S>
+void load_state(const std::string& path, DistStateVector<S>& sv) {
+  std::ifstream in = open_in(path);
+  const int n = read_header(in, path);
+  QSV_REQUIRE(n == sv.num_qubits(),
+              "snapshot holds " + std::to_string(n) + " qubits, register has " +
+                  std::to_string(sv.num_qubits()));
+  read_amps(in, path, amp_index{1} << n,
+            [&](amp_index i, cplx v) { sv.set_amplitude(i, v); });
+}
+
+int snapshot_qubits(const std::string& path) {
+  std::ifstream in = open_in(path);
+  return read_header(in, path);
+}
+
+template void save_state<SoaStorage>(const std::string&,
+                                     const BasicStateVector<SoaStorage>&);
+template void save_state<AosStorage>(const std::string&,
+                                     const BasicStateVector<AosStorage>&);
+template void save_state<SoaStorage>(const std::string&,
+                                     const DistStateVector<SoaStorage>&);
+template void save_state<AosStorage>(const std::string&,
+                                     const DistStateVector<AosStorage>&);
+template void load_state<SoaStorage>(const std::string&,
+                                     BasicStateVector<SoaStorage>&);
+template void load_state<AosStorage>(const std::string&,
+                                     BasicStateVector<AosStorage>&);
+template void load_state<SoaStorage>(const std::string&,
+                                     DistStateVector<SoaStorage>&);
+template void load_state<AosStorage>(const std::string&,
+                                     DistStateVector<AosStorage>&);
+
+}  // namespace qsv

@@ -1,0 +1,33 @@
+// Binary statevector snapshots: checkpoint/restore for long simulations.
+//
+// Format: 8-byte magic "QSVSNAP1", u32 num_qubits, u32 reserved, then
+// 2^n amplitudes as interleaved little-endian doubles (re, im). The layout
+// on disk is storage-independent, so a snapshot written from a SoA run
+// restores into an interleaved-layout engine and vice versa.
+#pragma once
+
+#include <string>
+
+#include "dist/dist_statevector.hpp"
+#include "sv/statevector.hpp"
+
+namespace qsv {
+
+template <class S>
+void save_state(const std::string& path, const BasicStateVector<S>& sv);
+
+template <class S>
+void save_state(const std::string& path, const DistStateVector<S>& sv);
+
+/// Restores into an existing register; the snapshot's qubit count must
+/// match. Throws qsv::Error on bad magic, truncation or size mismatch.
+template <class S>
+void load_state(const std::string& path, BasicStateVector<S>& sv);
+
+template <class S>
+void load_state(const std::string& path, DistStateVector<S>& sv);
+
+/// Reads just the header; returns the qubit count.
+[[nodiscard]] int snapshot_qubits(const std::string& path);
+
+}  // namespace qsv

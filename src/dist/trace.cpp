@@ -1,0 +1,103 @@
+#include "dist/trace.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+
+namespace qsv {
+
+TraceSim::TraceSim(int num_qubits, int num_ranks, DistOptions opts)
+    : num_qubits_(num_qubits),
+      num_ranks_(num_ranks),
+      local_qubits_(num_qubits -
+                    bits::log2_exact(static_cast<std::uint64_t>(num_ranks))),
+      opts_(opts) {
+  QSV_REQUIRE(num_qubits >= 1 && num_qubits <= 62,
+              "trace engine supports 1..62 qubits");
+  QSV_REQUIRE(bits::is_pow2(static_cast<std::uint64_t>(num_ranks)),
+              "rank count must be a power of two");
+  QSV_REQUIRE(local_qubits_ >= 1, "each rank must hold at least 2 amplitudes");
+}
+
+void TraceSim::apply(const Gate& g) {
+  QSV_REQUIRE(g.max_qubit() < num_qubits_, "gate qubit out of range");
+
+  // Mirror the functional engine's decomposition of unsupported gates so
+  // the event streams stay identical.
+  const std::vector<Gate> expansion =
+      expand_for_decomposition(g, local_qubits_);
+  if (!expansion.empty()) {
+    for (const Gate& sub : expansion) {
+      apply(sub);
+    }
+    return;
+  }
+
+  const OpPlan plan = plan_gate(g, num_qubits_, local_qubits_, opts_);
+
+  ExecEvent e;
+  e.gate = g.kind;
+  e.locality = plan.locality;
+  e.local_amps = local_amps();
+  e.local_target = plan.local_target;
+  e.participating_fraction = plan.participating_fraction;
+
+  switch (plan.locality) {
+    case GateLocality::kFullyLocal:
+      ++counts_.fully_local;
+      e.kind = ExecEvent::Kind::kLocalGate;
+      break;
+    case GateLocality::kLocalMemory:
+      ++counts_.local_memory;
+      e.kind = ExecEvent::Kind::kLocalGate;
+      break;
+    case GateLocality::kDistributed: {
+      ++counts_.distributed;
+      e.kind = ExecEvent::Kind::kExchange;
+      e.bytes_per_rank = plan.exchange_bytes;
+      e.messages_per_rank = plan.messages;
+      e.policy = opts_.policy;
+      e.half_exchange = plan.half_exchange;
+
+      // Reproduce the cluster counters the functional engine would record.
+      int idle_shift = std::popcount(plan.high_mask);
+      if (plan.combine == OpPlan::Combine::kSwapTwoHigh) {
+        ++idle_shift;  // ranks whose two bits agree hold nothing that moves
+      }
+      const std::uint64_t participating =
+          static_cast<std::uint64_t>(num_ranks_) >> idle_shift;
+      stats_.messages +=
+          participating * static_cast<std::uint64_t>(plan.messages);
+      stats_.bytes += participating * plan.exchange_bytes;
+
+      std::uint64_t biggest;
+      if (plan.half_exchange) {
+        biggest = std::min<std::uint64_t>(opts_.max_message_bytes,
+                                          plan.exchange_bytes);
+      } else {
+        const amp_index chunk_amps = std::max<amp_index>(
+            1, opts_.max_message_bytes / kBytesPerAmp);
+        biggest = std::min<std::uint64_t>(local_amps(), chunk_amps) *
+                  kBytesPerAmp;
+      }
+      stats_.max_message_bytes =
+          std::max(stats_.max_message_bytes, biggest);
+      break;
+    }
+  }
+
+  if (listener_ != nullptr) {
+    listener_->on_event(e);
+  }
+}
+
+void TraceSim::apply(const Circuit& c) {
+  QSV_REQUIRE(c.num_qubits() == num_qubits_, "register size mismatch");
+  for (const Gate& g : c) {
+    apply(g);
+  }
+}
+
+}  // namespace qsv

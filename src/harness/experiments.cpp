@@ -1,0 +1,316 @@
+#include "harness/experiments.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "circuit/builders.hpp"
+#include "circuit/transpile/cache_blocking.hpp"
+#include "common/error.hpp"
+#include "common/format.hpp"
+#include "common/units.hpp"
+#include "harness/paper_reference.hpp"
+#include "machine/job.hpp"
+#include "perf/runner.hpp"
+
+namespace qsv {
+
+namespace {
+
+/// The Hadamard/SWAP benchmarks and the fig-5 profiles all use the paper's
+/// 38-qubit register on 64 standard nodes (64 GiB slice per node).
+constexpr int kBenchQubits = 38;
+constexpr int kBenchNodes = 64;
+constexpr int kBenchGates = 50;
+
+JobConfig bench_job(CpuFreq freq = CpuFreq::kMedium2000) {
+  JobConfig job;
+  job.num_qubits = kBenchQubits;
+  job.node_kind = NodeKind::kStandard;
+  job.freq = freq;
+  job.nodes = kBenchNodes;
+  return job;
+}
+
+DistOptions policy_opts(CommPolicy policy) {
+  DistOptions o;
+  o.policy = policy;
+  return o;
+}
+
+std::string ratio_str(double ours, double base) {
+  return fmt::fixed(ours / base, 3);
+}
+
+}  // namespace
+
+Circuit builtin_qft(int num_qubits) {
+  QftOptions opts;
+  opts.ascending = true;
+  opts.fused_phases = true;
+  opts.final_swaps = true;
+  Circuit c = build_qft(num_qubits, opts);
+  c.set_name("qft_builtin");
+  return c;
+}
+
+Circuit fast_qft(int num_qubits, int local_qubits) {
+  const int threshold = std::max(1, local_qubits - 2);
+  Circuit c = build_cache_blocked_qft(num_qubits, local_qubits, threshold);
+  c.set_name("qft_fast");
+  return c;
+}
+
+Fig2Result experiment_fig2(const MachineModel& m) {
+  Fig2Result res;
+  res.table = Table("Fig 2 — QFT runtimes vs register size (built-in QFT)");
+  res.table.header({"qubits", "setup", "nodes", "runtime", "energy", "CU"});
+
+  for (int n = 33; n <= 44; ++n) {
+    for (NodeKind kind : {NodeKind::kStandard, NodeKind::kHighMem}) {
+      // Skip sizes that exceed the machine (paper: high-mem tops out at 41).
+      bool fit = true;
+      try {
+        (void)min_nodes(m, n, kind);
+      } catch (const Error&) {
+        fit = false;
+      }
+      if (!fit) {
+        continue;
+      }
+      for (CpuFreq freq : {CpuFreq::kMedium2000, CpuFreq::kHigh2250}) {
+        const JobConfig job = make_min_job(m, n, kind, freq);
+        const Circuit qft = builtin_qft(n);
+        const RunReport r =
+            run_model(qft, m, job, policy_opts(CommPolicy::kBlocking));
+        res.rows.push_back(Fig2Row{n, kind, freq, job.nodes, r});
+        res.table.row({std::to_string(n),
+                       std::string(node_kind_name(kind)) + " " +
+                           freq_name(freq),
+                       std::to_string(job.nodes), fmt::seconds(r.runtime_s),
+                       fmt::energy_j(r.total_energy_j()),
+                       fmt::fixed(r.cu, 1)});
+      }
+    }
+  }
+  return res;
+}
+
+Table experiment_fig3(const MachineModel& m) {
+  const Fig2Result fig2 = experiment_fig2(m);
+
+  Table t("Fig 3 — runtime/energy relative to the default setup "
+          "(standard nodes, 2.00 GHz)");
+  t.header({"qubits", "setup", "runtime ratio", "energy ratio", "CU ratio"});
+
+  // Index the default per register size.
+  std::map<int, const Fig2Row*> defaults;
+  for (const Fig2Row& r : fig2.rows) {
+    if (r.kind == NodeKind::kStandard && r.freq == CpuFreq::kMedium2000) {
+      defaults[r.qubits] = &r;
+    }
+  }
+
+  for (const Fig2Row& r : fig2.rows) {
+    const auto it = defaults.find(r.qubits);
+    if (it == defaults.end()) {
+      continue;
+    }
+    const Fig2Row& base = *it->second;
+    if (&r == &base) {
+      continue;
+    }
+    t.row({std::to_string(r.qubits),
+           std::string(node_kind_name(r.kind)) + " " + freq_name(r.freq),
+           ratio_str(r.report.runtime_s, base.report.runtime_s),
+           ratio_str(r.report.total_energy_j(), base.report.total_energy_j()),
+           ratio_str(r.report.cu, base.report.cu)});
+  }
+  return t;
+}
+
+Table1Result experiment_table1(const MachineModel& m,
+                               const std::vector<int>& qubits) {
+  Table1Result res;
+  res.table = Table("Table 1 — time/energy per gate, Hadamard benchmark "
+                    "(38 qubits, 64 nodes)");
+  res.table.header({"qubit", "t blk", "E blk", "t non-blk", "E non-blk",
+                    "paper t blk", "paper E blk"});
+
+  const JobConfig job = bench_job();
+  for (int q : qubits) {
+    const Circuit c = build_hadamard_bench(kBenchQubits, q, kBenchGates);
+    Table1Result::Row row;
+    row.qubit = q;
+    row.blocking = run_model(c, m, job, policy_opts(CommPolicy::kBlocking));
+    row.nonblocking =
+        run_model(c, m, job, policy_opts(CommPolicy::kNonBlocking));
+
+    std::string paper_t = "-";
+    std::string paper_e = "-";
+    for (const auto& p : paper::kTable1) {
+      if (p.qubit == q) {
+        paper_t = p.blocking_time_s < 0 ? "n/a"
+                                        : fmt::seconds(p.blocking_time_s);
+        paper_e = fmt::energy_j(p.blocking_energy_j);
+      }
+    }
+    res.table.row({std::to_string(q),
+                   fmt::seconds(row.blocking.time_per_gate()),
+                   fmt::energy_j(row.blocking.energy_per_gate()),
+                   fmt::seconds(row.nonblocking.time_per_gate()),
+                   fmt::energy_j(row.nonblocking.energy_per_gate()), paper_t,
+                   paper_e});
+    res.rows.push_back(std::move(row));
+  }
+  return res;
+}
+
+Fig4Result experiment_fig4(const MachineModel& m) {
+  Fig4Result res;
+  res.table = Table("Fig 4 — SWAP benchmark, energy per gate "
+                    "(38 qubits, 64 nodes)");
+  res.table.header({"targets", "t blk", "E blk", "t non-blk", "E non-blk"});
+
+  const JobConfig job = bench_job();
+  for (int local : {0, 4, 8, 12, 16}) {
+    for (int dist : {35, 36, 37}) {
+      const Circuit c = build_swap_bench(kBenchQubits, local, dist,
+                                         kBenchGates);
+      Fig4Result::Row row;
+      row.local_target = local;
+      row.distributed_target = dist;
+      row.blocking = run_model(c, m, job, policy_opts(CommPolicy::kBlocking));
+      row.nonblocking =
+          run_model(c, m, job, policy_opts(CommPolicy::kNonBlocking));
+      res.table.row({"(" + std::to_string(local) + "," +
+                         std::to_string(dist) + ")",
+                     fmt::seconds(row.blocking.time_per_gate()),
+                     fmt::energy_j(row.blocking.energy_per_gate()),
+                     fmt::seconds(row.nonblocking.time_per_gate()),
+                     fmt::energy_j(row.nonblocking.energy_per_gate())});
+      res.rows.push_back(std::move(row));
+    }
+  }
+  return res;
+}
+
+Fig5Result experiment_fig5(const MachineModel& m) {
+  Fig5Result res;
+  res.table = Table("Fig 5 — runtime profiles (38 qubits, 64 nodes)");
+  res.table.header({"benchmark", "MPI", "memory", "compute"});
+
+  const JobConfig job = bench_job();
+  const int local = kBenchQubits - 6;  // 64 nodes -> 32 local qubits
+
+  auto add = [&](const std::string& name, const Circuit& c,
+                 CommPolicy policy) {
+    const RunReport r = run_model(c, m, job, policy_opts(policy));
+    res.rows.push_back(Fig5Result::Row{name, r.phases});
+    res.table.row({name, fmt::percent(r.phases.mpi_fraction()),
+                   fmt::percent(r.phases.memory_fraction()),
+                   fmt::percent(r.phases.compute_fraction())});
+  };
+
+  add("hadamard (last qubit)",
+      build_hadamard_bench(kBenchQubits, kBenchQubits - 1, kBenchGates),
+      CommPolicy::kBlocking);
+  add("QFT built-in", builtin_qft(kBenchQubits), CommPolicy::kBlocking);
+  add("QFT cache-blocked", fast_qft(kBenchQubits, local),
+      CommPolicy::kNonBlocking);
+  return res;
+}
+
+Table2Result experiment_table2(const MachineModel& m) {
+  Table2Result res;
+  res.table = Table("Table 2 — large QFT runs, built-in vs Fast");
+  res.table.header({"qubits", "nodes", "variant", "runtime", "energy",
+                    "paper runtime", "paper energy"});
+
+  for (const auto& [qubits, nodes] :
+       std::vector<std::pair<int, int>>{{43, 2048}, {44, 4096}}) {
+    JobConfig job;
+    job.num_qubits = qubits;
+    job.node_kind = NodeKind::kStandard;
+    job.freq = CpuFreq::kMedium2000;
+    job.nodes = nodes;
+    const int local = qubits - static_cast<int>(std::log2(nodes));
+
+    for (bool fast : {false, true}) {
+      const Circuit c = fast ? fast_qft(qubits, local) : builtin_qft(qubits);
+      const CommPolicy policy =
+          fast ? CommPolicy::kNonBlocking : CommPolicy::kBlocking;
+      const RunReport r = run_model(c, m, job, policy_opts(policy));
+
+      std::string paper_t = "-";
+      std::string paper_e = "-";
+      for (const auto& p : paper::kTable2) {
+        if (p.qubits == qubits && p.fast == fast) {
+          paper_t = fmt::seconds(p.runtime_s);
+          paper_e = fmt::energy_j(p.energy_j);
+        }
+      }
+      res.rows.push_back(Table2Result::Row{qubits, nodes, fast, r});
+      res.table.row({std::to_string(qubits), std::to_string(nodes),
+                     fast ? "Fast" : "Built-in", fmt::seconds(r.runtime_s),
+                     fmt::energy_j(r.total_energy_j()), paper_t, paper_e});
+    }
+  }
+  return res;
+}
+
+Table experiment_half_exchange(const MachineModel& m) {
+  Table t("Ablation — half-exchange distributed SWAPs (future work §4)");
+  t.header({"qubits", "nodes", "variant", "runtime", "energy",
+            "bytes/rank total"});
+
+  for (const auto& [qubits, nodes] :
+       std::vector<std::pair<int, int>>{{43, 2048}, {44, 4096}}) {
+    JobConfig job;
+    job.num_qubits = qubits;
+    job.node_kind = NodeKind::kStandard;
+    job.freq = CpuFreq::kMedium2000;
+    job.nodes = nodes;
+    const int local = qubits - static_cast<int>(std::log2(nodes));
+    const Circuit c = fast_qft(qubits, local);
+
+    for (bool half : {false, true}) {
+      DistOptions opts;
+      opts.policy = CommPolicy::kNonBlocking;
+      opts.half_exchange_swaps = half;
+      const RunReport r = run_model(c, m, job, opts);
+      t.row({std::to_string(qubits), std::to_string(nodes),
+             half ? "half-exchange" : "full-exchange",
+             fmt::seconds(r.runtime_s), fmt::energy_j(r.total_energy_j()),
+             fmt::bytes(r.traffic.bytes / static_cast<std::uint64_t>(nodes))});
+    }
+  }
+  return t;
+}
+
+Table experiment_chunking(const MachineModel& m) {
+  Table t("Ablation — MPI message cap (chunking of one 64 GiB exchange)");
+  t.header({"message cap", "messages", "exchange time blk",
+            "exchange time non-blk"});
+
+  const JobConfig job = bench_job();
+  const Circuit c =
+      build_hadamard_bench(kBenchQubits, kBenchQubits - 1, 1);
+  for (std::uint64_t cap :
+       {units::GiB / 4, units::GiB / 2, units::GiB, 2 * units::GiB,
+        4 * units::GiB}) {
+    DistOptions opts;
+    opts.max_message_bytes = cap;
+    opts.policy = CommPolicy::kBlocking;
+    const RunReport blk = run_model(c, m, job, opts);
+    opts.policy = CommPolicy::kNonBlocking;
+    const RunReport nb = run_model(c, m, job, opts);
+    t.row({fmt::bytes(cap),
+           std::to_string(blk.traffic.messages /
+                          static_cast<std::uint64_t>(job.nodes)),
+           fmt::seconds(blk.phases.mpi_s), fmt::seconds(nb.phases.mpi_s)});
+  }
+  return t;
+}
+
+}  // namespace qsv

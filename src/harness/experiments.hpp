@@ -1,0 +1,118 @@
+// Experiment definitions: one function per table/figure of the paper.
+// Each returns both the rendered console table and the raw rows, so bench
+// binaries can print and dump CSV, and tests can assert on values.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "common/table.hpp"
+#include "machine/machine.hpp"
+#include "perf/report.hpp"
+
+namespace qsv {
+
+/// The paper's "Built-in" workload: QuEST's QFT — ascending Hadamards,
+/// fused controlled-phase layers, terminal bit-reversal SWAPs.
+[[nodiscard]] Circuit builtin_qft(int num_qubits);
+
+/// The paper's "Fast" workload: the built-in QFT cache-blocked for the
+/// given decomposition, with the reflection placed two qubits below the top
+/// of the local range to dodge the NUMA-penalised strides (§3.2: "the swaps
+/// are done after the 30th Hadamard gate").
+[[nodiscard]] Circuit fast_qft(int num_qubits, int local_qubits);
+
+// ---------------------------------------------------------------------------
+
+struct Fig2Row {
+  int qubits;
+  NodeKind kind;
+  CpuFreq freq;
+  int nodes;
+  RunReport report;
+};
+
+struct Fig2Result {
+  std::vector<Fig2Row> rows;
+  Table table;
+};
+
+/// Fig 2: built-in QFT runtimes at 33..44 qubits on minimum node counts,
+/// standard and high-mem nodes, medium and high frequency. Configurations
+/// that do not fit the machine are skipped (as in the paper).
+[[nodiscard]] Fig2Result experiment_fig2(const MachineModel& m);
+
+/// Fig 3: runtime and energy of each Fig 2 setup relative to the default
+/// (standard nodes, 2.00 GHz), plus CU ratios.
+[[nodiscard]] Table experiment_fig3(const MachineModel& m);
+
+struct Table1Result {
+  struct Row {
+    int qubit;
+    RunReport blocking;
+    RunReport nonblocking;
+  };
+  std::vector<Row> rows;  // one per benchmarked qubit
+  Table table;
+};
+
+/// Table 1: per-gate time/energy of 50 Hadamards on one qubit, 38-qubit
+/// register on 64 standard nodes, blocking vs non-blocking. `qubits` selects
+/// the rows (the paper prints 29..32; the full sweep is 0..37).
+[[nodiscard]] Table1Result experiment_table1(const MachineModel& m,
+                                             const std::vector<int>& qubits);
+
+struct Fig4Result {
+  struct Row {
+    int local_target;
+    int distributed_target;
+    RunReport blocking;
+    RunReport nonblocking;
+  };
+  std::vector<Row> rows;
+  Table table;
+};
+
+/// Fig 4: per-gate energy of 50 SWAPs for every (local, distributed) target
+/// combination the paper uses.
+[[nodiscard]] Fig4Result experiment_fig4(const MachineModel& m);
+
+struct Fig5Result {
+  struct Row {
+    std::string name;
+    PhaseBreakdown phases;
+  };
+  std::vector<Row> rows;
+  Table table;
+};
+
+/// Fig 5: runtime profiles (MPI / memory / compute) of the last-qubit
+/// Hadamard benchmark, the built-in QFT and the cache-blocked QFT at
+/// 38 qubits on 64 nodes.
+[[nodiscard]] Fig5Result experiment_fig5(const MachineModel& m);
+
+struct Table2Result {
+  struct Row {
+    int qubits;
+    int nodes;
+    bool fast;
+    RunReport report;
+  };
+  std::vector<Row> rows;
+  Table table;
+};
+
+/// Table 2: built-in vs Fast QFT at 43 qubits / 2048 nodes and 44 qubits /
+/// 4096 nodes, with paper values side by side.
+[[nodiscard]] Table2Result experiment_table2(const MachineModel& m);
+
+/// Ablation: Fast QFT with and without the half-exchange distributed SWAP
+/// (the paper's future-work "communication could potentially be halved").
+[[nodiscard]] Table experiment_half_exchange(const MachineModel& m);
+
+/// Ablation: effect of the MPI message cap (chunk size) on exchange cost.
+[[nodiscard]] Table experiment_chunking(const MachineModel& m);
+
+}  // namespace qsv

@@ -1,0 +1,94 @@
+// The paper's published numbers, used for side-by-side reporting in the
+// bench binaries and as assertion targets in tests/test_calibration.cpp.
+//
+// Source: Adamski, Richings, Brown, "Energy Efficiency of Quantum
+// Statevector Simulation at Scale", SC-W 2023.
+#pragma once
+
+namespace qsv::paper {
+
+// --- Table 1: per-gate time/energy of the Hadamard benchmark -------------
+// 38-qubit register on 64 standard nodes at 2.00 GHz; 50 gates per run.
+// The blocking time for qubit 29 is blank in the paper's table.
+struct Table1Row {
+  int qubit;
+  double blocking_time_s;    // <0 when not published
+  double blocking_energy_j;
+  double nonblocking_time_s;
+  double nonblocking_energy_j;
+};
+
+inline constexpr Table1Row kTable1[] = {
+    {29, -1.0, 15.3e3, 0.53, 15.0e3},
+    {30, 0.59, 15.7e3, 0.74, 18.7e3},
+    {31, 0.80, 20.8e3, 0.97, 24.2e3},
+    {32, 9.63, 191e3, 8.82, 179e3},
+};
+
+/// "Up until qubit 29 the time per gate is roughly constant at 0.5 s, and
+/// the energy is approximately 15 kJ."
+inline constexpr double kTable1BaseTime = 0.50;
+inline constexpr double kTable1BaseEnergy = 15e3;
+
+// --- Fig 4: SWAP benchmark bands ------------------------------------------
+// Same setup; 50 SWAP gates, local targets {0,4,8,12,16} x distributed
+// targets {35,36,37}.
+inline constexpr double kFig4BlockingTimeLo = 9.00;
+inline constexpr double kFig4BlockingTimeHi = 9.75;
+inline constexpr double kFig4BlockingEnergyLo = 180e3;
+inline constexpr double kFig4BlockingEnergyHi = 195e3;
+inline constexpr double kFig4NonblockingTimeLo = 8.25;
+inline constexpr double kFig4NonblockingTimeHi = 9.00;
+inline constexpr double kFig4NonblockingEnergyLo = 160e3;
+inline constexpr double kFig4NonblockingEnergyHi = 180e3;
+
+// --- Fig 5: runtime profiles ----------------------------------------------
+/// Built-in QFT: "communication only takes up to 43% of runtime, and the
+/// rest is split roughly 2:1 between memory access and computation."
+inline constexpr double kFig5BuiltinMpiFraction = 0.43;
+/// "we managed to reduce communication to 25%."
+inline constexpr double kFig5CacheBlockedMpiFraction = 0.25;
+/// "In the Hadamard benchmark MPI completely dominates the runtime."
+inline constexpr double kFig5HadamardMpiFractionMin = 0.90;
+
+// --- Table 2: large QFT runs ----------------------------------------------
+struct Table2Col {
+  int qubits;
+  int nodes;
+  bool fast;  // cache-blocked + non-blocking
+  double runtime_s;
+  double energy_j;
+};
+
+inline constexpr Table2Col kTable2[] = {
+    {43, 2048, false, 417, 294e6},
+    {43, 2048, true, 270, 206e6},
+    {44, 4096, false, 476, 664e6},
+    {44, 4096, true, 285, 431e6},
+};
+
+// --- §3.1 / Fig 3 qualitative bands ----------------------------------------
+/// "The standard high frequency setup is consistently 5% to 10% faster than
+/// the default, but it uses around 25% more energy."
+inline constexpr double kHighFreqSpeedupLo = 0.05;
+inline constexpr double kHighFreqSpeedupHi = 0.12;
+inline constexpr double kHighFreqEnergyPenalty = 0.25;
+
+/// "using 2.00 GHz instead of 2.25 GHz can save as much as 25% of energy at
+/// 5% increase in runtime" (abstract).
+
+/// "High memory nodes are slower, but less than twice as slow."
+inline constexpr double kHighMemSlowdownMax = 2.0;
+
+// --- Node-count anchors (§3.1) --------------------------------------------
+inline constexpr int kMinNodes33Standard = 1;
+inline constexpr int kMinNodes34Standard = 4;
+inline constexpr int kMinNodes41HighMem = 256;
+inline constexpr int kMinNodes44Standard = 4096;
+inline constexpr int kMaxQubitsStandard = 44;
+inline constexpr int kMaxQubitsHighMem = 41;
+
+/// "32 messages are exchanged per distributed gate" (64 GB slice, 2 GB cap).
+inline constexpr int kMessagesPerExchange64GiB = 32;
+
+}  // namespace qsv::paper

@@ -1,0 +1,241 @@
+#include "harness/validation.hpp"
+
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "common/format.hpp"
+#include "harness/experiments.hpp"
+#include "harness/paper_reference.hpp"
+#include "machine/job.hpp"
+
+namespace qsv {
+namespace {
+
+void add(std::vector<Check>& out, std::string id, std::string description,
+         double value, double lo, double hi) {
+  out.push_back(Check{std::move(id), std::move(description), value, lo, hi});
+}
+
+/// Relative band around a paper value.
+void add_rel(std::vector<Check>& out, const std::string& id,
+             const std::string& description, double value, double paper,
+             double rel_tol) {
+  add(out, id, description, value, paper * (1 - rel_tol),
+      paper * (1 + rel_tol));
+}
+
+void check_node_counts(const MachineModel& m, std::vector<Check>& out) {
+  add(out, "nodes.q33.standard", "33 qubits fit one standard node",
+      min_nodes(m, 33, NodeKind::kStandard), 1, 1);
+  add(out, "nodes.q34.standard", "34 qubits need 4 standard nodes",
+      min_nodes(m, 34, NodeKind::kStandard), 4, 4);
+  add(out, "nodes.q41.highmem", "41 qubits max out 256 high-mem nodes",
+      min_nodes(m, 41, NodeKind::kHighMem), 256, 256);
+  add(out, "nodes.q44.standard", "44 qubits need 4096 standard nodes",
+      min_nodes(m, 44, NodeKind::kStandard), 4096, 4096);
+  add(out, "nodes.max.standard", "44 qubits is the standard-node maximum",
+      max_qubits(m, NodeKind::kStandard), 44, 44);
+  add(out, "nodes.max.highmem", "41 qubits is the high-mem maximum",
+      max_qubits(m, NodeKind::kHighMem), 41, 41);
+}
+
+void check_table1(const MachineModel& m, std::vector<Check>& out) {
+  const auto res = experiment_table1(m, {10, 29, 30, 31, 32});
+  const auto& base = res.rows[0];
+  add_rel(out, "table1.local.time_s", "local H: ~0.5 s per gate",
+          base.blocking.time_per_gate(), paper::kTable1BaseTime, 0.04);
+  add_rel(out, "table1.local.energy_j", "local H: ~15 kJ per gate",
+          base.blocking.energy_per_gate(), paper::kTable1BaseEnergy, 0.05);
+  const double want_t[] = {0, 0.53, 0.59, 0.80, 9.63};
+  const double want_e[] = {0, 15.3e3, 15.7e3, 20.8e3, 191e3};
+  for (std::size_t i = 1; i < res.rows.size(); ++i) {
+    const int q = res.rows[i].qubit;
+    add_rel(out, "table1.q" + std::to_string(q) + ".blocking.time_s",
+            "blocking time per gate at qubit " + std::to_string(q),
+            res.rows[i].blocking.time_per_gate(), want_t[i], 0.05);
+    add_rel(out, "table1.q" + std::to_string(q) + ".blocking.energy_j",
+            "blocking energy per gate at qubit " + std::to_string(q),
+            res.rows[i].blocking.energy_per_gate(), want_e[i], 0.10);
+  }
+  add_rel(out, "table1.q32.nonblocking.time_s",
+          "non-blocking distributed gate: 8.82 s",
+          res.rows[4].nonblocking.time_per_gate(), 8.82, 0.05);
+  add_rel(out, "table1.q32.nonblocking.energy_j",
+          "non-blocking distributed gate: 179 kJ",
+          res.rows[4].nonblocking.energy_per_gate(), 179e3, 0.05);
+  add(out, "table1.jump",
+      "~20x runtime jump when the gate becomes distributed",
+      res.rows[4].blocking.time_per_gate() /
+          res.rows[0].blocking.time_per_gate(),
+      15, 25);
+}
+
+void check_fig4(const MachineModel& m, std::vector<Check>& out) {
+  const auto res = experiment_fig4(m);
+  double blk_t_lo = 1e9;
+  double blk_t_hi = 0;
+  double nbl_e_lo = 1e18;
+  double nbl_e_hi = 0;
+  for (const auto& row : res.rows) {
+    blk_t_lo = std::min(blk_t_lo, row.blocking.time_per_gate());
+    blk_t_hi = std::max(blk_t_hi, row.blocking.time_per_gate());
+    nbl_e_lo = std::min(nbl_e_lo, row.nonblocking.energy_per_gate());
+    nbl_e_hi = std::max(nbl_e_hi, row.nonblocking.energy_per_gate());
+  }
+  add(out, "fig4.blocking.time_band",
+      "SWAP benchmark blocking time in 9.0-9.75 s", blk_t_lo,
+      paper::kFig4BlockingTimeLo, paper::kFig4BlockingTimeHi);
+  add(out, "fig4.blocking.time_band_hi",
+      "SWAP benchmark blocking time in 9.0-9.75 s (max)", blk_t_hi,
+      paper::kFig4BlockingTimeLo, paper::kFig4BlockingTimeHi);
+  add(out, "fig4.nonblocking.energy_band",
+      "SWAP benchmark non-blocking energy in 160-180 kJ", nbl_e_lo,
+      paper::kFig4NonblockingEnergyLo, paper::kFig4NonblockingEnergyHi);
+  add(out, "fig4.nonblocking.energy_band_hi",
+      "SWAP benchmark non-blocking energy in 160-180 kJ (max)", nbl_e_hi,
+      paper::kFig4NonblockingEnergyLo, paper::kFig4NonblockingEnergyHi);
+}
+
+void check_fig5(const MachineModel& m, std::vector<Check>& out) {
+  const auto res = experiment_fig5(m);
+  add(out, "fig5.hadamard.mpi", "Hadamard benchmark is MPI-dominated",
+      res.rows[0].phases.mpi_fraction(), paper::kFig5HadamardMpiFractionMin,
+      1.0);
+  add(out, "fig5.builtin.mpi",
+      "built-in QFT MPI fraction near the paper's <=43%",
+      res.rows[1].phases.mpi_fraction(), 0.35, 0.60);
+  add(out, "fig5.blocked.mpi",
+      "cache-blocked QFT MPI fraction near the paper's ~25%",
+      res.rows[2].phases.mpi_fraction(), 0.15, 0.40);
+  add(out, "fig5.mem_to_compute",
+      "local time splits ~2:1 memory:computation",
+      res.rows[1].phases.memory_s / res.rows[1].phases.compute_s, 1.4, 2.6);
+}
+
+void check_table2(const MachineModel& m, std::vector<Check>& out) {
+  const auto res = experiment_table2(m);
+  for (const auto& row : res.rows) {
+    for (const auto& p : paper::kTable2) {
+      if (p.qubits != row.qubits || p.fast != row.fast) {
+        continue;
+      }
+      const std::string tag = std::to_string(p.qubits) +
+                              (p.fast ? ".fast" : ".builtin");
+      add_rel(out, "table2." + tag + ".runtime_s",
+              "large-run runtime vs paper", row.report.runtime_s,
+              p.runtime_s, 0.10);
+      add_rel(out, "table2." + tag + ".energy_j",
+              "large-run energy vs paper", row.report.total_energy_j(),
+              p.energy_j, 0.10);
+    }
+  }
+  add(out, "table2.headline.speedup44",
+      "44-qubit Fast speedup ~40%",
+      1 - res.rows[3].report.runtime_s / res.rows[2].report.runtime_s, 0.33,
+      0.45);
+  add(out, "table2.headline.saving44",
+      "44-qubit Fast energy saving ~35%",
+      1 - res.rows[3].report.total_energy_j() /
+              res.rows[2].report.total_energy_j(),
+      0.28, 0.40);
+}
+
+void check_fig3(const MachineModel& m, std::vector<Check>& out) {
+  const auto fig2 = experiment_fig2(m);
+  std::map<int, const Fig2Row*> def;
+  std::map<int, const Fig2Row*> high;
+  std::map<int, const Fig2Row*> hm;
+  for (const auto& r : fig2.rows) {
+    if (r.kind == NodeKind::kStandard && r.freq == CpuFreq::kMedium2000) {
+      def[r.qubits] = &r;
+    } else if (r.kind == NodeKind::kStandard &&
+               r.freq == CpuFreq::kHigh2250) {
+      high[r.qubits] = &r;
+    } else if (r.kind == NodeKind::kHighMem &&
+               r.freq == CpuFreq::kMedium2000) {
+      hm[r.qubits] = &r;
+    }
+  }
+  // Representative sizes: a small, a mid and the largest register.
+  for (int q : {36, 40, 44}) {
+    add(out, "fig3.q" + std::to_string(q) + ".high.speedup",
+        "2.25 GHz faster, within the paper's <=10%",
+        1 - high[q]->report.runtime_s / def[q]->report.runtime_s, 0.005,
+        paper::kHighFreqSpeedupHi);
+    add(out, "fig3.q" + std::to_string(q) + ".high.energy_penalty",
+        "2.25 GHz costs ~25% more energy",
+        high[q]->report.total_energy_j() / def[q]->report.total_energy_j() -
+            1,
+        0.15, 0.32);
+  }
+  for (int q : {36, 40}) {
+    add(out, "fig3.q" + std::to_string(q) + ".highmem.slowdown",
+        "high-mem slower but below 2x",
+        hm[q]->report.runtime_s / def[q]->report.runtime_s, 1.3,
+        paper::kHighMemSlowdownMax);
+    add(out, "fig3.q" + std::to_string(q) + ".highmem.cu",
+        "high-mem cheaper in CU", hm[q]->report.cu / def[q]->report.cu, 0.5,
+        0.999);
+  }
+}
+
+}  // namespace
+
+std::vector<Check> validate_reproduction(const MachineModel& m) {
+  std::vector<Check> out;
+  check_node_counts(m, out);
+  check_table1(m, out);
+  check_fig4(m, out);
+  check_fig5(m, out);
+  check_table2(m, out);
+  check_fig3(m, out);
+  return out;
+}
+
+Table render_checks(const std::vector<Check>& checks) {
+  Table t("Reproduction checks");
+  t.header({"check", "value", "band", "status"});
+  for (const Check& c : checks) {
+    t.row({c.id, fmt::sig3(c.value),
+           "[" + fmt::sig3(c.lo) + ", " + fmt::sig3(c.hi) + "]",
+           c.passed() ? "PASS" : "FAIL"});
+  }
+  return t;
+}
+
+std::string render_markdown_report(const MachineModel& m) {
+  const std::vector<Check> checks = validate_reproduction(m);
+  std::size_t passed = 0;
+  for (const Check& c : checks) {
+    passed += c.passed();
+  }
+
+  std::ostringstream md;
+  md << "# Reproduction report\n\n"
+     << "Paper: Adamski, Richings, Brown, *Energy Efficiency of Quantum "
+        "Statevector Simulation at Scale*, SC-W 2023.\n\n"
+     << "Machine model: calibrated " << m.name
+     << " (see DESIGN.md for provenance).\n\n"
+     << "**" << passed << " / " << checks.size()
+     << " quantitative checks pass.**\n\n";
+
+  md << "## Checks\n\n| check | claim | value | band | status |\n"
+     << "|---|---|---|---|---|\n";
+  for (const Check& c : checks) {
+    md << "| `" << c.id << "` | " << c.description << " | "
+       << fmt::sig3(c.value) << " | [" << fmt::sig3(c.lo) << ", "
+       << fmt::sig3(c.hi) << "] | " << (c.passed() ? "PASS" : "**FAIL**")
+       << " |\n";
+  }
+
+  md << "\n## Reproduced tables\n\n";
+  for (const std::string& section :
+       {experiment_table1(m, {29, 30, 31, 32}).table.str(),
+        experiment_table2(m).table.str(), experiment_fig5(m).table.str()}) {
+    md << "```\n" << section << "```\n\n";
+  }
+  return md.str();
+}
+
+}  // namespace qsv

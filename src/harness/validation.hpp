@@ -1,0 +1,35 @@
+// Structured reproduction checks: every quantitative claim the paper makes
+// becomes a named check with an acceptance band; the calibration tests and
+// the report generator consume the same list, so "the reproduction holds"
+// is a machine-checkable statement.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "machine/machine.hpp"
+
+namespace qsv {
+
+struct Check {
+  std::string id;           // e.g. "table1.q32.blocking.time_s"
+  std::string description;  // the paper's claim
+  double value = 0;         // what the model produced
+  double lo = 0;            // acceptance band (inclusive)
+  double hi = 0;
+
+  [[nodiscard]] bool passed() const { return value >= lo && value <= hi; }
+};
+
+/// Runs every experiment and evaluates the full check list (~40 checks
+/// across Tables 1-2 and Figs 2-5). Deterministic.
+[[nodiscard]] std::vector<Check> validate_reproduction(const MachineModel& m);
+
+/// Console table of checks with PASS/FAIL markers.
+[[nodiscard]] Table render_checks(const std::vector<Check>& checks);
+
+/// Full markdown report (summary, per-experiment sections, check table).
+[[nodiscard]] std::string render_markdown_report(const MachineModel& m);
+
+}  // namespace qsv

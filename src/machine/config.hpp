@@ -1,0 +1,35 @@
+// Machine-model configuration files: load a cluster description (or
+// overrides on top of the ARCHER2 calibration) from a plain "key = value"
+// file, so the energy model can be re-targeted without recompiling.
+//
+//   # my_cluster.machine
+//   name = my-cluster
+//   standard.memory_gib = 512
+//   network.bw_blocking_gb_s = 12.5
+//   power.local.dynamic_w = 280
+//
+// Unknown keys are errors (typos fail loudly). render_machine_config
+// emits every supported key, so a dumped file documents the schema.
+#pragma once
+
+#include <string>
+
+#include "machine/machine.hpp"
+
+namespace qsv {
+
+/// Applies "key = value" overrides from `text` onto `base` and returns the
+/// result. Throws qsv::Error with a line number on unknown keys or
+/// malformed values.
+[[nodiscard]] MachineModel apply_machine_config(const MachineModel& base,
+                                                const std::string& text);
+
+/// Loads overrides from a file onto `base`.
+[[nodiscard]] MachineModel load_machine_config(const MachineModel& base,
+                                               const std::string& path);
+
+/// Serialises every tunable of `m` in the config format (round-trips
+/// through apply_machine_config).
+[[nodiscard]] std::string render_machine_config(const MachineModel& m);
+
+}  // namespace qsv

@@ -1,0 +1,36 @@
+// CPU frequency control, mirroring ARCHER2's SLURM DVFS settings
+// (--cpu-freq): 1.50 GHz (low), 2.00 GHz (medium, the default), 2.25 GHz
+// (high / boost).
+#pragma once
+
+namespace qsv {
+
+enum class CpuFreq {
+  kLow1500,     // 1.50 GHz
+  kMedium2000,  // 2.00 GHz (ARCHER2 default)
+  kHigh2250,    // 2.25 GHz
+};
+
+[[nodiscard]] constexpr double freq_ghz(CpuFreq f) {
+  switch (f) {
+    case CpuFreq::kLow1500: return 1.50;
+    case CpuFreq::kMedium2000: return 2.00;
+    case CpuFreq::kHigh2250: return 2.25;
+  }
+  return 0;
+}
+
+[[nodiscard]] constexpr const char* freq_name(CpuFreq f) {
+  switch (f) {
+    case CpuFreq::kLow1500: return "1.50 GHz";
+    case CpuFreq::kMedium2000: return "2.00 GHz";
+    case CpuFreq::kHigh2250: return "2.25 GHz";
+  }
+  return "?";
+}
+
+inline constexpr CpuFreq kAllFreqs[] = {CpuFreq::kLow1500,
+                                        CpuFreq::kMedium2000,
+                                        CpuFreq::kHigh2250};
+
+}  // namespace qsv

@@ -1,0 +1,85 @@
+#include "machine/job.hpp"
+
+#include <bit>
+#include <limits>
+#include <sstream>
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace qsv {
+
+std::string JobConfig::label() const {
+  std::ostringstream os;
+  os << num_qubits << "q/" << nodes << " " << node_kind_name(node_kind)
+     << " @ " << freq_name(freq);
+  return os.str();
+}
+
+std::uint64_t per_node_bytes(int num_qubits, int nodes) {
+  QSV_REQUIRE(num_qubits >= 1 && num_qubits <= 62, "register size range");
+  QSV_REQUIRE(nodes >= 1 && bits::is_pow2(static_cast<std::uint64_t>(nodes)),
+              "node count must be a power of two");
+  const std::uint64_t amps = std::uint64_t{1} << num_qubits;
+  QSV_REQUIRE(static_cast<std::uint64_t>(nodes) <= amps,
+              "more nodes than amplitudes");
+  const std::uint64_t share_amps = amps / static_cast<std::uint64_t>(nodes);
+  // Saturate instead of overflowing for registers beyond any real machine
+  // (2^58 amplitudes per node is 4 EiB).
+  if (share_amps > (std::uint64_t{1} << 58)) {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+  const std::uint64_t share = share_amps * kBytesPerAmp;
+  // Multi-node runs double for the MPI exchange buffer.
+  return nodes == 1 ? share : 2 * share;
+}
+
+bool fits(const MachineModel& m, int num_qubits, NodeKind kind, int nodes) {
+  return per_node_bytes(num_qubits, nodes) <= m.node(kind).usable_bytes;
+}
+
+int min_nodes(const MachineModel& m, int num_qubits, NodeKind kind) {
+  const NodeType& node = m.node(kind);
+  for (int n = 1; n <= node.available; n *= 2) {
+    if (static_cast<std::uint64_t>(n) <= (std::uint64_t{1} << num_qubits) &&
+        fits(m, num_qubits, kind, n)) {
+      return n;
+    }
+  }
+  QSV_REQUIRE(false, std::to_string(num_qubits) + " qubits do not fit on " +
+                         std::to_string(node.available) + " " + node.name +
+                         " nodes");
+  return 0;
+}
+
+int max_qubits(const MachineModel& m, NodeKind kind) {
+  const int biggest_pow2 = static_cast<int>(
+      std::bit_floor(static_cast<std::uint64_t>(m.node(kind).available)));
+  int best = 0;
+  for (int q = 1; q <= 62; ++q) {
+    const bool multi = static_cast<std::uint64_t>(biggest_pow2) <=
+                           (std::uint64_t{1} << q) &&
+                       fits(m, q, kind, biggest_pow2);
+    if (multi || fits(m, q, kind, 1)) {
+      best = q;
+    }
+  }
+  return best;
+}
+
+JobConfig make_min_job(const MachineModel& m, int num_qubits, NodeKind kind,
+                       CpuFreq freq) {
+  JobConfig job;
+  job.num_qubits = num_qubits;
+  job.node_kind = kind;
+  job.freq = freq;
+  job.nodes = min_nodes(m, num_qubits, kind);
+  return job;
+}
+
+double cu_cost(const MachineModel& m, const JobConfig& job, double runtime_s) {
+  return job.nodes * (runtime_s / 3600.0) * m.node(job.node_kind).cu_rate;
+}
+
+}  // namespace qsv

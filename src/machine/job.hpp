@@ -1,0 +1,51 @@
+// Job configuration: the SLURM-facing view of a simulation run — node
+// class, node count, CPU frequency — plus the memory-driven minimum node
+// solver the paper's sweeps rely on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "machine/machine.hpp"
+
+namespace qsv {
+
+struct JobConfig {
+  int num_qubits = 0;
+  NodeKind node_kind = NodeKind::kStandard;
+  CpuFreq freq = CpuFreq::kMedium2000;
+  int nodes = 0;  // one MPI rank per node, as in all the paper's runs
+
+  [[nodiscard]] std::string label() const;
+};
+
+/// Memory needed on each of `nodes` nodes for an n-qubit register:
+/// the statevector share plus, on multi-node jobs, the same again for the
+/// MPI exchange buffer ("doubling the overall memory requirement", §3.1).
+[[nodiscard]] std::uint64_t per_node_bytes(int num_qubits, int nodes);
+
+/// Smallest power-of-two node count on which the register fits the node
+/// class. Single-node jobs are exempt from the buffer doubling (nothing is
+/// exchanged), which is how 33 qubits fit one 256 GB node while 34 qubits
+/// need four (§3.1). Throws if the machine does not have enough nodes.
+[[nodiscard]] int min_nodes(const MachineModel& m, int num_qubits,
+                            NodeKind kind);
+
+/// True if an n-qubit register fits on `nodes` nodes of the class.
+[[nodiscard]] bool fits(const MachineModel& m, int num_qubits, NodeKind kind,
+                        int nodes);
+
+/// Largest register the machine can hold on this node class (using every
+/// available node rounded down to a power of two).
+[[nodiscard]] int max_qubits(const MachineModel& m, NodeKind kind);
+
+/// Minimum-node job at the given frequency.
+[[nodiscard]] JobConfig make_min_job(const MachineModel& m, int num_qubits,
+                                     NodeKind kind,
+                                     CpuFreq freq = CpuFreq::kMedium2000);
+
+/// ARCHER2-style CU accounting: node-hours times the class rate.
+[[nodiscard]] double cu_cost(const MachineModel& m, const JobConfig& job,
+                             double runtime_s);
+
+}  // namespace qsv

@@ -1,0 +1,72 @@
+#include "machine/machine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qsv {
+
+double MachineModel::mem_time(double bytes, CpuFreq f, double numa_mult) const {
+  QSV_REQUIRE(memory.stream_bw_bytes_per_s > 0, "memory bandwidth unset");
+  return bytes * numa_mult / (memory.stream_bw_bytes_per_s * memory.bw_scale.at(f));
+}
+
+double MachineModel::compute_time(double flops, CpuFreq f) const {
+  QSV_REQUIRE(compute.flops_per_s > 0, "flop rate unset");
+  // Gate arithmetic scales with core clock relative to the 2.00 GHz anchor.
+  return flops / (compute.flops_per_s * (freq_ghz(f) / 2.00));
+}
+
+double MachineModel::numa_mult(int target, int local_qubits) const {
+  if (target < 0) {
+    return 1.0;
+  }
+  const int from_top = local_qubits - 1 - target;
+  if (from_top >= 0 && from_top < 3) {
+    return memory.numa_penalty[from_top];
+  }
+  return 1.0;
+}
+
+double MachineModel::congestion(int nodes) const {
+  if (nodes <= network.congestion_base_nodes) {
+    return 1.0;
+  }
+  const double doublings =
+      std::log2(static_cast<double>(nodes) / network.congestion_base_nodes);
+  return 1.0 + network.congestion_per_doubling * doublings;
+}
+
+double MachineModel::exchange_time(double bytes, int messages,
+                                   CommPolicy policy, int nodes) const {
+  const double bw = policy == CommPolicy::kBlocking
+                        ? network.bw_blocking_bytes_per_s
+                        : network.bw_nonblocking_bytes_per_s;
+  QSV_REQUIRE(bw > 0, "network bandwidth unset");
+  return bytes / bw * congestion(nodes) +
+         messages * network.message_latency_s;
+}
+
+double MachineModel::node_power(Phase p, CpuFreq f, NodeKind k) const {
+  const double dvfs = power.cpu_dvfs.at(f);
+  const PhasePower* pp = nullptr;
+  switch (p) {
+    case Phase::kLocal: pp = &power.local; break;
+    case Phase::kMpi: pp = &power.mpi; break;
+    case Phase::kIdle: pp = &power.idle; break;
+    case Phase::kStall: pp = &power.stall; break;
+  }
+  return pp->static_w + pp->dynamic_w * dvfs + node(k).extra_static_power_w;
+}
+
+int MachineModel::switch_count(int nodes) const {
+  QSV_REQUIRE(nodes >= 1, "need at least one node");
+  return (nodes + switches.nodes_per_switch - 1) / switches.nodes_per_switch;
+}
+
+double MachineModel::switch_energy(int nodes, double runtime_s) const {
+  return switch_count(nodes) * switches.power_w * runtime_s;
+}
+
+}  // namespace qsv

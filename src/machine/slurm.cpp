@@ -1,0 +1,111 @@
+#include "machine/slurm.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace qsv::slurm {
+
+int cpu_freq_khz(CpuFreq f) {
+  switch (f) {
+    case CpuFreq::kLow1500: return 1500000;
+    case CpuFreq::kMedium2000: return 2000000;
+    case CpuFreq::kHigh2250: return 2250000;
+  }
+  return 0;
+}
+
+const char* partition_name(NodeKind kind) {
+  return kind == NodeKind::kStandard ? "standard" : "highmem";
+}
+
+const char* qos_name(int nodes) {
+  return nodes > 1024 ? "largescale" : "standard";
+}
+
+std::string render_sbatch_script(const JobConfig& job,
+                                 const SbatchOptions& opts,
+                                 const std::string& command) {
+  QSV_REQUIRE(job.nodes >= 1, "job without nodes");
+  std::ostringstream os;
+  os << "#!/bin/bash\n"
+     << "#SBATCH --job-name=" << opts.job_name << "\n"
+     << "#SBATCH --account=" << opts.account << "\n"
+     << "#SBATCH --nodes=" << job.nodes << "\n"
+     << "#SBATCH --ntasks-per-node=" << opts.tasks_per_node << "\n"
+     << "#SBATCH --cpus-per-task=" << opts.cpus_per_task << "\n"
+     << "#SBATCH --partition=" << partition_name(job.node_kind) << "\n"
+     << "#SBATCH --qos=" << qos_name(job.nodes) << "\n"
+     << "#SBATCH --time=" << format_elapsed(opts.time_limit_s) << "\n"
+     << "#SBATCH --cpu-freq=" << cpu_freq_khz(job.freq) << "\n"
+     << "\n"
+     << "export OMP_NUM_THREADS=" << opts.cpus_per_task << "\n"
+     << "export OMP_PLACES=cores\n"
+     << "\n"
+     << "srun --distribution=block:block --hint=nomultithread " << command
+     << "\n";
+  return os.str();
+}
+
+std::string format_elapsed(double seconds) {
+  QSV_REQUIRE(seconds >= 0, "negative duration");
+  const long total = static_cast<long>(std::ceil(seconds));
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%02ld:%02ld:%02ld", total / 3600,
+                (total / 60) % 60, total % 60);
+  return buf;
+}
+
+std::string format_consumed_energy(double joules) {
+  QSV_REQUIRE(joules >= 0, "negative energy");
+  char buf[32];
+  if (joules >= 1e9) {
+    std::snprintf(buf, sizeof buf, "%.2fG", joules / 1e9);
+  } else if (joules >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.2fM", joules / 1e6);
+  } else if (joules >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%.2fK", joules / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0f", joules);
+  }
+  return buf;
+}
+
+double parse_consumed_energy(const std::string& text) {
+  QSV_REQUIRE(!text.empty(), "empty ConsumedEnergy value");
+  double scale = 1.0;
+  std::string digits = text;
+  switch (text.back()) {
+    case 'K': scale = 1e3; digits.pop_back(); break;
+    case 'M': scale = 1e6; digits.pop_back(); break;
+    case 'G': scale = 1e9; digits.pop_back(); break;
+    default: break;
+  }
+  std::istringstream is(digits);
+  double v = 0;
+  is >> v;
+  QSV_REQUIRE(!is.fail() && v >= 0,
+              "bad ConsumedEnergy value: " + text);
+  return v * scale;
+}
+
+std::string sacct_header() {
+  return "JobID|JobName|Partition|NNodes|Elapsed|ConsumedEnergy|State|";
+}
+
+std::string render_sacct_row(const std::string& job_id,
+                             const std::string& job_name,
+                             const JobConfig& job, const RunReport& report) {
+  std::ostringstream os;
+  // sacct reports only the node counters; the paper adds the switch term
+  // analytically on top, so the row carries node_energy_j.
+  os << job_id << '|' << job_name << '|' << partition_name(job.node_kind)
+     << '|' << job.nodes << '|' << format_elapsed(report.runtime_s) << '|'
+     << format_consumed_energy(report.node_energy_j) << '|' << "COMPLETED"
+     << '|';
+  return os.str();
+}
+
+}  // namespace qsv::slurm

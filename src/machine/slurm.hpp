@@ -1,0 +1,64 @@
+// SLURM emulation: the paper's operational interface to ARCHER2.
+//
+// Two directions:
+//  * render_sbatch_script — the job script a user would submit for a given
+//    JobConfig (nodes, partition, QoS, and the --cpu-freq DVFS control the
+//    paper's §2.2 relies on);
+//  * sacct-style accounting — the paper reads energy from SLURM's node
+//    power counters ("ConsumedEnergy"); render/parse that format so the
+//    model's reports can flow through the same pipeline as real sacct
+//    output.
+#pragma once
+
+#include <string>
+
+#include "machine/job.hpp"
+#include "machine/machine.hpp"
+#include "perf/report.hpp"
+
+namespace qsv::slurm {
+
+struct SbatchOptions {
+  std::string job_name = "qsv";
+  std::string account = "z01";
+  /// Wall-time request in seconds (rendered as HH:MM:SS).
+  double time_limit_s = 3600;
+  /// Tasks per node; the paper runs 1 MPI rank per node with OpenMP inside.
+  int tasks_per_node = 1;
+  int cpus_per_task = 128;  // ARCHER2 nodes have 128 cores
+};
+
+/// SLURM's --cpu-freq value (kHz) for a DVFS setting.
+[[nodiscard]] int cpu_freq_khz(CpuFreq f);
+
+/// ARCHER2 partition name for a node class.
+[[nodiscard]] const char* partition_name(NodeKind kind);
+
+/// ARCHER2 QoS: jobs above 1024 nodes need "largescale".
+[[nodiscard]] const char* qos_name(int nodes);
+
+/// Renders a complete sbatch script whose last line is `command`.
+[[nodiscard]] std::string render_sbatch_script(const JobConfig& job,
+                                               const SbatchOptions& opts,
+                                               const std::string& command);
+
+/// "HH:MM:SS" (rounded up to whole seconds).
+[[nodiscard]] std::string format_elapsed(double seconds);
+
+/// sacct's ConsumedEnergy format: joules with K/M/G suffixes ("15.30K").
+[[nodiscard]] std::string format_consumed_energy(double joules);
+
+/// Parses the ConsumedEnergy format back to joules; throws on bad input.
+[[nodiscard]] double parse_consumed_energy(const std::string& text);
+
+/// One pipe-separated accounting row, like `sacct -p
+/// --format=JobID,JobName,Partition,NNodes,Elapsed,ConsumedEnergy,State`.
+[[nodiscard]] std::string render_sacct_row(const std::string& job_id,
+                                           const std::string& job_name,
+                                           const JobConfig& job,
+                                           const RunReport& report);
+
+/// Header row matching render_sacct_row.
+[[nodiscard]] std::string sacct_header();
+
+}  // namespace qsv::slurm

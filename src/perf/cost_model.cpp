@@ -1,0 +1,133 @@
+#include "perf/cost_model.hpp"
+
+#include <cmath>
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+#include "perf/gate_costs.hpp"
+
+namespace qsv {
+
+CostModel::CostModel(const MachineModel& machine, JobConfig job)
+    : machine_(machine), job_(job) {
+  QSV_REQUIRE(job_.nodes >= 1, "job without nodes");
+  acc_.job = job_;
+}
+
+void CostModel::reset() {
+  acc_ = RunReport{};
+  acc_.job = job_;
+  timeline_.clear();
+}
+
+void CostModel::sample(MachineModel::Phase phase, double duration,
+                       double node_watts) {
+  if (!record_timeline_ || duration <= 0) {
+    return;
+  }
+  // Switch draw is continuous; fold it into each segment so the timeline
+  // integral equals node energy + E_net. Segments are recorded in order, so
+  // the next segment starts where the previous one ended.
+  const double switches =
+      machine_.switch_count(job_.nodes) * machine_.switches.power_w;
+  const double t_start = timeline_.empty()
+                             ? 0.0
+                             : timeline_.back().t_start_s +
+                                   timeline_.back().duration_s;
+  timeline_.push_back(
+      PowerSample{t_start, duration, phase, node_watts + switches});
+}
+
+void CostModel::charge_local(double mem_t, double comp_t, double fraction,
+                             double stall_t) {
+  const double duration = mem_t + comp_t + stall_t;
+  acc_.runtime_s += duration;
+  acc_.phases.memory_s += mem_t + stall_t;
+  acc_.phases.compute_s += comp_t;
+
+  const double active = job_.nodes * fraction;
+  const double idle = job_.nodes - active;
+  const double p_active = machine_.node_power(MachineModel::Phase::kLocal,
+                                              job_.freq, job_.node_kind);
+  const double p_stall = machine_.node_power(MachineModel::Phase::kStall,
+                                             job_.freq, job_.node_kind);
+  const double p_idle = machine_.node_power(MachineModel::Phase::kIdle,
+                                            job_.freq, job_.node_kind);
+  acc_.node_energy_j += (mem_t + comp_t) * active * p_active +
+                        stall_t * active * p_stall +
+                        duration * idle * p_idle;
+  sample(MachineModel::Phase::kLocal, mem_t + comp_t,
+         active * p_active + idle * p_idle);
+  sample(MachineModel::Phase::kStall, stall_t,
+         active * p_stall + idle * p_idle);
+}
+
+void CostModel::on_event(const ExecEvent& e) {
+  ++acc_.gates;
+  const double slice_bytes =
+      static_cast<double>(e.local_amps) * kBytesPerAmp;
+  const int local_qubits =
+      bits::log2_exact(static_cast<std::uint64_t>(e.local_amps));
+
+  if (e.kind == ExecEvent::Kind::kLocalGate) {
+    ++acc_.local_gates;
+    const GateCost c = local_gate_cost(e.gate);
+    const double numa =
+        is_pair_kernel(e.gate)
+            ? machine_.numa_mult(e.local_target, local_qubits)
+            : 1.0;
+    // NUMA-stride overrun is charged as stalled time (lower power: the
+    // paper's Table 1 shows energy rising far less than runtime on the top
+    // local qubits).
+    const double mem_base =
+        machine_.mem_time(slice_bytes * c.mem_passes, job_.freq, 1.0);
+    const double stall_t =
+        machine_.mem_time(slice_bytes * c.mem_passes, job_.freq, numa) -
+        mem_base;
+    const double comp_t = machine_.compute_time(
+        static_cast<double>(e.local_amps) * c.flops_per_amp, job_.freq);
+    charge_local(mem_base, comp_t, e.participating_fraction, stall_t);
+    return;
+  }
+
+  // Distributed gate: exchange + combine.
+  ++acc_.distributed_gates;
+  const double t_comm = machine_.exchange_time(
+      static_cast<double>(e.bytes_per_rank), e.messages_per_rank, e.policy,
+      job_.nodes);
+  acc_.runtime_s += t_comm;
+  acc_.phases.mpi_s += t_comm;
+
+  const double active = job_.nodes * e.participating_fraction;
+  const double idle = job_.nodes - active;
+  const double p_mpi = machine_.node_power(MachineModel::Phase::kMpi,
+                                           job_.freq, job_.node_kind);
+  const double p_idle = machine_.node_power(MachineModel::Phase::kIdle,
+                                            job_.freq, job_.node_kind);
+  acc_.node_energy_j += t_comm * (active * p_mpi + idle * p_idle);
+  sample(MachineModel::Phase::kMpi, t_comm,
+         active * p_mpi + idle * p_idle);
+
+  const OpPlan::Combine combine =
+      e.gate == GateKind::kSwap
+          ? (e.local_target < 0 ? OpPlan::Combine::kSwapTwoHigh
+                                : OpPlan::Combine::kSwapOneHigh)
+          : OpPlan::Combine::kMatrix1;
+  const GateCost c = combine_cost(combine, e.half_exchange);
+  // The combine reads/writes sequentially (the pairing is across ranks),
+  // so no NUMA stride penalty applies.
+  const double mem_t =
+      machine_.mem_time(slice_bytes * c.mem_passes, job_.freq, 1.0);
+  const double comp_t = machine_.compute_time(
+      static_cast<double>(e.local_amps) * c.flops_per_amp, job_.freq);
+  charge_local(mem_t, comp_t, e.participating_fraction, /*stall_t=*/0);
+}
+
+RunReport CostModel::report() const {
+  RunReport r = acc_;
+  r.switch_energy_j = machine_.switch_energy(job_.nodes, r.runtime_s);
+  r.cu = cu_cost(machine_, job_, r.runtime_s);
+  return r;
+}
+
+}  // namespace qsv

@@ -1,0 +1,86 @@
+// Per-gate-kind cost coefficients for the analytic model.
+//
+// "mem_passes" is the effective number of full-slice traversals the kernel
+// costs (reads + writes, including stride inefficiency); "flops_per_amp" is
+// the retired arithmetic per amplitude. Anchors:
+//  * pair-updating kernels (H and friends): 2 passes + 7 flops reproduces
+//    Table 1's 0.50 s local Hadamard at 64 GiB per node;
+//  * QuEST's fused controlled-phase layer evaluates a trig phase function
+//    per amplitude with strided sub-register gathers; 8 effective passes +
+//    33 flops reproduces Table 2's built-in QFT runtimes;
+//  * simple diagonals read everything but write only the selected quarter
+//    to half of the slice.
+#pragma once
+
+#include "circuit/gate.hpp"
+#include "dist/plan.hpp"
+
+namespace qsv {
+
+struct GateCost {
+  double mem_passes = 0;
+  double flops_per_amp = 0;
+};
+
+/// Cost of applying `kind` as a local (non-distributed) kernel.
+[[nodiscard]] inline GateCost local_gate_cost(GateKind kind) {
+  switch (kind) {
+    case GateKind::kSwap:
+      return {2.0, 2.0};
+    case GateKind::kUnitary2:
+      // Dense 4x4 over quads: same traffic as a pair kernel, ~4x the math.
+      return {2.0, 30.0};
+    case GateKind::kZ:
+    case GateKind::kS:
+    case GateKind::kT:
+    case GateKind::kPhase:
+    case GateKind::kRz:
+    case GateKind::kCz:
+    case GateKind::kCPhase:
+      return {1.25, 2.0};
+    case GateKind::kFusedPhase:
+      return {8.0, 33.0};
+    default:  // H, X, Y, RX, RY, CX, U1Q: pair-updating kernels
+      return {2.0, 7.0};
+  }
+}
+
+/// Cost of the post-exchange combine pass of a distributed gate.
+[[nodiscard]] inline GateCost combine_cost(OpPlan::Combine combine,
+                                           bool half_exchange) {
+  switch (combine) {
+    case OpPlan::Combine::kMatrix1:
+      // new = diag*mine + off*theirs over the whole slice: the T1 anchor
+      // (9.63 s blocking = 9.13 s exchange + 0.50 s combine).
+      return {2.0, 7.0};
+    case OpPlan::Combine::kSwapOneHigh:
+      // Full exchange: overwrite half the slice from the peer buffer.
+      // Half exchange: gather + scatter of the moving half.
+      return half_exchange ? GateCost{1.5, 2.0} : GateCost{2.0, 2.0};
+    case OpPlan::Combine::kSwapTwoHigh:
+      return {2.0, 0.0};  // wholesale slice copy
+    case OpPlan::Combine::kNone:
+      return {0.0, 0.0};
+  }
+  return {0.0, 0.0};
+}
+
+/// True for kernels whose inner loop pairs amplitudes across the target
+/// stride (and therefore feels the NUMA penalty on top local qubits).
+[[nodiscard]] inline bool is_pair_kernel(GateKind kind) {
+  switch (kind) {
+    case GateKind::kZ:
+    case GateKind::kS:
+    case GateKind::kT:
+    case GateKind::kPhase:
+    case GateKind::kRz:
+    case GateKind::kCz:
+    case GateKind::kCPhase:
+    case GateKind::kFusedPhase:
+      return false;  // sequential scans
+    default:
+      return true;
+  }
+}
+
+}  // namespace qsv

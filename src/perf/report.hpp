@@ -1,0 +1,63 @@
+// Run reports: what the paper reads off SLURM plus the derived quantities.
+#pragma once
+
+#include <cstdint>
+
+#include "cluster/cluster.hpp"
+#include "machine/job.hpp"
+
+namespace qsv {
+
+/// Runtime attribution in the same three buckets as the paper's fig. 5
+/// profiles: MPI, memory access, computation.
+struct PhaseBreakdown {
+  double compute_s = 0;
+  double memory_s = 0;
+  double mpi_s = 0;
+
+  [[nodiscard]] double total() const { return compute_s + memory_s + mpi_s; }
+  [[nodiscard]] double mpi_fraction() const {
+    const double t = total();
+    return t > 0 ? mpi_s / t : 0;
+  }
+  [[nodiscard]] double memory_fraction() const {
+    const double t = total();
+    return t > 0 ? memory_s / t : 0;
+  }
+  [[nodiscard]] double compute_fraction() const {
+    const double t = total();
+    return t > 0 ? compute_s / t : 0;
+  }
+};
+
+struct RunReport {
+  JobConfig job;
+
+  double runtime_s = 0;
+  /// Node energy as the SLURM counters report it.
+  double node_energy_j = 0;
+  /// The paper's network estimate E_net = n_s * P_s * dt.
+  double switch_energy_j = 0;
+  /// Accounting cost in CU (node-hours x class rate).
+  double cu = 0;
+
+  PhaseBreakdown phases;
+
+  std::uint64_t gates = 0;
+  std::uint64_t local_gates = 0;       // fully-local + local-memory
+  std::uint64_t distributed_gates = 0;
+  CommStats traffic;
+
+  [[nodiscard]] double total_energy_j() const {
+    return node_energy_j + switch_energy_j;
+  }
+  /// Average per-gate figures (used for Table 1 / fig 4 rows).
+  [[nodiscard]] double time_per_gate() const {
+    return gates > 0 ? runtime_s / static_cast<double>(gates) : 0;
+  }
+  [[nodiscard]] double energy_per_gate() const {
+    return gates > 0 ? total_energy_j() / static_cast<double>(gates) : 0;
+  }
+};
+
+}  // namespace qsv

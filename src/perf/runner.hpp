@@ -1,0 +1,27 @@
+// Convenience runners binding circuit -> engine -> cost model -> report.
+#pragma once
+
+#include "circuit/circuit.hpp"
+#include "dist/options.hpp"
+#include "machine/job.hpp"
+#include "machine/machine.hpp"
+#include "perf/report.hpp"
+
+namespace qsv {
+
+/// Prices `circuit` on `job` using the trace engine (no amplitude storage;
+/// works at the paper's full 33-44 qubit scale). One rank per node.
+[[nodiscard]] RunReport run_model(const Circuit& circuit,
+                                  const MachineModel& machine,
+                                  const JobConfig& job,
+                                  const DistOptions& opts = {});
+
+/// Runs `circuit` functionally on a small register (<= ~24 qubits) with the
+/// same cost model attached, so correctness and cost can be checked on one
+/// execution. Returns the report; amplitudes are discarded.
+[[nodiscard]] RunReport run_functional_model(const Circuit& circuit,
+                                             const MachineModel& machine,
+                                             const JobConfig& job,
+                                             const DistOptions& opts = {});
+
+}  // namespace qsv

@@ -1,0 +1,454 @@
+// Gate application kernels, templated over the amplitude storage layout.
+//
+// All gate semantics live here, in exactly one place: the single-address-
+// space StateVector calls apply_gate_slice with rank_bits = 0 and
+// local_qubits = n; the distributed engine calls the same function on each
+// rank's slice (rank_bits = rank id) for local gates, and the
+// combine_* kernels after an exchange for distributed gates.
+//
+// Index convention: global amplitude index = (rank_bits << local_qubits) |
+// local index; bit q of the global index is the basis value of qubit q.
+#pragma once
+
+#include <cmath>
+#include <numbers>
+#include <utility>
+
+#include "circuit/gate.hpp"
+#include "circuit/locality.hpp"
+#include "circuit/matrix.hpp"
+#include "common/bits.hpp"
+#include "common/error.hpp"
+#include "sv/storage.hpp"
+
+namespace qsv::kern {
+
+/// Splits a control-qubit list into a local-bit mask and a high-bit mask
+/// (bits numbered from 0 within the rank id).
+struct SplitMask {
+  amp_index local = 0;
+  amp_index high = 0;
+};
+
+[[nodiscard]] inline SplitMask split_controls(const std::vector<qubit_t>& controls,
+                                              int local_qubits) {
+  SplitMask m;
+  for (qubit_t c : controls) {
+    if (c < local_qubits) {
+      m.local = bits::set_bit(m.local, c);
+    } else {
+      m.high = bits::set_bit(m.high, c - local_qubits);
+    }
+  }
+  return m;
+}
+
+/// Applies a 2x2 matrix to a local target with an optional local control
+/// mask. High controls must already be satisfied (caller's responsibility).
+template <class S>
+void apply_matrix1(S& s, int target, const Mat2& u, amp_index local_ctrl_mask) {
+  const amp_index pairs = s.size() / 2;
+  const cplx u00 = u.m[0][0];
+  const cplx u01 = u.m[0][1];
+  const cplx u10 = u.m[1][0];
+  const cplx u11 = u.m[1][1];
+
+  if (local_ctrl_mask == 0) {
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+    for (std::int64_t k = 0; k < static_cast<std::int64_t>(pairs); ++k) {
+      const amp_index i0 = bits::insert_zero_bit(static_cast<amp_index>(k), target);
+      const amp_index i1 = bits::set_bit(i0, target);
+      const cplx a0 = s.get(i0);
+      const cplx a1 = s.get(i1);
+      s.set(i0, u00 * a0 + u01 * a1);
+      s.set(i1, u10 * a0 + u11 * a1);
+    }
+    return;
+  }
+
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+  for (std::int64_t k = 0; k < static_cast<std::int64_t>(pairs); ++k) {
+    const amp_index i0 = bits::insert_zero_bit(static_cast<amp_index>(k), target);
+    if (!bits::all_set(i0, local_ctrl_mask)) {
+      continue;
+    }
+    const amp_index i1 = bits::set_bit(i0, target);
+    const cplx a0 = s.get(i0);
+    const cplx a1 = s.get(i1);
+    s.set(i0, u00 * a0 + u01 * a1);
+    s.set(i1, u10 * a0 + u11 * a1);
+  }
+}
+
+/// Applies a 4x4 matrix to two local targets (a = low subspace bit, b =
+/// high subspace bit) with an optional local control mask.
+template <class S>
+void apply_matrix2(S& s, int a, int b, const Mat4& u,
+                   amp_index local_ctrl_mask) {
+  QSV_REQUIRE(a != b, "unitary2 targets must differ");
+  const int lo = a < b ? a : b;
+  const int hi = a < b ? b : a;
+  const amp_index quads = s.size() / 4;
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+  for (std::int64_t k = 0; k < static_cast<std::int64_t>(quads); ++k) {
+    const amp_index base =
+        bits::insert_two_zero_bits(static_cast<amp_index>(k), lo, hi);
+    if (!bits::all_set(base, local_ctrl_mask)) {
+      continue;
+    }
+    // Subspace index order follows (bit b, bit a).
+    amp_index idx[4];
+    for (int sub = 0; sub < 4; ++sub) {
+      amp_index i = base;
+      if (sub & 1) {
+        i = bits::set_bit(i, a);
+      }
+      if (sub & 2) {
+        i = bits::set_bit(i, b);
+      }
+      idx[sub] = i;
+    }
+    cplx in[4];
+    for (int sub = 0; sub < 4; ++sub) {
+      in[sub] = s.get(idx[sub]);
+    }
+    for (int row = 0; row < 4; ++row) {
+      cplx acc = 0;
+      for (int col = 0; col < 4; ++col) {
+        acc += u.m[row][col] * in[col];
+      }
+      s.set(idx[row], acc);
+    }
+  }
+}
+
+/// SWAP of two local qubits.
+template <class S>
+void apply_swap_local(S& s, int a, int b) {
+  QSV_REQUIRE(a != b, "swap targets must differ");
+  const int lo = a < b ? a : b;
+  const int hi = a < b ? b : a;
+  const amp_index quads = s.size() / 4;
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+  for (std::int64_t k = 0; k < static_cast<std::int64_t>(quads); ++k) {
+    // Enumerate indices with bit lo = 1, bit hi = 0; exchange with the
+    // partner that has lo = 0, hi = 1.
+    amp_index i = bits::insert_two_zero_bits(static_cast<amp_index>(k), lo, hi);
+    i = bits::set_bit(i, lo);
+    const amp_index j = bits::set_bit(bits::clear_bit(i, lo), hi);
+    const cplx ai = s.get(i);
+    s.set(i, s.get(j));
+    s.set(j, ai);
+  }
+}
+
+/// Multiplies every amplitude whose global index has all bits of `mask` set
+/// by `factor`. `mask` may include high bits; the caller passes the global
+/// mask and the slice's rank_bits.
+template <class S>
+void apply_phase_mask(S& s, amp_index global_mask, cplx factor,
+                      int local_qubits, amp_index rank_bits) {
+  const amp_index high_mask = global_mask >> local_qubits;
+  if (!bits::all_set(rank_bits, high_mask)) {
+    return;  // this slice fails the high-bit part of the mask
+  }
+  const amp_index local_mask =
+      global_mask & ((amp_index{1} << local_qubits) - 1);
+  const amp_index n = s.size();
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
+    if (bits::all_set(static_cast<amp_index>(i), local_mask)) {
+      s.set(i, s.get(i) * factor);
+    }
+  }
+}
+
+/// Rz: phases both halves of the target (no control support needed beyond
+/// the mask, which gates the whole update).
+template <class S>
+void apply_rz(S& s, int target_global, real_t theta, amp_index ctrl_global,
+              int local_qubits, amp_index rank_bits) {
+  const cplx f0 = std::polar<real_t>(1, -theta / 2);
+  const cplx f1 = std::polar<real_t>(1, theta / 2);
+  const amp_index high_ctrl = ctrl_global >> local_qubits;
+  if (!bits::all_set(rank_bits, high_ctrl)) {
+    return;
+  }
+  const amp_index local_ctrl =
+      ctrl_global & ((amp_index{1} << local_qubits) - 1);
+  const amp_index n = s.size();
+
+  // The target may itself be a high bit: the whole slice is then one half.
+  if (target_global >= local_qubits) {
+    const cplx f =
+        bits::bit(rank_bits, target_global - local_qubits) ? f1 : f0;
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+    for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
+      if (bits::all_set(static_cast<amp_index>(i), local_ctrl)) {
+        s.set(i, s.get(i) * f);
+      }
+    }
+    return;
+  }
+
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
+    if (!bits::all_set(static_cast<amp_index>(i), local_ctrl)) {
+      continue;
+    }
+    const cplx f = bits::bit(static_cast<amp_index>(i), target_global) ? f1 : f0;
+    s.set(i, s.get(i) * f);
+  }
+}
+
+/// QuEST-style fused controlled-phase layer: for amplitudes with the target
+/// bit set, the phase is the sum of the angles of every control bit that is
+/// also set. One pass over the slice regardless of the control count.
+template <class S>
+void apply_fused_phase(S& s, const Gate& g, int local_qubits,
+                       amp_index rank_bits) {
+  const qubit_t t = g.targets[0];
+
+  // Phase contributed by high controls is constant across the slice.
+  real_t high_phase = 0;
+  amp_index local_ctrl_bits = 0;
+  std::vector<std::pair<int, real_t>> local_ctrls;
+  for (std::size_t ci = 0; ci < g.controls.size(); ++ci) {
+    const qubit_t c = g.controls[ci];
+    if (c >= local_qubits) {
+      if (bits::bit(rank_bits, c - local_qubits)) {
+        high_phase += g.params[ci];
+      }
+    } else {
+      local_ctrls.emplace_back(c, g.params[ci]);
+      local_ctrl_bits = bits::set_bit(local_ctrl_bits, c);
+    }
+  }
+
+  const amp_index n = s.size();
+  const bool target_high = t >= local_qubits;
+  if (target_high && bits::bit(rank_bits, t - local_qubits) == 0) {
+    return;  // target bit is 0 across the whole slice: identity
+  }
+
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+  for (std::int64_t ii = 0; ii < static_cast<std::int64_t>(n); ++ii) {
+    const amp_index i = static_cast<amp_index>(ii);
+    if (!target_high && bits::bit(i, t) == 0) {
+      continue;
+    }
+    real_t phase = high_phase;
+    for (const auto& [c, theta] : local_ctrls) {
+      if (bits::bit(i, c)) {
+        phase += theta;
+      }
+    }
+    if (phase != 0) {
+      s.set(i, s.get(i) * std::polar<real_t>(1, phase));
+    }
+  }
+}
+
+/// Applies any gate that is not distributed for this decomposition.
+/// Handles local-memory pair updates, all diagonal gates (including those
+/// whose operands live in the rank bits) and local SWAPs.
+template <class S>
+void apply_gate_slice(S& s, const Gate& g, int local_qubits,
+                      amp_index rank_bits) {
+  QSV_REQUIRE(classify_gate(g, local_qubits) != GateLocality::kDistributed,
+              "apply_gate_slice cannot apply a distributed gate: " + g.str());
+
+  switch (g.kind) {
+    case GateKind::kSwap:
+      apply_swap_local(s, g.targets[0], g.targets[1]);
+      return;
+
+    case GateKind::kUnitary2: {
+      const SplitMask cm = split_controls(g.controls, local_qubits);
+      if (!bits::all_set(rank_bits, cm.high)) {
+        return;
+      }
+      apply_matrix2(s, g.targets[0], g.targets[1], gate_matrix4(g), cm.local);
+      return;
+    }
+
+    case GateKind::kRz: {
+      amp_index ctrl = 0;
+      for (qubit_t c : g.controls) {
+        ctrl = bits::set_bit(ctrl, c);
+      }
+      apply_rz(s, g.targets[0], g.params[0], ctrl, local_qubits, rank_bits);
+      return;
+    }
+
+    case GateKind::kFusedPhase:
+      apply_fused_phase(s, g, local_qubits, rank_bits);
+      return;
+
+    case GateKind::kZ:
+    case GateKind::kS:
+    case GateKind::kT:
+    case GateKind::kPhase:
+    case GateKind::kCz:
+    case GateKind::kCPhase: {
+      // Single multiplicative factor on amplitudes where target and all
+      // control bits are 1.
+      cplx factor;
+      switch (g.kind) {
+        case GateKind::kZ:
+        case GateKind::kCz:
+          factor = -1;
+          break;
+        case GateKind::kS:
+          factor = cplx{0, 1};
+          break;
+        case GateKind::kT:
+          factor = std::polar<real_t>(1, std::numbers::pi_v<real_t> / 4);
+          break;
+        default:
+          factor = std::polar<real_t>(1, g.params[0]);
+          break;
+      }
+      amp_index mask = 0;
+      for (qubit_t t : g.targets) {
+        mask = bits::set_bit(mask, t);
+      }
+      for (qubit_t c : g.controls) {
+        mask = bits::set_bit(mask, c);
+      }
+      apply_phase_mask(s, mask, factor, local_qubits, rank_bits);
+      return;
+    }
+
+    default: {
+      // Non-diagonal single-target gate: target must be local; high controls
+      // decide participation at slice level.
+      const SplitMask cm = split_controls(g.controls, local_qubits);
+      if (!bits::all_set(rank_bits, cm.high)) {
+        return;
+      }
+      apply_matrix1(s, g.targets[0], gate_matrix2(g), cm.local);
+      return;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Distributed combine kernels (used by the distributed engine after the
+// pairwise exchange; `theirs` is the peer's full slice).
+// ---------------------------------------------------------------------------
+
+/// Distributed single-target gate: this rank holds the `my_row` components
+/// (my_row = my rank's bit of the target). After receiving the peer slice:
+/// new[i] = u[my_row][my_row]*mine[i] + u[my_row][1-my_row]*theirs[i].
+/// `local_ctrl_mask` gates per-amplitude updates (high controls are decided
+/// before the exchange).
+template <class S>
+void combine_matrix1(S& mine, const S& theirs, int my_row, const Mat2& u,
+                     amp_index local_ctrl_mask) {
+  QSV_REQUIRE(mine.size() == theirs.size(), "slice size mismatch");
+  const cplx diag = u.m[my_row][my_row];
+  const cplx off = u.m[my_row][1 - my_row];
+  const amp_index n = mine.size();
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
+    if (!bits::all_set(static_cast<amp_index>(i), local_ctrl_mask)) {
+      continue;
+    }
+    mine.set(i, diag * mine.get(i) + off * theirs.get(i));
+  }
+}
+
+/// Distributed SWAP with one local target `a` and the distributed target in
+/// the rank bits: amplitudes whose local bit `a` differs from this rank's
+/// bit of the distributed target are replaced from the peer slice.
+template <class S>
+void combine_swap_one_high(S& mine, const S& theirs, int a, int my_high_bit) {
+  QSV_REQUIRE(mine.size() == theirs.size(), "slice size mismatch");
+  const amp_index n = mine.size();
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+  for (std::int64_t ii = 0; ii < static_cast<std::int64_t>(n); ++ii) {
+    const amp_index i = static_cast<amp_index>(ii);
+    if (bits::bit(i, a) != my_high_bit) {
+      mine.set(i, theirs.get(bits::flip_bit(i, a)));
+    }
+  }
+}
+
+/// Distributed SWAP with both targets in the rank bits: the slices are
+/// exchanged wholesale (pure relabelling).
+template <class S>
+void combine_swap_two_high(S& mine, const S& theirs) {
+  QSV_REQUIRE(mine.size() == theirs.size(), "slice size mismatch");
+  const amp_index n = mine.size();
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
+    mine.set(i, theirs.get(i));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Half-exchange helpers (the paper's future-work optimisation): only the
+// half of the slice whose bit `a` equals `value` is serialised.
+// ---------------------------------------------------------------------------
+
+/// Number of bytes a half-exchange payload occupies.
+[[nodiscard]] inline std::size_t half_payload_bytes(amp_index slice_size) {
+  return (slice_size / 2) * kBytesPerAmp;
+}
+
+/// Packs amplitudes whose bit `a` == `value`, in increasing index order,
+/// as interleaved (re, im) doubles.
+template <class S>
+void gather_half(const S& src, int a, int value, std::byte* out) {
+  const amp_index halves = src.size() / 2;
+  real_t* o = reinterpret_cast<real_t*>(out);
+  for (amp_index k = 0; k < halves; ++k) {
+    amp_index i = bits::insert_zero_bit(k, a);
+    if (value) {
+      i = bits::set_bit(i, a);
+    }
+    const cplx v = src.get(i);
+    o[2 * k] = v.real();
+    o[2 * k + 1] = v.imag();
+  }
+}
+
+/// Inverse of gather_half: writes the packed stream into amplitudes whose
+/// bit `a` == `value`, in increasing index order.
+template <class S>
+void scatter_half(S& dst, int a, int value, const std::byte* in) {
+  const amp_index halves = dst.size() / 2;
+  const real_t* p = reinterpret_cast<const real_t*>(in);
+  for (amp_index k = 0; k < halves; ++k) {
+    amp_index i = bits::insert_zero_bit(k, a);
+    if (value) {
+      i = bits::set_bit(i, a);
+    }
+    dst.set(i, cplx{p[2 * k], p[2 * k + 1]});
+  }
+}
+
+}  // namespace qsv::kern

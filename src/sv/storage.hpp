@@ -1,0 +1,115 @@
+// Amplitude storage layouts.
+//
+// QuEST stores amplitudes as two separate real/imaginary arrays (structure
+// of arrays); the paper's future-work list proposes an interleaved complex
+// layout for better data locality. Both are provided behind one inline
+// interface so every kernel and both engines work with either; the
+// micro-benchmarks (bench/micro_layout) compare them.
+#pragma once
+
+#include <algorithm>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace qsv {
+
+enum class Layout {
+  kSeparateArrays,  // QuEST-style: double re[], double im[]
+  kInterleaved,     // std::complex<double>[]
+};
+
+[[nodiscard]] inline const char* layout_name(Layout layout) {
+  return layout == Layout::kSeparateArrays ? "separate-arrays"
+                                           : "interleaved";
+}
+
+/// Separate real/imaginary arrays (QuEST's layout).
+class SoaStorage {
+ public:
+  static constexpr Layout kLayout = Layout::kSeparateArrays;
+
+  SoaStorage() = default;
+  explicit SoaStorage(amp_index n) : re_(n), im_(n) {}
+
+  [[nodiscard]] amp_index size() const { return re_.size(); }
+
+  [[nodiscard]] cplx get(amp_index i) const { return {re_[i], im_[i]}; }
+  void set(amp_index i, cplx v) {
+    re_[i] = v.real();
+    im_[i] = v.imag();
+  }
+
+  /// Direct component access for the hot kernels.
+  [[nodiscard]] real_t* re() { return re_.data(); }
+  [[nodiscard]] real_t* im() { return im_.data(); }
+  [[nodiscard]] const real_t* re() const { return re_.data(); }
+  [[nodiscard]] const real_t* im() const { return im_.data(); }
+
+  void fill_zero() {
+    std::memset(re_.data(), 0, re_.size() * sizeof(real_t));
+    std::memset(im_.data(), 0, im_.size() * sizeof(real_t));
+  }
+
+  /// Serialises amplitudes [first, first+count) into a byte buffer
+  /// (re then im, contiguous), as a message payload. Returns bytes written.
+  std::size_t pack(amp_index first, amp_index count, std::byte* out) const {
+    QSV_REQUIRE(first + count <= size(), "pack range out of bounds");
+    std::memcpy(out, re_.data() + first, count * sizeof(real_t));
+    std::memcpy(out + count * sizeof(real_t), im_.data() + first,
+                count * sizeof(real_t));
+    return count * kBytesPerAmp;
+  }
+
+  /// Inverse of pack.
+  void unpack(amp_index first, amp_index count, const std::byte* in) {
+    QSV_REQUIRE(first + count <= size(), "unpack range out of bounds");
+    std::memcpy(re_.data() + first, in, count * sizeof(real_t));
+    std::memcpy(im_.data() + first, in + count * sizeof(real_t),
+                count * sizeof(real_t));
+  }
+
+ private:
+  std::vector<real_t> re_;
+  std::vector<real_t> im_;
+};
+
+/// Interleaved complex array (the future-work layout).
+class AosStorage {
+ public:
+  static constexpr Layout kLayout = Layout::kInterleaved;
+
+  AosStorage() = default;
+  explicit AosStorage(amp_index n) : amps_(n) {}
+
+  [[nodiscard]] amp_index size() const { return amps_.size(); }
+
+  [[nodiscard]] cplx get(amp_index i) const { return amps_[i]; }
+  void set(amp_index i, cplx v) { amps_[i] = v; }
+
+  [[nodiscard]] cplx* data() { return amps_.data(); }
+  [[nodiscard]] const cplx* data() const { return amps_.data(); }
+
+  void fill_zero() {
+    std::fill(amps_.begin(), amps_.end(), cplx{0, 0});
+  }
+
+  std::size_t pack(amp_index first, amp_index count, std::byte* out) const {
+    QSV_REQUIRE(first + count <= size(), "pack range out of bounds");
+    std::memcpy(out, amps_.data() + first, count * sizeof(cplx));
+    return count * kBytesPerAmp;
+  }
+
+  void unpack(amp_index first, amp_index count, const std::byte* in) {
+    QSV_REQUIRE(first + count <= size(), "unpack range out of bounds");
+    std::memcpy(amps_.data() + first, in, count * sizeof(cplx));
+  }
+
+ private:
+  std::vector<cplx> amps_;
+};
+
+}  // namespace qsv

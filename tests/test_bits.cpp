@@ -1,0 +1,120 @@
+#include "common/bits.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace qsv::bits {
+namespace {
+
+TEST(Bits, BitReadsEachPosition) {
+  const amp_index x = 0b1011'0101;
+  EXPECT_EQ(bit(x, 0), 1);
+  EXPECT_EQ(bit(x, 1), 0);
+  EXPECT_EQ(bit(x, 2), 1);
+  EXPECT_EQ(bit(x, 3), 0);
+  EXPECT_EQ(bit(x, 4), 1);
+  EXPECT_EQ(bit(x, 5), 1);
+  EXPECT_EQ(bit(x, 6), 0);
+  EXPECT_EQ(bit(x, 7), 1);
+  EXPECT_EQ(bit(x, 63), 0);
+}
+
+TEST(Bits, SetClearFlipRoundTrip) {
+  const amp_index x = 0b1010;
+  EXPECT_EQ(set_bit(x, 0), 0b1011u);
+  EXPECT_EQ(clear_bit(x, 1), 0b1000u);
+  EXPECT_EQ(flip_bit(x, 3), 0b0010u);
+  EXPECT_EQ(flip_bit(flip_bit(x, 2), 2), x);
+  EXPECT_EQ(set_bit(set_bit(x, 5), 5), set_bit(x, 5));
+}
+
+TEST(Bits, HighBitOperations) {
+  const amp_index one = 1;
+  EXPECT_EQ(set_bit(0, 63), one << 63);
+  EXPECT_EQ(bit(one << 62, 62), 1);
+  EXPECT_EQ(clear_bit(one << 62, 62), 0u);
+}
+
+TEST(Bits, InsertZeroBitAtBottom) {
+  // Inserting at 0 shifts everything left.
+  EXPECT_EQ(insert_zero_bit(0b101, 0), 0b1010u);
+}
+
+TEST(Bits, InsertZeroBitInMiddle) {
+  // k = 0b1011, insert at 2: low bits 11 kept, high bits shifted.
+  EXPECT_EQ(insert_zero_bit(0b1011, 2), 0b10011u);
+}
+
+TEST(Bits, InsertZeroBitAtTopOfValue) {
+  EXPECT_EQ(insert_zero_bit(0b111, 3), 0b0111u);
+  EXPECT_EQ(insert_zero_bit(0b111, 2), 0b1011u);
+}
+
+TEST(Bits, InsertZeroBitEnumeratesPairBaseIndices) {
+  // For a 3-qubit register and target bit 1, the four pair-base indices
+  // (target bit = 0) must be 0,1,4,5 in order.
+  const amp_index want[] = {0, 1, 4, 5};
+  for (amp_index k = 0; k < 4; ++k) {
+    EXPECT_EQ(insert_zero_bit(k, 1), want[k]) << k;
+  }
+}
+
+TEST(Bits, InsertZeroBitCoversAllNonTargetIndices) {
+  // Injectivity + target bit always zero, for every target in a 5-bit space.
+  for (int t = 0; t < 5; ++t) {
+    std::set<amp_index> seen;
+    for (amp_index k = 0; k < 16; ++k) {
+      const amp_index i = insert_zero_bit(k, t);
+      EXPECT_EQ(bit(i, t), 0);
+      EXPECT_LT(i, 32u);
+      EXPECT_TRUE(seen.insert(i).second) << "duplicate at k=" << k;
+    }
+  }
+}
+
+TEST(Bits, InsertTwoZeroBits) {
+  // Enumerating quadruple bases for lo=1, hi=3 in a 4-bit space: bits 1 and
+  // 3 must be zero, all such indices covered exactly once.
+  std::set<amp_index> seen;
+  for (amp_index k = 0; k < 4; ++k) {
+    const amp_index i = insert_two_zero_bits(k, 1, 3);
+    EXPECT_EQ(bit(i, 1), 0);
+    EXPECT_EQ(bit(i, 3), 0);
+    EXPECT_TRUE(seen.insert(i).second);
+  }
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(Bits, AllSet) {
+  EXPECT_TRUE(all_set(0b1111, 0b0101));
+  EXPECT_FALSE(all_set(0b1010, 0b0101));
+  EXPECT_TRUE(all_set(0, 0));            // empty mask: vacuously true
+  EXPECT_TRUE(all_set(0b1, 0b1));
+}
+
+TEST(Bits, IsPow2) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_TRUE(is_pow2(1ull << 40));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_FALSE(is_pow2(12));
+}
+
+TEST(Bits, Log2Exact) {
+  EXPECT_EQ(log2_exact(1), 0);
+  EXPECT_EQ(log2_exact(2), 1);
+  EXPECT_EQ(log2_exact(4096), 12);
+  EXPECT_EQ(log2_exact(1ull << 44), 44);
+}
+
+TEST(Bits, CeilPow2) {
+  EXPECT_EQ(ceil_pow2(1), 1u);
+  EXPECT_EQ(ceil_pow2(3), 4u);
+  EXPECT_EQ(ceil_pow2(4), 4u);
+  EXPECT_EQ(ceil_pow2(2115), 4096u);
+}
+
+}  // namespace
+}  // namespace qsv::bits

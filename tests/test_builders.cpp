@@ -1,0 +1,156 @@
+#include "circuit/builders.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "sv/statevector.hpp"
+#include "test_util.hpp"
+
+namespace qsv {
+namespace {
+
+TEST(Builders, HadamardBenchStructure) {
+  const Circuit c = build_hadamard_bench(38, 31, 50);
+  EXPECT_EQ(c.size(), 50u);
+  for (const Gate& g : c) {
+    EXPECT_EQ(g.kind, GateKind::kH);
+    EXPECT_EQ(g.targets[0], 31);
+  }
+}
+
+TEST(Builders, SwapBenchStructure) {
+  const Circuit c = build_swap_bench(38, 4, 36, 50);
+  EXPECT_EQ(c.size(), 50u);
+  for (const Gate& g : c) {
+    EXPECT_EQ(g.kind, GateKind::kSwap);
+    EXPECT_EQ(g.targets, (std::vector<qubit_t>{4, 36}));
+  }
+}
+
+TEST(Builders, BenchesRejectBadCounts) {
+  EXPECT_THROW(build_hadamard_bench(4, 0, 0), Error);
+  EXPECT_THROW(build_swap_bench(4, 0, 1, 0), Error);
+}
+
+TEST(Builders, HadamardBenchIsIdentityForEvenCount) {
+  StateVector sv(4);
+  Rng rng(3);
+  sv.init_random_state(rng);
+  const auto in = sv.to_vector();
+  sv.apply(build_hadamard_bench(4, 2, 50));  // 50 H = identity
+  test::expect_state_eq(sv.to_vector(), in, 1e-11);
+}
+
+TEST(Builders, GhzStructure) {
+  const Circuit c = build_ghz(5);
+  EXPECT_EQ(c.count_kind(GateKind::kH), 1u);
+  EXPECT_EQ(c.count_kind(GateKind::kCx), 4u);
+}
+
+TEST(Builders, QpeRecoversExactPhase) {
+  // phase = 5/16 is exactly representable with 4 counting qubits.
+  const int counting = 4;
+  const real_t phase = 5.0 / 16.0;
+  const Circuit c = build_qpe(counting, phase);
+  StateVector sv(counting + 1);
+  sv.apply(c);
+  // The counting register should concentrate on the value 5 (little-endian)
+  // with the eigenstate qubit remaining |1>.
+  const amp_index expect_index = 5 | (amp_index{1} << counting);
+  EXPECT_GT(sv.probability_of_outcome(expect_index), 0.99);
+}
+
+TEST(Builders, QpeApproximatesIrrationalPhase) {
+  const int counting = 5;
+  const real_t phase = 0.3;  // closest 5-bit fraction: 10/32 = 0.3125
+  const Circuit c = build_qpe(counting, phase);
+  StateVector sv(counting + 1);
+  sv.apply(c);
+  // Most probable counting value should be round(0.3 * 32) = 10.
+  real_t best_p = 0;
+  amp_index best = 0;
+  for (amp_index v = 0; v < (amp_index{1} << counting); ++v) {
+    const real_t p =
+        sv.probability_of_outcome(v | (amp_index{1} << counting));
+    if (p > best_p) {
+      best_p = p;
+      best = v;
+    }
+  }
+  EXPECT_EQ(best, 10u);
+  EXPECT_GT(best_p, 0.4);
+}
+
+TEST(Builders, GroverAmplifiesEveryMarkedState) {
+  for (amp_index marked : {amp_index{0}, amp_index{7}, amp_index{12}}) {
+    StateVector sv(4);
+    sv.apply(build_grover(4, marked));
+    EXPECT_GT(sv.probability_of_outcome(marked), 0.9) << marked;
+  }
+}
+
+TEST(Builders, GroverRejectsBadInput) {
+  EXPECT_THROW(build_grover(1, 0), Error);
+  EXPECT_THROW(build_grover(3, 8), Error);
+}
+
+TEST(Builders, RandomCircuitIsDeterministicPerSeed) {
+  Rng r1(5);
+  Rng r2(5);
+  const Circuit a = build_random(6, 50, r1);
+  const Circuit b = build_random(6, 50, r2);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.gate(i), b.gate(i)) << i;
+  }
+}
+
+TEST(Builders, RandomCircuitRespectsRegister) {
+  Rng rng(8);
+  const Circuit c = build_random(3, 200, rng);
+  for (const Gate& g : c) {
+    EXPECT_LT(g.max_qubit(), 3);
+  }
+}
+
+TEST(Builders, RcsStructure) {
+  Rng rng(9);
+  const Circuit c = build_rcs(6, 4, rng);
+  // Per cycle: 6 single-qubit unitaries + brick-pattern 2q unitaries
+  // (3 bonds on even layers, 2 on odd).
+  EXPECT_EQ(c.count_kind(GateKind::kUnitary1), 24u);
+  EXPECT_EQ(c.count_kind(GateKind::kUnitary2), 3u + 2u + 3u + 2u);
+}
+
+TEST(Builders, RcsKeepsNormAndSpreadsAmplitude) {
+  Rng rng(10);
+  const Circuit c = build_rcs(8, 10, rng);
+  StateVector sv(8);
+  sv.apply(c);
+  EXPECT_NEAR(sv.norm_sq(), 1.0, 1e-10);
+  // Deep RCS output approaches Porter-Thomas: no basis state should hold
+  // a macroscopic share of the probability.
+  for (amp_index i = 0; i < sv.num_amps(); ++i) {
+    EXPECT_LT(sv.probability_of_outcome(i), 0.2) << i;
+  }
+}
+
+TEST(Builders, RcsRejectsBadInput) {
+  Rng rng(11);
+  EXPECT_THROW(build_rcs(1, 3, rng), Error);
+  EXPECT_THROW(build_rcs(4, 0, rng), Error);
+}
+
+TEST(Builders, RandomCircuitOnOneQubitAvoidsTwoQubitGates) {
+  Rng rng(8);
+  const Circuit c = build_random(1, 100, rng);
+  for (const Gate& g : c) {
+    EXPECT_LE(g.qubits().size(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace qsv

@@ -1,0 +1,262 @@
+// End-to-end calibration: the model, run through the same experiment code
+// the bench binaries use, must land on the paper's published numbers
+// (DESIGN.md §5 lists the tolerances and why each anchor holds).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "harness/experiments.hpp"
+#include "harness/paper_reference.hpp"
+#include "machine/archer2.hpp"
+#include "perf/runner.hpp"
+
+namespace qsv {
+namespace {
+
+const MachineModel& m() {
+  static const MachineModel model = archer2();
+  return model;
+}
+
+// --- Table 1 ---------------------------------------------------------------
+
+TEST(CalibrationTable1, LocalBaseline) {
+  // "Up until qubit 29 the time per gate is roughly constant at 0.5 s, and
+  // the energy is approximately 15 kJ."
+  const auto res = experiment_table1(m(), {0, 10, 20, 28});
+  for (const auto& row : res.rows) {
+    EXPECT_NEAR(row.blocking.time_per_gate(), paper::kTable1BaseTime, 0.02)
+        << "qubit " << row.qubit;
+    EXPECT_NEAR(row.blocking.energy_per_gate(), paper::kTable1BaseEnergy,
+                0.8e3)
+        << "qubit " << row.qubit;
+  }
+}
+
+TEST(CalibrationTable1, NumaRegimeRows) {
+  const auto res = experiment_table1(m(), {29, 30, 31});
+  const double want_time[] = {0.53, 0.59, 0.80};
+  const double want_energy[] = {15.3e3, 15.7e3, 20.8e3};
+  for (std::size_t i = 0; i < res.rows.size(); ++i) {
+    EXPECT_NEAR(res.rows[i].blocking.time_per_gate(), want_time[i], 0.02)
+        << "qubit " << res.rows[i].qubit;
+    // Energy within 10%: the stall-power split approximates the measured
+    // near-flat energy.
+    EXPECT_NEAR(res.rows[i].blocking.energy_per_gate(), want_energy[i],
+                want_energy[i] * 0.10)
+        << "qubit " << res.rows[i].qubit;
+  }
+}
+
+TEST(CalibrationTable1, DistributedRegime) {
+  const auto res = experiment_table1(m(), {32, 33, 37});
+  for (const auto& row : res.rows) {
+    // Blocking: 9.63 s / 191 kJ; non-blocking: 8.82 s / 179 kJ (within 5%).
+    EXPECT_NEAR(row.blocking.time_per_gate(), 9.63, 0.15) << row.qubit;
+    EXPECT_NEAR(row.blocking.energy_per_gate(), 191e3, 6e3) << row.qubit;
+    EXPECT_NEAR(row.nonblocking.time_per_gate(), 8.82, 0.15) << row.qubit;
+    EXPECT_NEAR(row.nonblocking.energy_per_gate(), 179e3, 179e3 * 0.05)
+        << row.qubit;
+  }
+}
+
+TEST(CalibrationTable1, TwentyFoldJumpAtQubit32) {
+  // "The twenty-fold increase in runtime is caused by MPI."
+  const auto res = experiment_table1(m(), {28, 32});
+  const double jump = res.rows[1].blocking.time_per_gate() /
+                      res.rows[0].blocking.time_per_gate();
+  EXPECT_GT(jump, 15.0);
+  EXPECT_LT(jump, 25.0);
+}
+
+// --- Fig 4 -----------------------------------------------------------------
+
+TEST(CalibrationFig4, SwapBandsHold) {
+  const auto res = experiment_fig4(m());
+  ASSERT_EQ(res.rows.size(), 15u);  // 5 local x 3 distributed targets
+  for (const auto& row : res.rows) {
+    EXPECT_GE(row.blocking.time_per_gate(), paper::kFig4BlockingTimeLo);
+    EXPECT_LE(row.blocking.time_per_gate(), paper::kFig4BlockingTimeHi);
+    EXPECT_GE(row.blocking.energy_per_gate(), paper::kFig4BlockingEnergyLo);
+    EXPECT_LE(row.blocking.energy_per_gate(), paper::kFig4BlockingEnergyHi);
+    EXPECT_GE(row.nonblocking.time_per_gate(), paper::kFig4NonblockingTimeLo);
+    EXPECT_LE(row.nonblocking.time_per_gate(), paper::kFig4NonblockingTimeHi);
+    EXPECT_GE(row.nonblocking.energy_per_gate(),
+              paper::kFig4NonblockingEnergyLo);
+    EXPECT_LE(row.nonblocking.energy_per_gate(),
+              paper::kFig4NonblockingEnergyHi);
+  }
+}
+
+// --- Fig 5 -----------------------------------------------------------------
+
+TEST(CalibrationFig5, ProfileShape) {
+  const auto res = experiment_fig5(m());
+  ASSERT_EQ(res.rows.size(), 3u);
+  const auto& hadamard = res.rows[0].phases;
+  const auto& builtin = res.rows[1].phases;
+  const auto& blocked = res.rows[2].phases;
+
+  // "MPI completely dominates" the last-qubit Hadamard benchmark.
+  EXPECT_GT(hadamard.mpi_fraction(), paper::kFig5HadamardMpiFractionMin);
+
+  // The built-in QFT communicates far less than the Hadamard benchmark and
+  // the cache-blocked version less again (paper: 43% -> 25%; the model
+  // lands a few points higher on both, consistent with Tables 1-2 — see
+  // EXPERIMENTS.md).
+  EXPECT_LT(builtin.mpi_fraction(), 0.60);
+  EXPECT_GT(builtin.mpi_fraction(), 0.35);
+  EXPECT_LT(blocked.mpi_fraction(), builtin.mpi_fraction() - 0.10);
+  EXPECT_LT(blocked.mpi_fraction(), 0.40);
+
+  // "The rest is split roughly 2:1 between memory access and computation."
+  const double mem_to_compute =
+      builtin.memory_s / std::max(builtin.compute_s, 1e-12);
+  EXPECT_GT(mem_to_compute, 1.4);
+  EXPECT_LT(mem_to_compute, 2.6);
+}
+
+// --- Table 2 ---------------------------------------------------------------
+
+TEST(CalibrationTable2, RuntimesAndEnergiesWithin10Percent) {
+  const auto res = experiment_table2(m());
+  ASSERT_EQ(res.rows.size(), 4u);
+  for (const auto& row : res.rows) {
+    for (const auto& p : paper::kTable2) {
+      if (p.qubits == row.qubits && p.fast == row.fast) {
+        EXPECT_NEAR(row.report.runtime_s, p.runtime_s, p.runtime_s * 0.10)
+            << row.qubits << (row.fast ? " fast" : " builtin");
+        EXPECT_NEAR(row.report.total_energy_j(), p.energy_j,
+                    p.energy_j * 0.10)
+            << row.qubits << (row.fast ? " fast" : " builtin");
+      }
+    }
+  }
+}
+
+TEST(CalibrationTable2, ImprovementsMatchHeadline) {
+  // "40% faster simulations and 35% energy savings in 44 qubit simulations"
+  const auto res = experiment_table2(m());
+  const auto& b43 = res.rows[0].report;
+  const auto& f43 = res.rows[1].report;
+  const auto& b44 = res.rows[2].report;
+  const auto& f44 = res.rows[3].report;
+
+  const double speedup43 = 1 - f43.runtime_s / b43.runtime_s;
+  const double speedup44 = 1 - f44.runtime_s / b44.runtime_s;
+  EXPECT_GT(speedup43, 0.30);
+  EXPECT_LT(speedup43, 0.45);
+  EXPECT_GT(speedup44, 0.33);
+  EXPECT_LT(speedup44, 0.45);
+
+  const double saving43 = 1 - f43.total_energy_j() / b43.total_energy_j();
+  const double saving44 = 1 - f44.total_energy_j() / b44.total_energy_j();
+  EXPECT_GT(saving43, 0.25);
+  EXPECT_LT(saving43, 0.40);
+  EXPECT_GT(saving44, 0.28);
+  EXPECT_LT(saving44, 0.40);
+}
+
+// --- Fig 3 bands -----------------------------------------------------------
+
+TEST(CalibrationFig3, HighFrequencyBand) {
+  // Standard nodes at 2.25 GHz: 5-10% faster, ~25% more energy (shrinking
+  // as communication grows).
+  const auto fig2 = experiment_fig2(m());
+  for (const auto& row : fig2.rows) {
+    if (row.kind != NodeKind::kStandard) {
+      continue;
+    }
+  }
+  // Pair up medium/high at equal register size.
+  for (int q = 33; q <= 44; ++q) {
+    const Fig2Row* med = nullptr;
+    const Fig2Row* high = nullptr;
+    for (const auto& row : fig2.rows) {
+      if (row.qubits == q && row.kind == NodeKind::kStandard) {
+        (row.freq == CpuFreq::kMedium2000 ? med : high) = &row;
+      }
+    }
+    ASSERT_NE(med, nullptr);
+    ASSERT_NE(high, nullptr);
+    const double speedup = 1 - high->report.runtime_s / med->report.runtime_s;
+    EXPECT_GT(speedup, 0.01) << q;
+    EXPECT_LT(speedup, paper::kHighFreqSpeedupHi) << q;
+    const double penalty =
+        high->report.total_energy_j() / med->report.total_energy_j() - 1;
+    EXPECT_GT(penalty, 0.15) << q;
+    EXPECT_LT(penalty, 0.32) << q;
+  }
+}
+
+TEST(CalibrationFig3, HighMemBand) {
+  // Multi-node high-mem runs: slower but less than 2x, cheaper in CU.
+  const auto fig2 = experiment_fig2(m());
+  for (int q = 35; q <= 41; ++q) {
+    const Fig2Row* std_med = nullptr;
+    const Fig2Row* hm_med = nullptr;
+    for (const auto& row : fig2.rows) {
+      if (row.qubits == q && row.freq == CpuFreq::kMedium2000) {
+        (row.kind == NodeKind::kStandard ? std_med : hm_med) = &row;
+      }
+    }
+    ASSERT_NE(std_med, nullptr);
+    ASSERT_NE(hm_med, nullptr);
+    const double slowdown = hm_med->report.runtime_s / std_med->report.runtime_s;
+    EXPECT_GT(slowdown, 1.3) << q;
+    EXPECT_LT(slowdown, paper::kHighMemSlowdownMax) << q;
+    EXPECT_LT(hm_med->report.cu, std_med->report.cu) << q;
+    // Energy "sometimes slightly higher and other times slightly lower".
+    const double e_ratio =
+        hm_med->report.total_energy_j() / std_med->report.total_energy_j();
+    EXPECT_GT(e_ratio, 0.85) << q;
+    EXPECT_LT(e_ratio, 1.20) << q;
+  }
+}
+
+TEST(CalibrationFig3, LowFrequencyIsPointless) {
+  // §3.1: 1.5 GHz worsens runtime while keeping energy roughly fixed.
+  const Circuit qft = builtin_qft(38);
+  JobConfig med = make_min_job(m(), 38, NodeKind::kStandard,
+                               CpuFreq::kMedium2000);
+  JobConfig low = make_min_job(m(), 38, NodeKind::kStandard,
+                               CpuFreq::kLow1500);
+  const RunReport rm = run_model(qft, m(), med);
+  const RunReport rl = run_model(qft, m(), low);
+  EXPECT_GT(rl.runtime_s, 1.10 * rm.runtime_s);
+  EXPECT_NEAR(rl.total_energy_j() / rm.total_energy_j(), 1.0, 0.10);
+}
+
+// --- Fig 2 shape ------------------------------------------------------------
+
+TEST(CalibrationFig2, RuntimeScalesLinearlyOnStandardNodes) {
+  // "QFT runtimes scale linearly, due to the number of distributed gates
+  // rising linearly": successive increments should be roughly constant.
+  const auto fig2 = experiment_fig2(m());
+  std::vector<double> runtimes;
+  for (const auto& row : fig2.rows) {
+    if (row.kind == NodeKind::kStandard &&
+        row.freq == CpuFreq::kMedium2000 && row.qubits >= 34) {
+      runtimes.push_back(row.report.runtime_s);
+    }
+  }
+  ASSERT_GE(runtimes.size(), 8u);
+  std::vector<double> increments;
+  for (std::size_t i = 1; i < runtimes.size(); ++i) {
+    EXPECT_GT(runtimes[i], runtimes[i - 1]);
+    increments.push_back(runtimes[i] - runtimes[i - 1]);
+  }
+  // Roughly linear: congestion bends the curve mildly upward (the largest
+  // per-qubit step stays within ~3x of the smallest, far from the 2x-per-
+  // qubit growth a superlinear model would show).
+  const auto [lo, hi] =
+      std::minmax_element(increments.begin(), increments.end());
+  EXPECT_LT(*hi / *lo, 3.0);
+  // And the steps grow monotonically (pure congestion effect).
+  for (std::size_t i = 1; i < increments.size(); ++i) {
+    EXPECT_GE(increments[i], increments[i - 1] * 0.9) << i;
+  }
+}
+
+}  // namespace
+}  // namespace qsv

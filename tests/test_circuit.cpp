@@ -1,0 +1,154 @@
+#include "circuit/circuit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuit/builders.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "sv/statevector.hpp"
+#include "test_util.hpp"
+
+namespace qsv {
+namespace {
+
+TEST(Circuit, AddValidatesOperandRange) {
+  Circuit c(3);
+  EXPECT_NO_THROW(c.add(make_h(2)));
+  EXPECT_THROW(c.add(make_h(3)), Error);
+  EXPECT_THROW(c.add(make_cx(3, 0)), Error);
+}
+
+TEST(Circuit, RegisterSizeLimits) {
+  EXPECT_THROW(Circuit(0), Error);
+  EXPECT_THROW(Circuit(63), Error);
+  EXPECT_NO_THROW(Circuit(62));
+}
+
+TEST(Circuit, AppendRequiresSameRegister) {
+  Circuit a(3);
+  Circuit b(4);
+  EXPECT_THROW(a.append(b), Error);
+  Circuit c(3);
+  c.add(make_x(0));
+  a.append(c);
+  EXPECT_EQ(a.size(), 1u);
+}
+
+TEST(Circuit, CountKind) {
+  Circuit c(4);
+  c.add(make_h(0)).add(make_h(1)).add(make_swap(0, 1));
+  EXPECT_EQ(c.count_kind(GateKind::kH), 2u);
+  EXPECT_EQ(c.count_kind(GateKind::kSwap), 1u);
+  EXPECT_EQ(c.count_kind(GateKind::kX), 0u);
+}
+
+TEST(Circuit, InverseUndoesRandomCircuit) {
+  Rng rng(99);
+  const Circuit c = build_random(5, 60, rng);
+  StateVector sv(5);
+  Rng init(7);
+  sv.init_random_state(init);
+  const auto before = sv.to_vector();
+  sv.apply(c);
+  sv.apply(c.inverse());
+  test::expect_state_eq(sv.to_vector(), before, 1e-9);
+}
+
+TEST(Circuit, InverseOfFusedPhase) {
+  Circuit c(3);
+  c.add(make_fused_phase(0, {1, 2}, {0.4, -1.1}));
+  StateVector sv(3);
+  Rng init(3);
+  sv.init_random_state(init);
+  const auto before = sv.to_vector();
+  sv.apply(c);
+  sv.apply(c.inverse());
+  test::expect_state_eq(sv.to_vector(), before);
+}
+
+TEST(Circuit, InverseOfSAndTUsesNegatedPhase) {
+  Circuit c(1);
+  c.add(make_s(0)).add(make_t_gate(0));
+  StateVector sv(1);
+  sv.set_amplitude(0, cplx{0.6, 0});
+  sv.set_amplitude(1, cplx{0, 0.8});
+  const auto before = sv.to_vector();
+  sv.apply(c);
+  sv.apply(c.inverse());
+  test::expect_state_eq(sv.to_vector(), before);
+}
+
+TEST(Circuit, RemappedRelabelsQubits) {
+  Circuit c(3);
+  c.add(make_cx(0, 2));
+  const Circuit r = c.remapped({2, 1, 0});
+  EXPECT_EQ(r.gate(0).controls[0], 2);
+  EXPECT_EQ(r.gate(0).targets[0], 0);
+}
+
+TEST(Circuit, RemappedKeepsCanonicalForms) {
+  Circuit c(4);
+  c.add(make_swap(0, 3));
+  c.add(make_cphase(1, 2, 0.5));
+  const Circuit r = c.remapped({3, 2, 1, 0});
+  EXPECT_EQ(r.gate(0).targets, (std::vector<qubit_t>{0, 3}));
+  // CP targets stay the minimum operand.
+  EXPECT_EQ(r.gate(1).targets[0], 1);
+  EXPECT_EQ(r.gate(1).controls[0], 2);
+}
+
+TEST(Circuit, RemappedIsSemanticallyConjugation) {
+  // remap(pi) then applying equals permuting basis: check via statevector
+  // on a circuit and its remapped version with manually permuted input.
+  Rng rng(5);
+  const Circuit c = build_random(4, 40, rng);
+  const std::vector<qubit_t> perm{1, 3, 0, 2};
+  const Circuit rc = c.remapped(perm);
+
+  StateVector a(4);
+  Rng init(11);
+  a.init_random_state(init);
+
+  // b = permuted copy of a: basis bit q of a maps to bit perm[q] of b.
+  StateVector b(4);
+  for (amp_index i = 0; i < a.num_amps(); ++i) {
+    amp_index j = 0;
+    for (int q = 0; q < 4; ++q) {
+      if ((i >> q) & 1u) {
+        j |= amp_index{1} << perm[q];
+      }
+    }
+    b.set_amplitude(j, a.amplitude(i));
+  }
+
+  a.apply(c);
+  b.apply(rc);
+  for (amp_index i = 0; i < a.num_amps(); ++i) {
+    amp_index j = 0;
+    for (int q = 0; q < 4; ++q) {
+      if ((i >> q) & 1u) {
+        j |= amp_index{1} << perm[q];
+      }
+    }
+    EXPECT_NEAR(std::abs(a.amplitude(i) - b.amplitude(j)), 0, 1e-10);
+  }
+}
+
+TEST(Circuit, ValidatePermutationRejectsBadInput) {
+  EXPECT_THROW(validate_permutation({0, 1}, 3), Error);
+  EXPECT_THROW(validate_permutation({0, 0, 1}, 3), Error);
+  EXPECT_THROW(validate_permutation({0, 1, 3}, 3), Error);
+  EXPECT_NO_THROW(validate_permutation({2, 0, 1}, 3));
+}
+
+TEST(Circuit, StrListsGates) {
+  Circuit c(2, "demo");
+  c.add(make_h(0)).add(make_cx(0, 1));
+  const std::string s = c.str();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("H"), std::string::npos);
+  EXPECT_NE(s.find("CX"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qsv

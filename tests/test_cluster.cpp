@@ -1,0 +1,132 @@
+#include "cluster/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace qsv {
+namespace {
+
+std::vector<std::byte> payload(std::initializer_list<int> vals) {
+  std::vector<std::byte> p;
+  for (int v : vals) {
+    p.push_back(static_cast<std::byte>(v));
+  }
+  return p;
+}
+
+TEST(Cluster, RequiresPowerOfTwoRanks) {
+  EXPECT_NO_THROW(VirtualCluster(1, 1024));
+  EXPECT_NO_THROW(VirtualCluster(64, 1024));
+  EXPECT_THROW(VirtualCluster(3, 1024), Error);
+  EXPECT_THROW(VirtualCluster(0, 1024), Error);
+}
+
+TEST(Cluster, SendRecvDeliversInOrder) {
+  VirtualCluster c(4, 1024);
+  c.send(0, 1, payload({1, 2, 3}));
+  c.send(0, 1, payload({9}));
+  std::vector<std::byte> a(3);
+  std::vector<std::byte> b(1);
+  c.recv(0, 1, a);
+  c.recv(0, 1, b);
+  EXPECT_EQ(a, payload({1, 2, 3}));
+  EXPECT_EQ(b, payload({9}));
+  EXPECT_TRUE(c.quiescent());
+}
+
+TEST(Cluster, QueuesArePerDirectedPair) {
+  VirtualCluster c(4, 1024);
+  c.send(0, 1, payload({1}));
+  c.send(1, 0, payload({2}));
+  EXPECT_EQ(c.pending(0, 1), 1u);
+  EXPECT_EQ(c.pending(1, 0), 1u);
+  EXPECT_EQ(c.pending(2, 3), 0u);
+  std::vector<std::byte> buf(1);
+  c.recv(1, 0, buf);
+  EXPECT_EQ(buf, payload({2}));
+  c.recv(0, 1, buf);
+  EXPECT_EQ(buf, payload({1}));
+}
+
+TEST(Cluster, EnforcesMessageCap) {
+  VirtualCluster c(2, 16);
+  std::vector<std::byte> big(17);
+  EXPECT_THROW(c.send(0, 1, big), Error);
+  std::vector<std::byte> ok(16);
+  EXPECT_NO_THROW(c.send(0, 1, ok));
+}
+
+TEST(Cluster, RejectsBadRanksAndSelfSend) {
+  VirtualCluster c(2, 1024);
+  std::vector<std::byte> p(1);
+  EXPECT_THROW(c.send(0, 2, p), Error);
+  EXPECT_THROW(c.send(-1, 0, p), Error);
+  EXPECT_THROW(c.send(0, 0, p), Error);
+}
+
+TEST(Cluster, RecvWithoutMessageThrows) {
+  VirtualCluster c(2, 1024);
+  std::vector<std::byte> buf(1);
+  EXPECT_THROW(c.recv(0, 1, buf), Error);
+}
+
+TEST(Cluster, RecvSizeMustMatch) {
+  VirtualCluster c(2, 1024);
+  c.send(0, 1, payload({1, 2}));
+  std::vector<std::byte> small(1);
+  EXPECT_THROW(c.recv(0, 1, small), Error);
+}
+
+TEST(Cluster, StatsTrackTraffic) {
+  VirtualCluster c(4, 1024);
+  c.send(0, 1, payload({1, 2, 3}));
+  c.send(1, 0, payload({4, 5}));
+  std::vector<std::byte> b3(3);
+  std::vector<std::byte> b2(2);
+  c.recv(0, 1, b3);
+  c.recv(1, 0, b2);
+  c.barrier();
+
+  const CommStats& s = c.stats();
+  EXPECT_EQ(s.messages, 2u);
+  EXPECT_EQ(s.bytes, 5u);
+  EXPECT_EQ(s.max_message_bytes, 3u);
+  EXPECT_EQ(s.max_in_flight, 2u);
+  EXPECT_EQ(s.barriers, 1u);
+
+  c.reset_stats();
+  EXPECT_EQ(c.stats().messages, 0u);
+}
+
+TEST(Cluster, MaxInFlightSeesQueueDepth) {
+  VirtualCluster c(2, 1024);
+  for (int i = 0; i < 5; ++i) {
+    c.send(0, 1, payload({i}));
+  }
+  std::vector<std::byte> b(1);
+  for (int i = 0; i < 5; ++i) {
+    c.recv(0, 1, b);
+  }
+  EXPECT_EQ(c.stats().max_in_flight, 5u);
+  EXPECT_TRUE(c.quiescent());
+}
+
+TEST(Cluster, MessageCount) {
+  EXPECT_EQ(message_count(0, 100), 0);
+  EXPECT_EQ(message_count(100, 100), 1);
+  EXPECT_EQ(message_count(101, 100), 2);
+  // The paper's case: a 64 GiB slice under a 2 GiB cap = 32 messages.
+  EXPECT_EQ(message_count(64ull << 30, 2ull << 30), 32);
+}
+
+TEST(Cluster, PolicyNames) {
+  EXPECT_STREQ(comm_policy_name(CommPolicy::kBlocking), "blocking");
+  EXPECT_STREQ(comm_policy_name(CommPolicy::kNonBlocking), "non-blocking");
+}
+
+}  // namespace
+}  // namespace qsv

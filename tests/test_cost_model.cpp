@@ -1,0 +1,206 @@
+#include "perf/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuit/builders.hpp"
+#include "common/units.hpp"
+#include "dist/trace.hpp"
+#include "machine/archer2.hpp"
+#include "perf/gate_costs.hpp"
+
+namespace qsv {
+namespace {
+
+const MachineModel& m() {
+  static const MachineModel model = archer2();
+  return model;
+}
+
+JobConfig job64(CpuFreq f = CpuFreq::kMedium2000) {
+  JobConfig j;
+  j.num_qubits = 38;
+  j.node_kind = NodeKind::kStandard;
+  j.freq = f;
+  j.nodes = 64;
+  return j;
+}
+
+RunReport price(const Circuit& c, const JobConfig& j, DistOptions opts = {}) {
+  TraceSim sim(j.num_qubits, j.nodes, opts);
+  CostModel cost(m(), j);
+  sim.set_listener(&cost);
+  sim.apply(c);
+  return cost.report();
+}
+
+TEST(CostModel, LocalHadamardAnchor) {
+  // Table 1 anchor: 0.50 s and ~15 kJ per local H at 64 GiB per node.
+  const RunReport r = price(build_hadamard_bench(38, 10, 1), job64());
+  EXPECT_NEAR(r.runtime_s, 0.50, 0.01);
+  EXPECT_NEAR(r.total_energy_j(), 15.0e3, 0.5e3);
+  EXPECT_DOUBLE_EQ(r.phases.mpi_s, 0.0);
+  EXPECT_EQ(r.local_gates, 1u);
+  EXPECT_EQ(r.distributed_gates, 0u);
+}
+
+TEST(CostModel, DistributedHadamardAnchor) {
+  // Table 1 anchor: 9.63 s / 191 kJ blocking; 8.82 s / ~175 kJ non-blocking.
+  DistOptions blk;
+  const RunReport rb = price(build_hadamard_bench(38, 34, 1), job64(), blk);
+  EXPECT_NEAR(rb.runtime_s, 9.63, 0.1);
+  EXPECT_NEAR(rb.total_energy_j(), 191e3, 4e3);
+
+  DistOptions nbl;
+  nbl.policy = CommPolicy::kNonBlocking;
+  const RunReport rn = price(build_hadamard_bench(38, 34, 1), job64(), nbl);
+  EXPECT_NEAR(rn.runtime_s, 8.82, 0.1);
+  EXPECT_LT(rn.total_energy_j(), rb.total_energy_j());
+}
+
+TEST(CostModel, NumaStallRaisesTimeMoreThanEnergy) {
+  const RunReport base = price(build_hadamard_bench(38, 10, 1), job64());
+  const RunReport numa = price(build_hadamard_bench(38, 31, 1), job64());
+  const double t_ratio = numa.runtime_s / base.runtime_s;
+  const double e_ratio = numa.total_energy_j() / base.total_energy_j();
+  EXPECT_GT(t_ratio, 1.5);          // 0.80 s vs 0.50 s
+  EXPECT_LT(e_ratio, t_ratio);      // stalled cycles burn less
+}
+
+TEST(CostModel, RuntimeAdditiveOverGates) {
+  const RunReport one = price(build_hadamard_bench(38, 5, 1), job64());
+  const RunReport fifty = price(build_hadamard_bench(38, 5, 50), job64());
+  EXPECT_NEAR(fifty.runtime_s, 50 * one.runtime_s, 1e-9);
+  EXPECT_NEAR(fifty.time_per_gate(), one.runtime_s, 1e-12);
+}
+
+TEST(CostModel, HighFrequencyFasterButHungrier) {
+  const Circuit c = build_hadamard_bench(38, 5, 10);
+  const RunReport med = price(c, job64(CpuFreq::kMedium2000));
+  const RunReport high = price(c, job64(CpuFreq::kHigh2250));
+  EXPECT_LT(high.runtime_s, med.runtime_s);
+  EXPECT_GT(high.total_energy_j(), med.total_energy_j());
+}
+
+TEST(CostModel, LowFrequencySlowerAtSimilarEnergy) {
+  const Circuit c = build_hadamard_bench(38, 5, 10);
+  const RunReport med = price(c, job64(CpuFreq::kMedium2000));
+  const RunReport low = price(c, job64(CpuFreq::kLow1500));
+  EXPECT_GT(low.runtime_s, 1.2 * med.runtime_s);
+  EXPECT_NEAR(low.total_energy_j() / med.total_energy_j(), 1.0, 0.1);
+}
+
+TEST(CostModel, IdleRanksBurnIdlePower) {
+  // A CZ whose operands sit in the rank bits touches half the slices; the
+  // other half idles. Energy must be below the all-active equivalent.
+  Circuit half_active(38);
+  half_active.add(make_cphase(36, 2, 0.5));
+  Circuit all_active(38);
+  all_active.add(make_phase(2, 0.5));
+  const RunReport h = price(half_active, job64());
+  const RunReport a = price(all_active, job64());
+  EXPECT_NEAR(h.runtime_s, a.runtime_s, 1e-12);
+  EXPECT_LT(h.node_energy_j, a.node_energy_j);
+}
+
+TEST(CostModel, SwitchEnergyScalesWithRuntime) {
+  const RunReport r = price(build_hadamard_bench(38, 34, 2), job64());
+  EXPECT_NEAR(r.switch_energy_j, 8 * 235.0 * r.runtime_s, 1e-6);
+}
+
+TEST(CostModel, PhaseBreakdownSumsToRuntime) {
+  JobConfig j = job64();
+  const Circuit qft = build_qft(38);
+  const RunReport r = price(qft, j);
+  EXPECT_NEAR(r.phases.total(), r.runtime_s, 1e-9);
+  EXPECT_GT(r.phases.mpi_s, 0);
+  EXPECT_GT(r.phases.memory_s, 0);
+  EXPECT_GT(r.phases.compute_s, 0);
+  EXPECT_NEAR(r.phases.mpi_fraction() + r.phases.memory_fraction() +
+                  r.phases.compute_fraction(),
+              1.0, 1e-12);
+}
+
+TEST(CostModel, HalfExchangeHalvesMpiTime) {
+  DistOptions full;
+  DistOptions half;
+  half.half_exchange_swaps = true;
+  const Circuit c = build_swap_bench(38, 4, 36, 1);
+  const RunReport rf = price(c, job64(), full);
+  const RunReport rh = price(c, job64(), half);
+  EXPECT_NEAR(rh.phases.mpi_s / rf.phases.mpi_s, 0.5, 0.01);
+  EXPECT_LT(rh.runtime_s, rf.runtime_s);
+}
+
+TEST(CostModel, CongestionSlowsLargeJobs) {
+  JobConfig big;
+  big.num_qubits = 44;
+  big.node_kind = NodeKind::kStandard;
+  big.nodes = 4096;
+  const RunReport r4096 = price(build_hadamard_bench(44, 43, 1), big);
+  // Same 64 GiB slice at 64 nodes is ~1.6x faster to exchange.
+  const RunReport r64 = price(build_hadamard_bench(38, 37, 1), job64());
+  EXPECT_NEAR(r4096.phases.mpi_s / r64.phases.mpi_s, 1.6, 0.02);
+}
+
+TEST(CostModel, ResetClearsAccumulation) {
+  JobConfig j = job64();
+  CostModel cost(m(), j);
+  TraceSim sim(38, 64);
+  sim.set_listener(&cost);
+  sim.apply(build_hadamard_bench(38, 5, 3));
+  EXPECT_GT(cost.report().runtime_s, 0);
+  cost.reset();
+  EXPECT_DOUBLE_EQ(cost.report().runtime_s, 0);
+  EXPECT_EQ(cost.report().gates, 0u);
+}
+
+TEST(CostModel, TimelineIntegratesToTotalEnergy) {
+  JobConfig j = job64();
+  CostModel cost(m(), j);
+  cost.enable_timeline();
+  TraceSim sim(38, 64);
+  sim.set_listener(&cost);
+  Circuit c = build_hadamard_bench(38, 31, 3);  // includes stall segments
+  c.append(build_hadamard_bench(38, 34, 2));    // and MPI segments
+  sim.apply(c);
+
+  const RunReport r = cost.report();
+  const auto& tl = cost.timeline();
+  ASSERT_FALSE(tl.empty());
+
+  double t = 0;
+  double e = 0;
+  for (const PowerSample& s : tl) {
+    EXPECT_NEAR(s.t_start_s, t, 1e-9);  // contiguous, ordered segments
+    t += s.duration_s;
+    e += s.duration_s * s.power_w;
+  }
+  EXPECT_NEAR(t, r.runtime_s, 1e-9);
+  EXPECT_NEAR(e, r.total_energy_j(), r.total_energy_j() * 1e-9);
+}
+
+TEST(CostModel, TimelineOffByDefault) {
+  JobConfig j = job64();
+  CostModel cost(m(), j);
+  TraceSim sim(38, 64);
+  sim.set_listener(&cost);
+  sim.apply(build_hadamard_bench(38, 5, 3));
+  EXPECT_TRUE(cost.timeline().empty());
+}
+
+TEST(GateCosts, PairKernelsFeelNuma) {
+  EXPECT_TRUE(is_pair_kernel(GateKind::kH));
+  EXPECT_TRUE(is_pair_kernel(GateKind::kSwap));
+  EXPECT_FALSE(is_pair_kernel(GateKind::kCPhase));
+  EXPECT_FALSE(is_pair_kernel(GateKind::kFusedPhase));
+}
+
+TEST(GateCosts, FusedPhaseIsTheExpensiveDiagonal) {
+  EXPECT_GT(local_gate_cost(GateKind::kFusedPhase).mem_passes,
+            local_gate_cost(GateKind::kCPhase).mem_passes);
+  EXPECT_GT(local_gate_cost(GateKind::kH).mem_passes,
+            local_gate_cost(GateKind::kCPhase).mem_passes);
+}
+
+}  // namespace
+}  // namespace qsv

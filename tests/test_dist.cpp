@@ -1,0 +1,242 @@
+// Distributed engine: targeted behaviour tests (property sweeps live in
+// test_dist_property.cpp).
+#include "dist/dist_statevector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuit/builders.hpp"
+#include "circuit/locality.hpp"
+#include "circuit/matrix.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "test_util.hpp"
+
+namespace qsv {
+namespace {
+
+DistOptions small_msgs(CommPolicy policy = CommPolicy::kBlocking,
+                       bool half = false) {
+  DistOptions o;
+  o.policy = policy;
+  o.half_exchange_swaps = half;
+  o.max_message_bytes = 64;  // 4 amplitudes: forces chunking at toy sizes
+  return o;
+}
+
+TEST(Dist, ConstructorValidation) {
+  EXPECT_THROW(DistStateVectorSoa(4, 3), Error);     // non-pow2 ranks
+  EXPECT_THROW(DistStateVectorSoa(4, 16), Error);    // 1 amp per rank
+  EXPECT_NO_THROW(DistStateVectorSoa(4, 8));         // 2 amps per rank
+}
+
+TEST(Dist, InitAndAmplitudeAddressing) {
+  DistStateVectorSoa d(4, 4);
+  EXPECT_EQ(d.local_qubits(), 2);
+  EXPECT_EQ(d.amplitude(0), (cplx{1, 0}));
+  d.init_basis_state(13);  // rank 3, local 1
+  EXPECT_EQ(d.amplitude(13), (cplx{1, 0}));
+  EXPECT_EQ(d.amplitude(0), (cplx{0, 0}));
+  EXPECT_NEAR(d.norm_sq(), 1.0, 1e-15);
+}
+
+TEST(Dist, DistributedHadamardMatchesSingle) {
+  StateVector ref(5);
+  DistStateVectorSoa d(5, 4, small_msgs());
+  Rng rng(5);
+  ref.init_random_state(rng);
+  d.init_from(ref);
+
+  const Gate h = make_h(4);  // top qubit: distributed over 4 ranks
+  ref.apply(h);
+  d.apply(h);
+  EXPECT_LT(ref.max_amp_diff(d.gather()), 1e-12);
+  EXPECT_GT(d.comm_stats().messages, 0u);
+}
+
+TEST(Dist, DistributedGateExchangesWholeSlices) {
+  DistStateVectorSoa d(6, 4, small_msgs());
+  d.apply(make_h(5));
+  const CommStats& s = d.comm_stats();
+  // 4 ranks each ship their 16-amp slice (256 B) in 64 B messages.
+  EXPECT_EQ(s.bytes, 4u * 16u * kBytesPerAmp);
+  EXPECT_EQ(s.messages, 4u * 4u);
+  EXPECT_EQ(s.max_message_bytes, 64u);
+}
+
+TEST(Dist, BlockingAndNonBlockingAgreeNumerically) {
+  Rng rng(11);
+  const Circuit c = build_random(6, 60, rng);
+  DistStateVectorSoa blk(6, 8, small_msgs(CommPolicy::kBlocking));
+  DistStateVectorSoa nbl(6, 8, small_msgs(CommPolicy::kNonBlocking));
+  StateVector ref(6);
+  Rng init(12);
+  ref.init_random_state(init);
+  blk.init_from(ref);
+  nbl.init_from(ref);
+  blk.apply(c);
+  nbl.apply(c);
+  EXPECT_LT(blk.gather().max_amp_diff(nbl.gather()), 1e-12);
+}
+
+TEST(Dist, NonBlockingKeepsMoreMessagesInFlight) {
+  DistStateVectorSoa blk(8, 2, small_msgs(CommPolicy::kBlocking));
+  DistStateVectorSoa nbl(8, 2, small_msgs(CommPolicy::kNonBlocking));
+  blk.apply(make_h(7));
+  nbl.apply(make_h(7));
+  // Blocking Sendrecv: at most one chunk per direction queued; the
+  // non-blocking rewrite posts all 32 chunks per direction first.
+  EXPECT_LE(blk.comm_stats().max_in_flight, 2u);
+  EXPECT_GT(nbl.comm_stats().max_in_flight, 2u);
+  EXPECT_EQ(blk.comm_stats().bytes, nbl.comm_stats().bytes);
+}
+
+TEST(Dist, HalfExchangeSwapMovesHalfTheBytes) {
+  DistStateVectorSoa full(6, 4, small_msgs(CommPolicy::kBlocking, false));
+  DistStateVectorSoa half(6, 4, small_msgs(CommPolicy::kBlocking, true));
+  const Gate swap = make_swap(1, 5);
+  full.apply(swap);
+  half.apply(swap);
+  EXPECT_EQ(half.comm_stats().bytes * 2, full.comm_stats().bytes);
+  EXPECT_LT(full.gather().max_amp_diff(half.gather()), 1e-15);
+}
+
+TEST(Dist, HalfExchangeSwapCorrectOnRandomState) {
+  StateVector ref(6);
+  Rng rng(21);
+  ref.init_random_state(rng);
+  DistStateVectorSoa d(6, 4, small_msgs(CommPolicy::kNonBlocking, true));
+  d.init_from(ref);
+  const Gate swap = make_swap(0, 4);
+  ref.apply(swap);
+  d.apply(swap);
+  EXPECT_LT(ref.max_amp_diff(d.gather()), 1e-15);
+}
+
+TEST(Dist, TwoHighSwapOnlyHalfTheRanksCommunicate) {
+  DistStateVectorSoa d(6, 8, small_msgs());
+  StateVector ref(6);
+  Rng rng(31);
+  ref.init_random_state(rng);
+  d.init_from(ref);
+  const Gate swap = make_swap(3, 5);  // both in rank bits (L = 3)
+  ref.apply(swap);
+  d.apply(swap);
+  EXPECT_LT(ref.max_amp_diff(d.gather()), 1e-15);
+  // 4 of 8 ranks exchange their 8-amp slice.
+  EXPECT_EQ(d.comm_stats().bytes, 4u * 8u * kBytesPerAmp);
+}
+
+TEST(Dist, HighControlledDistributedGate) {
+  // CX: control on one rank bit, target on another. Only pairs whose
+  // control bit is set exchange.
+  StateVector ref(6);
+  Rng rng(41);
+  ref.init_random_state(rng);
+  DistStateVectorSoa d(6, 8, small_msgs());
+  d.init_from(ref);
+  const Gate cx = make_cx(4, 5);
+  ref.apply(cx);
+  d.apply(cx);
+  EXPECT_LT(ref.max_amp_diff(d.gather()), 1e-12);
+  EXPECT_EQ(d.comm_stats().bytes, 4u * 8u * kBytesPerAmp);
+}
+
+TEST(Dist, LocalControlledDistributedGate) {
+  StateVector ref(6);
+  Rng rng(43);
+  ref.init_random_state(rng);
+  DistStateVectorSoa d(6, 4, small_msgs());
+  d.init_from(ref);
+  const Gate cx = make_cx(1, 5);  // local control, distributed target
+  ref.apply(cx);
+  d.apply(cx);
+  EXPECT_LT(ref.max_amp_diff(d.gather()), 1e-12);
+}
+
+TEST(Dist, ProbabilityAndMeasureAgreeWithSingle) {
+  Rng rng(51);
+  const Circuit c = build_random(6, 40, rng);
+  StateVector ref(6);
+  DistStateVectorSoa d(6, 4, small_msgs());
+  ref.apply(c);
+  d.apply(c);
+  for (int q = 0; q < 6; ++q) {
+    EXPECT_NEAR(d.probability_of_one(q), ref.probability_of_one(q), 1e-12);
+  }
+  // Measurement with identical RNG streams takes the same branch.
+  Rng mr1(7);
+  Rng mr2(7);
+  const int o_ref = ref.measure(3, mr1);
+  const int o_dist = d.measure(3, mr2);
+  EXPECT_EQ(o_ref, o_dist);
+  EXPECT_LT(ref.max_amp_diff(d.gather()), 1e-12);
+}
+
+TEST(Dist, MeasureHighQubit) {
+  DistStateVectorSoa d(5, 8, small_msgs());
+  d.apply(build_ghz(5));
+  Rng mr(3);
+  const int outcome = d.measure(4, mr);  // rank-bit qubit
+  // GHZ collapse: every qubit now matches the outcome.
+  for (int q = 0; q < 5; ++q) {
+    EXPECT_NEAR(d.probability_of_one(q), outcome, 1e-12);
+  }
+}
+
+TEST(Dist, EventListenerSeesEveryGate) {
+  RecordingListener rec;
+  DistStateVectorSoa d(6, 4, small_msgs());
+  d.set_listener(&rec);
+  const Circuit qft = build_qft(6);
+  d.apply(qft);
+  EXPECT_EQ(rec.events().size(), qft.size());
+  std::size_t exchanges = 0;
+  for (const ExecEvent& e : rec.events()) {
+    if (e.kind == ExecEvent::Kind::kExchange) {
+      ++exchanges;
+    }
+  }
+  EXPECT_EQ(exchanges, analyze_locality(qft, 4).distributed);
+}
+
+TEST(Dist, DistributedUnitary2NeedsTwoLocalQubits) {
+  // A 2-qubit dense gate cannot be staged when ranks hold < 4 amplitudes;
+  // the engine reports it instead of silently corrupting state.
+  DistStateVectorSoa d(6, 32, small_msgs());  // L = 1
+  Rng rng(1);
+  EXPECT_THROW(d.apply(make_unitary2(4, 5, random_unitary2_params(rng))),
+               Error);
+}
+
+TEST(Dist, DistributedUnitary2MatchesSingle) {
+  Rng rng(71);
+  StateVector ref(6);
+  ref.init_random_state(rng);
+  DistStateVectorSoa d(6, 8, small_msgs());
+  d.init_from(ref);
+  // One high target, then both targets high.
+  Rng mat_rng(5);
+  const Gate one_high = make_unitary2(1, 5, random_unitary2_params(mat_rng));
+  const Gate two_high = make_unitary2(4, 5, random_unitary2_params(mat_rng));
+  ref.apply(one_high);
+  ref.apply(two_high);
+  d.apply(one_high);
+  d.apply(two_high);
+  EXPECT_LT(ref.max_amp_diff(d.gather()), 1e-12);
+}
+
+TEST(Dist, AosLayoutMatchesSoa) {
+  Rng rng(61);
+  const Circuit c = build_random(6, 50, rng);
+  DistStateVectorSoa soa(6, 4, small_msgs());
+  DistStateVectorAos aos(6, 4, small_msgs());
+  soa.apply(c);
+  aos.apply(c);
+  for (amp_index i = 0; i < 64; ++i) {
+    EXPECT_LT(std::abs(soa.amplitude(i) - aos.amplitude(i)), 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace qsv

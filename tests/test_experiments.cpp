@@ -1,0 +1,165 @@
+#include "harness/experiments.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuit/locality.hpp"
+#include "harness/validation.hpp"
+#include "machine/archer2.hpp"
+
+namespace qsv {
+namespace {
+
+const MachineModel& m() {
+  static const MachineModel model = archer2();
+  return model;
+}
+
+TEST(Experiments, BuiltinQftStructure) {
+  const Circuit c = builtin_qft(12);
+  EXPECT_EQ(c.count_kind(GateKind::kH), 12u);
+  EXPECT_EQ(c.count_kind(GateKind::kFusedPhase), 11u);
+  EXPECT_EQ(c.count_kind(GateKind::kSwap), 6u);
+  EXPECT_EQ(c.count_kind(GateKind::kCPhase), 0u);
+}
+
+TEST(Experiments, FastQftOnlySwapsCommunicate) {
+  const Circuit c = fast_qft(12, 8);
+  for (const Gate& g : c) {
+    if (classify_gate(g, 8) == GateLocality::kDistributed) {
+      EXPECT_EQ(g.kind, GateKind::kSwap) << g.str();
+    }
+  }
+}
+
+TEST(Experiments, FastQftAvoidsNumaQubits) {
+  // The cut at L-2 keeps pair-kernels off the two top local qubits (§3.2).
+  const Circuit c = fast_qft(12, 8);
+  for (const Gate& g : c) {
+    if (g.kind == GateKind::kH) {
+      EXPECT_LT(g.targets[0], 6) << g.str();
+    }
+  }
+}
+
+TEST(Experiments, Fig2CoversPaperRange) {
+  const auto res = experiment_fig2(m());
+  // Standard nodes cover 33..44 at two frequencies; high-mem stops at 41.
+  int standard_rows = 0;
+  int highmem_rows = 0;
+  int max_hm_qubits = 0;
+  for (const auto& row : res.rows) {
+    if (row.kind == NodeKind::kStandard) {
+      ++standard_rows;
+    } else {
+      ++highmem_rows;
+      max_hm_qubits = std::max(max_hm_qubits, row.qubits);
+    }
+    EXPECT_GT(row.report.runtime_s, 0);
+    EXPECT_GT(row.report.total_energy_j(), 0);
+  }
+  EXPECT_EQ(standard_rows, 12 * 2);
+  EXPECT_EQ(highmem_rows, 9 * 2);  // 33..41
+  EXPECT_EQ(max_hm_qubits, 41);
+  EXPECT_EQ(res.table.num_rows(), res.rows.size());
+}
+
+TEST(Experiments, Fig2UsesMinimumNodes) {
+  const auto res = experiment_fig2(m());
+  for (const auto& row : res.rows) {
+    EXPECT_EQ(row.nodes, min_nodes(m(), row.qubits, row.kind));
+  }
+}
+
+TEST(Experiments, Fig3TableHasRatios) {
+  const Table t = experiment_fig3(m());
+  EXPECT_GT(t.num_rows(), 20u);
+  EXPECT_NE(t.str().find("standard 2.25 GHz"), std::string::npos);
+}
+
+TEST(Experiments, Table1FullSweepIsMonotoneAcrossRegimes) {
+  std::vector<int> qubits;
+  for (int q = 0; q < 38; ++q) {
+    qubits.push_back(q);
+  }
+  const auto res = experiment_table1(m(), qubits);
+  ASSERT_EQ(res.rows.size(), 38u);
+  // Local regime (< 29) flat, NUMA regime (29-31) rising, distributed
+  // regime (>= 32) flat and ~20x higher.
+  for (int q = 1; q < 29; ++q) {
+    EXPECT_NEAR(res.rows[q].blocking.time_per_gate(),
+                res.rows[0].blocking.time_per_gate(), 1e-9);
+  }
+  EXPECT_GT(res.rows[30].blocking.time_per_gate(),
+            res.rows[29].blocking.time_per_gate());
+  EXPECT_GT(res.rows[31].blocking.time_per_gate(),
+            res.rows[30].blocking.time_per_gate());
+  EXPECT_GT(res.rows[32].blocking.time_per_gate(),
+            10 * res.rows[31].blocking.time_per_gate());
+  for (int q = 33; q < 38; ++q) {
+    EXPECT_NEAR(res.rows[q].blocking.time_per_gate(),
+                res.rows[32].blocking.time_per_gate(), 1e-9);
+  }
+}
+
+TEST(Experiments, Table2FastBeatsBuiltin) {
+  const auto res = experiment_table2(m());
+  ASSERT_EQ(res.rows.size(), 4u);
+  EXPECT_LT(res.rows[1].report.runtime_s, res.rows[0].report.runtime_s);
+  EXPECT_LT(res.rows[3].report.runtime_s, res.rows[2].report.runtime_s);
+  EXPECT_LT(res.rows[1].report.total_energy_j(),
+            res.rows[0].report.total_energy_j());
+  EXPECT_LT(res.rows[3].report.total_energy_j(),
+            res.rows[2].report.total_energy_j());
+}
+
+TEST(Experiments, HalfExchangeAblationImproves) {
+  const Table t = experiment_half_exchange(m());
+  const std::string s = t.str();
+  EXPECT_NE(s.find("half-exchange"), std::string::npos);
+  EXPECT_NE(s.find("full-exchange"), std::string::npos);
+}
+
+TEST(Validation, EveryReproductionCheckPasses) {
+  const auto checks = validate_reproduction(m());
+  EXPECT_GE(checks.size(), 40u);
+  for (const Check& c : checks) {
+    EXPECT_TRUE(c.passed())
+        << c.id << ": " << c.description << " — value " << c.value
+        << " outside [" << c.lo << ", " << c.hi << "]";
+  }
+}
+
+TEST(Validation, RenderedTableMarksResults) {
+  const auto checks = validate_reproduction(m());
+  const std::string s = render_checks(checks).str();
+  EXPECT_NE(s.find("PASS"), std::string::npos);
+  EXPECT_NE(s.find("table2"), std::string::npos);
+}
+
+TEST(Validation, MarkdownReportIsComplete) {
+  const std::string md = render_markdown_report(m());
+  EXPECT_NE(md.find("# Reproduction report"), std::string::npos);
+  EXPECT_NE(md.find("checks pass"), std::string::npos);
+  EXPECT_NE(md.find("table1"), std::string::npos);
+  EXPECT_NE(md.find("Table 2"), std::string::npos);
+  EXPECT_EQ(md.find("**FAIL**"), std::string::npos);
+}
+
+TEST(Validation, CheckBandLogic) {
+  Check c{"x", "d", 5.0, 4.0, 6.0};
+  EXPECT_TRUE(c.passed());
+  c.value = 6.5;
+  EXPECT_FALSE(c.passed());
+  c.value = 4.0;  // inclusive
+  EXPECT_TRUE(c.passed());
+}
+
+TEST(Experiments, ChunkingAblationListsMessageCounts) {
+  const Table t = experiment_chunking(m());
+  const std::string s = t.str();
+  EXPECT_NE(s.find("2.00 GiB"), std::string::npos);
+  EXPECT_NE(s.find("32"), std::string::npos);  // 32 messages at the 2 GiB cap
+}
+
+}  // namespace
+}  // namespace qsv

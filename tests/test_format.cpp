@@ -1,0 +1,52 @@
+#include "common/format.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+
+namespace qsv::fmt {
+namespace {
+
+TEST(Format, Bytes) {
+  EXPECT_EQ(bytes(0), "0 B");
+  EXPECT_EQ(bytes(512), "512 B");
+  EXPECT_EQ(bytes(2 * units::GiB), "2.00 GiB");
+  EXPECT_EQ(bytes(64 * units::GiB), "64.0 GiB");
+  EXPECT_EQ(bytes(units::TiB), "1.00 TiB");
+}
+
+TEST(Format, SecondsRanges) {
+  EXPECT_EQ(seconds(9.63), "9.63 s");
+  EXPECT_EQ(seconds(476), "476 s");
+  EXPECT_EQ(seconds(0.53), "0.53 s");
+  EXPECT_EQ(seconds(0.0123), "12.3 ms");
+  EXPECT_EQ(seconds(12e-6), "12.0 us");
+}
+
+TEST(Format, Energy) {
+  EXPECT_EQ(energy_j(15.3e3), "15.3 kJ");
+  EXPECT_EQ(energy_j(191e3), "191 kJ");
+  EXPECT_EQ(energy_j(664e6), "664 MJ");
+  EXPECT_EQ(energy_j(42), "42.0 J");
+}
+
+TEST(Format, Power) {
+  EXPECT_EQ(power_w(235), "235 W");
+  EXPECT_EQ(power_w(30e3), "30.0 kW");
+  EXPECT_EQ(power_w(1.4e6), "1.40 MW");
+}
+
+TEST(Format, FixedAndPercent) {
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fixed(1.0, 3), "1.000");
+  EXPECT_EQ(percent(0.43), "43.0%");
+  EXPECT_EQ(percent(0.055), "5.5%");
+}
+
+TEST(Format, UnitsHelpers) {
+  EXPECT_NEAR(units::joules_to_kwh(233e6), 64.7, 0.1);  // the paper's 65 kWh
+  EXPECT_NEAR(units::node_hours(4096, 3600), 4096.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace qsv::fmt

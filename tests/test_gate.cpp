@@ -1,0 +1,102 @@
+#include "circuit/gate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+#include <set>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace qsv {
+namespace {
+
+TEST(Gate, FactoriesSetOperands) {
+  const Gate h = make_h(3);
+  EXPECT_EQ(h.kind, GateKind::kH);
+  EXPECT_EQ(h.targets, std::vector<qubit_t>{3});
+  EXPECT_TRUE(h.controls.empty());
+
+  const Gate cx = make_cx(1, 4);
+  EXPECT_EQ(cx.controls, std::vector<qubit_t>{1});
+  EXPECT_EQ(cx.targets, std::vector<qubit_t>{4});
+
+  const Gate cp = make_cphase(5, 2, 0.25);
+  EXPECT_EQ(cp.targets, std::vector<qubit_t>{2});  // canonical: min as target
+  EXPECT_EQ(cp.controls, std::vector<qubit_t>{5});
+  EXPECT_DOUBLE_EQ(cp.params[0], 0.25);
+}
+
+TEST(Gate, SwapCanonicalOrder) {
+  const Gate s = make_swap(7, 2);
+  EXPECT_EQ(s.targets, (std::vector<qubit_t>{2, 7}));
+}
+
+TEST(Gate, CPhaseSymmetricCanonicalisation) {
+  // CP(a,b) == CP(b,a): both canonicalise identically.
+  EXPECT_EQ(make_cphase(1, 6, 0.5), make_cphase(6, 1, 0.5));
+  EXPECT_EQ(make_cz(3, 0), make_cz(0, 3));
+}
+
+TEST(Gate, FactoriesRejectBadOperands) {
+  EXPECT_THROW(make_h(-1), Error);
+  EXPECT_THROW(make_cx(2, 2), Error);
+  EXPECT_THROW(make_swap(4, 4), Error);
+  EXPECT_THROW(make_cphase(1, 1, 0.3), Error);
+  EXPECT_THROW(make_fused_phase(0, {1, 2}, {0.1}), Error);       // arity
+  EXPECT_THROW(make_fused_phase(0, {0}, {0.1}), Error);          // self-ctrl
+  EXPECT_THROW(make_unitary1(0, {1, 2, 3}), Error);              // 8 needed
+}
+
+TEST(Gate, DiagonalClassification) {
+  EXPECT_TRUE(make_z(0).is_diagonal());
+  EXPECT_TRUE(make_s(0).is_diagonal());
+  EXPECT_TRUE(make_t_gate(0).is_diagonal());
+  EXPECT_TRUE(make_phase(0, 1.0).is_diagonal());
+  EXPECT_TRUE(make_rz(0, 1.0).is_diagonal());
+  EXPECT_TRUE(make_cz(0, 1).is_diagonal());
+  EXPECT_TRUE(make_cphase(0, 1, 1.0).is_diagonal());
+  EXPECT_TRUE(make_fused_phase(0, {1}, {1.0}).is_diagonal());
+
+  EXPECT_FALSE(make_h(0).is_diagonal());
+  EXPECT_FALSE(make_x(0).is_diagonal());
+  EXPECT_FALSE(make_y(0).is_diagonal());
+  EXPECT_FALSE(make_rx(0, 1.0).is_diagonal());
+  EXPECT_FALSE(make_ry(0, 1.0).is_diagonal());
+  EXPECT_FALSE(make_cx(0, 1).is_diagonal());
+  EXPECT_FALSE(make_swap(0, 1).is_diagonal());
+}
+
+TEST(Gate, MaxQubitCoversControlsAndTargets) {
+  EXPECT_EQ(make_h(5).max_qubit(), 5);
+  EXPECT_EQ(make_cx(9, 2).max_qubit(), 9);
+  EXPECT_EQ(make_fused_phase(3, {10, 1}, {0.1, 0.2}).max_qubit(), 10);
+}
+
+TEST(Gate, QubitsListsTargetsThenControls) {
+  const Gate cx = make_cx(4, 1);
+  EXPECT_EQ(cx.qubits(), (std::vector<qubit_t>{1, 4}));
+}
+
+TEST(Gate, StrMentionsKindAndOperands) {
+  const std::string s = make_cphase(3, 7, 0.5).str();
+  EXPECT_NE(s.find("CP"), std::string::npos);
+  EXPECT_NE(s.find("3"), std::string::npos);
+  EXPECT_NE(s.find("7"), std::string::npos);
+}
+
+TEST(Gate, KindNamesAreUnique) {
+  const GateKind kinds[] = {
+      GateKind::kH, GateKind::kX, GateKind::kY, GateKind::kZ,
+      GateKind::kS, GateKind::kT, GateKind::kPhase, GateKind::kRx,
+      GateKind::kRy, GateKind::kRz, GateKind::kCx, GateKind::kCz,
+      GateKind::kCPhase, GateKind::kSwap, GateKind::kFusedPhase,
+      GateKind::kUnitary1};
+  std::set<std::string> names;
+  for (GateKind k : kinds) {
+    EXPECT_TRUE(names.insert(kind_name(k)).second) << kind_name(k);
+  }
+}
+
+}  // namespace
+}  // namespace qsv

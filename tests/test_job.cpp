@@ -1,0 +1,105 @@
+#include "machine/job.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "harness/paper_reference.hpp"
+#include "machine/archer2.hpp"
+
+namespace qsv {
+namespace {
+
+const MachineModel& m() {
+  static const MachineModel model = archer2();
+  return model;
+}
+
+TEST(Job, PerNodeBytesSingleNodeHasNoBuffer) {
+  // 33 qubits on one node: just the statevector (128 GiB).
+  EXPECT_EQ(per_node_bytes(33, 1), 128 * units::GiB);
+}
+
+TEST(Job, PerNodeBytesMultiNodeDoubles) {
+  // 34 qubits on 4 nodes: 64 GiB share + 64 GiB MPI buffer.
+  EXPECT_EQ(per_node_bytes(34, 4), 128 * units::GiB);
+}
+
+TEST(Job, PerNodeBytesValidation) {
+  EXPECT_THROW(per_node_bytes(4, 3), Error);    // non-pow2
+  EXPECT_THROW(per_node_bytes(2, 8), Error);    // more nodes than amps
+  EXPECT_THROW(per_node_bytes(0, 1), Error);
+}
+
+TEST(Job, MinNodesMatchesPaperAnchors) {
+  // §3.1: "33 qubits will fit on a standard node, but 4 nodes are required
+  // for a 34 qubit simulation".
+  EXPECT_EQ(min_nodes(m(), 33, NodeKind::kStandard),
+            paper::kMinNodes33Standard);
+  EXPECT_EQ(min_nodes(m(), 34, NodeKind::kStandard),
+            paper::kMinNodes34Standard);
+  // "A maximum of 41 qubits could be simulated on 256 high memory nodes,
+  // and 44 qubits on 4,096 standard nodes."
+  EXPECT_EQ(min_nodes(m(), 41, NodeKind::kHighMem), paper::kMinNodes41HighMem);
+  EXPECT_EQ(min_nodes(m(), 44, NodeKind::kStandard),
+            paper::kMinNodes44Standard);
+}
+
+TEST(Job, MinNodesStandardSweep) {
+  // From 34 qubits up, every extra qubit doubles the node count.
+  int expected = 4;
+  for (int q = 34; q <= 44; ++q) {
+    EXPECT_EQ(min_nodes(m(), q, NodeKind::kStandard), expected) << q;
+    expected *= 2;
+  }
+}
+
+TEST(Job, MinNodesHighMemSingleNode34) {
+  // A 34-qubit statevector (256 GiB) fits a single 512 GB node.
+  EXPECT_EQ(min_nodes(m(), 34, NodeKind::kHighMem), 1);
+  EXPECT_EQ(min_nodes(m(), 35, NodeKind::kHighMem), 4);
+}
+
+TEST(Job, MaxQubitsMatchesPaper) {
+  EXPECT_EQ(max_qubits(m(), NodeKind::kStandard), paper::kMaxQubitsStandard);
+  EXPECT_EQ(max_qubits(m(), NodeKind::kHighMem), paper::kMaxQubitsHighMem);
+}
+
+TEST(Job, TooLargeRegisterThrows) {
+  EXPECT_THROW(min_nodes(m(), 45, NodeKind::kStandard), Error);
+  EXPECT_THROW(min_nodes(m(), 42, NodeKind::kHighMem), Error);
+}
+
+TEST(Job, FitsIsMonotonic) {
+  EXPECT_FALSE(fits(m(), 44, NodeKind::kStandard, 2048));
+  EXPECT_TRUE(fits(m(), 44, NodeKind::kStandard, 4096));
+}
+
+TEST(Job, MakeMinJobFillsFields) {
+  const JobConfig job =
+      make_min_job(m(), 38, NodeKind::kStandard, CpuFreq::kHigh2250);
+  EXPECT_EQ(job.num_qubits, 38);
+  EXPECT_EQ(job.nodes, 64);
+  EXPECT_EQ(job.freq, CpuFreq::kHigh2250);
+  EXPECT_NE(job.label().find("38q/64"), std::string::npos);
+}
+
+TEST(Job, CuCostIsNodeHours) {
+  JobConfig job;
+  job.num_qubits = 40;
+  job.node_kind = NodeKind::kStandard;
+  job.nodes = 256;
+  EXPECT_NEAR(cu_cost(m(), job, 3600.0), 256.0, 1e-9);
+  EXPECT_NEAR(cu_cost(m(), job, 1800.0), 128.0, 1e-9);
+}
+
+TEST(Job, HighMemHalvesNodeCountAtEqualQubits) {
+  for (int q = 35; q <= 41; ++q) {
+    EXPECT_EQ(min_nodes(m(), q, NodeKind::kHighMem) * 2,
+              min_nodes(m(), q, NodeKind::kStandard))
+        << q;
+  }
+}
+
+}  // namespace
+}  // namespace qsv

@@ -1,0 +1,165 @@
+#include "circuit/locality.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuit/builders.hpp"
+#include "circuit/matrix.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace qsv {
+namespace {
+
+TEST(Locality, DiagonalGatesAreFullyLocalWhereverTheyAct) {
+  // Even with every operand in the rank bits, a diagonal gate needs no
+  // communication (the paper's first operator class).
+  for (const Gate& g :
+       {make_z(35), make_cphase(36, 37, 0.5), make_rz(33, 1.0),
+        make_fused_phase(34, {35, 36}, {0.1, 0.2})}) {
+    EXPECT_EQ(classify_gate(g, 32), GateLocality::kFullyLocal) << g.str();
+  }
+}
+
+TEST(Locality, NonDiagonalBelowLIsLocalMemory) {
+  EXPECT_EQ(classify_gate(make_h(31), 32), GateLocality::kLocalMemory);
+  EXPECT_EQ(classify_gate(make_h(0), 32), GateLocality::kLocalMemory);
+  EXPECT_EQ(classify_gate(make_swap(3, 31), 32), GateLocality::kLocalMemory);
+}
+
+TEST(Locality, NonDiagonalAtOrAboveLIsDistributed) {
+  EXPECT_EQ(classify_gate(make_h(32), 32), GateLocality::kDistributed);
+  EXPECT_EQ(classify_gate(make_x(37), 32), GateLocality::kDistributed);
+  EXPECT_EQ(classify_gate(make_swap(0, 32), 32), GateLocality::kDistributed);
+  EXPECT_EQ(classify_gate(make_swap(33, 35), 32), GateLocality::kDistributed);
+}
+
+TEST(Locality, HighControlsDoNotDistribute) {
+  // A control in the rank bits is known locally; only targets communicate.
+  const Gate cx = make_cx(36, 5);
+  EXPECT_EQ(classify_gate(cx, 32), GateLocality::kLocalMemory);
+}
+
+TEST(Locality, SingleRankNeverDistributes) {
+  EXPECT_EQ(classify_gate(make_h(37), 38), GateLocality::kLocalMemory);
+}
+
+TEST(Locality, FootprintOfDistributedHadamard) {
+  // 38-qubit register, 64 ranks, L = 32: the paper's benchmark geometry.
+  const CommFootprint f = comm_footprint(make_h(34), 38, 32);
+  EXPECT_EQ(f.rank_xor_mask, 1u << 2);
+  EXPECT_DOUBLE_EQ(f.participating_fraction, 1.0);
+  EXPECT_EQ(f.bytes_full, 64 * units::GiB);  // the whole 64 GiB slice
+  EXPECT_EQ(f.bytes_half, 64 * units::GiB);  // no half option for H
+}
+
+TEST(Locality, FootprintOfOneHighSwapHalves) {
+  const CommFootprint f = comm_footprint(make_swap(4, 36), 38, 32);
+  EXPECT_EQ(f.rank_xor_mask, 1u << 4);
+  EXPECT_DOUBLE_EQ(f.participating_fraction, 1.0);
+  EXPECT_EQ(f.bytes_full, 64 * units::GiB);
+  EXPECT_EQ(f.bytes_half, 32 * units::GiB);  // the paper's future-work claim
+}
+
+TEST(Locality, FootprintOfTwoHighSwap) {
+  const CommFootprint f = comm_footprint(make_swap(33, 36), 38, 32);
+  EXPECT_EQ(f.rank_xor_mask, (1u << 1) | (1u << 4));
+  EXPECT_DOUBLE_EQ(f.participating_fraction, 0.5);
+  EXPECT_EQ(f.bytes_full, 64 * units::GiB);
+}
+
+TEST(Locality, FootprintRejectsLocalGate) {
+  EXPECT_THROW((void)comm_footprint(make_h(3), 38, 32), Error);
+}
+
+TEST(Locality, QftStats) {
+  // 8-qubit QFT with 2 high qubits (L = 6): ascending Hadamards on 6..7 are
+  // distributed; swaps pairing (0,7) and (1,6) are distributed; CPs never.
+  const Circuit qft = build_qft(8);
+  const LocalityStats s = analyze_locality(qft, 6);
+  EXPECT_EQ(s.distributed, 2u + 2u);
+  EXPECT_EQ(s.fully_local, 28u);                       // all CPs
+  EXPECT_EQ(s.local_memory, 6u + 2u);                  // local Hs + swaps
+  EXPECT_EQ(s.total(), qft.size());
+}
+
+TEST(Locality, HalfExchangeHalvesQftSwapBytes) {
+  const Circuit qft = build_qft(8);
+  const LocalityStats s = analyze_locality(qft, 6);
+  // Distributed ops: 2 Hadamards (full both ways) + 2 one-high swaps
+  // (halvable): full = 4 slices, half = 2 H slices + 2 * 0.5 swap slices.
+  const std::uint64_t slice = (1u << 6) * kBytesPerAmp;
+  EXPECT_EQ(s.exchange_bytes_full, 4 * slice);
+  EXPECT_EQ(s.exchange_bytes_half, 3 * slice);
+}
+
+TEST(Expand, NativeGatesNeedNoExpansion) {
+  EXPECT_TRUE(expand_for_decomposition(make_h(37), 32).empty());
+  EXPECT_TRUE(expand_for_decomposition(make_swap(0, 36), 32).empty());
+  EXPECT_TRUE(expand_for_decomposition(make_cphase(36, 37, 0.5), 32).empty());
+  // Local unitary2: native.
+  Rng rng(1);
+  EXPECT_TRUE(expand_for_decomposition(
+                  make_unitary2(0, 1, random_unitary2_params(rng)), 32)
+                  .empty());
+}
+
+TEST(Expand, OneHighUnitary2GetsStaged) {
+  Rng rng(2);
+  const Gate g = make_unitary2(3, 36, random_unitary2_params(rng));
+  const auto seq = expand_for_decomposition(g, 32);
+  ASSERT_EQ(seq.size(), 3u);
+  EXPECT_EQ(seq[0].kind, GateKind::kSwap);
+  EXPECT_EQ(seq[1].kind, GateKind::kUnitary2);
+  EXPECT_EQ(seq[2], seq[0]);  // the un-swap mirrors the stage-in swap
+  // The staged gate is fully local and preserves target order semantics.
+  EXPECT_LT(seq[1].targets[0], 32);
+  EXPECT_LT(seq[1].targets[1], 32);
+  EXPECT_EQ(seq[1].targets[0], 3);  // untouched local target stays
+  EXPECT_EQ(classify_gate(seq[1], 32), GateLocality::kLocalMemory);
+}
+
+TEST(Expand, TwoHighUnitary2NeedsTwoSwapPairs) {
+  Rng rng(3);
+  const Gate g = make_unitary2(35, 36, random_unitary2_params(rng));
+  const auto seq = expand_for_decomposition(g, 32);
+  ASSERT_EQ(seq.size(), 5u);
+  EXPECT_EQ(seq[0].kind, GateKind::kSwap);
+  EXPECT_EQ(seq[1].kind, GateKind::kSwap);
+  EXPECT_EQ(seq[2].kind, GateKind::kUnitary2);
+  // Un-swaps come in reverse order.
+  EXPECT_EQ(seq[3], seq[1]);
+  EXPECT_EQ(seq[4], seq[0]);
+  // Victims are the two lowest local qubits.
+  EXPECT_EQ(seq[2].targets[0], 0);
+  EXPECT_EQ(seq[2].targets[1], 1);
+}
+
+TEST(Expand, VictimsAvoidGateOperands) {
+  // Targets and controls occupying the low slots push the victim upward.
+  Rng rng(4);
+  Gate g = make_unitary2(0, 36, random_unitary2_params(rng));
+  g.controls = {1, 2};
+  const auto seq = expand_for_decomposition(g, 32);
+  ASSERT_EQ(seq.size(), 3u);
+  EXPECT_EQ(seq[0].targets[0], 3);  // 0,1,2 are in use
+}
+
+TEST(Expand, AnalyzeLocalityCountsExpansion) {
+  Rng rng(5);
+  Circuit c(38);
+  c.add(make_unitary2(3, 36, random_unitary2_params(rng)));
+  const LocalityStats s = analyze_locality(c, 32);
+  // swap + local gate + swap.
+  EXPECT_EQ(s.distributed, 2u);
+  EXPECT_EQ(s.local_memory, 1u);
+}
+
+TEST(Locality, NamesAreStable) {
+  EXPECT_STREQ(locality_name(GateLocality::kFullyLocal), "fully-local");
+  EXPECT_STREQ(locality_name(GateLocality::kLocalMemory), "local-memory");
+  EXPECT_STREQ(locality_name(GateLocality::kDistributed), "distributed");
+}
+
+}  // namespace
+}  // namespace qsv

@@ -1,0 +1,75 @@
+#include "common/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace qsv {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log_level()) {}
+  ~LogLevelGuard() { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Log, LevelFilterOrdering) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kWarn);
+  EXPECT_EQ(log_level(), LogLevel::kWarn);
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kOff);
+  EXPECT_EQ(log_level(), LogLevel::kOff);
+}
+
+TEST(Log, MacroRespectsLevel) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kOff);
+  // The expression must not be evaluated when filtered out.
+  int evaluations = 0;
+  auto expensive = [&]() {
+    ++evaluations;
+    return "x";
+  };
+  QSV_DEBUG(expensive());
+  EXPECT_EQ(evaluations, 0);
+
+  set_log_level(LogLevel::kDebug);
+  testing::internal::CaptureStderr();
+  QSV_DEBUG(expensive());
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(evaluations, 1);
+  EXPECT_NE(err.find("DEBUG"), std::string::npos);
+}
+
+TEST(Log, WarnGoesToStderrWithPrefix) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kWarn);
+  testing::internal::CaptureStderr();
+  QSV_WARN("something " << 42);
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("[qsv:WARN] something 42"), std::string::npos);
+}
+
+TEST(Error, RequireMacroThrowsWithLocation) {
+  try {
+    QSV_REQUIRE(1 == 2, "math is broken");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("math is broken"), std::string::npos);
+    EXPECT_NE(what.find("test_log.cpp"), std::string::npos);
+  }
+}
+
+TEST(Error, RequirePassesSilently) {
+  EXPECT_NO_THROW(QSV_REQUIRE(true, "never"));
+}
+
+}  // namespace
+}  // namespace qsv

@@ -1,0 +1,135 @@
+#include "machine/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+#include "machine/archer2.hpp"
+
+namespace qsv {
+namespace {
+
+TEST(Frequency, GhzValues) {
+  EXPECT_DOUBLE_EQ(freq_ghz(CpuFreq::kLow1500), 1.50);
+  EXPECT_DOUBLE_EQ(freq_ghz(CpuFreq::kMedium2000), 2.00);
+  EXPECT_DOUBLE_EQ(freq_ghz(CpuFreq::kHigh2250), 2.25);
+  EXPECT_STREQ(freq_name(CpuFreq::kMedium2000), "2.00 GHz");
+}
+
+TEST(Machine, Archer2NodeCatalogue) {
+  const MachineModel m = archer2();
+  EXPECT_EQ(m.standard.memory_bytes, 256 * units::GiB);
+  EXPECT_EQ(m.highmem.memory_bytes, 512 * units::GiB);
+  EXPECT_LT(m.standard.usable_bytes, m.standard.memory_bytes);
+  EXPECT_EQ(m.standard.available, 5860);
+  EXPECT_EQ(m.node(NodeKind::kStandard).name, "standard");
+  EXPECT_EQ(m.node(NodeKind::kHighMem).name, "highmem");
+}
+
+TEST(Machine, MemTimeScalesWithBytesAndFrequency) {
+  const MachineModel m = archer2();
+  const double t1 = m.mem_time(1e9, CpuFreq::kMedium2000);
+  EXPECT_NEAR(m.mem_time(2e9, CpuFreq::kMedium2000), 2 * t1, 1e-12);
+  // Low clock loses bandwidth; boost gains a little.
+  EXPECT_GT(m.mem_time(1e9, CpuFreq::kLow1500), t1);
+  EXPECT_LT(m.mem_time(1e9, CpuFreq::kHigh2250), t1);
+}
+
+TEST(Machine, ComputeTimeScalesWithClock) {
+  const MachineModel m = archer2();
+  const double t = m.compute_time(1e9, CpuFreq::kMedium2000);
+  EXPECT_NEAR(m.compute_time(1e9, CpuFreq::kHigh2250), t / 1.125, 1e-9);
+  EXPECT_NEAR(m.compute_time(1e9, CpuFreq::kLow1500), t / 0.75, 1e-9);
+}
+
+TEST(Machine, NumaMultipliersOnTopThreeQubits) {
+  const MachineModel m = archer2();
+  EXPECT_DOUBLE_EQ(m.numa_mult(31, 32), 1.90);
+  EXPECT_DOUBLE_EQ(m.numa_mult(30, 32), 1.27);
+  EXPECT_DOUBLE_EQ(m.numa_mult(29, 32), 1.08);
+  EXPECT_DOUBLE_EQ(m.numa_mult(28, 32), 1.0);
+  EXPECT_DOUBLE_EQ(m.numa_mult(0, 32), 1.0);
+  EXPECT_DOUBLE_EQ(m.numa_mult(-1, 32), 1.0);  // no local target
+}
+
+TEST(Machine, CongestionGrowsWithNodeCount) {
+  const MachineModel m = archer2();
+  EXPECT_DOUBLE_EQ(m.congestion(1), 1.0);
+  EXPECT_DOUBLE_EQ(m.congestion(64), 1.0);
+  EXPECT_NEAR(m.congestion(128), 1.10, 1e-12);
+  EXPECT_NEAR(m.congestion(4096), 1.60, 1e-12);
+}
+
+TEST(Machine, ExchangeTimePolicies) {
+  const MachineModel m = archer2();
+  const double bytes = 64.0 * units::GiB;
+  const double blk = m.exchange_time(bytes, 32, CommPolicy::kBlocking, 64);
+  const double nbl = m.exchange_time(bytes, 32, CommPolicy::kNonBlocking, 64);
+  EXPECT_GT(blk, nbl);
+  // Table 1 anchor: ~9.13 s blocking, ~8.32 s non-blocking at 64 nodes.
+  EXPECT_NEAR(blk, 9.13, 0.05);
+  EXPECT_NEAR(nbl, 8.32, 0.05);
+}
+
+TEST(Machine, ExchangeTimeIncludesPerMessageLatency) {
+  const MachineModel m = archer2();
+  const double few = m.exchange_time(1e6, 1, CommPolicy::kBlocking, 64);
+  const double many = m.exchange_time(1e6, 1000, CommPolicy::kBlocking, 64);
+  EXPECT_GT(many, few);
+}
+
+TEST(Machine, NodePowerOrdering) {
+  const MachineModel m = archer2();
+  const double local = m.node_power(MachineModel::Phase::kLocal,
+                                    CpuFreq::kMedium2000,
+                                    NodeKind::kStandard);
+  const double mpi = m.node_power(MachineModel::Phase::kMpi,
+                                  CpuFreq::kMedium2000, NodeKind::kStandard);
+  const double stall = m.node_power(MachineModel::Phase::kStall,
+                                    CpuFreq::kMedium2000,
+                                    NodeKind::kStandard);
+  const double idle = m.node_power(MachineModel::Phase::kIdle,
+                                   CpuFreq::kMedium2000, NodeKind::kStandard);
+  EXPECT_GT(local, mpi);
+  EXPECT_GT(mpi, stall);
+  EXPECT_GT(stall, idle);
+  // Calibration anchors: ~440 W local, ~272 W MPI (Table 1).
+  EXPECT_NEAR(local, 440, 2);
+  EXPECT_NEAR(mpi, 272, 2);
+}
+
+TEST(Machine, HighMemNodesBurnMoreStaticPower) {
+  const MachineModel m = archer2();
+  for (auto phase : {MachineModel::Phase::kLocal, MachineModel::Phase::kMpi,
+                     MachineModel::Phase::kIdle}) {
+    EXPECT_GT(m.node_power(phase, CpuFreq::kMedium2000, NodeKind::kHighMem),
+              m.node_power(phase, CpuFreq::kMedium2000,
+                           NodeKind::kStandard));
+  }
+}
+
+TEST(Machine, DvfsRaisesAndLowersPower) {
+  const MachineModel m = archer2();
+  const auto p = [&](CpuFreq f) {
+    return m.node_power(MachineModel::Phase::kLocal, f, NodeKind::kStandard);
+  };
+  EXPECT_GT(p(CpuFreq::kHigh2250), p(CpuFreq::kMedium2000));
+  EXPECT_LT(p(CpuFreq::kLow1500), p(CpuFreq::kMedium2000));
+}
+
+TEST(Machine, SwitchCountOnePerEightNodes) {
+  const MachineModel m = archer2();
+  EXPECT_EQ(m.switch_count(1), 1);
+  EXPECT_EQ(m.switch_count(8), 1);
+  EXPECT_EQ(m.switch_count(9), 2);
+  EXPECT_EQ(m.switch_count(64), 8);
+  EXPECT_EQ(m.switch_count(4096), 512);
+}
+
+TEST(Machine, SwitchEnergyFormula) {
+  // The paper's E_net = n_s * P_s * dt: 512 switches * 235 W * 476 s.
+  const MachineModel m = archer2();
+  EXPECT_NEAR(m.switch_energy(4096, 476), 512 * 235.0 * 476, 1e-6);
+}
+
+}  // namespace
+}  // namespace qsv

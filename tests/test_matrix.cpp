@@ -1,0 +1,183 @@
+#include "circuit/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "common/error.hpp"
+#include "test_util.hpp"
+
+namespace qsv {
+namespace {
+
+constexpr real_t kPi = std::numbers::pi_v<real_t>;
+
+TEST(Mat2, IdentityAndMul) {
+  const Mat2 id = Mat2::identity();
+  const Mat2 h = gate_matrix2(make_h(0));
+  EXPECT_TRUE(id.mul(h).approx_equal(h));
+  EXPECT_TRUE(h.mul(id).approx_equal(h));
+}
+
+TEST(Mat2, HadamardSelfInverse) {
+  const Mat2 h = gate_matrix2(make_h(0));
+  EXPECT_TRUE(h.mul(h).approx_equal(Mat2::identity()));
+}
+
+class GateMatrixUnitary : public testing::TestWithParam<Gate> {};
+
+TEST_P(GateMatrixUnitary, IsUnitary) {
+  EXPECT_TRUE(gate_matrix2(GetParam()).is_unitary());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSingleQubitKinds, GateMatrixUnitary,
+    testing::Values(make_h(0), make_x(0), make_y(0), make_z(0), make_s(0),
+                    make_t_gate(0), make_phase(0, 0.7), make_rx(0, 1.1),
+                    make_ry(0, -0.4), make_rz(0, 2.5), make_cx(1, 0),
+                    make_cz(1, 0), make_cphase(1, 0, 0.9)));
+
+TEST(Mat2, PauliAlgebra) {
+  const Mat2 x = gate_matrix2(make_x(0));
+  const Mat2 y = gate_matrix2(make_y(0));
+  const Mat2 z = gate_matrix2(make_z(0));
+  // XY = iZ.
+  Mat2 iz = z;
+  for (auto& row : iz.m) {
+    for (auto& v : row) {
+      v *= cplx{0, 1};
+    }
+  }
+  EXPECT_TRUE(x.mul(y).approx_equal(iz));
+}
+
+TEST(Mat2, SSquaredIsZ) {
+  const Mat2 s = gate_matrix2(make_s(0));
+  EXPECT_TRUE(s.mul(s).approx_equal(gate_matrix2(make_z(0))));
+}
+
+TEST(Mat2, TSquaredIsS) {
+  const Mat2 t = gate_matrix2(make_t_gate(0));
+  EXPECT_TRUE(t.mul(t).approx_equal(gate_matrix2(make_s(0)), 1e-12));
+}
+
+TEST(Mat2, RzPhaseConvention) {
+  const Mat2 rz = gate_matrix2(make_rz(0, kPi));
+  EXPECT_NEAR(std::abs(rz.m[0][0] - std::polar<real_t>(1, -kPi / 2)), 0,
+              1e-12);
+  EXPECT_NEAR(std::abs(rz.m[1][1] - std::polar<real_t>(1, kPi / 2)), 0,
+              1e-12);
+}
+
+TEST(DenseMatrix, IdentityApplies) {
+  const DenseMatrix id = DenseMatrix::identity(3);
+  std::vector<cplx> v(8);
+  v[5] = cplx{0.6, -0.8};
+  test::expect_state_eq(id.apply(v), v);
+}
+
+TEST(DenseMatrix, OfGateEmbedsHadamard) {
+  const DenseMatrix m = DenseMatrix::of_gate(make_h(1), 2);
+  std::vector<cplx> v(4);
+  v[0] = 1;  // |00>
+  const auto out = m.apply(v);
+  const real_t s = std::numbers::sqrt2_v<real_t> / 2;
+  test::expect_state_eq(out, {cplx{s, 0}, {}, cplx{s, 0}, {}});
+}
+
+TEST(DenseMatrix, OfGateRespectsControls) {
+  const DenseMatrix cx = DenseMatrix::of_gate(make_cx(0, 1), 2);
+  // |01> (control qubit 0 set) -> |11>.
+  std::vector<cplx> v(4);
+  v[1] = 1;
+  auto out = cx.apply(v);
+  test::expect_state_eq(out, {{}, {}, {}, cplx{1, 0}});
+  // |10> (control clear) unchanged.
+  std::vector<cplx> w(4);
+  w[2] = 1;
+  out = cx.apply(w);
+  test::expect_state_eq(out, w);
+}
+
+TEST(DenseMatrix, OfGateSwapPermutes) {
+  const DenseMatrix sw = DenseMatrix::of_gate(make_swap(0, 2), 3);
+  // |001> -> |100>.
+  std::vector<cplx> v(8);
+  v[1] = 1;
+  const auto out = sw.apply(v);
+  std::vector<cplx> want(8);
+  want[4] = 1;
+  test::expect_state_eq(out, want);
+}
+
+TEST(DenseMatrix, OfGateFusedPhaseSumsAngles) {
+  const Gate g = make_fused_phase(0, {1, 2}, {0.3, 0.5});
+  const DenseMatrix m = DenseMatrix::of_gate(g, 3);
+  // Basis |111>: both controls and target set -> phase 0.8.
+  EXPECT_NEAR(std::arg(m.at(7, 7)), 0.8, 1e-12);
+  // |011>: control 1 set, control 2 clear -> phase 0.3.
+  EXPECT_NEAR(std::arg(m.at(3, 3)), 0.3, 1e-12);
+  // |110>: target clear -> phase 0.
+  EXPECT_NEAR(std::arg(m.at(6, 6)), 0.0, 1e-12);
+}
+
+TEST(DenseMatrix, MulComposes) {
+  const DenseMatrix h0 = DenseMatrix::of_gate(make_h(0), 2);
+  const DenseMatrix prod = h0.mul(h0);
+  EXPECT_LT(prod.max_diff(DenseMatrix::identity(2)), 1e-12);
+}
+
+class DenseGateUnitary : public testing::TestWithParam<Gate> {};
+
+TEST_P(DenseGateUnitary, EmbeddedGateIsUnitary) {
+  EXPECT_TRUE(DenseMatrix::of_gate(GetParam(), 4).is_unitary());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Various, DenseGateUnitary,
+    testing::Values(make_h(2), make_swap(1, 3), make_cx(0, 3),
+                    make_cphase(2, 0, 1.3),
+                    make_fused_phase(1, {0, 2, 3}, {0.2, -0.7, 1.9}),
+                    make_rz(3, 0.77), make_ry(1, -2.2)));
+
+TEST(Mat4, RandomUnitariesAreUnitary) {
+  Rng rng(7);
+  for (int i = 0; i < 5; ++i) {
+    const Gate g = make_unitary2(0, 1, random_unitary2_params(rng));
+    EXPECT_TRUE(gate_matrix4(g).is_unitary(1e-10));
+    const Gate g1 = make_unitary1(0, random_unitary1_params(rng));
+    EXPECT_TRUE(gate_matrix2(g1).is_unitary(1e-10));
+  }
+}
+
+TEST(Mat4, DaggerInverts) {
+  Rng rng(9);
+  const Gate g = make_unitary2(0, 1, random_unitary2_params(rng));
+  const Mat4 u = gate_matrix4(g);
+  EXPECT_TRUE(u.mul(u.dagger()).approx_equal(Mat4::identity(), 1e-10));
+}
+
+TEST(DenseMatrix, Unitary2EmbedsWithTargetOrder) {
+  // For U = SWAP's matrix, of_gate(kUnitary2) must equal of_gate(kSwap).
+  std::vector<real_t> swap_params(32, 0);
+  auto set = [&](int r, int c) { swap_params[2 * (4 * r + c)] = 1; };
+  set(0, 0);
+  set(1, 2);  // |01> -> |10> in (b,a) ordering
+  set(2, 1);
+  set(3, 3);
+  const DenseMatrix via_u2 =
+      DenseMatrix::of_gate(make_unitary2(0, 2, swap_params), 3);
+  const DenseMatrix via_swap = DenseMatrix::of_gate(make_swap(0, 2), 3);
+  EXPECT_LT(via_u2.max_diff(via_swap), 1e-14);
+}
+
+TEST(DenseMatrix, RejectsOutOfRangeGate) {
+  EXPECT_THROW(DenseMatrix::of_gate(make_h(4), 3), Error);
+}
+
+TEST(DenseMatrix, RejectsHugeRegisters) {
+  EXPECT_THROW(DenseMatrix(13), Error);
+}
+
+}  // namespace
+}  // namespace qsv

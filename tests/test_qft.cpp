@@ -1,0 +1,186 @@
+// QFT semantics: the builders must implement the discrete Fourier
+// transform exactly, in both endianness conventions, with and without fused
+// phase layers, and the cache-blocked rewrite must preserve the unitary.
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "circuit/builders.hpp"
+#include "circuit/transpile/cache_blocking.hpp"
+#include "common/rng.hpp"
+#include "sv/statevector.hpp"
+#include "test_util.hpp"
+
+namespace qsv {
+namespace {
+
+constexpr real_t kPi = std::numbers::pi_v<real_t>;
+
+/// Little-endian DFT of an amplitude vector: out_k = sum_j in_j *
+/// exp(2*pi*i*j*k/N) / sqrt(N).
+std::vector<cplx> dft(const std::vector<cplx>& in) {
+  const std::size_t n = in.size();
+  std::vector<cplx> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    cplx acc = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      acc += in[j] * std::polar<real_t>(1, 2 * kPi * static_cast<real_t>(j) *
+                                               static_cast<real_t>(k) /
+                                               static_cast<real_t>(n));
+    }
+    out[k] = acc / std::sqrt(static_cast<real_t>(n));
+  }
+  return out;
+}
+
+/// Bit-reverses an amplitude vector over `bits` qubits.
+std::vector<cplx> bit_reverse(const std::vector<cplx>& in, int bits) {
+  std::vector<cplx> out(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    std::size_t r = 0;
+    for (int b = 0; b < bits; ++b) {
+      if ((i >> b) & 1u) {
+        r |= std::size_t{1} << (bits - 1 - b);
+      }
+    }
+    out[r] = in[i];
+  }
+  return out;
+}
+
+class QftSize : public testing::TestWithParam<int> {};
+
+TEST_P(QftSize, DescendingEqualsDft) {
+  const int n = GetParam();
+  QftOptions opts;
+  opts.ascending = false;
+  const Circuit qft = build_qft(n, opts);
+
+  StateVector sv(n);
+  Rng rng(n);
+  sv.init_random_state(rng);
+  const auto in = sv.to_vector();
+  sv.apply(qft);
+  test::expect_state_eq(sv.to_vector(), dft(in), 1e-9);
+}
+
+TEST_P(QftSize, AscendingEqualsBitReversedDft) {
+  // The paper's drawing applies Hadamards bottom-up; with the terminal
+  // swaps that realises R * DFT * R (big-endian significance).
+  const int n = GetParam();
+  QftOptions opts;
+  opts.ascending = true;
+  const Circuit qft = build_qft(n, opts);
+
+  StateVector sv(n);
+  Rng rng(n + 100);
+  sv.init_random_state(rng);
+  const auto in = sv.to_vector();
+  sv.apply(qft);
+  const auto want = bit_reverse(dft(bit_reverse(in, n)), n);
+  test::expect_state_eq(sv.to_vector(), want, 1e-9);
+}
+
+TEST_P(QftSize, FusedPhasesMatchPlainGates) {
+  const int n = GetParam();
+  for (bool ascending : {false, true}) {
+    QftOptions plain;
+    plain.ascending = ascending;
+    QftOptions fused = plain;
+    fused.fused_phases = true;
+
+    StateVector a(n);
+    StateVector b(n);
+    Rng rng(n + 7);
+    a.init_random_state(rng);
+    for (amp_index i = 0; i < a.num_amps(); ++i) {
+      b.set_amplitude(i, a.amplitude(i));
+    }
+    a.apply(build_qft(n, plain));
+    b.apply(build_qft(n, fused));
+    EXPECT_LT(a.max_amp_diff(b), 1e-10) << "ascending=" << ascending;
+  }
+}
+
+TEST_P(QftSize, NoFinalSwapsGivesBitReversedResult) {
+  const int n = GetParam();
+  QftOptions with;
+  with.ascending = false;
+  QftOptions without = with;
+  without.final_swaps = false;
+
+  StateVector a(n);
+  StateVector b(n);
+  Rng rng(n + 13);
+  a.init_random_state(rng);
+  for (amp_index i = 0; i < a.num_amps(); ++i) {
+    b.set_amplitude(i, a.amplitude(i));
+  }
+  a.apply(build_qft(n, with));
+  b.apply(build_qft(n, without));
+  const auto rev = bit_reverse(b.to_vector(), n);
+  test::expect_state_eq(a.to_vector(), rev, 1e-9);
+}
+
+TEST_P(QftSize, InverseUndoes) {
+  const int n = GetParam();
+  const Circuit qft = build_qft(n);
+  StateVector sv(n);
+  Rng rng(n + 21);
+  sv.init_random_state(rng);
+  const auto in = sv.to_vector();
+  sv.apply(qft);
+  sv.apply(qft.inverse());
+  test::expect_state_eq(sv.to_vector(), in, 1e-9);
+}
+
+TEST_P(QftSize, CacheBlockedPreservesTheUnitary) {
+  const int n = GetParam();
+  for (int local = 1; local < n; ++local) {
+    const Circuit blocked = build_cache_blocked_qft(n, local);
+    QftOptions opts;
+    opts.ascending = true;
+    opts.fused_phases = true;
+    const Circuit original = build_qft(n, opts);
+    StateVector a(n);
+    StateVector b(n);
+    Rng rng(n + local);
+    a.init_random_state(rng);
+    for (amp_index i = 0; i < a.num_amps(); ++i) {
+      b.set_amplitude(i, a.amplitude(i));
+    }
+    a.apply(original);
+    b.apply(blocked);
+    EXPECT_LT(a.max_amp_diff(b), 1e-10) << "local=" << local;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, QftSize, testing::Values(1, 2, 3, 4, 5, 6, 8));
+
+TEST(Qft, StructureAscending) {
+  const Circuit qft = build_qft(6);
+  EXPECT_EQ(qft.count_kind(GateKind::kH), 6u);
+  EXPECT_EQ(qft.count_kind(GateKind::kCPhase), 15u);  // n(n-1)/2
+  EXPECT_EQ(qft.count_kind(GateKind::kSwap), 3u);     // n/2
+  // First gate is H on qubit 0 (paper's drawing), last three are swaps.
+  EXPECT_EQ(qft.gate(0).kind, GateKind::kH);
+  EXPECT_EQ(qft.gate(0).targets[0], 0);
+  EXPECT_EQ(qft.gate(qft.size() - 1).kind, GateKind::kSwap);
+}
+
+TEST(Qft, FusedStructure) {
+  QftOptions opts;
+  opts.fused_phases = true;
+  const Circuit qft = build_qft(6, opts);
+  EXPECT_EQ(qft.count_kind(GateKind::kFusedPhase), 5u);  // none for last H
+  EXPECT_EQ(qft.count_kind(GateKind::kCPhase), 0u);
+}
+
+TEST(Qft, SingleQubitIsJustHadamard) {
+  const Circuit qft = build_qft(1);
+  EXPECT_EQ(qft.size(), 1u);
+  EXPECT_EQ(qft.gate(0).kind, GateKind::kH);
+}
+
+}  // namespace
+}  // namespace qsv

@@ -1,0 +1,144 @@
+// The QuEST-facade must behave exactly like QuEST's documented semantics
+// (verified against the native engine underneath).
+#include "api/quest_compat.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "circuit/builders.hpp"
+#include "common/error.hpp"
+#include "sv/statevector.hpp"
+
+namespace qsv::quest {
+namespace {
+
+constexpr qreal kPi = std::numbers::pi_v<qreal>;
+
+TEST(QuestCompat, LifecycleAndZeroState) {
+  QuESTEnv env = createQuESTEnv(4);
+  Qureg q = createQureg(5, env);
+  EXPECT_EQ(q.numQubitsRepresented(), 5);
+  EXPECT_NEAR(calcTotalProb(q), 1.0, 1e-12);
+  const Complex a0 = getAmp(q, 0);
+  EXPECT_NEAR(a0.real, 1.0, 1e-12);
+  EXPECT_NEAR(a0.imag, 0.0, 1e-12);
+  destroyQureg(q, env);
+  EXPECT_THROW(hadamard(q, 0), Error);
+  destroyQuESTEnv(env);
+}
+
+TEST(QuestCompat, BellPairViaQuestCalls) {
+  QuESTEnv env = createQuESTEnv(2);
+  Qureg q = createQureg(2, env);
+  hadamard(q, 0);
+  controlledNot(q, 0, 1);
+  EXPECT_NEAR(calcProbOfOutcome(q, 0, 1), 0.5, 1e-12);
+  EXPECT_NEAR(calcProbOfOutcome(q, 1, 1), 0.5, 1e-12);
+  const Complex a3 = getAmp(q, 3);
+  EXPECT_NEAR(a3.real, std::sqrt(0.5), 1e-12);
+}
+
+TEST(QuestCompat, InitPlusAndClassicalStates) {
+  QuESTEnv env = createQuESTEnv(2);
+  Qureg q = createQureg(3, env);
+  initPlusState(q);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_NEAR(getAmp(q, i).real, std::pow(0.5, 1.5), 1e-12);
+  }
+  initClassicalState(q, 6);
+  EXPECT_NEAR(getAmp(q, 6).real, 1.0, 1e-12);
+  EXPECT_NEAR(calcProbOfOutcome(q, 1, 1), 1.0, 1e-12);
+}
+
+TEST(QuestCompat, GateSemanticsMatchNativeEngine) {
+  QuESTEnv env = createQuESTEnv(4);
+  Qureg q = createQureg(4, env);
+  StateVector ref(4);
+
+  hadamard(q, 0);
+  ref.apply(make_h(0));
+  rotateY(q, 1, 0.7);
+  ref.apply(make_ry(1, 0.7));
+  controlledPhaseShift(q, 0, 3, kPi / 4);
+  ref.apply(make_cphase(0, 3, kPi / 4));
+  swapGate(q, 1, 3);
+  ref.apply(make_swap(1, 3));
+  tGate(q, 2);
+  ref.apply(make_t_gate(2));
+  rotateZ(q, 3, -1.1);
+  ref.apply(make_rz(3, -1.1));
+  pauliY(q, 0);
+  ref.apply(make_y(0));
+  controlledPhaseFlip(q, 2, 0);
+  ref.apply(make_cz(2, 0));
+
+  for (amp_index i = 0; i < 16; ++i) {
+    const Complex a = getAmp(q, static_cast<long long>(i));
+    EXPECT_NEAR(a.real, ref.amplitude(i).real(), 1e-12) << i;
+    EXPECT_NEAR(a.imag, ref.amplitude(i).imag(), 1e-12) << i;
+  }
+}
+
+TEST(QuestCompat, UnitaryMatrixLayout) {
+  QuESTEnv env = createQuESTEnv(1);
+  Qureg q = createQureg(1, env);
+  // u = X as a ComplexMatrix2.
+  ComplexMatrix2 u{};
+  u.real[0][1] = 1;
+  u.real[1][0] = 1;
+  unitary(q, 0, u);
+  EXPECT_NEAR(getAmp(q, 1).real, 1.0, 1e-12);
+}
+
+TEST(QuestCompat, ApplyFullQftMatchesBuiltinWorkload) {
+  QuESTEnv env = createQuESTEnv(4);
+  Qureg q = createQureg(6, env);
+  initClassicalState(q, 13);
+  applyFullQFT(q);
+  // Against the native engine running the paper's built-in QFT.
+  StateVector ref(6);
+  ref.init_basis_state(13);
+  qsv::QftOptions opts;
+  opts.ascending = true;
+  opts.fused_phases = true;
+  ref.apply(qsv::build_qft(6, opts));
+  for (amp_index i = 0; i < 64; ++i) {
+    EXPECT_NEAR(getAmp(q, static_cast<long long>(i)).real,
+                ref.amplitude(i).real(), 1e-10);
+  }
+}
+
+TEST(QuestCompat, MeasureIsSeededAndCollapses) {
+  QuESTEnv env = createQuESTEnv(2);
+  Qureg a = createQureg(2, env);  // 2 ranks need >= 2 amps per rank
+  Qureg b = createQureg(2, env);
+  hadamard(a, 0);
+  hadamard(b, 0);
+  seedQuEST(a, 99);
+  seedQuEST(b, 99);
+  EXPECT_EQ(measure(a, 0), measure(b, 0));  // same stream, same outcome
+  EXPECT_NEAR(calcTotalProb(a), 1.0, 1e-12);
+}
+
+TEST(QuestCompat, CalcFidelity) {
+  QuESTEnv env = createQuESTEnv(2);
+  Qureg a = createQureg(3, env);
+  Qureg b = createQureg(3, env);
+  EXPECT_NEAR(calcFidelity(a, b), 1.0, 1e-12);
+  pauliX(b, 1);
+  EXPECT_NEAR(calcFidelity(a, b), 0.0, 1e-12);
+}
+
+TEST(QuestCompat, Validation) {
+  QuESTEnv env = createQuESTEnv(2);
+  Qureg q = createQureg(2, env);
+  EXPECT_THROW(hadamard(q, 5), Error);
+  EXPECT_THROW((void)calcProbOfOutcome(q, 0, 2), Error);
+  EXPECT_THROW(initClassicalState(q, -1), Error);
+  EXPECT_THROW((void)createQuESTEnv(0), Error);
+}
+
+}  // namespace
+}  // namespace qsv::quest

@@ -1,0 +1,67 @@
+#include "perf/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuit/builders.hpp"
+#include "common/error.hpp"
+#include "machine/archer2.hpp"
+
+namespace qsv {
+namespace {
+
+const MachineModel& m() {
+  static const MachineModel model = archer2();
+  return model;
+}
+
+TEST(Runner, ModelAndFunctionalAgreeOnCosts) {
+  // Small enough to run functionally; the trace-priced report must match
+  // the functionally-priced one in every cost field.
+  JobConfig job;
+  job.num_qubits = 10;
+  job.node_kind = NodeKind::kStandard;
+  job.nodes = 8;
+  const Circuit qft = build_qft(10);
+
+  DistOptions opts;
+  opts.max_message_bytes = 256;
+  const RunReport a = run_model(qft, m(), job, opts);
+  const RunReport b = run_functional_model(qft, m(), job, opts);
+
+  EXPECT_DOUBLE_EQ(a.runtime_s, b.runtime_s);
+  EXPECT_DOUBLE_EQ(a.node_energy_j, b.node_energy_j);
+  EXPECT_DOUBLE_EQ(a.switch_energy_j, b.switch_energy_j);
+  EXPECT_EQ(a.gates, b.gates);
+  EXPECT_EQ(a.distributed_gates, b.distributed_gates);
+  EXPECT_EQ(a.traffic.messages, b.traffic.messages);
+  EXPECT_EQ(a.traffic.bytes, b.traffic.bytes);
+}
+
+TEST(Runner, RegisterMismatchThrows) {
+  JobConfig job;
+  job.num_qubits = 12;
+  job.nodes = 4;
+  EXPECT_THROW((void)run_model(build_qft(10), m(), job), Error);
+}
+
+TEST(Runner, ReportCountsGates) {
+  JobConfig job;
+  job.num_qubits = 38;
+  job.nodes = 64;
+  const RunReport r = run_model(build_hadamard_bench(38, 37, 50), m(), job);
+  EXPECT_EQ(r.gates, 50u);
+  EXPECT_EQ(r.distributed_gates, 50u);
+  EXPECT_GT(r.time_per_gate(), 9.0);
+  EXPECT_GT(r.energy_per_gate(), 150e3);
+}
+
+TEST(Runner, CuScalesWithNodesAndRuntime) {
+  JobConfig job;
+  job.num_qubits = 38;
+  job.nodes = 64;
+  const RunReport r = run_model(build_hadamard_bench(38, 5, 72), m(), job);
+  EXPECT_NEAR(r.cu, 64.0 * r.runtime_s / 3600.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace qsv

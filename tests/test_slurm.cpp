@@ -1,0 +1,129 @@
+#include "machine/slurm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "circuit/builders.hpp"
+#include "common/error.hpp"
+#include "machine/archer2.hpp"
+#include "perf/runner.hpp"
+
+namespace qsv::slurm {
+namespace {
+
+TEST(Slurm, CpuFreqKhzMatchesArcher2Docs) {
+  EXPECT_EQ(cpu_freq_khz(CpuFreq::kLow1500), 1500000);
+  EXPECT_EQ(cpu_freq_khz(CpuFreq::kMedium2000), 2000000);
+  EXPECT_EQ(cpu_freq_khz(CpuFreq::kHigh2250), 2250000);
+}
+
+TEST(Slurm, PartitionAndQos) {
+  EXPECT_STREQ(partition_name(NodeKind::kStandard), "standard");
+  EXPECT_STREQ(partition_name(NodeKind::kHighMem), "highmem");
+  EXPECT_STREQ(qos_name(64), "standard");
+  EXPECT_STREQ(qos_name(1024), "standard");
+  EXPECT_STREQ(qos_name(4096), "largescale");
+}
+
+TEST(Slurm, SbatchScriptCarriesEveryKnob) {
+  JobConfig job;
+  job.num_qubits = 44;
+  job.node_kind = NodeKind::kStandard;
+  job.freq = CpuFreq::kMedium2000;
+  job.nodes = 4096;
+  SbatchOptions opts;
+  opts.job_name = "qft44";
+  const std::string script =
+      render_sbatch_script(job, opts, "./qft_sim 44");
+  EXPECT_NE(script.find("#SBATCH --nodes=4096"), std::string::npos);
+  EXPECT_NE(script.find("#SBATCH --partition=standard"), std::string::npos);
+  EXPECT_NE(script.find("#SBATCH --qos=largescale"), std::string::npos);
+  EXPECT_NE(script.find("#SBATCH --cpu-freq=2000000"), std::string::npos);
+  EXPECT_NE(script.find("--job-name=qft44"), std::string::npos);
+  EXPECT_NE(script.find("srun"), std::string::npos);
+  EXPECT_NE(script.find("./qft_sim 44"), std::string::npos);
+  EXPECT_EQ(script.find("#!"), 0u);
+}
+
+TEST(Slurm, HighMemScriptSelectsPartition) {
+  JobConfig job;
+  job.num_qubits = 40;
+  job.node_kind = NodeKind::kHighMem;
+  job.freq = CpuFreq::kHigh2250;
+  job.nodes = 128;
+  const std::string script = render_sbatch_script(job, {}, "./sim");
+  EXPECT_NE(script.find("--partition=highmem"), std::string::npos);
+  EXPECT_NE(script.find("--cpu-freq=2250000"), std::string::npos);
+  EXPECT_NE(script.find("--qos=standard"), std::string::npos);
+}
+
+TEST(Slurm, FormatElapsed) {
+  EXPECT_EQ(format_elapsed(0), "00:00:00");
+  EXPECT_EQ(format_elapsed(59.2), "00:01:00");  // rounds up
+  EXPECT_EQ(format_elapsed(476), "00:07:56");
+  EXPECT_EQ(format_elapsed(3 * 3600 + 25 * 60 + 7), "03:25:07");
+}
+
+TEST(Slurm, ConsumedEnergyRoundTrip) {
+  EXPECT_EQ(format_consumed_energy(950), "950");
+  EXPECT_EQ(format_consumed_energy(15.3e3), "15.30K");
+  EXPECT_EQ(format_consumed_energy(664e6), "664.00M");
+  EXPECT_EQ(format_consumed_energy(1.2e9), "1.20G");
+
+  EXPECT_DOUBLE_EQ(parse_consumed_energy("950"), 950);
+  EXPECT_DOUBLE_EQ(parse_consumed_energy("15.30K"), 15300);
+  EXPECT_DOUBLE_EQ(parse_consumed_energy("664.00M"), 664e6);
+  EXPECT_DOUBLE_EQ(parse_consumed_energy("1.20G"), 1.2e9);
+
+  for (double j : {123.0, 45.6e3, 7.89e6, 2.34e9}) {
+    EXPECT_NEAR(parse_consumed_energy(format_consumed_energy(j)), j,
+                j * 0.01);
+  }
+}
+
+TEST(Slurm, ParseRejectsGarbage) {
+  EXPECT_THROW(parse_consumed_energy(""), Error);
+  EXPECT_THROW(parse_consumed_energy("abcK"), Error);
+}
+
+TEST(Slurm, SacctRowRoundTripsThroughThePapersPipeline) {
+  // Model a run, print it as sacct would, parse the energy back, add the
+  // analytic switch term — the exact procedure of §2.4.
+  const MachineModel m = archer2();
+  JobConfig job = make_min_job(m, 38, NodeKind::kStandard);
+  const RunReport r =
+      run_model(build_hadamard_bench(38, 37, 50), m, job);
+
+  const std::string row = render_sacct_row("123456", "hbench", job, r);
+  EXPECT_NE(row.find("|standard|64|"), std::string::npos);
+  EXPECT_NE(row.find("COMPLETED"), std::string::npos);
+
+  // Column 6 is ConsumedEnergy.
+  std::istringstream is(row);
+  std::string field;
+  std::vector<std::string> fields;
+  while (std::getline(is, field, '|')) {
+    fields.push_back(field);
+  }
+  ASSERT_GE(fields.size(), 6u);
+  const double node_energy = parse_consumed_energy(fields[5]);
+  EXPECT_NEAR(node_energy, r.node_energy_j, r.node_energy_j * 0.01);
+
+  const double total = node_energy + m.switch_energy(job.nodes, r.runtime_s);
+  EXPECT_NEAR(total, r.total_energy_j(), r.total_energy_j() * 0.01);
+}
+
+TEST(Slurm, HeaderMatchesRowArity) {
+  const std::string header = sacct_header();
+  JobConfig job;
+  job.nodes = 4;
+  const std::string row = render_sacct_row("1", "x", job, RunReport{});
+  EXPECT_EQ(std::count(header.begin(), header.end(), '|'),
+            std::count(row.begin(), row.end(), '|'));
+}
+
+}  // namespace
+}  // namespace qsv::slurm

@@ -1,0 +1,63 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace qsv {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t("Demo");
+  t.header({"name", "value"});
+  t.row({"alpha", "1"});
+  t.row({"beta", "22"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("Demo"), std::string::npos);
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("22"), std::string::npos);
+}
+
+TEST(Table, ColumnsAlign) {
+  Table t;
+  t.header({"a", "long-header"});
+  t.row({"xxxx", "1"});
+  std::istringstream lines(t.str());
+  std::string header_line;
+  std::string sep;
+  std::string row_line;
+  std::getline(lines, header_line);
+  std::getline(lines, sep);
+  std::getline(lines, row_line);
+  EXPECT_EQ(header_line.size(), row_line.size());
+  // Numeric cells right-align: the "1" lands at the end of its column.
+  EXPECT_EQ(row_line.back(), '1');
+}
+
+TEST(Table, SeparatorRows) {
+  Table t;
+  t.row({"a"});
+  t.separator();
+  t.row({"b"});
+  EXPECT_EQ(t.num_rows(), 3u);
+  const std::string s = t.str();
+  EXPECT_NE(s.find("-"), std::string::npos);
+}
+
+TEST(Table, RaggedRowsAreTolerated) {
+  Table t;
+  t.header({"one", "two", "three"});
+  t.row({"a"});
+  t.row({"a", "b", "c"});
+  EXPECT_NO_THROW((void)t.str());
+}
+
+TEST(Table, EmptyTablePrintsNothingButTitle) {
+  Table t("only-title");
+  const std::string s = t.str();
+  EXPECT_NE(s.find("only-title"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qsv

@@ -1,0 +1,48 @@
+// Shared test helpers.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "circuit/matrix.hpp"
+#include "common/types.hpp"
+#include "sv/statevector.hpp"
+
+namespace qsv::test {
+
+inline constexpr real_t kTol = 1e-10;
+
+/// Applies a circuit to a dense vector via full matrices (brute force).
+inline std::vector<cplx> dense_apply(const Circuit& c,
+                                     std::vector<cplx> state) {
+  for (const Gate& g : c) {
+    state = DenseMatrix::of_gate(g, c.num_qubits()).apply(state);
+  }
+  return state;
+}
+
+/// Max |a_i - b_i| over two amplitude vectors.
+inline real_t max_diff(const std::vector<cplx>& a,
+                       const std::vector<cplx>& b) {
+  EXPECT_EQ(a.size(), b.size());
+  real_t m = 0;
+  for (std::size_t i = 0; i < a.size() && i < b.size(); ++i) {
+    m = std::max(m, std::abs(a[i] - b[i]));
+  }
+  return m;
+}
+
+/// Expects two amplitude vectors to agree elementwise within tol.
+inline void expect_state_eq(const std::vector<cplx>& got,
+                            const std::vector<cplx>& want,
+                            real_t tol = kTol) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got[i].real(), want[i].real(), tol) << "index " << i;
+    EXPECT_NEAR(got[i].imag(), want[i].imag(), tol) << "index " << i;
+  }
+}
+
+}  // namespace qsv::test

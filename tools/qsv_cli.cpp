@@ -1,0 +1,301 @@
+// qsv — command-line front end to the library.
+//
+//   qsv run <file.qc> [--ranks N] [--shots K] [--seed S]
+//   qsv info <file.qc> --local L [--half-exchange]
+//   qsv transpile <file.qc> --local L [--pass cache|greedy|fusion|cleanup]
+//                 [--min-reuse K] [--out out.qc]
+//   qsv price (<file.qc> | --qft N | --fast-qft N) [--nodes N] [--highmem]
+//             [--freq low|medium|high] [--nonblocking] [--half-exchange]
+//             [--timeline out.csv] [--machine overrides.machine]
+//   qsv sbatch --qubits N [--highmem] [--freq ...] [--name J] [--cmd CMD]
+//
+// Every subcommand prints a short usage string on error.
+#include <algorithm>
+#include <iostream>
+#include <map>
+#include <memory>
+
+#include "circuit/builders.hpp"
+#include "circuit/locality.hpp"
+#include "circuit/serialize.hpp"
+#include "circuit/transpile/cache_blocking.hpp"
+#include "circuit/transpile/cleanup.hpp"
+#include "circuit/transpile/fusion.hpp"
+#include "circuit/transpile/greedy_cache_blocking.hpp"
+#include "common/args.hpp"
+#include "common/bits.hpp"
+#include "common/error.hpp"
+#include "common/format.hpp"
+#include "common/csv.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "dist/dist_statevector.hpp"
+#include "dist/trace.hpp"
+#include "perf/cost_model.hpp"
+#include "dist/observables.hpp"
+#include "harness/experiments.hpp"
+#include "machine/archer2.hpp"
+#include "machine/config.hpp"
+#include "machine/slurm.hpp"
+#include "perf/runner.hpp"
+
+namespace qsv::cli {
+namespace {
+
+CpuFreq parse_freq(const std::string& s) {
+  if (s == "low") return CpuFreq::kLow1500;
+  if (s == "medium") return CpuFreq::kMedium2000;
+  if (s == "high") return CpuFreq::kHigh2250;
+  QSV_REQUIRE(false, "--freq must be low|medium|high, got '" + s + "'");
+  return CpuFreq::kMedium2000;
+}
+
+int cmd_run(int argc, const char* const* argv) {
+  ArgParser args;
+  args.option("ranks").option("shots").option("seed");
+  args.parse(argc, argv);
+  QSV_REQUIRE(args.positionals().size() == 1, "usage: qsv run <file.qc> ...");
+
+  const Circuit c = load_circuit(args.positionals()[0]);
+  QSV_REQUIRE(c.num_qubits() <= 24, "register too large for functional run");
+  // Each rank needs >= 2 amplitudes: clamp for tiny registers.
+  const int ranks =
+      std::min(args.int_or("ranks", 4), 1 << (c.num_qubits() - 1));
+  const int shots = args.int_or("shots", 0);
+
+  DistStateVector<SoaStorage> sv(c.num_qubits(), ranks);
+  sv.apply(c);
+  std::cout << "ran '" << c.name() << "' (" << c.size() << " gates) on "
+            << ranks << " ranks; " << sv.comm_stats().messages
+            << " messages, " << fmt::bytes(sv.comm_stats().bytes) << "\n";
+  for (qubit_t q = 0; q < c.num_qubits(); ++q) {
+    PauliTerm z;
+    z.factors = {{q, Pauli::kZ}};
+    std::cout << "  <Z" << q << "> = " << fmt::fixed(expectation(sv, z), 4)
+              << "\n";
+  }
+  if (shots > 0) {
+    Rng rng(static_cast<std::uint64_t>(args.int_or("seed", 1)));
+    std::map<amp_index, int> histogram;
+    // Sample from the gathered state (small registers only, checked above).
+    auto single = sv.gather();
+    for (int s = 0; s < shots; ++s) {
+      ++histogram[single.sample(rng)];
+    }
+    std::cout << "top outcomes over " << shots << " shots:\n";
+    int printed = 0;
+    for (int round = 0; round < 5 && printed < 5; ++round) {
+      const auto best = std::max_element(
+          histogram.begin(), histogram.end(),
+          [](const auto& a, const auto& b) { return a.second < b.second; });
+      if (best == histogram.end() || best->second == 0) {
+        break;
+      }
+      std::cout << "  |" << best->first << ">: " << best->second << "\n";
+      best->second = 0;
+      ++printed;
+    }
+  }
+  return 0;
+}
+
+int cmd_info(int argc, const char* const* argv) {
+  ArgParser args;
+  args.option("local").flag("half-exchange");
+  args.parse(argc, argv);
+  QSV_REQUIRE(args.positionals().size() == 1,
+              "usage: qsv info <file.qc> --local L");
+  const Circuit c = load_circuit(args.positionals()[0]);
+  const int local = args.int_or("local", c.num_qubits());
+
+  const LocalityStats s = analyze_locality(c, local);
+  Table t("Locality at L = " + std::to_string(local));
+  t.header({"class", "gates"});
+  t.row({"fully-local (diagonal)", std::to_string(s.fully_local)});
+  t.row({"local-memory", std::to_string(s.local_memory)});
+  t.row({"distributed", std::to_string(s.distributed)});
+  t.print(std::cout);
+  std::cout << "exchange volume per rank: "
+            << fmt::bytes(args.has("half-exchange") ? s.exchange_bytes_half
+                                                    : s.exchange_bytes_full)
+            << "\n";
+  return 0;
+}
+
+int cmd_transpile(int argc, const char* const* argv) {
+  ArgParser args;
+  args.option("local").option("pass").option("out").option("min-reuse");
+  args.parse(argc, argv);
+  QSV_REQUIRE(args.positionals().size() == 1,
+              "usage: qsv transpile <file.qc> --local L --pass ...");
+  const Circuit c = load_circuit(args.positionals()[0]);
+  const int local = args.int_or("local", c.num_qubits());
+  const std::string which = args.value_or("pass", "cache");
+
+  std::unique_ptr<Pass> pass;
+  if (which == "cache") {
+    CacheBlockingOptions o;
+    o.local_qubits = local;
+    pass = std::make_unique<CacheBlockingPass>(o);
+  } else if (which == "greedy") {
+    GreedyCacheBlockingOptions o;
+    o.local_qubits = local;
+    o.min_reuse = args.int_or("min-reuse", 2);
+    pass = std::make_unique<GreedyCacheBlockingPass>(o);
+  } else if (which == "fusion") {
+    pass = std::make_unique<FusionPass>();
+  } else if (which == "cleanup") {
+    pass = std::make_unique<CleanupPass>();
+  } else {
+    QSV_REQUIRE(false, "--pass must be cache|greedy|fusion|cleanup");
+  }
+
+  const Circuit out = pass->run(c);
+  const LocalityStats before = analyze_locality(c, local);
+  const LocalityStats after = analyze_locality(out, local);
+  std::cout << pass->name() << ": " << c.size() << " -> " << out.size()
+            << " gates, distributed " << before.distributed << " -> "
+            << after.distributed << "\n";
+  if (const auto path = args.value("out")) {
+    save_circuit(*path, out);
+    std::cout << "wrote " << *path << "\n";
+  }
+  return 0;
+}
+
+int cmd_price(int argc, const char* const* argv) {
+  ArgParser args;
+  args.option("qft").option("fast-qft").option("nodes").option("freq");
+  args.option("timeline").option("machine");
+  args.flag("highmem").flag("nonblocking").flag("half-exchange");
+  args.parse(argc, argv);
+
+  // Optional machine-config overrides on top of the ARCHER2 calibration.
+  const MachineModel m =
+      args.value("machine")
+          ? load_machine_config(archer2(), *args.value("machine"))
+          : archer2();
+  const NodeKind kind =
+      args.has("highmem") ? NodeKind::kHighMem : NodeKind::kStandard;
+  const CpuFreq freq = parse_freq(args.value_or("freq", "medium"));
+
+  Circuit c = [&]() -> Circuit {
+    if (const auto n = args.value("qft")) {
+      return builtin_qft(std::stoi(*n));
+    }
+    if (const auto n = args.value("fast-qft")) {
+      const int qubits = std::stoi(*n);
+      const int nodes = args.int_or("nodes", min_nodes(m, qubits, kind));
+      return fast_qft(qubits,
+                      qubits - bits::log2_exact(
+                                   static_cast<std::uint64_t>(nodes)));
+    }
+    QSV_REQUIRE(args.positionals().size() == 1,
+                "usage: qsv price (<file.qc> | --qft N | --fast-qft N)");
+    return load_circuit(args.positionals()[0]);
+  }();
+
+  JobConfig job;
+  job.num_qubits = c.num_qubits();
+  job.node_kind = kind;
+  job.freq = freq;
+  job.nodes = args.int_or("nodes", min_nodes(m, c.num_qubits(), kind));
+
+  DistOptions opts;
+  opts.policy = args.has("nonblocking") ? CommPolicy::kNonBlocking
+                                        : CommPolicy::kBlocking;
+  opts.half_exchange_swaps = args.has("half-exchange");
+
+  TraceSim sim(c.num_qubits(), job.nodes, opts);
+  CostModel cost(m, job);
+  const auto timeline_path = args.value("timeline");
+  if (timeline_path) {
+    cost.enable_timeline();
+  }
+  sim.set_listener(&cost);
+  sim.apply(c);
+  RunReport r = cost.report();
+  r.traffic = sim.comm_stats();
+
+  if (timeline_path) {
+    CsvWriter csv(*timeline_path);
+    csv.row({"t_start_s", "duration_s", "phase", "power_w"});
+    for (const PowerSample& s : cost.timeline()) {
+      const char* phase =
+          s.phase == MachineModel::Phase::kMpi
+              ? "mpi"
+              : (s.phase == MachineModel::Phase::kStall ? "stall" : "local");
+      csv.row({fmt::fixed(s.t_start_s, 4), fmt::fixed(s.duration_s, 4),
+               phase, fmt::fixed(s.power_w, 1)});
+    }
+    std::cout << "timeline written to " << *timeline_path << "\n";
+  }
+
+  Table t("ARCHER2 model estimate — " + job.label());
+  t.header({"metric", "value"});
+  t.row({"gates", std::to_string(r.gates)});
+  t.row({"distributed gates", std::to_string(r.distributed_gates)});
+  t.row({"runtime", fmt::seconds(r.runtime_s)});
+  t.row({"node energy (sacct)", fmt::energy_j(r.node_energy_j)});
+  t.row({"switch energy (E_net)", fmt::energy_j(r.switch_energy_j)});
+  t.row({"total energy", fmt::energy_j(r.total_energy_j())});
+  t.row({"CU cost", fmt::fixed(r.cu, 2)});
+  t.row({"MPI fraction", fmt::percent(r.phases.mpi_fraction())});
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_sbatch(int argc, const char* const* argv) {
+  ArgParser args;
+  args.option("qubits").option("freq").option("name").option("cmd");
+  args.flag("highmem");
+  args.parse(argc, argv);
+  const int qubits = args.int_or("qubits", 0);
+  QSV_REQUIRE(qubits > 0, "usage: qsv sbatch --qubits N ...");
+
+  const MachineModel m = archer2();
+  const NodeKind kind =
+      args.has("highmem") ? NodeKind::kHighMem : NodeKind::kStandard;
+  const JobConfig job =
+      make_min_job(m, qubits, kind, parse_freq(args.value_or("freq",
+                                                             "medium")));
+  slurm::SbatchOptions opts;
+  opts.job_name = args.value_or("name", "qsv");
+  std::cout << slurm::render_sbatch_script(
+      job, opts, args.value_or("cmd", "./qsv_sim " + std::to_string(qubits)));
+  return 0;
+}
+
+int usage() {
+  std::cerr
+      << "usage: qsv <command> ...\n"
+      << "  run       run a circuit file functionally on a virtual cluster\n"
+      << "  info      locality & communication analysis of a circuit file\n"
+      << "  transpile apply a pass (cache|greedy|fusion|cleanup)\n"
+      << "  price     estimate runtime/energy/CU on the ARCHER2 model\n"
+      << "  sbatch    print the SLURM job script for a register size\n";
+  return 2;
+}
+
+int main(int argc, const char* const* argv) {
+  if (argc < 2) {
+    return usage();
+  }
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "run") return cmd_run(argc - 1, argv + 1);
+    if (cmd == "info") return cmd_info(argc - 1, argv + 1);
+    if (cmd == "transpile") return cmd_transpile(argc - 1, argv + 1);
+    if (cmd == "price") return cmd_price(argc - 1, argv + 1);
+    if (cmd == "sbatch") return cmd_sbatch(argc - 1, argv + 1);
+  } catch (const Error& e) {
+    std::cerr << "qsv: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}
+
+}  // namespace
+}  // namespace qsv::cli
+
+int main(int argc, char** argv) { return qsv::cli::main(argc, argv); }
