@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_chunking"
+  "../bench/ablation_chunking.pdb"
+  "CMakeFiles/ablation_chunking.dir/ablation_chunking.cpp.o"
+  "CMakeFiles/ablation_chunking.dir/ablation_chunking.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_chunking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_greedy_transpiler"
+  "../bench/ablation_greedy_transpiler.pdb"
+  "CMakeFiles/ablation_greedy_transpiler.dir/ablation_greedy_transpiler.cpp.o"
+  "CMakeFiles/ablation_greedy_transpiler.dir/ablation_greedy_transpiler.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_greedy_transpiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

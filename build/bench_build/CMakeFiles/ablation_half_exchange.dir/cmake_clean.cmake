@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_half_exchange"
+  "../bench/ablation_half_exchange.pdb"
+  "CMakeFiles/ablation_half_exchange.dir/ablation_half_exchange.cpp.o"
+  "CMakeFiles/ablation_half_exchange.dir/ablation_half_exchange.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_half_exchange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_strong_scaling"
+  "../bench/ablation_strong_scaling.pdb"
+  "CMakeFiles/ablation_strong_scaling.dir/ablation_strong_scaling.cpp.o"
+  "CMakeFiles/ablation_strong_scaling.dir/ablation_strong_scaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_strong_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_qft_runtimes"
+  "../bench/fig2_qft_runtimes.pdb"
+  "CMakeFiles/fig2_qft_runtimes.dir/fig2_qft_runtimes.cpp.o"
+  "CMakeFiles/fig2_qft_runtimes.dir/fig2_qft_runtimes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_qft_runtimes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

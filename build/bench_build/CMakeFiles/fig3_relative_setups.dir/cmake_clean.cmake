@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_relative_setups"
+  "../bench/fig3_relative_setups.pdb"
+  "CMakeFiles/fig3_relative_setups.dir/fig3_relative_setups.cpp.o"
+  "CMakeFiles/fig3_relative_setups.dir/fig3_relative_setups.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_relative_setups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

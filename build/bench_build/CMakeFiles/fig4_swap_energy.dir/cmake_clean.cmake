@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_swap_energy"
+  "../bench/fig4_swap_energy.pdb"
+  "CMakeFiles/fig4_swap_energy.dir/fig4_swap_energy.cpp.o"
+  "CMakeFiles/fig4_swap_energy.dir/fig4_swap_energy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_swap_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

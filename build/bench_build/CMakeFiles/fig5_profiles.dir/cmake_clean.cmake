@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_profiles"
+  "../bench/fig5_profiles.pdb"
+  "CMakeFiles/fig5_profiles.dir/fig5_profiles.cpp.o"
+  "CMakeFiles/fig5_profiles.dir/fig5_profiles.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_profiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

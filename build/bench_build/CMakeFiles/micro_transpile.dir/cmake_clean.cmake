@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_transpile"
+  "../bench/micro_transpile.pdb"
+  "CMakeFiles/micro_transpile.dir/micro_transpile.cpp.o"
+  "CMakeFiles/micro_transpile.dir/micro_transpile.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_transpile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

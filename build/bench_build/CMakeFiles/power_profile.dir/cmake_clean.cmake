@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/power_profile"
+  "../bench/power_profile.pdb"
+  "CMakeFiles/power_profile.dir/power_profile.cpp.o"
+  "CMakeFiles/power_profile.dir/power_profile.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

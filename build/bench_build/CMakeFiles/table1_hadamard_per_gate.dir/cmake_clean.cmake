@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_hadamard_per_gate"
+  "../bench/table1_hadamard_per_gate.pdb"
+  "CMakeFiles/table1_hadamard_per_gate.dir/table1_hadamard_per_gate.cpp.o"
+  "CMakeFiles/table1_hadamard_per_gate.dir/table1_hadamard_per_gate.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_hadamard_per_gate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

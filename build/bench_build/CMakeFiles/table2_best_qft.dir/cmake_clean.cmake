@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_best_qft"
+  "../bench/table2_best_qft.pdb"
+  "CMakeFiles/table2_best_qft.dir/table2_best_qft.cpp.o"
+  "CMakeFiles/table2_best_qft.dir/table2_best_qft.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_best_qft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

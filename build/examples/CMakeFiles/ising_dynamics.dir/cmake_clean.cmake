@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ising_dynamics.dir/ising_dynamics.cpp.o"
+  "CMakeFiles/ising_dynamics.dir/ising_dynamics.cpp.o.d"
+  "ising_dynamics"
+  "ising_dynamics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ising_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

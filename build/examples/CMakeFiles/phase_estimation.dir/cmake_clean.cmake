@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phase_estimation.dir/phase_estimation.cpp.o"
+  "CMakeFiles/phase_estimation.dir/phase_estimation.cpp.o.d"
+  "phase_estimation"
+  "phase_estimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phase_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

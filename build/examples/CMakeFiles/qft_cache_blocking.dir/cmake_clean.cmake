@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qft_cache_blocking.dir/qft_cache_blocking.cpp.o"
+  "CMakeFiles/qft_cache_blocking.dir/qft_cache_blocking.cpp.o.d"
+  "qft_cache_blocking"
+  "qft_cache_blocking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qft_cache_blocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

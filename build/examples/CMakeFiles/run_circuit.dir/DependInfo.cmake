@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/run_circuit.cpp" "examples/CMakeFiles/run_circuit.dir/run_circuit.cpp.o" "gcc" "examples/CMakeFiles/run_circuit.dir/run_circuit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/qsv_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/qsv_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/qsv_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/sv/CMakeFiles/qsv_sv.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/qsv_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/qsv_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/qsv_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/qsv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/run_circuit.dir/run_circuit.cpp.o"
+  "CMakeFiles/run_circuit.dir/run_circuit.cpp.o.d"
+  "run_circuit"
+  "run_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/run_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

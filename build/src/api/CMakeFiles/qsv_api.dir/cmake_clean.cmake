@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsv_api.dir/quest_compat.cpp.o"
+  "CMakeFiles/qsv_api.dir/quest_compat.cpp.o.d"
+  "libqsv_api.a"
+  "libqsv_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsv_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

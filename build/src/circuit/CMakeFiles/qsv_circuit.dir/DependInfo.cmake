@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/builders.cpp" "src/circuit/CMakeFiles/qsv_circuit.dir/builders.cpp.o" "gcc" "src/circuit/CMakeFiles/qsv_circuit.dir/builders.cpp.o.d"
+  "/root/repo/src/circuit/circuit.cpp" "src/circuit/CMakeFiles/qsv_circuit.dir/circuit.cpp.o" "gcc" "src/circuit/CMakeFiles/qsv_circuit.dir/circuit.cpp.o.d"
+  "/root/repo/src/circuit/gate.cpp" "src/circuit/CMakeFiles/qsv_circuit.dir/gate.cpp.o" "gcc" "src/circuit/CMakeFiles/qsv_circuit.dir/gate.cpp.o.d"
+  "/root/repo/src/circuit/locality.cpp" "src/circuit/CMakeFiles/qsv_circuit.dir/locality.cpp.o" "gcc" "src/circuit/CMakeFiles/qsv_circuit.dir/locality.cpp.o.d"
+  "/root/repo/src/circuit/matrix.cpp" "src/circuit/CMakeFiles/qsv_circuit.dir/matrix.cpp.o" "gcc" "src/circuit/CMakeFiles/qsv_circuit.dir/matrix.cpp.o.d"
+  "/root/repo/src/circuit/serialize.cpp" "src/circuit/CMakeFiles/qsv_circuit.dir/serialize.cpp.o" "gcc" "src/circuit/CMakeFiles/qsv_circuit.dir/serialize.cpp.o.d"
+  "/root/repo/src/circuit/transpile/cache_blocking.cpp" "src/circuit/CMakeFiles/qsv_circuit.dir/transpile/cache_blocking.cpp.o" "gcc" "src/circuit/CMakeFiles/qsv_circuit.dir/transpile/cache_blocking.cpp.o.d"
+  "/root/repo/src/circuit/transpile/cleanup.cpp" "src/circuit/CMakeFiles/qsv_circuit.dir/transpile/cleanup.cpp.o" "gcc" "src/circuit/CMakeFiles/qsv_circuit.dir/transpile/cleanup.cpp.o.d"
+  "/root/repo/src/circuit/transpile/fusion.cpp" "src/circuit/CMakeFiles/qsv_circuit.dir/transpile/fusion.cpp.o" "gcc" "src/circuit/CMakeFiles/qsv_circuit.dir/transpile/fusion.cpp.o.d"
+  "/root/repo/src/circuit/transpile/greedy_cache_blocking.cpp" "src/circuit/CMakeFiles/qsv_circuit.dir/transpile/greedy_cache_blocking.cpp.o" "gcc" "src/circuit/CMakeFiles/qsv_circuit.dir/transpile/greedy_cache_blocking.cpp.o.d"
+  "/root/repo/src/circuit/transpile/pass_manager.cpp" "src/circuit/CMakeFiles/qsv_circuit.dir/transpile/pass_manager.cpp.o" "gcc" "src/circuit/CMakeFiles/qsv_circuit.dir/transpile/pass_manager.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/qsv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsv_circuit.dir/builders.cpp.o"
+  "CMakeFiles/qsv_circuit.dir/builders.cpp.o.d"
+  "CMakeFiles/qsv_circuit.dir/circuit.cpp.o"
+  "CMakeFiles/qsv_circuit.dir/circuit.cpp.o.d"
+  "CMakeFiles/qsv_circuit.dir/gate.cpp.o"
+  "CMakeFiles/qsv_circuit.dir/gate.cpp.o.d"
+  "CMakeFiles/qsv_circuit.dir/locality.cpp.o"
+  "CMakeFiles/qsv_circuit.dir/locality.cpp.o.d"
+  "CMakeFiles/qsv_circuit.dir/matrix.cpp.o"
+  "CMakeFiles/qsv_circuit.dir/matrix.cpp.o.d"
+  "CMakeFiles/qsv_circuit.dir/serialize.cpp.o"
+  "CMakeFiles/qsv_circuit.dir/serialize.cpp.o.d"
+  "CMakeFiles/qsv_circuit.dir/transpile/cache_blocking.cpp.o"
+  "CMakeFiles/qsv_circuit.dir/transpile/cache_blocking.cpp.o.d"
+  "CMakeFiles/qsv_circuit.dir/transpile/cleanup.cpp.o"
+  "CMakeFiles/qsv_circuit.dir/transpile/cleanup.cpp.o.d"
+  "CMakeFiles/qsv_circuit.dir/transpile/fusion.cpp.o"
+  "CMakeFiles/qsv_circuit.dir/transpile/fusion.cpp.o.d"
+  "CMakeFiles/qsv_circuit.dir/transpile/greedy_cache_blocking.cpp.o"
+  "CMakeFiles/qsv_circuit.dir/transpile/greedy_cache_blocking.cpp.o.d"
+  "CMakeFiles/qsv_circuit.dir/transpile/pass_manager.cpp.o"
+  "CMakeFiles/qsv_circuit.dir/transpile/pass_manager.cpp.o.d"
+  "libqsv_circuit.a"
+  "libqsv_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsv_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

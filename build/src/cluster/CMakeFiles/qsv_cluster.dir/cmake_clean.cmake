@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsv_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/qsv_cluster.dir/cluster.cpp.o.d"
+  "libqsv_cluster.a"
+  "libqsv_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsv_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsv_common.dir/args.cpp.o"
+  "CMakeFiles/qsv_common.dir/args.cpp.o.d"
+  "CMakeFiles/qsv_common.dir/csv.cpp.o"
+  "CMakeFiles/qsv_common.dir/csv.cpp.o.d"
+  "CMakeFiles/qsv_common.dir/error.cpp.o"
+  "CMakeFiles/qsv_common.dir/error.cpp.o.d"
+  "CMakeFiles/qsv_common.dir/format.cpp.o"
+  "CMakeFiles/qsv_common.dir/format.cpp.o.d"
+  "CMakeFiles/qsv_common.dir/log.cpp.o"
+  "CMakeFiles/qsv_common.dir/log.cpp.o.d"
+  "CMakeFiles/qsv_common.dir/table.cpp.o"
+  "CMakeFiles/qsv_common.dir/table.cpp.o.d"
+  "libqsv_common.a"
+  "libqsv_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsv_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dist/dist_statevector.cpp" "src/dist/CMakeFiles/qsv_dist.dir/dist_statevector.cpp.o" "gcc" "src/dist/CMakeFiles/qsv_dist.dir/dist_statevector.cpp.o.d"
+  "/root/repo/src/dist/observables.cpp" "src/dist/CMakeFiles/qsv_dist.dir/observables.cpp.o" "gcc" "src/dist/CMakeFiles/qsv_dist.dir/observables.cpp.o.d"
+  "/root/repo/src/dist/plan.cpp" "src/dist/CMakeFiles/qsv_dist.dir/plan.cpp.o" "gcc" "src/dist/CMakeFiles/qsv_dist.dir/plan.cpp.o.d"
+  "/root/repo/src/dist/snapshot.cpp" "src/dist/CMakeFiles/qsv_dist.dir/snapshot.cpp.o" "gcc" "src/dist/CMakeFiles/qsv_dist.dir/snapshot.cpp.o.d"
+  "/root/repo/src/dist/trace.cpp" "src/dist/CMakeFiles/qsv_dist.dir/trace.cpp.o" "gcc" "src/dist/CMakeFiles/qsv_dist.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/qsv_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/qsv_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/sv/CMakeFiles/qsv_sv.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/qsv_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

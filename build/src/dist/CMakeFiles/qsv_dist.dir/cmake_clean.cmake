@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsv_dist.dir/dist_statevector.cpp.o"
+  "CMakeFiles/qsv_dist.dir/dist_statevector.cpp.o.d"
+  "CMakeFiles/qsv_dist.dir/observables.cpp.o"
+  "CMakeFiles/qsv_dist.dir/observables.cpp.o.d"
+  "CMakeFiles/qsv_dist.dir/plan.cpp.o"
+  "CMakeFiles/qsv_dist.dir/plan.cpp.o.d"
+  "CMakeFiles/qsv_dist.dir/snapshot.cpp.o"
+  "CMakeFiles/qsv_dist.dir/snapshot.cpp.o.d"
+  "CMakeFiles/qsv_dist.dir/trace.cpp.o"
+  "CMakeFiles/qsv_dist.dir/trace.cpp.o.d"
+  "libqsv_dist.a"
+  "libqsv_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsv_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

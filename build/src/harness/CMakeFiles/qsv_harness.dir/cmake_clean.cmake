@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsv_harness.dir/experiments.cpp.o"
+  "CMakeFiles/qsv_harness.dir/experiments.cpp.o.d"
+  "CMakeFiles/qsv_harness.dir/validation.cpp.o"
+  "CMakeFiles/qsv_harness.dir/validation.cpp.o.d"
+  "libqsv_harness.a"
+  "libqsv_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsv_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/machine/config.cpp" "src/machine/CMakeFiles/qsv_machine.dir/config.cpp.o" "gcc" "src/machine/CMakeFiles/qsv_machine.dir/config.cpp.o.d"
+  "/root/repo/src/machine/job.cpp" "src/machine/CMakeFiles/qsv_machine.dir/job.cpp.o" "gcc" "src/machine/CMakeFiles/qsv_machine.dir/job.cpp.o.d"
+  "/root/repo/src/machine/machine.cpp" "src/machine/CMakeFiles/qsv_machine.dir/machine.cpp.o" "gcc" "src/machine/CMakeFiles/qsv_machine.dir/machine.cpp.o.d"
+  "/root/repo/src/machine/slurm.cpp" "src/machine/CMakeFiles/qsv_machine.dir/slurm.cpp.o" "gcc" "src/machine/CMakeFiles/qsv_machine.dir/slurm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/qsv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

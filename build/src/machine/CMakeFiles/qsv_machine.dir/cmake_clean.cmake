@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsv_machine.dir/config.cpp.o"
+  "CMakeFiles/qsv_machine.dir/config.cpp.o.d"
+  "CMakeFiles/qsv_machine.dir/job.cpp.o"
+  "CMakeFiles/qsv_machine.dir/job.cpp.o.d"
+  "CMakeFiles/qsv_machine.dir/machine.cpp.o"
+  "CMakeFiles/qsv_machine.dir/machine.cpp.o.d"
+  "CMakeFiles/qsv_machine.dir/slurm.cpp.o"
+  "CMakeFiles/qsv_machine.dir/slurm.cpp.o.d"
+  "libqsv_machine.a"
+  "libqsv_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsv_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsv_perf.dir/cost_model.cpp.o"
+  "CMakeFiles/qsv_perf.dir/cost_model.cpp.o.d"
+  "CMakeFiles/qsv_perf.dir/runner.cpp.o"
+  "CMakeFiles/qsv_perf.dir/runner.cpp.o.d"
+  "libqsv_perf.a"
+  "libqsv_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsv_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

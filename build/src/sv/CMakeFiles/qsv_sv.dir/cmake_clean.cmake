@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsv_sv.dir/statevector.cpp.o"
+  "CMakeFiles/qsv_sv.dir/statevector.cpp.o.d"
+  "libqsv_sv.a"
+  "libqsv_sv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsv_sv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qft.dir/test_qft.cpp.o"
+  "CMakeFiles/test_qft.dir/test_qft.cpp.o.d"
+  "test_qft"
+  "test_qft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_quest_compat.dir/test_quest_compat.cpp.o"
+  "CMakeFiles/test_quest_compat.dir/test_quest_compat.cpp.o.d"
+  "test_quest_compat"
+  "test_quest_compat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_quest_compat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsv.dir/qsv_cli.cpp.o"
+  "CMakeFiles/qsv.dir/qsv_cli.cpp.o.d"
+  "qsv"
+  "qsv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
