@@ -1,8 +1,10 @@
 // Shared scaffolding for the table/figure reproduction binaries.
 #pragma once
 
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "common/csv.hpp"
 #include "common/table.hpp"
@@ -22,5 +24,55 @@ inline void print_header(const std::string& what) {
 inline void print_note(const std::string& note) {
   std::cout << "\nNote: " << note << "\n";
 }
+
+/// Flat JSON result sink for trajectory tracking: bench binaries accept
+/// `--json <path>` and dump their headline numbers as one BENCH_*.json
+/// file of {"name": ..., "value": ..., "unit": ...} rows, so successive
+/// commits can be diffed without parsing console tables.
+class JsonReport {
+ public:
+  /// Picks up `--json <path>` from the command line; when the flag is
+  /// absent the report is inert and write() does nothing.
+  static JsonReport from_args(int argc, char** argv) {
+    JsonReport r;
+    for (int i = 1; i + 1 < argc; ++i) {
+      if (std::string(argv[i]) == "--json") {
+        r.path_ = argv[i + 1];
+      }
+    }
+    return r;
+  }
+
+  void add(const std::string& name, double value, const std::string& unit) {
+    rows_.push_back({name, value, unit});
+  }
+
+  /// Writes {"bench": ..., "results": [...]} to the requested path.
+  void write(const std::string& bench_name) const {
+    if (path_.empty()) {
+      return;
+    }
+    std::ofstream out(path_);
+    out << "{\n  \"bench\": \"" << bench_name << "\",\n  \"results\": [\n";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      out << "    {\"name\": \"" << rows_[i].name
+          << "\", \"value\": " << rows_[i].value << ", \"unit\": \""
+          << rows_[i].unit << "\"}" << (i + 1 < rows_.size() ? "," : "")
+          << "\n";
+    }
+    out << "  ]\n}\n";
+    std::cout << "\nJSON results written to " << path_ << "\n";
+  }
+
+ private:
+  struct Row {
+    std::string name;
+    double value = 0;
+    std::string unit;
+  };
+
+  std::string path_;
+  std::vector<Row> rows_;
+};
 
 }  // namespace qsv::bench

@@ -1,0 +1,153 @@
+// Host-machine micro-benchmark for the cache-tiled sweep executor:
+// gate-by-gate execution streams the whole statevector through the cache
+// hierarchy once per gate, the sweep executor walks it once per *run* and
+// replays every gate on an L2-resident tile. Workloads are runs of low-qubit
+// gates (the case the executor targets); both storage layouts are timed.
+//
+// Usage: micro_sweep [--qubits N] [--reps R] [--json PATH]
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <limits>
+#include <numbers>
+#include <string>
+
+#include "bench_util.hpp"
+#include "circuit/circuit.hpp"
+#include "circuit/gate.hpp"
+#include "circuit/sweep_plan.hpp"
+#include "common/format.hpp"
+#include "common/table.hpp"
+#include "sv/statevector.hpp"
+
+namespace qsv {
+namespace {
+
+// A run of dense 1-qubit gates cycling over the lowest `width` qubits: the
+// shape produced by transpiled circuits' local layers.
+Circuit random_1q_run(int n, int width, int gates) {
+  Circuit c(n);
+  for (int i = 0; i < gates; ++i) {
+    const auto q = static_cast<qubit_t>(i % width);
+    switch (i % 4) {
+      case 0: c.add(make_h(q)); break;
+      case 1: c.add(make_ry(q, 0.3 + 0.1 * i)); break;
+      case 2: c.add(make_rz(q, 0.2 * (i + 1))); break;
+      default: c.add(make_x(q)); break;
+    }
+  }
+  return c;
+}
+
+// A run of diagonal 1-qubit gates (phase-type kernels): these are memory-
+// bound even on hosts where the dense 2x2 kernel is compute-bound, so they
+// isolate the cache-locality win of the sweep.
+Circuit diagonal_1q_run(int n, int width, int gates) {
+  Circuit c(n);
+  for (int i = 0; i < gates; ++i) {
+    const auto q = static_cast<qubit_t>(i % width);
+    switch (i % 4) {
+      case 0: c.add(make_rz(q, 0.4 + 0.1 * i)); break;
+      case 1: c.add(make_s(q)); break;
+      case 2: c.add(make_t_gate(q)); break;
+      default: c.add(make_phase(q, 0.15 * (i + 1))); break;
+    }
+  }
+  return c;
+}
+
+// The local layer of a QFT restricted to the lowest `width` qubits of a
+// large register: Hadamards plus the controlled-phase ladder.
+Circuit qft_low_layer(int n, int width) {
+  Circuit c(n);
+  for (qubit_t t = 0; t < width; ++t) {
+    c.add(make_h(t));
+    for (qubit_t ctl = t + 1; ctl < width; ++ctl) {
+      c.add(make_cphase(ctl, t,
+                        std::numbers::pi / (1 << (ctl - t))));
+    }
+  }
+  return c;
+}
+
+template <class S>
+double best_apply_seconds(int n, const Circuit& c, bool sweep, int reps) {
+  BasicStateVector<S> sv(n);
+  SweepOptions o;
+  o.enabled = sweep;
+  sv.set_sweep_options(o);
+  sv.apply(c);  // warm-up: faults in the storage and primes caches
+  double best = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    sv.apply(c);
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+struct Workload {
+  std::string name;
+  Circuit circuit;
+};
+
+int run(int argc, char** argv) {
+  int qubits = 25;  // 512 MiB per layout: the naive path cannot sit in LLC
+  int reps = 3;
+  for (int i = 1; i + 1 < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--qubits") {
+      qubits = std::atoi(argv[i + 1]);
+    } else if (a == "--reps") {
+      reps = std::atoi(argv[i + 1]);
+    }
+  }
+
+  bench::print_header("sweep executor micro-benchmark (host machine)");
+  std::cout << "qubits: " << qubits << ", tile: 2^"
+            << kDefaultSweepTileQubits << " amplitudes, reps: " << reps
+            << " (best-of)\n\n";
+
+  bench::JsonReport json = bench::JsonReport::from_args(argc, argv);
+  const Workload workloads[] = {
+      {"run16_1q", random_1q_run(qubits, 8, 16)},
+      {"run16_diag", diagonal_1q_run(qubits, 8, 16)},
+      {"qft_low8", qft_low_layer(qubits, 8)},
+  };
+
+  Table table("gate-by-gate vs cache-tiled sweep");
+  table.header({"workload", "layout", "gates", "naive", "sweep", "speedup"});
+  for (const Workload& w : workloads) {
+    for (const std::string& layout : {std::string("soa"), std::string("aos")}) {
+      const bool soa = layout == "soa";
+      const double naive =
+          soa ? best_apply_seconds<SoaStorage>(qubits, w.circuit, false, reps)
+              : best_apply_seconds<AosStorage>(qubits, w.circuit, false, reps);
+      const double sweep =
+          soa ? best_apply_seconds<SoaStorage>(qubits, w.circuit, true, reps)
+              : best_apply_seconds<AosStorage>(qubits, w.circuit, true, reps);
+      const double speedup = naive / sweep;
+      table.row({w.name, layout, std::to_string(w.circuit.size()),
+                 fmt::seconds(naive), fmt::seconds(sweep),
+                 fmt::fixed(speedup, 2) + "x"});
+      json.add(w.name + "_" + layout + "_naive", naive, "s");
+      json.add(w.name + "_" + layout + "_sweep", sweep, "s");
+      json.add(w.name + "_" + layout + "_speedup", speedup, "x");
+    }
+  }
+  table.print(std::cout);
+
+  bench::print_note(
+      "speedup comes from cache locality alone: the sweep makes one pass "
+      "over the statevector per run while gate-by-gate makes one per gate. "
+      "It grows with run length and shrinks once the register fits in LLC.");
+  json.write("micro_sweep");
+  return 0;
+}
+
+}  // namespace
+}  // namespace qsv
+
+int main(int argc, char** argv) { return qsv::run(argc, argv); }

@@ -20,6 +20,7 @@
 #include "dist/plan.hpp"
 #include "sv/statevector.hpp"
 #include "sv/storage.hpp"
+#include "sv/sweep.hpp"
 
 namespace qsv {
 
@@ -69,10 +70,15 @@ class DistStateVector {
   /// Attaches an event listener (cost model or test recorder); may be null.
   void set_listener(ExecListener* listener) { listener_ = listener; }
 
+  /// Counters over every cache-tiled sweep run executed so far.
+  [[nodiscard]] const SweepStats& sweep_stats() const { return sweep_stats_; }
+
  private:
   void exchange_full(rank_t r, rank_t peer);
   void exchange_half(rank_t r, rank_t peer, int local_bit);
   void apply_distributed(const Gate& g, const OpPlan& plan);
+  void apply_sweep_run(const Circuit& c, std::size_t first,
+                       std::size_t count);
   void emit(const ExecEvent& e);
 
   int num_qubits_;
@@ -82,6 +88,13 @@ class DistStateVector {
   std::vector<S> slices_;       // one per rank
   std::vector<S> recv_bufs_;    // the doubling MPI buffers
   std::vector<std::byte> scratch_;  // packing area for one message
+  /// Pooled half-exchange scratch, reused across exchanges instead of four
+  /// per-call heap allocations (grown on first half-exchange).
+  struct HalfScratch {
+    std::vector<std::byte> out_lo, out_hi, in_lo, in_hi;
+  };
+  HalfScratch half_scratch_;
+  SweepStats sweep_stats_;
   ExecListener* listener_ = nullptr;
 };
 

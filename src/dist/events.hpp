@@ -20,6 +20,10 @@ struct ExecEvent {
   enum class Kind {
     kLocalGate,  // fully-local or local-memory application on each slice
     kExchange,   // pairwise slice exchange + combine (distributed gate)
+    kSweep,      // announcement of a cache-tiled run of local gates; the
+                 // gates inside still emit their own kLocalGate events, so
+                 // pricing is unchanged and this event is purely a report
+                 // of memory passes saved
   };
 
   Kind kind{};
@@ -44,6 +48,12 @@ struct ExecEvent {
   int messages_per_rank = 0;
   CommPolicy policy = CommPolicy::kBlocking;
   bool half_exchange = false;
+
+  // --- sweep-only fields ---
+  /// Gates folded into the tiled run.
+  int sweep_gates = 0;
+  /// Tiles per rank (slice amplitudes / tile amplitudes).
+  amp_index sweep_tiles = 0;
 
   bool operator==(const ExecEvent&) const = default;
 };

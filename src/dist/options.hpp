@@ -3,6 +3,7 @@
 
 #include <cstddef>
 
+#include "circuit/sweep_plan.hpp"
 #include "cluster/cluster.hpp"
 #include "common/units.hpp"
 
@@ -22,6 +23,11 @@ struct DistOptions {
   /// paper's "32 messages are exchanged per distributed gate" at 64 GB per
   /// rank. Tests shrink this to exercise chunking at toy sizes.
   std::size_t max_message_bytes = 2 * units::GiB;
+
+  /// Cache-tiled execution of consecutive local gates (one pass over each
+  /// slice per run instead of one per gate). On by default; affects only
+  /// how amplitudes are moved, never the result or the cost-model charges.
+  SweepOptions sweep;
 };
 
 }  // namespace qsv

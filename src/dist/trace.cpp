@@ -95,8 +95,27 @@ void TraceSim::apply(const Gate& g) {
 
 void TraceSim::apply(const Circuit& c) {
   QSV_REQUIRE(c.num_qubits() == num_qubits_, "register size mismatch");
-  for (const Gate& g : c) {
-    apply(g);
+  // Mirror the functional engine's sweep grouping so the event streams stay
+  // identical: one kSweep announcement per tiled run, then the unchanged
+  // per-gate events (which apply() emits).
+  const std::vector<GateRun> runs =
+      plan_sweep_runs(c.gates(), local_qubits_, opts_.sweep);
+  const int t = std::min(opts_.sweep.tile_qubits, local_qubits_);
+  for (const GateRun& run : runs) {
+    if (run.sweep) {
+      ExecEvent se;
+      se.kind = ExecEvent::Kind::kSweep;
+      se.gate = c.gate(run.first).kind;
+      se.local_amps = local_amps();
+      se.sweep_gates = static_cast<int>(run.count);
+      se.sweep_tiles = local_amps() >> t;
+      if (listener_ != nullptr) {
+        listener_->on_event(se);
+      }
+    }
+    for (std::size_t i = 0; i < run.count; ++i) {
+      apply(c.gate(run.first + i));
+    }
   }
 }
 

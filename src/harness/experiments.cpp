@@ -183,8 +183,14 @@ Fig4Result experiment_fig4(const MachineModel& m) {
       row.blocking = run_model(c, m, job, policy_opts(CommPolicy::kBlocking));
       row.nonblocking =
           run_model(c, m, job, policy_opts(CommPolicy::kNonBlocking));
-      res.table.row({"(" + std::to_string(local) + "," +
-                         std::to_string(dist) + ")",
+      // Built up in place: GCC 12's -Wrestrict misfires on the equivalent
+      // operator+ chain (GCC bug 105329).
+      std::string targets = "(";
+      targets += std::to_string(local);
+      targets += ',';
+      targets += std::to_string(dist);
+      targets += ')';
+      res.table.row({targets,
                      fmt::seconds(row.blocking.time_per_gate()),
                      fmt::energy_j(row.blocking.energy_per_gate()),
                      fmt::seconds(row.nonblocking.time_per_gate()),

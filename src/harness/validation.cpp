@@ -197,9 +197,14 @@ Table render_checks(const std::vector<Check>& checks) {
   Table t("Reproduction checks");
   t.header({"check", "value", "band", "status"});
   for (const Check& c : checks) {
-    t.row({c.id, fmt::sig3(c.value),
-           "[" + fmt::sig3(c.lo) + ", " + fmt::sig3(c.hi) + "]",
-           c.passed() ? "PASS" : "FAIL"});
+    // Built up in place: GCC 12's -Wrestrict misfires on the equivalent
+    // operator+ chain (GCC bug 105329).
+    std::string band = "[";
+    band += fmt::sig3(c.lo);
+    band += ", ";
+    band += fmt::sig3(c.hi);
+    band += ']';
+    t.row({c.id, fmt::sig3(c.value), band, c.passed() ? "PASS" : "FAIL"});
   }
   return t;
 }

@@ -63,6 +63,16 @@ void CostModel::charge_local(double mem_t, double comp_t, double fraction,
 }
 
 void CostModel::on_event(const ExecEvent& e) {
+  if (e.kind == ExecEvent::Kind::kSweep) {
+    // Tiled runs change how local gates stream through the cache, not what
+    // the model charges: pricing stays anchored to the per-gate events that
+    // follow. Record the run so reports can show memory passes saved.
+    ++acc_.sweep_runs;
+    if (e.sweep_gates > 1) {
+      acc_.sweep_passes_saved += static_cast<std::uint64_t>(e.sweep_gates - 1);
+    }
+    return;
+  }
   ++acc_.gates;
   const double slice_bytes =
       static_cast<double>(e.local_amps) * kBytesPerAmp;

@@ -48,6 +48,12 @@ struct RunReport {
   std::uint64_t distributed_gates = 0;
   CommStats traffic;
 
+  /// Sweep-executor reporting (informational; never priced): cache-tiled
+  /// runs seen, and full statevector passes they avoided versus
+  /// gate-by-gate execution.
+  std::uint64_t sweep_runs = 0;
+  std::uint64_t sweep_passes_saved = 0;
+
   [[nodiscard]] double total_energy_j() const {
     return node_energy_j + switch_energy_j;
   }

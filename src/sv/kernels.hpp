@@ -425,7 +425,11 @@ template <class S>
 void gather_half(const S& src, int a, int value, std::byte* out) {
   const amp_index halves = src.size() / 2;
   real_t* o = reinterpret_cast<real_t*>(out);
-  for (amp_index k = 0; k < halves; ++k) {
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+  for (std::int64_t kk = 0; kk < static_cast<std::int64_t>(halves); ++kk) {
+    const amp_index k = static_cast<amp_index>(kk);
     amp_index i = bits::insert_zero_bit(k, a);
     if (value) {
       i = bits::set_bit(i, a);
@@ -442,7 +446,11 @@ template <class S>
 void scatter_half(S& dst, int a, int value, const std::byte* in) {
   const amp_index halves = dst.size() / 2;
   const real_t* p = reinterpret_cast<const real_t*>(in);
-  for (amp_index k = 0; k < halves; ++k) {
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+  for (std::int64_t kk = 0; kk < static_cast<std::int64_t>(halves); ++kk) {
+    const amp_index k = static_cast<amp_index>(kk);
     amp_index i = bits::insert_zero_bit(k, a);
     if (value) {
       i = bits::set_bit(i, a);

@@ -1,5 +1,6 @@
 #include "sv/statevector.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/bits.hpp"
@@ -69,8 +70,19 @@ void BasicStateVector<S>::apply(const Gate& g) {
 template <class S>
 void BasicStateVector<S>::apply(const Circuit& c) {
   QSV_REQUIRE(c.num_qubits() == num_qubits_, "register size mismatch");
-  for (const Gate& g : c) {
-    apply(g);
+  const std::vector<GateRun> runs =
+      plan_sweep_runs(c.gates(), num_qubits_, sweep_opts_);
+  const int t = std::min(sweep_opts_.tile_qubits, num_qubits_);
+  for (const GateRun& run : runs) {
+    if (run.sweep) {
+      kern::apply_sweep_run(storage_, c.gates().data() + run.first, run.count,
+                            t, num_qubits_, /*rank_bits=*/0);
+      sweep_stats_.add_run(run.count, num_amps() >> t);
+    } else {
+      for (std::size_t i = 0; i < run.count; ++i) {
+        apply(c.gate(run.first + i));
+      }
+    }
   }
 }
 

@@ -10,9 +10,11 @@
 
 #include "circuit/circuit.hpp"
 #include "circuit/gate.hpp"
+#include "circuit/sweep_plan.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "sv/storage.hpp"
+#include "sv/sweep.hpp"
 
 namespace qsv {
 
@@ -42,8 +44,20 @@ class BasicStateVector {
   /// Applies one gate.
   void apply(const Gate& g);
 
-  /// Applies every gate of a circuit (register sizes must match).
+  /// Applies every gate of a circuit (register sizes must match). Runs of
+  /// consecutive cache-tileable gates execute through the sweep executor
+  /// (one pass over the statevector per run) when sweeping is enabled —
+  /// the default; results are identical to gate-by-gate application.
   void apply(const Circuit& c);
+
+  /// Sweep-executor knobs (enabled/tile size/minimum run length).
+  void set_sweep_options(const SweepOptions& opts) { sweep_opts_ = opts; }
+  [[nodiscard]] const SweepOptions& sweep_options() const {
+    return sweep_opts_;
+  }
+
+  /// Counters over every sweep run executed so far.
+  [[nodiscard]] const SweepStats& sweep_stats() const { return sweep_stats_; }
 
   /// Probability that measuring `qubit` yields 1.
   [[nodiscard]] real_t probability_of_one(qubit_t qubit) const;
@@ -84,6 +98,8 @@ class BasicStateVector {
  private:
   int num_qubits_;
   S storage_;
+  SweepOptions sweep_opts_;
+  SweepStats sweep_stats_;
 };
 
 using StateVector = BasicStateVector<SoaStorage>;        // QuEST layout

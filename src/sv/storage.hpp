@@ -105,7 +105,17 @@ class AosStorage {
 
   void unpack(amp_index first, amp_index count, const std::byte* in) {
     QSV_REQUIRE(first + count <= size(), "unpack range out of bounds");
+    // GCC 12 misattributes the vector's heap buffer to a fixed-size array
+    // when this inlines into callers with constant counts and raises a
+    // bogus -Warray-bounds; the range is checked above.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Warray-bounds"
+#endif
     std::memcpy(amps_.data() + first, in, count * sizeof(cplx));
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
   }
 
  private:

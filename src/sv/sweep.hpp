@@ -1,0 +1,48 @@
+// Cache-tiled multi-gate sweep executor.
+//
+// Applies a run of sweepable gates (see circuit/sweep_plan.hpp) to a slice
+// one L2-sized tile at a time: the tile is loaded once, every gate of the
+// run updates it in place, and only then does the next tile stream in. A
+// run of k gates thus costs one pass over the slice instead of k — the same
+// bytes-moved argument the paper makes for node-level cache blocking,
+// applied inside a rank.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "circuit/gate.hpp"
+#include "circuit/sweep_plan.hpp"
+#include "common/types.hpp"
+
+namespace qsv {
+
+/// Counters an engine accumulates over its sweep runs.
+struct SweepStats {
+  std::uint64_t runs = 0;         // tiled runs executed
+  std::uint64_t swept_gates = 0;  // gates folded into those runs
+  std::uint64_t tiles = 0;        // per-slice tiles processed across runs
+  /// Full passes over the slice avoided versus gate-by-gate execution
+  /// (run of k gates: k passes become 1, saving k - 1).
+  std::uint64_t passes_saved = 0;
+
+  void add_run(std::uint64_t gates_in_run, std::uint64_t run_tiles) {
+    ++runs;
+    swept_gates += gates_in_run;
+    tiles += run_tiles;
+    passes_saved += gates_in_run - 1;
+  }
+};
+
+namespace kern {
+
+/// Applies gates[0 .. count) to every 2^min(tile_qubits, local_qubits)-
+/// amplitude tile of `s`, tile by tile, with OpenMP parallelism across
+/// tiles. `rank_bits` is the slice's rank id (0 for a single-address-space
+/// state); every gate must be sweepable at the effective tile size.
+template <class S>
+void apply_sweep_run(S& s, const Gate* gates, std::size_t count,
+                     int tile_qubits, int local_qubits, amp_index rank_bits);
+
+}  // namespace kern
+}  // namespace qsv

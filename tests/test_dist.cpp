@@ -190,14 +190,29 @@ TEST(Dist, EventListenerSeesEveryGate) {
   d.set_listener(&rec);
   const Circuit qft = build_qft(6);
   d.apply(qft);
-  EXPECT_EQ(rec.events().size(), qft.size());
+  // Every gate still produces its own event; cache-tiled sweep runs add one
+  // kSweep announcement each on top.
   std::size_t exchanges = 0;
+  std::size_t per_gate = 0;
+  std::size_t announced = 0;
   for (const ExecEvent& e : rec.events()) {
-    if (e.kind == ExecEvent::Kind::kExchange) {
-      ++exchanges;
+    switch (e.kind) {
+      case ExecEvent::Kind::kExchange:
+        ++exchanges;
+        ++per_gate;
+        break;
+      case ExecEvent::Kind::kLocalGate:
+        ++per_gate;
+        break;
+      case ExecEvent::Kind::kSweep:
+        announced += static_cast<std::size_t>(e.sweep_gates);
+        break;
     }
   }
+  EXPECT_EQ(per_gate, qft.size());
   EXPECT_EQ(exchanges, analyze_locality(qft, 4).distributed);
+  EXPECT_EQ(announced, d.sweep_stats().swept_gates);
+  EXPECT_EQ(rec.events().size(), qft.size() + d.sweep_stats().runs);
 }
 
 TEST(Dist, DistributedUnitary2NeedsTwoLocalQubits) {

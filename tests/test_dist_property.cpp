@@ -24,10 +24,15 @@ struct Case {
 
 std::string case_name(const testing::TestParamInfo<Case>& info) {
   const Case& c = info.param;
-  return "r" + std::to_string(c.ranks) + "_" +
-         (c.policy == CommPolicy::kBlocking ? "blk" : "nbl") + "_" +
-         (c.half_exchange ? "half" : "full") + "_s" +
-         std::to_string(c.seed);
+  // Built up in place: GCC 12's -Wrestrict misfires on the equivalent
+  // operator+ chain (GCC bug 105329).
+  std::string name = "r";
+  name += std::to_string(c.ranks);
+  name += c.policy == CommPolicy::kBlocking ? "_blk" : "_nbl";
+  name += c.half_exchange ? "_half" : "_full";
+  name += "_s";
+  name += std::to_string(c.seed);
+  return name;
 }
 
 class DistEquivalence : public testing::TestWithParam<Case> {};

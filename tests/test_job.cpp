@@ -26,9 +26,9 @@ TEST(Job, PerNodeBytesMultiNodeDoubles) {
 }
 
 TEST(Job, PerNodeBytesValidation) {
-  EXPECT_THROW(per_node_bytes(4, 3), Error);    // non-pow2
-  EXPECT_THROW(per_node_bytes(2, 8), Error);    // more nodes than amps
-  EXPECT_THROW(per_node_bytes(0, 1), Error);
+  EXPECT_THROW((void)per_node_bytes(4, 3), Error);    // non-pow2
+  EXPECT_THROW((void)per_node_bytes(2, 8), Error);    // more nodes than amps
+  EXPECT_THROW((void)per_node_bytes(0, 1), Error);
 }
 
 TEST(Job, MinNodesMatchesPaperAnchors) {
@@ -66,8 +66,8 @@ TEST(Job, MaxQubitsMatchesPaper) {
 }
 
 TEST(Job, TooLargeRegisterThrows) {
-  EXPECT_THROW(min_nodes(m(), 45, NodeKind::kStandard), Error);
-  EXPECT_THROW(min_nodes(m(), 42, NodeKind::kHighMem), Error);
+  EXPECT_THROW((void)min_nodes(m(), 45, NodeKind::kStandard), Error);
+  EXPECT_THROW((void)min_nodes(m(), 42, NodeKind::kHighMem), Error);
 }
 
 TEST(Job, FitsIsMonotonic) {

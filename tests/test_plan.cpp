@@ -102,8 +102,8 @@ TEST(Plan, SingleRankDecompositionRejectsNothing) {
 }
 
 TEST(Plan, InvalidDecompositionThrows) {
-  EXPECT_THROW(plan_gate(make_h(0), 6, 7, default_opts()), Error);
-  EXPECT_THROW(plan_gate(make_h(0), 6, 0, default_opts()), Error);
+  EXPECT_THROW((void)plan_gate(make_h(0), 6, 7, default_opts()), Error);
+  EXPECT_THROW((void)plan_gate(make_h(0), 6, 0, default_opts()), Error);
 }
 
 }  // namespace

@@ -85,8 +85,8 @@ TEST(Slurm, ConsumedEnergyRoundTrip) {
 }
 
 TEST(Slurm, ParseRejectsGarbage) {
-  EXPECT_THROW(parse_consumed_energy(""), Error);
-  EXPECT_THROW(parse_consumed_energy("abcK"), Error);
+  EXPECT_THROW((void)parse_consumed_energy(""), Error);
+  EXPECT_THROW((void)parse_consumed_energy("abcK"), Error);
 }
 
 TEST(Slurm, SacctRowRoundTripsThroughThePapersPipeline) {

@@ -1,6 +1,7 @@
 // qsv — command-line front end to the library.
 //
 //   qsv run <file.qc> [--ranks N] [--shots K] [--seed S]
+//                 [--no-sweep] [--tile T]
 //   qsv info <file.qc> --local L [--half-exchange]
 //   qsv transpile <file.qc> --local L [--pass cache|greedy|fusion|cleanup]
 //                 [--min-reuse K] [--out out.qc]
@@ -52,7 +53,8 @@ CpuFreq parse_freq(const std::string& s) {
 
 int cmd_run(int argc, const char* const* argv) {
   ArgParser args;
-  args.option("ranks").option("shots").option("seed");
+  args.option("ranks").option("shots").option("seed").option("tile");
+  args.flag("no-sweep");
   args.parse(argc, argv);
   QSV_REQUIRE(args.positionals().size() == 1, "usage: qsv run <file.qc> ...");
 
@@ -63,11 +65,21 @@ int cmd_run(int argc, const char* const* argv) {
       std::min(args.int_or("ranks", 4), 1 << (c.num_qubits() - 1));
   const int shots = args.int_or("shots", 0);
 
-  DistStateVector<SoaStorage> sv(c.num_qubits(), ranks);
+  DistOptions opts;
+  opts.sweep.enabled = !args.has("no-sweep");
+  opts.sweep.tile_qubits = args.int_or("tile", kDefaultSweepTileQubits);
+
+  DistStateVector<SoaStorage> sv(c.num_qubits(), ranks, opts);
   sv.apply(c);
   std::cout << "ran '" << c.name() << "' (" << c.size() << " gates) on "
             << ranks << " ranks; " << sv.comm_stats().messages
             << " messages, " << fmt::bytes(sv.comm_stats().bytes) << "\n";
+  if (opts.sweep.enabled) {
+    const SweepStats& sw = sv.sweep_stats();
+    std::cout << "sweep executor: " << sw.runs << " tiled runs covering "
+              << sw.swept_gates << " gates, " << sw.passes_saved
+              << " statevector passes saved\n";
+  }
   for (qubit_t q = 0; q < c.num_qubits(); ++q) {
     PauliTerm z;
     z.factors = {{q, Pauli::kZ}};
@@ -270,6 +282,8 @@ int usage() {
   std::cerr
       << "usage: qsv <command> ...\n"
       << "  run       run a circuit file functionally on a virtual cluster\n"
+      << "            (--no-sweep disables cache-tiled multi-gate sweeps,\n"
+      << "             --tile T sets the tile exponent, default 16)\n"
       << "  info      locality & communication analysis of a circuit file\n"
       << "  transpile apply a pass (cache|greedy|fusion|cleanup)\n"
       << "  price     estimate runtime/energy/CU on the ARCHER2 model\n"
