@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 
+#include "cluster/faults.hpp"
 #include "common/bits.hpp"
 #include "common/error.hpp"
 
@@ -19,46 +20,127 @@ VirtualCluster::VirtualCluster(int num_ranks, std::size_t max_message_bytes)
 
 void VirtualCluster::check_rank(rank_t r) const {
   QSV_REQUIRE(r >= 0 && r < num_ranks_,
-              "rank out of range: " + std::to_string(r));
+              "rank out of range: " + std::to_string(r) + " (cluster has " +
+                  std::to_string(num_ranks_) + " ranks)");
+}
+
+void VirtualCluster::check_alive(rank_t from, rank_t to) const {
+  if (injector_ == nullptr) {
+    return;
+  }
+  for (rank_t r : {from, to}) {
+    if (injector_->rank_dead(r)) {
+      throw NodeFailure("rank " + std::to_string(r) +
+                            " is down (message " + std::to_string(from) +
+                            " -> " + std::to_string(to) + ")",
+                        r, injector_->current_gate());
+    }
+  }
 }
 
 void VirtualCluster::send(rank_t from, rank_t to,
                           std::span<const std::byte> payload) {
   check_rank(from);
   check_rank(to);
-  QSV_REQUIRE(from != to, "self-send is not a message");
+  QSV_REQUIRE(from != to, "self-send is not a message (rank " +
+                              std::to_string(from) + ")");
   QSV_REQUIRE(payload.size() <= max_message_bytes_,
-              "message exceeds the MPI size cap; chunk the payload");
-  queues_[{from, to}].emplace_back(payload.begin(), payload.end());
-  ++in_flight_;
+              "message " + std::to_string(from) + " -> " +
+                  std::to_string(to) + " of " +
+                  std::to_string(payload.size()) +
+                  " bytes exceeds the MPI size cap of " +
+                  std::to_string(max_message_bytes_) +
+                  " bytes; chunk the payload");
+  check_alive(from, to);
+
+  // The wire carries the message whether or not it arrives: dropped and
+  // corrupted sends are real traffic (and get re-sent by the retry layer).
   ++stats_.messages;
   stats_.bytes += payload.size();
   stats_.max_message_bytes =
       std::max<std::uint64_t>(stats_.max_message_bytes, payload.size());
+
+  bool corrupted = false;
+  if (injector_ != nullptr) {
+    const FaultInjector::MessageOutcome out = injector_->on_message(from, to);
+    switch (out.verdict) {
+      case FaultInjector::Verdict::kDrop:
+        return;  // never enqueued: the matching recv times out
+      case FaultInjector::Verdict::kCorrupt:
+        corrupted = true;
+        break;
+      case FaultInjector::Verdict::kDelay:    // latency is an accounting
+      case FaultInjector::Verdict::kDeliver:  // matter, not a delivery one
+        break;
+    }
+  }
+
+  Message msg{std::vector<std::byte>(payload.begin(), payload.end()),
+              corrupted};
+  if (corrupted && !msg.data.empty()) {
+    msg.data[msg.data.size() / 2] ^= std::byte{0x01};  // single bit flip
+  }
+  queues_[{from, to}].push_back(std::move(msg));
+  ++in_flight_;
   stats_.max_in_flight = std::max(stats_.max_in_flight, in_flight_);
 }
 
 void VirtualCluster::recv(rank_t from, rank_t to, std::span<std::byte> out) {
   check_rank(from);
   check_rank(to);
+  check_alive(from, to);
   auto it = queues_.find({from, to});
-  QSV_REQUIRE(it != queues_.end() && !it->second.empty(),
-              "recv with no matching message queued (from " +
-                  std::to_string(from) + " to " + std::to_string(to) + ")");
-  const std::vector<std::byte>& msg = it->second.front();
-  QSV_REQUIRE(msg.size() == out.size(),
-              "recv buffer size does not match the message size");
-  std::copy(msg.begin(), msg.end(), out.begin());
+  if (it == queues_.end() || it->second.empty()) {
+    throw CommTimeout("recv " + std::to_string(from) + " -> " +
+                      std::to_string(to) +
+                      " timed out: no matching message queued (queue depth 0"
+                      ", message cap " +
+                      std::to_string(max_message_bytes_) + " bytes)");
+  }
+  const Message& msg = it->second.front();
+  if (msg.data.size() != out.size()) {
+    const std::string detail =
+        "recv " + std::to_string(from) + " -> " + std::to_string(to) +
+        ": buffer of " + std::to_string(out.size()) +
+        " bytes does not match the queued message of " +
+        std::to_string(msg.data.size()) + " bytes (queue depth " +
+        std::to_string(it->second.size()) + ", message cap " +
+        std::to_string(max_message_bytes_) + " bytes)";
+    QSV_REQUIRE(false, detail);
+  }
+  const bool corrupted = msg.corrupted;
+  std::copy(msg.data.begin(), msg.data.end(), out.begin());
   it->second.pop_front();
   --in_flight_;
   if (it->second.empty()) {
     queues_.erase(it);
+  }
+  if (corrupted) {
+    throw CommCorrupt("recv " + std::to_string(from) + " -> " +
+                      std::to_string(to) +
+                      ": payload failed its integrity check");
   }
 }
 
 std::size_t VirtualCluster::pending(rank_t from, rank_t to) const {
   const auto it = queues_.find({from, to});
   return it == queues_.end() ? 0 : it->second.size();
+}
+
+void VirtualCluster::purge_pair(rank_t a, rank_t b) {
+  for (const auto key : {std::pair<rank_t, rank_t>{a, b},
+                         std::pair<rank_t, rank_t>{b, a}}) {
+    const auto it = queues_.find(key);
+    if (it != queues_.end()) {
+      in_flight_ -= it->second.size();
+      queues_.erase(it);
+    }
+  }
+}
+
+void VirtualCluster::reset_queues() {
+  queues_.clear();
+  in_flight_ = 0;
 }
 
 bool VirtualCluster::quiescent() const { return in_flight_ == 0; }

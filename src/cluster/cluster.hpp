@@ -15,6 +15,12 @@
 // congestion) belong to the cost model, which consumes the execution events
 // the engine emits; the cluster records ground-truth traffic counters that
 // the trace backend must reproduce exactly.
+//
+// An optional FaultInjector (cluster/faults.hpp) makes the transport lossy
+// on a deterministic schedule: dropped messages surface as CommTimeout on
+// the matching recv, corrupted ones as CommCorrupt, and messages touching a
+// dead rank as NodeFailure. Without an injector the transport is perfect
+// and behaves exactly as before.
 #pragma once
 
 #include <cstddef>
@@ -28,6 +34,8 @@
 
 namespace qsv {
 
+class FaultInjector;
+
 /// Communication flavour of a pairwise exchange (paper §3.2).
 enum class CommPolicy {
   kBlocking,     // QuEST default: sequence of blocking Sendrecv
@@ -38,7 +46,9 @@ enum class CommPolicy {
   return p == CommPolicy::kBlocking ? "blocking" : "non-blocking";
 }
 
-/// Ground-truth traffic counters.
+/// Ground-truth traffic counters. Messages consumed by an injected drop are
+/// still counted (the wire carried them); retried chunks count again, which
+/// is exactly the extra traffic the cost model charges.
 struct CommStats {
   std::uint64_t messages = 0;        // individual messages sent
   std::uint64_t bytes = 0;           // payload bytes sent
@@ -61,18 +71,33 @@ class VirtualCluster {
     return max_message_bytes_;
   }
 
+  /// Attaches a fault injector (may be null to restore perfect transport).
+  /// The injector must outlive the cluster.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+  [[nodiscard]] FaultInjector* fault_injector() const { return injector_; }
+
   /// Posts one message from `from` to `to`. The payload is copied into the
   /// queue (MPI buffered-send semantics). Throws if the payload exceeds the
-  /// message cap — callers must chunk.
+  /// message cap — callers must chunk. With an injector attached, the
+  /// message may be dropped or corrupted per the fault plan, and messages
+  /// touching a dead rank throw NodeFailure.
   void send(rank_t from, rank_t to, std::span<const std::byte> payload);
 
   /// Pops the oldest message from `from` to `to` into `out`, which must be
-  /// exactly the message's size. Throws if no message is queued (the
-  /// deterministic engine schedules sends before receives).
+  /// exactly the message's size. Throws CommTimeout if no message is queued
+  /// (a dropped message, or — fault-free — an engine scheduling bug) and
+  /// CommCorrupt if the queued payload failed its integrity check.
   void recv(rank_t from, rank_t to, std::span<std::byte> out);
 
   /// Number of queued messages from `from` to `to`.
   [[nodiscard]] std::size_t pending(rank_t from, rank_t to) const;
+
+  /// Discards queued messages between `a` and `b` (both directions): the
+  /// retry path clears half-delivered exchanges before re-sending.
+  void purge_pair(rank_t a, rank_t b);
+
+  /// Discards every queued message (restart-from-checkpoint recovery).
+  void reset_queues();
 
   /// True when every queue is empty — asserted by the engine after each
   /// gate so no exchange leaks into the next operation.
@@ -85,16 +110,22 @@ class VirtualCluster {
   void reset_stats() { stats_ = CommStats{}; }
 
  private:
+  struct Message {
+    std::vector<std::byte> data;
+    bool corrupted = false;
+  };
+
   void check_rank(rank_t r) const;
+  void check_alive(rank_t from, rank_t to) const;
 
   int num_ranks_;
   std::size_t max_message_bytes_;
   // Keyed by (from, to). A map keeps memory proportional to active pairs
   // rather than num_ranks^2.
-  std::map<std::pair<rank_t, rank_t>, std::deque<std::vector<std::byte>>>
-      queues_;
+  std::map<std::pair<rank_t, rank_t>, std::deque<Message>> queues_;
   std::uint64_t in_flight_ = 0;
   CommStats stats_;
+  FaultInjector* injector_ = nullptr;
 };
 
 /// Splits a payload of `total_bytes` into messages of at most

@@ -1,0 +1,263 @@
+#include "cluster/faults.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace qsv {
+
+const char* fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::kNodeFailure: return "node-failure";
+    case FaultKind::kDropMessage: return "drop";
+    case FaultKind::kCorruptMessage: return "corrupt";
+    case FaultKind::kStraggler: return "straggler";
+  }
+  return "?";
+}
+
+FaultPlan sample_node_failures(double node_mtbf_s, double seconds_per_gate,
+                               std::uint64_t num_gates, int num_ranks,
+                               std::uint64_t seed) {
+  QSV_REQUIRE(node_mtbf_s > 0, "node MTBF must be positive");
+  QSV_REQUIRE(seconds_per_gate > 0, "per-gate time must be positive");
+  FaultPlan plan;
+  plan.seed = seed;
+  Rng rng(seed);
+  const double horizon_s = seconds_per_gate * static_cast<double>(num_gates);
+  for (rank_t r = 0; r < num_ranks; ++r) {
+    // Exponential lifetime with mean MTBF; one failure per node at most
+    // (a replacement node restarts the clock, but a single job horizon is
+    // short against MTBF so we ignore second failures of the same slot).
+    const double u = rng.uniform();
+    const double t_fail = -node_mtbf_s * std::log1p(-u);
+    if (t_fail < horizon_s) {
+      FaultSpec s;
+      s.kind = FaultKind::kNodeFailure;
+      s.rank = r;
+      s.at_gate = static_cast<std::uint64_t>(t_fail / seconds_per_gate);
+      plan.specs.push_back(s);
+    }
+  }
+  // Fire in gate order so the log reads chronologically.
+  std::sort(plan.specs.begin(), plan.specs.end(),
+            [](const FaultSpec& a, const FaultSpec& b) {
+              return a.at_gate < b.at_gate;
+            });
+  return plan;
+}
+
+namespace {
+
+/// Splits "a@b:c" into fields; throws with the offending token on error.
+struct Token {
+  std::string kind;
+  std::uint64_t at = 0;
+  bool has_extra = false;
+  double extra = 0;
+};
+
+Token parse_token(const std::string& raw) {
+  const auto at = raw.find('@');
+  QSV_REQUIRE(at != std::string::npos && at > 0,
+              "fault spec '" + raw + "': expected kind@index[:arg]");
+  Token t;
+  t.kind = raw.substr(0, at);
+  std::string rest = raw.substr(at + 1);
+  std::string extra;
+  const auto colon = rest.find(':');
+  if (colon != std::string::npos) {
+    extra = rest.substr(colon + 1);
+    rest = rest.substr(0, colon);
+    t.has_extra = true;
+  }
+  {
+    std::istringstream is(rest);
+    is >> t.at;
+    QSV_REQUIRE(!is.fail() && is.eof(),
+                "fault spec '" + raw + "': bad index '" + rest + "'");
+  }
+  if (t.has_extra) {
+    std::istringstream is(extra);
+    is >> t.extra;
+    QSV_REQUIRE(!is.fail() && is.eof(),
+                "fault spec '" + raw + "': bad argument '" + extra + "'");
+  }
+  return t;
+}
+
+}  // namespace
+
+FaultPlan parse_fault_plan(const std::string& text) {
+  FaultPlan plan;
+  std::istringstream in(text);
+  std::string raw;
+  while (std::getline(in, raw, ',')) {
+    // Trim surrounding whitespace.
+    const auto b = raw.find_first_not_of(" \t");
+    if (b == std::string::npos) {
+      continue;
+    }
+    const auto e = raw.find_last_not_of(" \t");
+    const Token t = parse_token(raw.substr(b, e - b + 1));
+
+    FaultSpec s;
+    if (t.kind == "fail") {
+      s.kind = FaultKind::kNodeFailure;
+      s.at_gate = t.at;
+      s.rank = t.has_extra ? static_cast<rank_t>(t.extra) : 0;
+    } else if (t.kind == "drop" || t.kind == "corrupt") {
+      s.kind = t.kind == "drop" ? FaultKind::kDropMessage
+                                : FaultKind::kCorruptMessage;
+      QSV_REQUIRE(t.at >= 1, "fault spec '" + raw +
+                                 "': message ordinals are 1-based");
+      s.at_message = t.at;
+      s.rank = t.has_extra ? static_cast<rank_t>(t.extra) : -1;
+    } else if (t.kind == "delay") {
+      s.kind = FaultKind::kStraggler;
+      QSV_REQUIRE(t.at >= 1, "fault spec '" + raw +
+                                 "': message ordinals are 1-based");
+      QSV_REQUIRE(t.has_extra && t.extra > 0,
+                  "fault spec '" + raw + "': delay needs ':seconds'");
+      s.at_message = t.at;
+      s.delay_s = t.extra;
+    } else {
+      QSV_REQUIRE(false, "fault spec '" + raw +
+                             "': unknown kind '" + t.kind +
+                             "' (want fail|drop|corrupt|delay)");
+    }
+    plan.specs.push_back(s);
+  }
+  return plan;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan)
+    : plan_(std::move(plan)),
+      fired_(plan_.specs.size(), false),
+      rng_(plan_.seed) {}
+
+bool FaultInjector::rank_dead(rank_t rank) const {
+  return std::find(dead_.begin(), dead_.end(), rank) != dead_.end();
+}
+
+FaultInjector::MessageOutcome FaultInjector::on_message(rank_t from,
+                                                        rank_t to) {
+  ++message_counter_;
+  MessageOutcome out;
+
+  // Explicit one-shot specs first: deterministic regardless of probability
+  // settings.
+  for (std::size_t i = 0; i < plan_.specs.size(); ++i) {
+    const FaultSpec& s = plan_.specs[i];
+    if (fired_[i] || s.at_message != message_counter_ ||
+        s.kind == FaultKind::kNodeFailure) {
+      continue;
+    }
+    if (s.rank >= 0 && s.rank != from) {
+      continue;
+    }
+    fired_[i] = true;
+    switch (s.kind) {
+      case FaultKind::kDropMessage:
+        out.verdict = Verdict::kDrop;
+        break;
+      case FaultKind::kCorruptMessage:
+        out.verdict = Verdict::kCorrupt;
+        break;
+      case FaultKind::kStraggler:
+        out.verdict = Verdict::kDelay;
+        out.delay_s = s.delay_s;
+        break;
+      case FaultKind::kNodeFailure:
+        break;  // unreachable (filtered above)
+    }
+    break;
+  }
+
+  // Probabilistic stream: one draw per configured hazard per message, in a
+  // fixed order, so the consumed RNG stream is identical between runs.
+  if (out.verdict == Verdict::kDeliver) {
+    if (plan_.drop_prob > 0 && rng_.uniform() < plan_.drop_prob) {
+      out.verdict = Verdict::kDrop;
+    }
+    if (plan_.corrupt_prob > 0 && rng_.uniform() < plan_.corrupt_prob &&
+        out.verdict == Verdict::kDeliver) {
+      out.verdict = Verdict::kCorrupt;
+    }
+    if (plan_.straggler_prob > 0 && rng_.uniform() < plan_.straggler_prob &&
+        out.verdict == Verdict::kDeliver) {
+      out.verdict = Verdict::kDelay;
+      out.delay_s = plan_.straggler_delay_s;
+    }
+  }
+
+  if (out.verdict != Verdict::kDeliver) {
+    FaultEvent e;
+    e.rank = from;
+    e.peer = to;
+    e.message = message_counter_;
+    e.gate = current_gate_;
+    switch (out.verdict) {
+      case Verdict::kDrop:
+        e.kind = FaultKind::kDropMessage;
+        ++totals_.dropped;
+        break;
+      case Verdict::kCorrupt:
+        e.kind = FaultKind::kCorruptMessage;
+        ++totals_.corrupted;
+        break;
+      case Verdict::kDelay:
+        e.kind = FaultKind::kStraggler;
+        e.delay_s = out.delay_s;
+        ++totals_.straggled;
+        totals_.delay_s += out.delay_s;
+        gate_charges_.delay_s += out.delay_s;
+        break;
+      case Verdict::kDeliver:
+        break;
+    }
+    log_.push_back(e);
+  }
+  return out;
+}
+
+std::optional<rank_t> FaultInjector::on_gate(std::uint64_t index) {
+  current_gate_ = index;
+  for (std::size_t i = 0; i < plan_.specs.size(); ++i) {
+    const FaultSpec& s = plan_.specs[i];
+    if (fired_[i] || s.kind != FaultKind::kNodeFailure ||
+        s.at_gate != index) {
+      continue;
+    }
+    fired_[i] = true;
+    dead_.push_back(s.rank);
+    ++totals_.node_failures;
+    FaultEvent e;
+    e.kind = FaultKind::kNodeFailure;
+    e.rank = s.rank;
+    e.gate = index;
+    log_.push_back(e);
+    return s.rank;
+  }
+  return std::nullopt;
+}
+
+void FaultInjector::record_retry(std::uint64_t bytes, int messages,
+                                 double backoff_s) {
+  ++totals_.retries;
+  totals_.retry_bytes += bytes;
+  totals_.delay_s += backoff_s;
+  gate_charges_.retry_bytes += bytes;
+  gate_charges_.retry_messages += messages;
+  gate_charges_.delay_s += backoff_s;
+}
+
+FaultInjector::GateFaultCharges FaultInjector::take_gate_charges() {
+  const GateFaultCharges out = gate_charges_;
+  gate_charges_ = GateFaultCharges{};
+  return out;
+}
+
+void FaultInjector::restart() { dead_.clear(); }
+
+}  // namespace qsv

@@ -1,0 +1,209 @@
+// Deterministic fault injection for the virtual cluster.
+//
+// The paper's headline runs (44 qubits on 4096 nodes, multi-hour jobs) sit
+// in the regime where node failures are expected events, not anomalies. The
+// real machine loses nodes, drops/corrupts link-level messages (surfacing
+// as MPI timeouts) and suffers stragglers; our failure-free virtual cluster
+// models none of that. This header adds a seeded, fully deterministic fault
+// model: a FaultPlan lists *what* goes wrong and *when* (by gate index or
+// global message ordinal, or probabilistically from per-node MTBF), and a
+// FaultInjector executes the plan during a run, recording every fired event
+// so two runs with the same plan are bit-identical — asserted by tests.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace qsv {
+
+/// Unrecoverable loss of a node (or retries exhausted against one): the
+/// typed error a resilience layer catches to trigger restart-from-checkpoint.
+class NodeFailure : public Error {
+ public:
+  NodeFailure(const std::string& what, rank_t rank, std::uint64_t gate_index)
+      : Error(what), rank_(rank), gate_index_(gate_index) {}
+
+  [[nodiscard]] rank_t rank() const { return rank_; }
+  [[nodiscard]] std::uint64_t gate_index() const { return gate_index_; }
+
+ private:
+  rank_t rank_;
+  std::uint64_t gate_index_;
+};
+
+/// Transient communication fault (retryable): the base the engine's bounded
+/// retry loop catches. Fault-free runs never see these.
+class CommFault : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A receive that found no message: models an MPI timeout after a drop.
+class CommTimeout : public CommFault {
+ public:
+  using CommFault::CommFault;
+};
+
+/// A delivered message whose payload failed its integrity check.
+class CommCorrupt : public CommFault {
+ public:
+  using CommFault::CommFault;
+};
+
+enum class FaultKind {
+  kNodeFailure,  // a rank dies at a gate index (checkpoint/restart territory)
+  kDropMessage,  // a message is sent but never delivered (-> recv timeout)
+  kCorruptMessage,  // a delivered message has a flipped payload byte
+  kStraggler,    // a message is delivered late (charged as idle time)
+};
+
+[[nodiscard]] const char* fault_kind_name(FaultKind k);
+
+/// One planned fault. Message faults trigger on the Nth message the cluster
+/// carries (1-based ordinal over the whole run); node failures trigger when
+/// the engine starts the gate with this 0-based index.
+struct FaultSpec {
+  FaultKind kind{};
+  /// Affected rank: the dying rank for kNodeFailure, the sender for message
+  /// faults (-1 = any sender).
+  rank_t rank = -1;
+  /// 1-based global message ordinal (message faults).
+  std::uint64_t at_message = 0;
+  /// 0-based gate index (kNodeFailure).
+  std::uint64_t at_gate = 0;
+  /// Added latency for kStraggler, seconds.
+  double delay_s = 0;
+
+  bool operator==(const FaultSpec&) const = default;
+};
+
+/// The full deterministic schedule of faults for a run: explicit one-shot
+/// specs plus optional per-message probabilities drawn from a seeded stream.
+struct FaultPlan {
+  std::vector<FaultSpec> specs;
+
+  /// Per-message probabilities (evaluated in this order: drop, corrupt,
+  /// straggle) using the plan's seed; 0 disables the draw entirely, keeping
+  /// purely explicit plans RNG-free.
+  double drop_prob = 0;
+  double corrupt_prob = 0;
+  double straggler_prob = 0;
+  double straggler_delay_s = 0;
+  std::uint64_t seed = 1;
+
+  [[nodiscard]] bool empty() const {
+    return specs.empty() && drop_prob == 0 && corrupt_prob == 0 &&
+           straggler_prob == 0;
+  }
+};
+
+/// Draws node-failure times from per-node exponential lifetimes with mean
+/// `node_mtbf_s`, converts them to gate indices at `seconds_per_gate`, and
+/// returns a plan holding every failure landing inside `num_gates`.
+/// Deterministic for a fixed seed.
+[[nodiscard]] FaultPlan sample_node_failures(double node_mtbf_s,
+                                             double seconds_per_gate,
+                                             std::uint64_t num_gates,
+                                             int num_ranks,
+                                             std::uint64_t seed);
+
+/// Parses a comma-separated fault list, e.g.
+///   "fail@120:2, drop@5, corrupt@9:1, delay@3:0.25"
+/// where `fail@G[:R]` kills rank R (default 0) at gate G, `drop@M` /
+/// `corrupt@M[:R]` hit the Mth message (optionally only if sent by R), and
+/// `delay@M:S` delays the Mth message by S seconds. Throws qsv::Error on
+/// malformed specs.
+[[nodiscard]] FaultPlan parse_fault_plan(const std::string& text);
+
+/// A fault that actually fired during a run (the deterministic event
+/// stream; two runs with the same plan produce identical logs).
+struct FaultEvent {
+  FaultKind kind{};
+  rank_t rank = -1;        // dying rank / sender
+  rank_t peer = -1;        // receiver for message faults
+  std::uint64_t message = 0;  // global message ordinal (message faults)
+  std::uint64_t gate = 0;     // gate index when the fault fired
+  double delay_s = 0;
+
+  bool operator==(const FaultEvent&) const = default;
+};
+
+/// Executes a FaultPlan against a run. The VirtualCluster consults it on
+/// every message; the engine consults it at every gate boundary. All
+/// decisions are functions of (plan, message ordinal, gate index) only.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  /// Verdict for one message about to be carried from `from` to `to`.
+  enum class Verdict { kDeliver, kDrop, kCorrupt, kDelay };
+  struct MessageOutcome {
+    Verdict verdict = Verdict::kDeliver;
+    double delay_s = 0;
+  };
+  [[nodiscard]] MessageOutcome on_message(rank_t from, rank_t to);
+
+  /// Called by the engine when gate `index` starts; returns the rank that
+  /// dies at this gate, if any (the engine then throws NodeFailure).
+  [[nodiscard]] std::optional<rank_t> on_gate(std::uint64_t index);
+
+  /// True once `rank` has died and not been replaced by a restart.
+  [[nodiscard]] bool rank_dead(rank_t rank) const;
+
+  /// Gate index most recently announced via on_gate (for error reporting).
+  [[nodiscard]] std::uint64_t current_gate() const { return current_gate_; }
+
+  /// Records an engine-level retry (for the per-gate accounting the cost
+  /// model charges as extra traffic + backoff idle time).
+  void record_retry(std::uint64_t bytes, int messages, double backoff_s);
+
+  /// Per-gate accounting, drained by the engine when it emits the gate's
+  /// execution event.
+  struct GateFaultCharges {
+    std::uint64_t retry_bytes = 0;
+    int retry_messages = 0;
+    double delay_s = 0;  // straggler latency + retry backoff
+  };
+  [[nodiscard]] GateFaultCharges take_gate_charges();
+
+  /// A restart replaces dead nodes with fresh ones: clears the dead set.
+  /// Already-fired one-shot specs stay fired, so the same failure does not
+  /// recur on replay.
+  void restart();
+
+  /// Every fault that fired, in firing order.
+  [[nodiscard]] const std::vector<FaultEvent>& log() const { return log_; }
+
+  /// Totals over the whole run (including across restarts).
+  struct Totals {
+    std::uint64_t dropped = 0;
+    std::uint64_t corrupted = 0;
+    std::uint64_t straggled = 0;
+    std::uint64_t node_failures = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t retry_bytes = 0;
+    double delay_s = 0;
+  };
+  [[nodiscard]] const Totals& totals() const { return totals_; }
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+ private:
+  FaultPlan plan_;
+  std::vector<bool> fired_;  // one-shot latch per spec
+  std::vector<rank_t> dead_;
+  Rng rng_;
+  std::uint64_t message_counter_ = 0;
+  std::uint64_t current_gate_ = 0;
+  GateFaultCharges gate_charges_;
+  Totals totals_;
+  std::vector<FaultEvent> log_;
+};
+
+}  // namespace qsv

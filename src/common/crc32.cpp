@@ -1,0 +1,42 @@
+#include "common/crc32.hpp"
+
+#include <array>
+
+namespace qsv {
+namespace {
+
+std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    t[i] = c;
+  }
+  return t;
+}
+
+const std::array<std::uint32_t, 256>& table() {
+  static const std::array<std::uint32_t, 256> t = make_table();
+  return t;
+}
+
+}  // namespace
+
+void Crc32::update(const void* data, std::size_t len) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = state_;
+  for (std::size_t i = 0; i < len; ++i) {
+    c = table()[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  state_ = c;
+}
+
+std::uint32_t crc32(const void* data, std::size_t len) noexcept {
+  Crc32 acc;
+  acc.update(data, len);
+  return acc.value();
+}
+
+}  // namespace qsv

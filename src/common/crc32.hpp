@@ -1,0 +1,27 @@
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) for snapshot payload
+// integrity. Incremental interface so large payloads can be checksummed
+// while they stream to disk.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace qsv {
+
+/// Incremental CRC-32 accumulator.
+class Crc32 {
+ public:
+  /// Folds `len` bytes at `data` into the running checksum.
+  void update(const void* data, std::size_t len) noexcept;
+
+  /// Final checksum over everything folded in so far.
+  [[nodiscard]] std::uint32_t value() const noexcept { return state_ ^ 0xFFFFFFFFu; }
+
+ private:
+  std::uint32_t state_ = 0xFFFFFFFFu;
+};
+
+/// One-shot CRC-32 of a buffer.
+[[nodiscard]] std::uint32_t crc32(const void* data, std::size_t len) noexcept;
+
+}  // namespace qsv

@@ -85,6 +85,47 @@ void DistStateVector<S>::emit(const ExecEvent& e) {
 }
 
 template <class S>
+void DistStateVector<S>::tick_gate() {
+  const std::uint64_t index = gates_applied_++;
+  if (injector_ == nullptr) {
+    return;
+  }
+  if (const std::optional<rank_t> dead = injector_->on_gate(index)) {
+    throw NodeFailure("rank " + std::to_string(*dead) +
+                          " failed at gate " + std::to_string(index),
+                      *dead, index);
+  }
+}
+
+template <class S>
+template <class Fn>
+void DistStateVector<S>::with_retry(rank_t r, rank_t peer, int messages,
+                                    std::uint64_t bytes, Fn&& fn) {
+  // Fault-free transport gets a single attempt, so genuine engine bugs are
+  // never masked by the retry loop.
+  const int attempts = injector_ != nullptr ? opts_.max_retries + 1 : 1;
+  for (int a = 0; a < attempts; ++a) {
+    try {
+      fn();
+      return;
+    } catch (const CommFault&) {
+      // Clear half-delivered messages of this exchange before re-sending.
+      cluster_.purge_pair(r, peer);
+      if (a + 1 >= attempts) {
+        throw NodeFailure(
+            "exchange between ranks " + std::to_string(r) + " and " +
+                std::to_string(peer) + " abandoned after " +
+                std::to_string(opts_.max_retries) + " retries",
+            peer, gates_applied_ == 0 ? 0 : gates_applied_ - 1);
+      }
+      injector_->record_retry(bytes, messages,
+                              opts_.retry_backoff_s *
+                                  static_cast<double>(1 << a));
+    }
+  }
+}
+
+template <class S>
 void DistStateVector<S>::exchange_full(rank_t r, rank_t peer) {
   const amp_index n_local = local_amps();
   const amp_index chunk_amps = std::min<amp_index>(
@@ -105,29 +146,36 @@ void DistStateVector<S>::exchange_full(rank_t r, rank_t peer) {
 
   if (opts_.policy == CommPolicy::kBlocking) {
     // QuEST default: a sequence of blocking Sendrecv calls, one chunk fully
-    // completing before the next is posted.
+    // completing before the next is posted. A fault retries just the
+    // affected Sendrecv round.
     for (amp_index c = 0; c < chunks; ++c) {
       const amp_index first = c * chunk_amps;
       const amp_index count = std::min(chunk_amps, n_local - first);
-      send_chunk(r, peer, first, count);
-      send_chunk(peer, r, first, count);
-      recv_chunk(r, peer, first, count);
-      recv_chunk(peer, r, first, count);
+      with_retry(r, peer, 2, 2 * count * kBytesPerAmp, [&] {
+        send_chunk(r, peer, first, count);
+        send_chunk(peer, r, first, count);
+        recv_chunk(r, peer, first, count);
+        recv_chunk(peer, r, first, count);
+      });
     }
   } else {
     // Non-blocking rewrite: every Isend/Irecv posted up front, one WaitAll.
-    for (amp_index c = 0; c < chunks; ++c) {
-      const amp_index first = c * chunk_amps;
-      const amp_index count = std::min(chunk_amps, n_local - first);
-      send_chunk(r, peer, first, count);
-      send_chunk(peer, r, first, count);
-    }
-    for (amp_index c = 0; c < chunks; ++c) {
-      const amp_index first = c * chunk_amps;
-      const amp_index count = std::min(chunk_amps, n_local - first);
-      recv_chunk(r, peer, first, count);
-      recv_chunk(peer, r, first, count);
-    }
+    // A fault fails the WaitAll, so the whole exchange is re-posted.
+    with_retry(r, peer, 2 * static_cast<int>(chunks),
+               2 * n_local * kBytesPerAmp, [&] {
+      for (amp_index c = 0; c < chunks; ++c) {
+        const amp_index first = c * chunk_amps;
+        const amp_index count = std::min(chunk_amps, n_local - first);
+        send_chunk(r, peer, first, count);
+        send_chunk(peer, r, first, count);
+      }
+      for (amp_index c = 0; c < chunks; ++c) {
+        const amp_index first = c * chunk_amps;
+        const amp_index count = std::min(chunk_amps, n_local - first);
+        recv_chunk(r, peer, first, count);
+        recv_chunk(peer, r, first, count);
+      }
+    });
   }
 }
 
@@ -171,20 +219,27 @@ void DistStateVector<S>::exchange_half(rank_t r, rank_t peer, int local_bit) {
 
   if (opts_.policy == CommPolicy::kBlocking) {
     for (std::size_t c = 0; c < chunks; ++c) {
-      ship(r, peer, out_r, c);
-      ship(peer, r, out_peer, c);
-      land(r, peer, in_peer, c);
-      land(peer, r, in_r, c);
+      const std::size_t len =
+          std::min(chunk, half_bytes - c * chunk);
+      with_retry(r, peer, 2, 2 * static_cast<std::uint64_t>(len), [&] {
+        ship(r, peer, out_r, c);
+        ship(peer, r, out_peer, c);
+        land(r, peer, in_peer, c);
+        land(peer, r, in_r, c);
+      });
     }
   } else {
-    for (std::size_t c = 0; c < chunks; ++c) {
-      ship(r, peer, out_r, c);
-      ship(peer, r, out_peer, c);
-    }
-    for (std::size_t c = 0; c < chunks; ++c) {
-      land(r, peer, in_peer, c);
-      land(peer, r, in_r, c);
-    }
+    with_retry(r, peer, 2 * static_cast<int>(chunks),
+               2 * static_cast<std::uint64_t>(half_bytes), [&] {
+      for (std::size_t c = 0; c < chunks; ++c) {
+        ship(r, peer, out_r, c);
+        ship(peer, r, out_peer, c);
+      }
+      for (std::size_t c = 0; c < chunks; ++c) {
+        land(r, peer, in_peer, c);
+        land(peer, r, in_r, c);
+      }
+    });
   }
 
   kern::scatter_half(slices_[r], local_bit, 1 - rb, in_r.data());
@@ -267,6 +322,7 @@ void DistStateVector<S>::apply(const Gate& g) {
     return;
   }
 
+  tick_gate();
   const OpPlan plan = plan_gate(g, num_qubits_, local_qubits_, opts_);
 
   ExecEvent e;
@@ -283,6 +339,13 @@ void DistStateVector<S>::apply(const Gate& g) {
     e.messages_per_rank = plan.messages;
     e.policy = opts_.policy;
     e.half_exchange = plan.half_exchange;
+    if (injector_ != nullptr) {
+      const FaultInjector::GateFaultCharges charges =
+          injector_->take_gate_charges();
+      e.retry_bytes = charges.retry_bytes;
+      e.retry_messages = charges.retry_messages;
+      e.fault_delay_s = charges.delay_s;
+    }
   } else {
     for (rank_t r = 0; r < num_ranks(); ++r) {
       kern::apply_gate_slice(slices_[r], g, local_qubits_,
@@ -296,6 +359,11 @@ void DistStateVector<S>::apply(const Gate& g) {
 template <class S>
 void DistStateVector<S>::apply_sweep_run(const Circuit& c, std::size_t first,
                                          std::size_t count) {
+  // A planned node failure anywhere inside the tiled run fires before the
+  // run executes: slices are never left mid-sweep.
+  for (std::size_t i = 0; i < count; ++i) {
+    tick_gate();
+  }
   const Gate* gates = c.gates().data() + first;
   const int t = std::min(opts_.sweep.tile_qubits, local_qubits_);
   for (rank_t r = 0; r < num_ranks(); ++r) {

@@ -13,6 +13,7 @@
 
 #include "circuit/circuit.hpp"
 #include "cluster/cluster.hpp"
+#include "cluster/faults.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "dist/events.hpp"
@@ -70,6 +71,24 @@ class DistStateVector {
   /// Attaches an event listener (cost model or test recorder); may be null.
   void set_listener(ExecListener* listener) { listener_ = listener; }
 
+  /// Attaches a fault injector (cluster/faults.hpp); null restores perfect
+  /// transport. Injected node failures surface as NodeFailure at the gate
+  /// boundary; dropped/corrupted messages are retried up to
+  /// options().max_retries times before escalating to NodeFailure.
+  void set_fault_injector(FaultInjector* injector) {
+    injector_ = injector;
+    cluster_.set_fault_injector(injector);
+  }
+  [[nodiscard]] FaultInjector* fault_injector() const { return injector_; }
+
+  /// Engine gate applications so far (post-decomposition; the index the
+  /// fault plan's `fail@G` specs refer to).
+  [[nodiscard]] std::uint64_t gates_applied() const { return gates_applied_; }
+
+  /// Clears in-flight messages after a failure, so a restart-from-checkpoint
+  /// resumes on a quiescent transport.
+  void reset_transport() { cluster_.reset_queues(); }
+
   /// Counters over every cache-tiled sweep run executed so far.
   [[nodiscard]] const SweepStats& sweep_stats() const { return sweep_stats_; }
 
@@ -80,6 +99,14 @@ class DistStateVector {
   void apply_sweep_run(const Circuit& c, std::size_t first,
                        std::size_t count);
   void emit(const ExecEvent& e);
+  /// Consults the injector at a gate boundary; throws NodeFailure if a
+  /// planned failure fires at this index.
+  void tick_gate();
+  /// Runs `fn` (one exchange round) with bounded retry on transient comm
+  /// faults; `messages`/`bytes` are what one re-send costs.
+  template <class Fn>
+  void with_retry(rank_t r, rank_t peer, int messages, std::uint64_t bytes,
+                  Fn&& fn);
 
   int num_qubits_;
   int local_qubits_;
@@ -96,6 +123,8 @@ class DistStateVector {
   HalfScratch half_scratch_;
   SweepStats sweep_stats_;
   ExecListener* listener_ = nullptr;
+  FaultInjector* injector_ = nullptr;
+  std::uint64_t gates_applied_ = 0;
 };
 
 using DistStateVectorSoa = DistStateVector<SoaStorage>;

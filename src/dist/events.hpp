@@ -49,6 +49,16 @@ struct ExecEvent {
   CommPolicy policy = CommPolicy::kBlocking;
   bool half_exchange = false;
 
+  // --- fault-recovery fields (zero on fault-free runs, so pricing and
+  // event-stream identity with the trace engine are unchanged) ---
+  /// Extra payload bytes re-sent by the bounded retry layer.
+  std::uint64_t retry_bytes = 0;
+  /// Extra messages re-sent by the bounded retry layer.
+  int retry_messages = 0;
+  /// Injected latency: straggler delays plus retry backoff, charged by the
+  /// cost model as idle time across the job.
+  double fault_delay_s = 0;
+
   // --- sweep-only fields ---
   /// Gates folded into the tiled run.
   int sweep_gates = 0;

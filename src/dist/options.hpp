@@ -28,6 +28,14 @@ struct DistOptions {
   /// slice per run instead of one per gate). On by default; affects only
   /// how amplitudes are moved, never the result or the cost-model charges.
   SweepOptions sweep;
+
+  /// Bounded retry of faulted exchanges (exercised only when a
+  /// FaultInjector is attached; fault-free transport never retries).
+  /// A dropped or corrupted chunk is re-sent up to `max_retries` times;
+  /// exhaustion surfaces as a typed NodeFailure. Each attempt is charged
+  /// an exponential backoff (base * 2^attempt) as idle time.
+  int max_retries = 3;
+  double retry_backoff_s = 0.1;
 };
 
 }  // namespace qsv

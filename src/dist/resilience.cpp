@@ -1,0 +1,106 @@
+#include "dist/resilience.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include "common/error.hpp"
+#include "dist/snapshot.hpp"
+
+namespace qsv {
+
+double daly_interval_s(double mtbf_s, double checkpoint_s) {
+  QSV_REQUIRE(mtbf_s > 0, "MTBF must be positive");
+  QSV_REQUIRE(checkpoint_s > 0, "checkpoint cost must be positive");
+  if (checkpoint_s >= 2 * mtbf_s) {
+    return mtbf_s;  // checkpointing costs more than the expected loss
+  }
+  const double x = checkpoint_s / (2 * mtbf_s);
+  return std::sqrt(2 * checkpoint_s * mtbf_s) *
+             (1 + std::sqrt(x) / 3 + x / 9) -
+         checkpoint_s;
+}
+
+std::uint64_t interval_to_gates(double interval_s, double seconds_per_gate) {
+  QSV_REQUIRE(seconds_per_gate > 0, "per-gate time must be positive");
+  return std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(interval_s / seconds_per_gate));
+}
+
+template <class S>
+RecoveryStats run_with_recovery(DistStateVector<S>& sv, const Circuit& c,
+                                const CheckpointOptions& opts) {
+  QSV_REQUIRE(c.num_qubits() == sv.num_qubits(), "register size mismatch");
+  RecoveryStats stats;
+
+  if (opts.interval_gates == 0) {
+    // Resilience off: run straight through; a NodeFailure propagates.
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      sv.apply(c.gate(i));
+    }
+    stats.completed = true;
+    if (FaultInjector* inj = sv.fault_injector()) {
+      stats.faults = inj->log();
+    }
+    return stats;
+  }
+
+  if (!opts.dir.empty()) {
+    std::filesystem::create_directories(opts.dir);
+  }
+  const std::string ckpt =
+      (opts.dir.empty() ? std::string(".") : opts.dir) + "/ckpt.qsv";
+
+  // Initial checkpoint: a failure before the first interval boundary still
+  // has a snapshot to restart from.
+  save_state(ckpt, sv);
+  ++stats.checkpoints_written;
+  std::size_t ckpt_gate = 0;  // circuit gates completed at the checkpoint
+
+  std::size_t i = 0;
+  while (i < c.size()) {
+    try {
+      sv.apply(c.gate(i));
+      ++i;
+      if (i % opts.interval_gates == 0 && i < c.size()) {
+        save_state(ckpt, sv);
+        ++stats.checkpoints_written;
+        ckpt_gate = i;
+      }
+    } catch (const NodeFailure&) {
+      ++stats.restarts;
+      if (stats.restarts > opts.max_restarts) {
+        if (!opts.keep_checkpoints) {
+          std::remove(ckpt.c_str());
+        }
+        throw;
+      }
+      // Replacement node comes up; clear in-flight messages and dead set,
+      // reload the last good snapshot and replay from there.
+      sv.reset_transport();
+      if (FaultInjector* inj = sv.fault_injector()) {
+        inj->restart();
+      }
+      load_state(ckpt, sv);
+      stats.gates_replayed += i - ckpt_gate;
+      i = ckpt_gate;
+    }
+  }
+
+  stats.completed = true;
+  if (FaultInjector* inj = sv.fault_injector()) {
+    stats.faults = inj->log();
+  }
+  if (!opts.keep_checkpoints) {
+    std::remove(ckpt.c_str());
+  }
+  return stats;
+}
+
+template RecoveryStats run_with_recovery<SoaStorage>(
+    DistStateVector<SoaStorage>&, const Circuit&, const CheckpointOptions&);
+template RecoveryStats run_with_recovery<AosStorage>(
+    DistStateVector<AosStorage>&, const Circuit&, const CheckpointOptions&);
+
+}  // namespace qsv

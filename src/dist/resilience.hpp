@@ -1,0 +1,69 @@
+// Checkpoint/restart resilience: the layer that lets a long run survive
+// injected (or, on a real machine, actual) node failures.
+//
+// Two pieces:
+//  * interval selection — the Young/Daly first-order optimum computed from
+//    system MTBF and checkpoint write cost, so the harness can sweep
+//    intervals against the analytic optimum;
+//  * a restart driver — executes a circuit gate by gate on a
+//    DistStateVector, checkpointing every K gates through dist/snapshot,
+//    and on a NodeFailure reloads the last good snapshot and replays the
+//    remaining gates. Replay is bit-identical to an uninterrupted run
+//    (asserted by tests): gate kernels are deterministic and snapshots
+//    store exact doubles.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "cluster/faults.hpp"
+#include "dist/dist_statevector.hpp"
+
+namespace qsv {
+
+/// Daly's higher-order approximation of the optimal checkpoint interval
+/// (compute time between checkpoints) for checkpoint cost `checkpoint_s`
+/// and system MTBF `mtbf_s`:
+///   sqrt(2 d M) [1 + (1/3) sqrt(d/2M) + (1/9)(d/2M)] - d   for d < 2M,
+///   M                                                      otherwise.
+/// Reduces to Young's sqrt(2 d M) for d << M.
+[[nodiscard]] double daly_interval_s(double mtbf_s, double checkpoint_s);
+
+/// Converts a time interval to a whole number of gates (at least 1).
+[[nodiscard]] std::uint64_t interval_to_gates(double interval_s,
+                                              double seconds_per_gate);
+
+struct CheckpointOptions {
+  /// Circuit gates between checkpoints; 0 disables checkpointing entirely
+  /// (a NodeFailure then propagates to the caller).
+  std::uint64_t interval_gates = 0;
+  /// Directory for the rolling checkpoint file (created if missing).
+  std::string dir = ".";
+  /// Give up (rethrow) after this many restarts.
+  int max_restarts = 8;
+  /// Leave the final checkpoint file on disk after a successful run.
+  bool keep_checkpoints = false;
+};
+
+struct RecoveryStats {
+  bool completed = false;
+  int restarts = 0;
+  int checkpoints_written = 0;
+  /// Circuit gates re-executed after restarts (the "lost work").
+  std::uint64_t gates_replayed = 0;
+  /// Copy of the injector's fault log (empty when no injector is attached).
+  std::vector<FaultEvent> faults;
+};
+
+/// Runs `c` on `sv` with checkpoint/restart recovery. With checkpointing
+/// enabled, an initial checkpoint of the starting state is written before
+/// the first gate so a failure anywhere has a snapshot to fall back to.
+/// Rethrows NodeFailure when checkpointing is disabled or max_restarts is
+/// exceeded.
+template <class S>
+RecoveryStats run_with_recovery(DistStateVector<S>& sv, const Circuit& c,
+                                const CheckpointOptions& opts);
+
+}  // namespace qsv

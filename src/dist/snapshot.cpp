@@ -1,60 +1,100 @@
 #include "dist/snapshot.hpp"
 
 #include <array>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 
+#include "common/crc32.hpp"
 #include "common/error.hpp"
 
 namespace qsv {
 namespace {
 
-constexpr char kMagic[8] = {'Q', 'S', 'V', 'S', 'N', 'A', 'P', '1'};
+constexpr char kMagicV1[8] = {'Q', 'S', 'V', 'S', 'N', 'A', 'P', '1'};
+constexpr char kMagicV2[8] = {'Q', 'S', 'V', 'S', 'N', 'A', 'P', '2'};
 
-void write_header(std::ofstream& out, int num_qubits) {
-  out.write(kMagic, sizeof kMagic);
-  const std::uint32_t n = static_cast<std::uint32_t>(num_qubits);
-  const std::uint32_t reserved = 0;
-  out.write(reinterpret_cast<const char*>(&n), sizeof n);
-  out.write(reinterpret_cast<const char*>(&reserved), sizeof reserved);
+// v2 header layout after the magic: version, num_qubits, payload CRC-32,
+// reserved. The CRC slot is patched once the payload has streamed out.
+constexpr std::streamoff kCrcOffset = 8 + 2 * sizeof(std::uint32_t);
+
+struct Header {
+  int num_qubits = 0;
+  bool has_crc = false;
+  std::uint32_t crc = 0;
+};
+
+void write_u32(std::ofstream& out, std::uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof v);
 }
 
-int read_header(std::ifstream& in, const std::string& path) {
+std::uint32_t read_u32(std::ifstream& in) {
+  std::uint32_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof v);
+  return v;
+}
+
+Header read_header(std::ifstream& in, const std::string& path) {
   std::array<char, 8> magic{};
   in.read(magic.data(), magic.size());
-  QSV_REQUIRE(in.good() && std::memcmp(magic.data(), kMagic, 8) == 0,
-              "not a qsv snapshot: " + path);
-  std::uint32_t n = 0;
-  std::uint32_t reserved = 0;
-  in.read(reinterpret_cast<char*>(&n), sizeof n);
-  in.read(reinterpret_cast<char*>(&reserved), sizeof reserved);
-  QSV_REQUIRE(in.good() && n >= 1 && n <= 62,
-              "corrupt snapshot header: " + path);
-  return static_cast<int>(n);
+  QSV_REQUIRE(in.good(), "not a qsv snapshot (short file): " + path);
+
+  Header h;
+  if (std::memcmp(magic.data(), kMagicV2, 8) == 0) {
+    const std::uint32_t version = read_u32(in);
+    QSV_REQUIRE(in.good() && version == kSnapshotFormatVersion,
+                "unsupported snapshot format version " +
+                    std::to_string(version) + ": " + path);
+    const std::uint32_t n = read_u32(in);
+    h.crc = read_u32(in);
+    h.has_crc = true;
+    (void)read_u32(in);  // reserved
+    QSV_REQUIRE(in.good() && n >= 1 && n <= 62,
+                "corrupt snapshot header: " + path);
+    h.num_qubits = static_cast<int>(n);
+  } else if (std::memcmp(magic.data(), kMagicV1, 8) == 0) {
+    // Legacy v1: no version field, no CRC.
+    const std::uint32_t n = read_u32(in);
+    (void)read_u32(in);  // reserved
+    QSV_REQUIRE(in.good() && n >= 1 && n <= 62,
+                "corrupt snapshot header: " + path);
+    h.num_qubits = static_cast<int>(n);
+  } else {
+    QSV_REQUIRE(false, "not a qsv snapshot: " + path);
+  }
+  return h;
 }
 
 template <class GetAmp>
-void write_amps(std::ofstream& out, amp_index count, GetAmp get) {
+void write_amps(std::ofstream& out, amp_index count, GetAmp get,
+                Crc32& crc) {
   for (amp_index i = 0; i < count; ++i) {
     const cplx a = get(i);
     const real_t re = a.real();
     const real_t im = a.imag();
     out.write(reinterpret_cast<const char*>(&re), sizeof re);
     out.write(reinterpret_cast<const char*>(&im), sizeof im);
+    crc.update(&re, sizeof re);
+    crc.update(&im, sizeof im);
   }
 }
 
 template <class SetAmp>
-void read_amps(std::ifstream& in, const std::string& path, amp_index count,
-               SetAmp set) {
+void read_amps(std::ifstream& in, const std::string& path,
+               const Header& header, amp_index count, SetAmp set) {
+  Crc32 crc;
   for (amp_index i = 0; i < count; ++i) {
     real_t re = 0;
     real_t im = 0;
     in.read(reinterpret_cast<char*>(&re), sizeof re);
     in.read(reinterpret_cast<char*>(&im), sizeof im);
     QSV_REQUIRE(in.good(), "snapshot truncated: " + path);
+    crc.update(&re, sizeof re);
+    crc.update(&im, sizeof im);
     set(i, cplx{re, im});
   }
+  QSV_REQUIRE(!header.has_crc || crc.value() == header.crc,
+              "snapshot payload CRC mismatch (corrupt): " + path);
 }
 
 std::ofstream open_out(const std::string& path) {
@@ -69,50 +109,68 @@ std::ifstream open_in(const std::string& path) {
   return in;
 }
 
+/// Writes the whole snapshot to `<path>.tmp` (patching the CRC slot once
+/// the payload is known) and commits it with an atomic rename.
+template <class GetAmp>
+void write_snapshot(const std::string& path, int num_qubits, amp_index count,
+                    GetAmp get) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out = open_out(tmp);
+    out.write(kMagicV2, sizeof kMagicV2);
+    write_u32(out, kSnapshotFormatVersion);
+    write_u32(out, static_cast<std::uint32_t>(num_qubits));
+    write_u32(out, 0);  // CRC placeholder
+    write_u32(out, 0);  // reserved
+    Crc32 crc;
+    write_amps(out, count, get, crc);
+    out.seekp(kCrcOffset);
+    write_u32(out, crc.value());
+    QSV_REQUIRE(out.good(), "short write while snapshotting: " + tmp);
+  }
+  QSV_REQUIRE(std::rename(tmp.c_str(), path.c_str()) == 0,
+              "cannot commit snapshot " + tmp + " -> " + path);
+}
+
 }  // namespace
 
 template <class S>
 void save_state(const std::string& path, const BasicStateVector<S>& sv) {
-  std::ofstream out = open_out(path);
-  write_header(out, sv.num_qubits());
-  write_amps(out, sv.num_amps(), [&](amp_index i) { return sv.amplitude(i); });
-  QSV_REQUIRE(out.good(), "short write while snapshotting: " + path);
+  write_snapshot(path, sv.num_qubits(), sv.num_amps(),
+                 [&](amp_index i) { return sv.amplitude(i); });
 }
 
 template <class S>
 void save_state(const std::string& path, const DistStateVector<S>& sv) {
-  std::ofstream out = open_out(path);
-  write_header(out, sv.num_qubits());
-  write_amps(out, amp_index{1} << sv.num_qubits(),
-             [&](amp_index i) { return sv.amplitude(i); });
-  QSV_REQUIRE(out.good(), "short write while snapshotting: " + path);
+  write_snapshot(path, sv.num_qubits(), amp_index{1} << sv.num_qubits(),
+                 [&](amp_index i) { return sv.amplitude(i); });
 }
 
 template <class S>
 void load_state(const std::string& path, BasicStateVector<S>& sv) {
   std::ifstream in = open_in(path);
-  const int n = read_header(in, path);
-  QSV_REQUIRE(n == sv.num_qubits(),
-              "snapshot holds " + std::to_string(n) + " qubits, register has " +
-                  std::to_string(sv.num_qubits()));
-  read_amps(in, path, sv.num_amps(),
+  const Header h = read_header(in, path);
+  QSV_REQUIRE(h.num_qubits == sv.num_qubits(),
+              "snapshot holds " + std::to_string(h.num_qubits) +
+                  " qubits, register has " + std::to_string(sv.num_qubits()));
+  read_amps(in, path, h, sv.num_amps(),
             [&](amp_index i, cplx v) { sv.set_amplitude(i, v); });
 }
 
 template <class S>
 void load_state(const std::string& path, DistStateVector<S>& sv) {
   std::ifstream in = open_in(path);
-  const int n = read_header(in, path);
-  QSV_REQUIRE(n == sv.num_qubits(),
-              "snapshot holds " + std::to_string(n) + " qubits, register has " +
-                  std::to_string(sv.num_qubits()));
-  read_amps(in, path, amp_index{1} << n,
+  const Header h = read_header(in, path);
+  QSV_REQUIRE(h.num_qubits == sv.num_qubits(),
+              "snapshot holds " + std::to_string(h.num_qubits) +
+                  " qubits, register has " + std::to_string(sv.num_qubits()));
+  read_amps(in, path, h, amp_index{1} << h.num_qubits,
             [&](amp_index i, cplx v) { sv.set_amplitude(i, v); });
 }
 
 int snapshot_qubits(const std::string& path) {
   std::ifstream in = open_in(path);
-  return read_header(in, path);
+  return read_header(in, path).num_qubits;
 }
 
 template void save_state<SoaStorage>(const std::string&,

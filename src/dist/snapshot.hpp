@@ -1,17 +1,26 @@
 // Binary statevector snapshots: checkpoint/restore for long simulations.
 //
-// Format: 8-byte magic "QSVSNAP1", u32 num_qubits, u32 reserved, then
-// 2^n amplitudes as interleaved little-endian doubles (re, im). The layout
-// on disk is storage-independent, so a snapshot written from a SoA run
-// restores into an interleaved-layout engine and vice versa.
+// Format v2: 8-byte magic "QSVSNAP2", u32 format version, u32 num_qubits,
+// u32 CRC-32 of the amplitude payload, u32 reserved, then 2^n amplitudes as
+// interleaved little-endian doubles (re, im). Writes go to `<path>.tmp` and
+// are committed with an atomic rename, so a crash mid-checkpoint never
+// leaves a plausible-but-torn file at the final path. v1 snapshots (magic
+// "QSVSNAP1", no CRC) are still read.
+//
+// The layout on disk is storage-independent, so a snapshot written from a
+// SoA run restores into an interleaved-layout engine and vice versa.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "dist/dist_statevector.hpp"
 #include "sv/statevector.hpp"
 
 namespace qsv {
+
+/// On-disk format version written by save_state.
+inline constexpr std::uint32_t kSnapshotFormatVersion = 2;
 
 template <class S>
 void save_state(const std::string& path, const BasicStateVector<S>& sv);
@@ -20,7 +29,9 @@ template <class S>
 void save_state(const std::string& path, const DistStateVector<S>& sv);
 
 /// Restores into an existing register; the snapshot's qubit count must
-/// match. Throws qsv::Error on bad magic, truncation or size mismatch.
+/// match. Throws qsv::Error on bad magic, truncation, size mismatch or
+/// (v2) payload CRC mismatch. On error the register contents are
+/// unspecified — amplitudes stream directly into it.
 template <class S>
 void load_state(const std::string& path, BasicStateVector<S>& sv);
 

@@ -1,0 +1,93 @@
+#include "harness/resilience.hpp"
+
+#include <cmath>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/format.hpp"
+#include "dist/resilience.hpp"
+#include "harness/experiments.hpp"
+#include "machine/job.hpp"
+#include "perf/runner.hpp"
+
+namespace qsv {
+
+CheckpointSweepResult experiment_checkpoint_sweep(const MachineModel& m) {
+  QSV_REQUIRE(m.reliability.node_mtbf_s > 0,
+              "checkpoint sweep needs a finite node MTBF "
+              "(reliability.node_mtbf_s)");
+
+  CheckpointSweepResult res;
+  res.table = Table("Checkpoint interval vs expected energy (built-in QFT; "
+                    "* = Daly optimum)");
+  res.table.header({"qubits", "nodes", "interval", "E[fail]", "E[wall]",
+                    "ckpt I/O", "lost work", "restart", "E[energy]",
+                    "vs opt"});
+
+  for (const auto& [qubits, nodes] :
+       std::vector<std::pair<int, int>>{{43, 2048}, {44, 4096}}) {
+    JobConfig job;
+    job.num_qubits = qubits;
+    job.node_kind = NodeKind::kStandard;
+    job.freq = CpuFreq::kMedium2000;
+    job.nodes = nodes;
+
+    DistOptions opts;
+    opts.policy = CommPolicy::kBlocking;
+
+    // One QFT at this scale solves in minutes — far inside the system MTBF,
+    // where checkpointing can only lose. The regime the paper's headline
+    // jobs occupy is the multi-hour campaign (repeated applications over a
+    // SLURM allocation), so sweep a ~24 h workload of repeated QFTs.
+    const Circuit single = builtin_qft(qubits);
+    const RunReport once = run_model(single, m, job, opts);
+    const int reps = std::max(
+        1, static_cast<int>(std::ceil(24 * 3600 / once.runtime_s)));
+    Circuit campaign(qubits, "qft_campaign");
+    for (int i = 0; i < reps; ++i) {
+      campaign.append(single);
+    }
+    const RunReport base = run_model(campaign, m, job, opts);
+
+    const double mtbf = m.system_mtbf_s(nodes);
+    const double delta = checkpoint_write_s(m, qubits);
+    const double tau_opt = daly_interval_s(mtbf, delta);
+    res.configs.push_back(CheckpointSweepResult::Config{
+        qubits, nodes, mtbf, delta, tau_opt});
+
+    const ExpectedRun at_opt = expected_run(m, job, base, tau_opt);
+
+    auto add = [&](double interval_s, bool optimum) {
+      CheckpointSweepResult::Row row;
+      row.qubits = qubits;
+      row.nodes = nodes;
+      row.interval_s = interval_s;
+      row.optimum = optimum;
+      row.run = optimum ? at_opt : expected_run(m, job, base, interval_s);
+      const std::string label =
+          interval_s > 0
+              ? fmt::seconds(interval_s) + (optimum ? " *" : "")
+              : "none";
+      res.table.row(
+          {std::to_string(qubits), std::to_string(nodes), label,
+           fmt::fixed(row.run.expected_failures, 2),
+           fmt::seconds(row.run.wall_s),
+           fmt::seconds(row.run.checkpoint_io_s),
+           fmt::seconds(row.run.lost_work_s), fmt::seconds(row.run.restart_s),
+           fmt::energy_j(row.run.expected_energy_j()),
+           fmt::fixed(row.run.expected_energy_j() / at_opt.expected_energy_j(),
+                      3)});
+      res.rows.push_back(std::move(row));
+    };
+
+    add(0.0, false);  // no checkpointing: a failure loses the whole run
+    for (const double mult : {0.125, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0}) {
+      add(tau_opt * mult, mult == 1.0);
+    }
+  }
+  return res;
+}
+
+}  // namespace qsv

@@ -1,0 +1,46 @@
+// Checkpoint-interval sweep: expected runtime/energy of the paper's largest
+// configurations (43 qubits / 2048 nodes, 44 qubits / 4096 nodes) as the
+// checkpoint interval varies around the analytic Young/Daly optimum.
+#pragma once
+
+#include <vector>
+
+#include "common/table.hpp"
+#include "machine/machine.hpp"
+#include "perf/resilience_model.hpp"
+
+namespace qsv {
+
+struct CheckpointSweepResult {
+  struct Row {
+    int qubits = 0;
+    int nodes = 0;
+    /// Checkpoint interval swept (compute seconds between dumps; 0 = none).
+    double interval_s = 0;
+    /// True on the analytic Daly-optimum row.
+    bool optimum = false;
+    ExpectedRun run;
+  };
+  std::vector<Row> rows;
+  Table table;
+
+  /// System MTBF and per-checkpoint write cost behind each configuration,
+  /// for reporting alongside the table.
+  struct Config {
+    int qubits = 0;
+    int nodes = 0;
+    double mtbf_s = 0;
+    double checkpoint_s = 0;
+    double daly_interval_s = 0;
+  };
+  std::vector<Config> configs;
+};
+
+/// Sweeps the checkpoint interval at {1/8, 1/4, 1/2, 1, 2, 4, 8} x the Daly
+/// optimum (plus a no-checkpointing baseline) for the built-in QFT at the
+/// paper's two headline configurations, pricing each with expected_run().
+/// Requires a machine with finite MTBF (reliability.node_mtbf_s > 0).
+[[nodiscard]] CheckpointSweepResult experiment_checkpoint_sweep(
+    const MachineModel& m);
+
+}  // namespace qsv

@@ -134,10 +134,31 @@ const std::map<std::string, Key>& schema() {
         [](MachineModel& m) -> double& { return m.power.stall.static_w; });
     add("power.stall.dynamic_w",
         [](MachineModel& m) -> double& { return m.power.stall.dynamic_w; });
+    add("power.io.static_w",
+        [](MachineModel& m) -> double& { return m.power.io.static_w; });
+    add("power.io.dynamic_w",
+        [](MachineModel& m) -> double& { return m.power.io.dynamic_w; });
     add("power.dvfs.low",
         [](MachineModel& m) -> double& { return m.power.cpu_dvfs.low; });
     add("power.dvfs.high",
         [](MachineModel& m) -> double& { return m.power.cpu_dvfs.high; });
+
+    add("filesystem.write_bw_gb_s",
+        [](MachineModel& m) -> double& {
+          return m.filesystem.write_bw_bytes_per_s;
+        },
+        1e9);
+    add("filesystem.read_bw_gb_s",
+        [](MachineModel& m) -> double& {
+          return m.filesystem.read_bw_bytes_per_s;
+        },
+        1e9);
+
+    add("reliability.node_mtbf_hours",
+        [](MachineModel& m) -> double& { return m.reliability.node_mtbf_s; },
+        3600.0);
+    add("reliability.requeue_s",
+        [](MachineModel& m) -> double& { return m.reliability.requeue_s; });
 
     k["switches.nodes_per_switch"] = Key{
         [](const MachineModel& m) {

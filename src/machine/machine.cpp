@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/error.hpp"
 
@@ -56,8 +57,17 @@ double MachineModel::node_power(Phase p, CpuFreq f, NodeKind k) const {
     case Phase::kMpi: pp = &power.mpi; break;
     case Phase::kIdle: pp = &power.idle; break;
     case Phase::kStall: pp = &power.stall; break;
+    case Phase::kIo: pp = &power.io; break;
   }
   return pp->static_w + pp->dynamic_w * dvfs + node(k).extra_static_power_w;
+}
+
+double MachineModel::system_mtbf_s(int nodes) const {
+  QSV_REQUIRE(nodes >= 1, "need at least one node");
+  if (reliability.node_mtbf_s <= 0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return reliability.node_mtbf_s / nodes;
 }
 
 int MachineModel::switch_count(int nodes) const {

@@ -84,6 +84,25 @@ struct NetworkParams {
   int congestion_base_nodes = 64;
 };
 
+/// Parallel-filesystem parameters for checkpoint I/O (HPE ClusterStor on
+/// ARCHER2). Bandwidth is the job-visible aggregate: checkpoint time is
+/// state bytes over this figure, independent of node count (the filesystem,
+/// not the clients, is the bottleneck at scale).
+struct FilesystemParams {
+  double write_bw_bytes_per_s = 0;
+  double read_bw_bytes_per_s = 0;
+};
+
+/// Failure/recovery parameters for expected energy-to-solution accounting.
+/// node_mtbf_s = 0 models a failure-free machine (the default for every
+/// pre-existing experiment: resilience off means zero cost-model delta).
+struct ReliabilityParams {
+  /// Mean time between failures of a single node, seconds.
+  double node_mtbf_s = 0;
+  /// Scheduler requeue + relaunch latency after a failure, seconds.
+  double requeue_s = 0;
+};
+
 /// Node power during an execution phase: static + dynamic * dvfs(freq).
 struct PhasePower {
   double static_w = 0;
@@ -96,6 +115,8 @@ struct PowerParams {
   PhasePower idle;   // ranks not participating in the current gate
   PhasePower stall;  // NUMA-stalled cycles (long-stride pair updates):
                      // the pipeline starves, so power drops below kLocal
+  PhasePower io;     // checkpoint I/O: cores wait on the filesystem, so
+                     // draw sits between idle and MPI phases
   DvfsCurve cpu_dvfs;
 };
 
@@ -113,6 +134,8 @@ struct MachineModel {
   NetworkParams network;
   PowerParams power;
   SwitchParams switches;
+  FilesystemParams filesystem;
+  ReliabilityParams reliability;
 
   [[nodiscard]] const NodeType& node(NodeKind k) const {
     return k == NodeKind::kStandard ? standard : highmem;
@@ -143,8 +166,12 @@ struct MachineModel {
   // -- power primitives -----------------------------------------------------
 
   /// Per-node power during a phase.
-  enum class Phase { kLocal, kMpi, kIdle, kStall };
+  enum class Phase { kLocal, kMpi, kIdle, kStall, kIo };
   [[nodiscard]] double node_power(Phase p, CpuFreq f, NodeKind k) const;
+
+  /// System MTBF of an `nodes`-node job (node MTBF / nodes); +inf when the
+  /// model is failure-free.
+  [[nodiscard]] double system_mtbf_s(int nodes) const;
 
   /// Switches serving `nodes` nodes (1 per 8 on ARCHER2).
   [[nodiscard]] int switch_count(int nodes) const;

@@ -118,6 +118,30 @@ void CostModel::on_event(const ExecEvent& e) {
   sample(MachineModel::Phase::kMpi, t_comm,
          active * p_mpi + idle * p_idle);
 
+  // Fault recovery (zero on fault-free runs): retried exchange traffic is
+  // priced exactly like the original exchange, and straggler/backoff delay
+  // is idle time across the whole job.
+  if (e.retry_bytes > 0 || e.retry_messages > 0) {
+    const double t_retry = machine_.exchange_time(
+        static_cast<double>(e.retry_bytes), e.retry_messages, e.policy,
+        job_.nodes);
+    acc_.runtime_s += t_retry;
+    acc_.phases.mpi_s += t_retry;
+    acc_.node_energy_j += t_retry * (active * p_mpi + idle * p_idle);
+    acc_.retry_bytes += e.retry_bytes;
+    acc_.retry_messages += static_cast<std::uint64_t>(e.retry_messages);
+    sample(MachineModel::Phase::kMpi, t_retry,
+           active * p_mpi + idle * p_idle);
+  }
+  if (e.fault_delay_s > 0) {
+    acc_.runtime_s += e.fault_delay_s;
+    acc_.phases.mpi_s += e.fault_delay_s;
+    acc_.node_energy_j += e.fault_delay_s * job_.nodes * p_idle;
+    acc_.fault_delay_s += e.fault_delay_s;
+    sample(MachineModel::Phase::kIdle, e.fault_delay_s,
+           job_.nodes * p_idle);
+  }
+
   const OpPlan::Combine combine =
       e.gate == GateKind::kSwap
           ? (e.local_target < 0 ? OpPlan::Combine::kSwapTwoHigh

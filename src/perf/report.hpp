@@ -54,6 +54,13 @@ struct RunReport {
   std::uint64_t sweep_runs = 0;
   std::uint64_t sweep_passes_saved = 0;
 
+  /// Fault-recovery accounting (all zero on fault-free runs): retried
+  /// exchange traffic and injected straggler/backoff delay, priced into
+  /// runtime_s / node_energy_j above.
+  std::uint64_t retry_bytes = 0;
+  std::uint64_t retry_messages = 0;
+  double fault_delay_s = 0;
+
   [[nodiscard]] double total_energy_j() const {
     return node_energy_j + switch_energy_j;
   }

@@ -1,0 +1,100 @@
+#include "perf/resilience_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+#include "dist/resilience.hpp"
+
+namespace qsv {
+namespace {
+
+[[nodiscard]] double state_bytes(int num_qubits) {
+  QSV_REQUIRE(num_qubits >= 1 && num_qubits < 63, "bad qubit count");
+  return static_cast<double>(std::uint64_t{1} << num_qubits) *
+         static_cast<double>(kBytesPerAmp);
+}
+
+}  // namespace
+
+double checkpoint_write_s(const MachineModel& m, int num_qubits) {
+  QSV_REQUIRE(m.filesystem.write_bw_bytes_per_s > 0,
+              "filesystem write bandwidth unset");
+  return state_bytes(num_qubits) / m.filesystem.write_bw_bytes_per_s;
+}
+
+double checkpoint_read_s(const MachineModel& m, int num_qubits) {
+  QSV_REQUIRE(m.filesystem.read_bw_bytes_per_s > 0,
+              "filesystem read bandwidth unset");
+  return state_bytes(num_qubits) / m.filesystem.read_bw_bytes_per_s;
+}
+
+double restart_cost_s(const MachineModel& m, int num_qubits) {
+  return m.reliability.requeue_s + checkpoint_read_s(m, num_qubits);
+}
+
+ExpectedRun expected_run(const MachineModel& m, const JobConfig& job,
+                         const RunReport& fault_free, double interval_s) {
+  QSV_REQUIRE(interval_s >= 0, "negative checkpoint interval");
+  const double solve = fault_free.runtime_s;
+  const double mtbf = m.system_mtbf_s(job.nodes);
+
+  ExpectedRun r;
+  r.interval_s = interval_s;
+  r.solve_s = solve;
+  r.solve_energy_j = fault_free.total_energy_j();
+  if (solve <= 0) {
+    return r;
+  }
+
+  // Checkpointing disabled is Daly's model with one segment spanning the
+  // whole run and no dump cost: a failure loses everything done so far.
+  const double delta =
+      interval_s > 0 ? checkpoint_write_s(m, job.num_qubits) : 0.0;
+  const double tau = interval_s > 0 ? std::min(interval_s, solve) : solve;
+  const double segments = solve / tau;
+
+  const double ckpt_io = segments * delta;
+  double wall = solve + ckpt_io;  // failure-free wall time
+  double failures = 0;
+  double restart_total = 0;
+  double lost = 0;
+  const double restart = restart_cost_s(m, job.num_qubits);
+  if (std::isfinite(mtbf)) {
+    // Daly: T_w = M e^{R/M} (e^{(tau+delta)/M} - 1) T_s / tau.
+    wall = mtbf * std::exp(restart / mtbf) *
+           std::expm1((tau + delta) / mtbf) * segments;
+    failures = wall / mtbf;
+    restart_total = failures * restart;
+    // What remains above useful work, dumps and restarts is re-executed
+    // (lost) work; clamp against rounding at tiny failure rates.
+    lost = std::max(0.0, wall - solve - ckpt_io - restart_total);
+  }
+  r.wall_s = wall;
+  r.expected_failures = failures;
+  r.checkpoint_io_s = ckpt_io;
+  r.restart_s = restart_total;
+  r.lost_work_s = lost;
+
+  // Energy. The fault-free report already prices the useful work (nodes +
+  // switches). Checkpoint dumps draw I/O-phase power on every node; lost
+  // work re-runs the solve at its average draw; requeue/restore time burns
+  // idle power. Switch draw is continuous, so it applies to every added
+  // second of wall time.
+  const double switches_w =
+      m.switch_count(job.nodes) * m.switches.power_w;
+  const double p_io = m.node_power(MachineModel::Phase::kIo, job.freq,
+                                   job.node_kind);
+  const double p_idle = m.node_power(MachineModel::Phase::kIdle, job.freq,
+                                     job.node_kind);
+  const double solve_node_w = fault_free.node_energy_j / solve;
+
+  r.checkpoint_energy_j =
+      r.checkpoint_io_s * (job.nodes * p_io + switches_w);
+  r.lost_work_energy_j = r.lost_work_s * (solve_node_w + switches_w);
+  r.restart_energy_j = restart_total * (job.nodes * p_idle + switches_w);
+  return r;
+}
+
+}  // namespace qsv

@@ -1,0 +1,61 @@
+// Expected energy-to-solution under failures: extends the cost model's
+// fault-free report with the three resilience terms the machine really
+// charges for — checkpoint I/O, re-executed (lost) work, and requeue —
+// using Daly's first-order checkpoint/restart model on the machine's MTBF
+// and filesystem parameters.
+//
+// With a failure-free machine (node_mtbf_s == 0) and checkpointing off,
+// every term is zero and the expected run equals the fault-free report
+// exactly, so the existing calibration anchors are untouched.
+#pragma once
+
+#include "machine/job.hpp"
+#include "machine/machine.hpp"
+#include "perf/report.hpp"
+
+namespace qsv {
+
+/// Time to write one full-state checkpoint (2^n amplitudes over the
+/// aggregate filesystem write bandwidth).
+[[nodiscard]] double checkpoint_write_s(const MachineModel& m,
+                                        int num_qubits);
+
+/// Time to read one back during restart.
+[[nodiscard]] double checkpoint_read_s(const MachineModel& m, int num_qubits);
+
+/// Full per-failure restart cost: scheduler requeue plus snapshot read-back.
+[[nodiscard]] double restart_cost_s(const MachineModel& m, int num_qubits);
+
+/// Expected runtime/energy breakdown of one job configuration at one
+/// checkpoint interval.
+struct ExpectedRun {
+  double interval_s = 0;       // compute time between checkpoints (0 = off)
+  double solve_s = 0;          // fault-free runtime (the useful work)
+  double checkpoint_io_s = 0;  // expected time writing checkpoints
+  double lost_work_s = 0;      // expected re-executed time after failures
+  double restart_s = 0;        // expected requeue + read-back time
+  double wall_s = 0;           // expected total wall time
+  double expected_failures = 0;
+
+  double solve_energy_j = 0;       // fault-free total (node + switch)
+  double checkpoint_energy_j = 0;  // I/O-phase draw + switches
+  double lost_work_energy_j = 0;   // re-executed work at solve-phase draw
+  double restart_energy_j = 0;     // idle draw while requeued/restoring
+
+  [[nodiscard]] double expected_energy_j() const {
+    return solve_energy_j + checkpoint_energy_j + lost_work_energy_j +
+           restart_energy_j;
+  }
+};
+
+/// Daly's expected completion time priced on the machine's power model.
+/// `fault_free` must be the cost model's report for this job (it supplies
+/// the solve time and the average solve power). `interval_s` is the
+/// compute time between checkpoints; 0 disables checkpointing, in which
+/// case a failure loses the whole run so far (the no-resilience baseline).
+[[nodiscard]] ExpectedRun expected_run(const MachineModel& m,
+                                       const JobConfig& job,
+                                       const RunReport& fault_free,
+                                       double interval_s);
+
+}  // namespace qsv

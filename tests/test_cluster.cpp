@@ -115,6 +115,74 @@ TEST(Cluster, MaxInFlightSeesQueueDepth) {
   EXPECT_TRUE(c.quiescent());
 }
 
+TEST(Cluster, ErrorMessagesCarryBothRanksDepthAndCap) {
+  VirtualCluster c(4, 16);
+
+  // Oversized send: names both ranks, the payload size and the cap.
+  try {
+    c.send(0, 1, std::vector<std::byte>(17));
+    FAIL() << "expected cap error";
+  } catch (const Error& e) {
+    const std::string w = e.what();
+    EXPECT_NE(w.find("0 -> 1"), std::string::npos);
+    EXPECT_NE(w.find("17"), std::string::npos);
+    EXPECT_NE(w.find("16"), std::string::npos);
+  }
+
+  // Empty-queue recv: names the pair, the (zero) queue depth and the cap.
+  try {
+    std::vector<std::byte> buf(1);
+    c.recv(2, 3, buf);
+    FAIL() << "expected timeout error";
+  } catch (const Error& e) {
+    const std::string w = e.what();
+    EXPECT_NE(w.find("2 -> 3"), std::string::npos);
+    EXPECT_NE(w.find("queue depth 0"), std::string::npos);
+    EXPECT_NE(w.find("16"), std::string::npos);
+  }
+
+  // Size-mismatch recv: names both sizes and the live queue depth.
+  c.send(0, 1, payload({1, 2}));
+  c.send(0, 1, payload({3}));
+  try {
+    std::vector<std::byte> small(1);
+    c.recv(0, 1, small);
+    FAIL() << "expected size mismatch";
+  } catch (const Error& e) {
+    const std::string w = e.what();
+    EXPECT_NE(w.find("0 -> 1"), std::string::npos);
+    EXPECT_NE(w.find("queue depth 2"), std::string::npos);
+    EXPECT_NE(w.find("1 bytes"), std::string::npos);
+    EXPECT_NE(w.find("2 bytes"), std::string::npos);
+  }
+}
+
+TEST(Cluster, PurgePairClearsBothDirections) {
+  VirtualCluster c(4, 1024);
+  c.send(0, 1, payload({1}));
+  c.send(1, 0, payload({2}));
+  c.send(2, 3, payload({3}));
+  c.purge_pair(0, 1);
+  EXPECT_EQ(c.pending(0, 1), 0u);
+  EXPECT_EQ(c.pending(1, 0), 0u);
+  EXPECT_EQ(c.pending(2, 3), 1u);  // unrelated pairs untouched
+  std::vector<std::byte> buf(1);
+  c.recv(2, 3, buf);
+  EXPECT_TRUE(c.quiescent());
+}
+
+TEST(Cluster, ResetQueuesRestoresQuiescence) {
+  VirtualCluster c(4, 1024);
+  c.send(0, 1, payload({1}));
+  c.send(2, 3, payload({2}));
+  EXPECT_FALSE(c.quiescent());
+  c.reset_queues();
+  EXPECT_TRUE(c.quiescent());
+  EXPECT_EQ(c.pending(0, 1), 0u);
+  std::vector<std::byte> buf(1);
+  EXPECT_THROW(c.recv(0, 1, buf), Error);
+}
+
 TEST(Cluster, MessageCount) {
   EXPECT_EQ(message_count(0, 100), 0);
   EXPECT_EQ(message_count(100, 100), 1);

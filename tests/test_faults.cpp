@@ -1,0 +1,225 @@
+#include "cluster/faults.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "circuit/builders.hpp"
+#include "circuit/gate.hpp"
+#include "common/error.hpp"
+#include "dist/dist_statevector.hpp"
+#include "dist/events.hpp"
+
+namespace qsv {
+namespace {
+
+/// Hadamards on the top qubit: every gate is distributed, so each one
+/// exercises a full slice exchange on every rank pair.
+Circuit distributed_bench(int qubits, int gates) {
+  Circuit c(qubits, "dist_bench");
+  for (int i = 0; i < gates; ++i) {
+    c.add(make_h(qubits - 1));
+  }
+  return c;
+}
+
+TEST(FaultPlan, ParsesEveryKind) {
+  const FaultPlan p =
+      parse_fault_plan("fail@120:2, drop@5, corrupt@9:1, delay@3:0.25");
+  ASSERT_EQ(p.specs.size(), 4u);
+
+  EXPECT_EQ(p.specs[0].kind, FaultKind::kNodeFailure);
+  EXPECT_EQ(p.specs[0].at_gate, 120u);
+  EXPECT_EQ(p.specs[0].rank, 2);
+
+  EXPECT_EQ(p.specs[1].kind, FaultKind::kDropMessage);
+  EXPECT_EQ(p.specs[1].at_message, 5u);
+  EXPECT_EQ(p.specs[1].rank, -1);  // any sender
+
+  EXPECT_EQ(p.specs[2].kind, FaultKind::kCorruptMessage);
+  EXPECT_EQ(p.specs[2].at_message, 9u);
+  EXPECT_EQ(p.specs[2].rank, 1);
+
+  EXPECT_EQ(p.specs[3].kind, FaultKind::kStraggler);
+  EXPECT_EQ(p.specs[3].at_message, 3u);
+  EXPECT_DOUBLE_EQ(p.specs[3].delay_s, 0.25);
+
+  EXPECT_TRUE(parse_fault_plan("").empty());
+  EXPECT_TRUE(parse_fault_plan("  ,  ").empty());
+}
+
+TEST(FaultPlan, RejectsMalformedSpecs) {
+  EXPECT_THROW(parse_fault_plan("fail"), Error);
+  EXPECT_THROW(parse_fault_plan("@3"), Error);
+  EXPECT_THROW(parse_fault_plan("explode@3"), Error);
+  EXPECT_THROW(parse_fault_plan("drop@zero"), Error);
+  EXPECT_THROW(parse_fault_plan("drop@0"), Error);      // 1-based ordinals
+  EXPECT_THROW(parse_fault_plan("delay@3"), Error);     // needs seconds
+  EXPECT_THROW(parse_fault_plan("delay@3:junk"), Error);
+}
+
+TEST(FaultPlan, SampledFailuresAreDeterministic) {
+  const double mtbf = 500;  // short against the horizon: failures expected
+  const FaultPlan a = sample_node_failures(mtbf, 1.0, 10000, 16, 42);
+  const FaultPlan b = sample_node_failures(mtbf, 1.0, 10000, 16, 42);
+  EXPECT_EQ(a.specs, b.specs);
+  EXPECT_FALSE(a.empty());
+  for (std::size_t i = 0; i < a.specs.size(); ++i) {
+    EXPECT_EQ(a.specs[i].kind, FaultKind::kNodeFailure);
+    EXPECT_LT(a.specs[i].at_gate, 10000u);
+    if (i > 0) {  // sorted chronologically
+      EXPECT_GE(a.specs[i].at_gate, a.specs[i - 1].at_gate);
+    }
+  }
+  // A different seed draws a different schedule.
+  const FaultPlan c = sample_node_failures(mtbf, 1.0, 10000, 16, 43);
+  EXPECT_NE(a.specs, c.specs);
+}
+
+TEST(Faults, DroppedMessageIsRetriedTransparently) {
+  const Circuit c = distributed_bench(6, 4);
+
+  DistStateVector<SoaStorage> clean(6, 4);
+  clean.apply(c);
+
+  FaultInjector inj(parse_fault_plan("drop@1"));
+  DistStateVector<SoaStorage> faulty(6, 4);
+  faulty.set_fault_injector(&inj);
+  faulty.apply(c);
+
+  EXPECT_EQ(inj.totals().dropped, 1u);
+  EXPECT_GE(inj.totals().retries, 1u);
+  EXPECT_GT(inj.totals().retry_bytes, 0u);
+  // The dropped message and its re-send are both real wire traffic.
+  EXPECT_GT(faulty.comm_stats().messages, clean.comm_stats().messages);
+
+  for (amp_index i = 0; i < (amp_index{1} << 6); ++i) {
+    EXPECT_EQ(clean.amplitude(i), faulty.amplitude(i));
+  }
+}
+
+TEST(Faults, CorruptedMessageIsDetectedAndRetried) {
+  const Circuit c = distributed_bench(6, 4);
+
+  DistStateVector<SoaStorage> clean(6, 4);
+  clean.apply(c);
+
+  FaultInjector inj(parse_fault_plan("corrupt@2"));
+  DistStateVector<SoaStorage> faulty(6, 4);
+  faulty.set_fault_injector(&inj);
+  faulty.apply(c);
+
+  EXPECT_EQ(inj.totals().corrupted, 1u);
+  EXPECT_GE(inj.totals().retries, 1u);
+  for (amp_index i = 0; i < (amp_index{1} << 6); ++i) {
+    EXPECT_EQ(clean.amplitude(i), faulty.amplitude(i));
+  }
+}
+
+TEST(Faults, StragglerDelayIsChargedToTheGateEvent) {
+  FaultInjector inj(parse_fault_plan("delay@1:0.5"));
+  DistStateVector<SoaStorage> sv(6, 4);
+  sv.set_fault_injector(&inj);
+  RecordingListener rec;
+  sv.set_listener(&rec);
+  sv.apply(distributed_bench(6, 2));
+
+  EXPECT_EQ(inj.totals().straggled, 1u);
+  EXPECT_DOUBLE_EQ(inj.totals().delay_s, 0.5);
+  double charged = 0;
+  for (const ExecEvent& e : rec.events()) {
+    charged += e.fault_delay_s;
+  }
+  EXPECT_DOUBLE_EQ(charged, 0.5);
+}
+
+TEST(Faults, ExhaustedRetriesEscalateToNodeFailure) {
+  FaultPlan plan;
+  plan.drop_prob = 1.0;  // every delivery (and every re-send) fails
+  FaultInjector inj(plan);
+  DistStateVector<SoaStorage> sv(6, 4);
+  sv.set_fault_injector(&inj);
+  EXPECT_THROW(sv.apply(distributed_bench(6, 1)), NodeFailure);
+  EXPECT_EQ(inj.totals().retries,
+            static_cast<std::uint64_t>(sv.options().max_retries));
+}
+
+TEST(Faults, PlannedNodeFailureCarriesRankAndGate) {
+  FaultInjector inj(parse_fault_plan("fail@3:2"));
+  DistStateVector<SoaStorage> sv(6, 4);
+  sv.set_fault_injector(&inj);
+  try {
+    sv.apply(distributed_bench(6, 8));
+    FAIL() << "expected NodeFailure";
+  } catch (const NodeFailure& e) {
+    EXPECT_EQ(e.rank(), 2);
+    EXPECT_EQ(e.gate_index(), 3u);
+  }
+  EXPECT_EQ(inj.totals().node_failures, 1u);
+  EXPECT_TRUE(inj.rank_dead(2));
+}
+
+TEST(Faults, RestartRevivesDeadRanksButNotFiredSpecs) {
+  FaultInjector inj(parse_fault_plan("fail@0:1"));
+  EXPECT_EQ(inj.on_gate(0), std::optional<rank_t>{1});
+  EXPECT_TRUE(inj.rank_dead(1));
+
+  inj.restart();
+  EXPECT_FALSE(inj.rank_dead(1));
+  // The spec is a one-shot latch: replaying gate 0 does not re-kill.
+  EXPECT_EQ(inj.on_gate(0), std::nullopt);
+}
+
+TEST(Faults, ProbabilisticStreamIsDeterministic) {
+  const Circuit c = distributed_bench(6, 12);
+  FaultPlan plan;
+  plan.drop_prob = 0.10;
+  plan.corrupt_prob = 0.05;
+  plan.straggler_prob = 0.10;
+  plan.straggler_delay_s = 0.01;
+  plan.seed = 7;
+
+  auto run = [&](FaultInjector& inj, DistStateVector<SoaStorage>& sv) {
+    sv.set_fault_injector(&inj);
+    sv.apply(c);
+  };
+
+  FaultInjector ia(plan);
+  DistStateVector<SoaStorage> a(6, 4);
+  run(ia, a);
+  FaultInjector ib(plan);
+  DistStateVector<SoaStorage> b(6, 4);
+  run(ib, b);
+
+  // Identical fault event streams, traffic counters and amplitudes.
+  EXPECT_FALSE(ia.log().empty());
+  EXPECT_EQ(ia.log(), ib.log());
+  EXPECT_EQ(a.comm_stats().messages, b.comm_stats().messages);
+  EXPECT_EQ(a.comm_stats().bytes, b.comm_stats().bytes);
+  for (amp_index i = 0; i < (amp_index{1} << 6); ++i) {
+    EXPECT_EQ(a.amplitude(i), b.amplitude(i));
+  }
+}
+
+TEST(Faults, FaultFreeRunsAreUntouchedByTheInjectorHooks) {
+  const Circuit c = distributed_bench(6, 4);
+
+  DistStateVector<SoaStorage> plain(6, 4);
+  RecordingListener plain_rec;
+  plain.set_listener(&plain_rec);
+  plain.apply(c);
+
+  FaultInjector inj{FaultPlan{}};  // empty plan: nothing ever fires
+  DistStateVector<SoaStorage> hooked(6, 4);
+  hooked.set_fault_injector(&inj);
+  RecordingListener hooked_rec;
+  hooked.set_listener(&hooked_rec);
+  hooked.apply(c);
+
+  EXPECT_TRUE(inj.log().empty());
+  EXPECT_EQ(plain_rec.events(), hooked_rec.events());
+  EXPECT_EQ(plain.comm_stats().messages, hooked.comm_stats().messages);
+}
+
+}  // namespace
+}  // namespace qsv

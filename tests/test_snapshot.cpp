@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 
@@ -140,6 +141,116 @@ TEST(Snapshot, MissingFileThrows) {
   StateVector sv(3);
   EXPECT_THROW(load_state("/does/not/exist.qsv", sv), Error);
   EXPECT_THROW((void)snapshot_qubits("/does/not/exist.qsv"), Error);
+}
+
+TEST(Snapshot, FlippedPayloadByteFailsCrc) {
+  const std::string path = tmp_path("snap_crc.qsv");
+  StateVector a(5);
+  Rng rng(4);
+  a.init_random_state(rng);
+  save_state(path, a);
+
+  // Flip one bit deep inside the amplitude block.
+  {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(24 + 100);  // past the 24-byte v2 header
+    char b = 0;
+    f.seekg(24 + 100);
+    f.read(&b, 1);
+    f.seekp(24 + 100);
+    b = static_cast<char>(b ^ 0x01);
+    f.write(&b, 1);
+  }
+  StateVector b(5);
+  try {
+    load_state(path, b);
+    FAIL() << "expected CRC mismatch";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("CRC"), std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, WrongMagicRejected) {
+  const std::string path = tmp_path("snap_magic.qsv");
+  StateVector a(4);
+  save_state(path, a);
+  {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.write("XSVSNAP2", 8);
+  }
+  StateVector b(4);
+  EXPECT_THROW(load_state(path, b), Error);
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, UnsupportedVersionRejected) {
+  const std::string path = tmp_path("snap_version.qsv");
+  StateVector a(4);
+  save_state(path, a);
+  {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(8);
+    const std::uint32_t bad = 99;
+    f.write(reinterpret_cast<const char*>(&bad), sizeof bad);
+  }
+  StateVector b(4);
+  EXPECT_THROW(load_state(path, b), Error);
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, LegacyV1FilesStillLoad) {
+  const std::string path = tmp_path("snap_v1.qsv");
+  StateVector a(3);
+  Rng rng(5);
+  a.init_random_state(rng);
+
+  // Hand-write the pre-CRC v1 layout: magic, num_qubits, reserved, payload.
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write("QSVSNAP1", 8);
+    const std::uint32_t n = 3;
+    const std::uint32_t reserved = 0;
+    out.write(reinterpret_cast<const char*>(&n), sizeof n);
+    out.write(reinterpret_cast<const char*>(&reserved), sizeof reserved);
+    for (amp_index i = 0; i < a.num_amps(); ++i) {
+      const real_t re = a.amplitude(i).real();
+      const real_t im = a.amplitude(i).imag();
+      out.write(reinterpret_cast<const char*>(&re), sizeof re);
+      out.write(reinterpret_cast<const char*>(&im), sizeof im);
+    }
+  }
+  EXPECT_EQ(snapshot_qubits(path), 3);
+  StateVector b(3);
+  load_state(path, b);
+  for (amp_index i = 0; i < a.num_amps(); ++i) {
+    EXPECT_EQ(a.amplitude(i), b.amplitude(i));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, AtomicRenameLeavesNoTempAndSurvivesStaleTemp) {
+  const std::string path = tmp_path("snap_atomic.qsv");
+  const std::string tmp = path + ".tmp";
+
+  // Simulate an interrupted earlier write: a stale, garbage .tmp file.
+  {
+    std::ofstream out(tmp, std::ios::binary);
+    out << "half-written garbage";
+  }
+  StateVector a(4);
+  Rng rng(6);
+  a.init_random_state(rng);
+  save_state(path, a);
+
+  // The commit replaced the stale temp and left no .tmp behind.
+  EXPECT_FALSE(std::ifstream(tmp).good());
+  StateVector b(4);
+  load_state(path, b);
+  for (amp_index i = 0; i < a.num_amps(); ++i) {
+    EXPECT_EQ(a.amplitude(i), b.amplitude(i));
+  }
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -2,19 +2,24 @@
 //
 //   qsv run <file.qc> [--ranks N] [--shots K] [--seed S]
 //                 [--no-sweep] [--tile T]
+//                 [--faults PLAN] [--mtbf HOURS]
+//                 [--checkpoint-interval GATES] [--checkpoint-dir DIR]
 //   qsv info <file.qc> --local L [--half-exchange]
 //   qsv transpile <file.qc> --local L [--pass cache|greedy|fusion|cleanup]
 //                 [--min-reuse K] [--out out.qc]
 //   qsv price (<file.qc> | --qft N | --fast-qft N) [--nodes N] [--highmem]
 //             [--freq low|medium|high] [--nonblocking] [--half-exchange]
 //             [--timeline out.csv] [--machine overrides.machine]
+//             [--mtbf HOURS] [--checkpoint-interval SECONDS]
 //   qsv sbatch --qubits N [--highmem] [--freq ...] [--name J] [--cmd CMD]
 //
 // Every subcommand prints a short usage string on error.
 #include <algorithm>
+#include <cstdlib>
 #include <iostream>
 #include <map>
 #include <memory>
+#include <optional>
 
 #include "circuit/builders.hpp"
 #include "circuit/locality.hpp"
@@ -30,9 +35,12 @@
 #include "common/csv.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
+#include "cluster/faults.hpp"
 #include "dist/dist_statevector.hpp"
+#include "dist/resilience.hpp"
 #include "dist/trace.hpp"
 #include "perf/cost_model.hpp"
+#include "perf/resilience_model.hpp"
 #include "dist/observables.hpp"
 #include "harness/experiments.hpp"
 #include "machine/archer2.hpp"
@@ -51,9 +59,21 @@ CpuFreq parse_freq(const std::string& s) {
   return CpuFreq::kMedium2000;
 }
 
+/// std::stoi minus the raw std::invalid_argument escape hatch: bad input
+/// surfaces as a one-line qsv::Error like every other CLI mistake.
+int parse_int(const std::string& s, const std::string& what) {
+  char* end = nullptr;
+  const long v = std::strtol(s.c_str(), &end, 10);
+  QSV_REQUIRE(!s.empty() && end != nullptr && *end == '\0',
+              what + " needs an integer, got '" + s + "'");
+  return static_cast<int>(v);
+}
+
 int cmd_run(int argc, const char* const* argv) {
   ArgParser args;
   args.option("ranks").option("shots").option("seed").option("tile");
+  args.option("faults").option("mtbf").option("checkpoint-interval");
+  args.option("checkpoint-dir");
   args.flag("no-sweep");
   args.parse(argc, argv);
   QSV_REQUIRE(args.positionals().size() == 1, "usage: qsv run <file.qc> ...");
@@ -69,16 +89,63 @@ int cmd_run(int argc, const char* const* argv) {
   opts.sweep.enabled = !args.has("no-sweep");
   opts.sweep.tile_qubits = args.int_or("tile", kDefaultSweepTileQubits);
 
+  // Fault schedule: explicit --faults specs, plus failures sampled from a
+  // per-node MTBF (--mtbf, hours of virtual time at one second per gate).
+  FaultPlan plan;
+  if (const auto f = args.value("faults")) {
+    plan = parse_fault_plan(*f);
+  }
+  const double mtbf_hours = args.double_or("mtbf", 0);
+  QSV_REQUIRE(mtbf_hours >= 0, "--mtbf must be positive");
+  if (mtbf_hours > 0) {
+    const FaultPlan sampled = sample_node_failures(
+        mtbf_hours * 3600, /*seconds_per_gate=*/1.0, c.size(), ranks,
+        static_cast<std::uint64_t>(args.int_or("seed", 1)));
+    plan.specs.insert(plan.specs.end(), sampled.specs.begin(),
+                      sampled.specs.end());
+  }
+
   DistStateVector<SoaStorage> sv(c.num_qubits(), ranks, opts);
-  sv.apply(c);
+  std::optional<FaultInjector> injector;
+  if (!plan.empty()) {
+    injector.emplace(std::move(plan));
+    sv.set_fault_injector(&*injector);
+  }
+
+  CheckpointOptions ck;
+  const int interval = args.int_or("checkpoint-interval", 0);
+  QSV_REQUIRE(interval >= 0, "--checkpoint-interval must be >= 0");
+  ck.interval_gates = static_cast<std::uint64_t>(interval);
+  ck.dir = args.value_or("checkpoint-dir", ".");
+
+  RecoveryStats rec;
+  if (injector || ck.interval_gates > 0) {
+    // Gate-by-gate resilience driver. A NodeFailure with checkpointing
+    // disabled propagates out of here to a nonzero exit.
+    rec = run_with_recovery(sv, c, ck);
+  } else {
+    sv.apply(c);  // fault-free fast path (keeps the sweep executor active)
+  }
   std::cout << "ran '" << c.name() << "' (" << c.size() << " gates) on "
             << ranks << " ranks; " << sv.comm_stats().messages
             << " messages, " << fmt::bytes(sv.comm_stats().bytes) << "\n";
-  if (opts.sweep.enabled) {
+  if (opts.sweep.enabled && !injector && ck.interval_gates == 0) {
     const SweepStats& sw = sv.sweep_stats();
     std::cout << "sweep executor: " << sw.runs << " tiled runs covering "
               << sw.swept_gates << " gates, " << sw.passes_saved
               << " statevector passes saved\n";
+  }
+  if (injector) {
+    const FaultInjector::Totals& ft = injector->totals();
+    std::cout << "faults: " << ft.node_failures << " node failures, "
+              << ft.dropped << " dropped, " << ft.corrupted << " corrupted, "
+              << ft.straggled << " straggled; " << ft.retries << " retries ("
+              << fmt::bytes(ft.retry_bytes) << " re-sent)\n";
+  }
+  if (ck.interval_gates > 0) {
+    std::cout << "recovery: " << rec.restarts << " restarts, "
+              << rec.checkpoints_written << " checkpoints written, "
+              << rec.gates_replayed << " gates replayed\n";
   }
   for (qubit_t q = 0; q < c.num_qubits(); ++q) {
     PauliTerm z;
@@ -179,24 +246,30 @@ int cmd_price(int argc, const char* const* argv) {
   ArgParser args;
   args.option("qft").option("fast-qft").option("nodes").option("freq");
   args.option("timeline").option("machine");
+  args.option("mtbf").option("checkpoint-interval");
   args.flag("highmem").flag("nonblocking").flag("half-exchange");
   args.parse(argc, argv);
 
   // Optional machine-config overrides on top of the ARCHER2 calibration.
-  const MachineModel m =
+  MachineModel m =
       args.value("machine")
           ? load_machine_config(archer2(), *args.value("machine"))
           : archer2();
+  if (args.has("mtbf")) {
+    const double mtbf_hours = args.double_or("mtbf", 0);
+    QSV_REQUIRE(mtbf_hours > 0, "--mtbf must be positive");
+    m.reliability.node_mtbf_s = mtbf_hours * 3600;
+  }
   const NodeKind kind =
       args.has("highmem") ? NodeKind::kHighMem : NodeKind::kStandard;
   const CpuFreq freq = parse_freq(args.value_or("freq", "medium"));
 
   Circuit c = [&]() -> Circuit {
     if (const auto n = args.value("qft")) {
-      return builtin_qft(std::stoi(*n));
+      return builtin_qft(parse_int(*n, "--qft"));
     }
     if (const auto n = args.value("fast-qft")) {
-      const int qubits = std::stoi(*n);
+      const int qubits = parse_int(*n, "--fast-qft");
       const int nodes = args.int_or("nodes", min_nodes(m, qubits, kind));
       return fast_qft(qubits,
                       qubits - bits::log2_exact(
@@ -254,6 +327,38 @@ int cmd_price(int argc, const char* const* argv) {
   t.row({"CU cost", fmt::fixed(r.cu, 2)});
   t.row({"MPI fraction", fmt::percent(r.phases.mpi_fraction())});
   t.print(std::cout);
+
+  // Expected-energy pricing under failures, around the Daly optimum.
+  if (args.has("mtbf") || args.has("checkpoint-interval")) {
+    QSV_REQUIRE(m.reliability.node_mtbf_s > 0,
+                "expected-energy pricing needs a finite MTBF "
+                "(--mtbf or a machine config with reliability.node_mtbf_s)");
+    const double mtbf = m.system_mtbf_s(job.nodes);
+    const double delta = checkpoint_write_s(m, job.num_qubits);
+    const double tau_opt = daly_interval_s(mtbf, delta);
+
+    Table rt("Expected run under failures (system MTBF " +
+             fmt::seconds(mtbf) + ", checkpoint write " +
+             fmt::seconds(delta) + ")");
+    rt.header({"interval", "E[failures]", "E[wall]", "ckpt I/O", "lost work",
+               "restart", "E[energy]"});
+    auto add = [&](double interval_s, const std::string& label) {
+      const ExpectedRun er = expected_run(m, job, r, interval_s);
+      rt.row({label, fmt::fixed(er.expected_failures, 3),
+              fmt::seconds(er.wall_s), fmt::seconds(er.checkpoint_io_s),
+              fmt::seconds(er.lost_work_s), fmt::seconds(er.restart_s),
+              fmt::energy_j(er.expected_energy_j())});
+    };
+    add(0.0, "none");
+    if (args.has("checkpoint-interval")) {
+      const double requested = args.double_or("checkpoint-interval", 0);
+      QSV_REQUIRE(requested > 0, "--checkpoint-interval must be positive");
+      add(requested, fmt::seconds(requested));
+    }
+    add(tau_opt, fmt::seconds(tau_opt) + " (Daly opt)");
+    std::cout << "\n";
+    rt.print(std::cout);
+  }
   return 0;
 }
 
@@ -283,7 +388,9 @@ int usage() {
       << "usage: qsv <command> ...\n"
       << "  run       run a circuit file functionally on a virtual cluster\n"
       << "            (--no-sweep disables cache-tiled multi-gate sweeps,\n"
-      << "             --tile T sets the tile exponent, default 16)\n"
+      << "             --tile T sets the tile exponent, default 16;\n"
+      << "             --faults/--mtbf inject failures, --checkpoint-interval\n"
+      << "             and --checkpoint-dir enable checkpoint/restart)\n"
       << "  info      locality & communication analysis of a circuit file\n"
       << "  transpile apply a pass (cache|greedy|fusion|cleanup)\n"
       << "  price     estimate runtime/energy/CU on the ARCHER2 model\n"
@@ -303,6 +410,11 @@ int main(int argc, const char* const* argv) {
     if (cmd == "price") return cmd_price(argc - 1, argv + 1);
     if (cmd == "sbatch") return cmd_sbatch(argc - 1, argv + 1);
   } catch (const Error& e) {
+    std::cerr << "qsv: " << e.what() << "\n";
+    return 1;
+  } catch (const std::exception& e) {
+    // Anything the library didn't type (filesystem errors, bad_alloc, ...):
+    // still a one-line message and a nonzero exit, never a raw trace.
     std::cerr << "qsv: " << e.what() << "\n";
     return 1;
   }
