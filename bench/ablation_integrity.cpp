@@ -1,0 +1,55 @@
+// Ablation: the price of trust under silent data corruption. Invariant
+// guards (norm checks) detect SDC that no transport checksum can see, but
+// each check streams the whole slice and ends in an allreduce. This sweep
+// prices guard cadence against expected rollback loss across SDC rates,
+// sitting next to the Daly-optimal checkpoint interval — the guard-cadence
+// analogue of the Young/Daly trade-off.
+#include <iostream>
+#include <string>
+
+#include "bench_util.hpp"
+#include "common/format.hpp"
+#include "harness/integrity.hpp"
+#include "machine/archer2.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qsv;
+  bench::print_header(
+      "guard-cadence sweep (expected energy under silent corruption)");
+  auto json = bench::JsonReport::from_args(argc, argv);
+
+  const MachineModel m = archer2();
+  const IntegritySweepResult res = experiment_integrity_sweep(m);
+
+  for (const auto& cfg : res.configs) {
+    std::cout << cfg.qubits << " qubits / " << cfg.nodes
+              << " nodes: one guard check costs "
+              << fmt::seconds(cfg.guard_check_s)
+              << ", checkpointing fixed at the Daly optimum "
+              << fmt::seconds(cfg.daly_interval_s) << "\n";
+  }
+  std::cout << "\n";
+  res.table.print(std::cout);
+
+  for (const auto& row : res.rows) {
+    if (!row.optimum && row.cadence_s > 0) {
+      continue;
+    }
+    const std::string tag = std::to_string(row.qubits) + "q_sdc" +
+                            fmt::fixed(row.sdc_per_node_hour * 1e5, 0) +
+                            "e-5_" +
+                            (row.cadence_s > 0 ? "guard_opt" : "end_only");
+    json.add(tag + "_expected_wall_s", row.wall_s, "s");
+    json.add(tag + "_expected_energy_j", row.energy_j, "J");
+    json.add(tag + "_guard_overhead_s", row.overhead_s, "s");
+  }
+  json.write("ablation_integrity");
+
+  bench::print_note(
+      "'end-only' checks the norm once at the end of the campaign: every "
+      "corruption is caught, but half the campaign late on average, so the "
+      "rollback loss dwarfs the checking cost. Cadences sweep {1/8..8}x "
+      "the analytic optimum tau_g* = sqrt(2 g / lambda) (*). The guard "
+      "overhead buys bounded detection latency — the price of trust.");
+  return 0;
+}

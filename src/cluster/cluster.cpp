@@ -5,17 +5,22 @@
 
 #include "cluster/faults.hpp"
 #include "common/bits.hpp"
+#include "common/crc32.hpp"
 #include "common/error.hpp"
 
 namespace qsv {
 
-VirtualCluster::VirtualCluster(int num_ranks, std::size_t max_message_bytes)
-    : num_ranks_(num_ranks), max_message_bytes_(max_message_bytes) {
+VirtualCluster::VirtualCluster(int num_ranks, std::size_t max_message_bytes,
+                               double recv_deadline_s)
+    : num_ranks_(num_ranks),
+      max_message_bytes_(max_message_bytes),
+      recv_deadline_s_(recv_deadline_s) {
   QSV_REQUIRE(num_ranks >= 1, "need at least one rank");
   QSV_REQUIRE(bits::is_pow2(static_cast<std::uint64_t>(num_ranks)),
               "QuEST-style decomposition requires a power-of-two rank count");
   QSV_REQUIRE(max_message_bytes >= kBytesPerAmp,
               "message cap below one amplitude");
+  QSV_REQUIRE(recv_deadline_s > 0, "watchdog deadline must be positive");
 }
 
 void VirtualCluster::check_rank(rank_t r) const {
@@ -60,14 +65,14 @@ void VirtualCluster::send(rank_t from, rank_t to,
   stats_.max_message_bytes =
       std::max<std::uint64_t>(stats_.max_message_bytes, payload.size());
 
-  bool corrupted = false;
+  bool corrupt_in_flight = false;
   if (injector_ != nullptr) {
     const FaultInjector::MessageOutcome out = injector_->on_message(from, to);
     switch (out.verdict) {
       case FaultInjector::Verdict::kDrop:
         return;  // never enqueued: the matching recv times out
       case FaultInjector::Verdict::kCorrupt:
-        corrupted = true;
+        corrupt_in_flight = true;  // bookkeeping only; detection is the CRC
         break;
       case FaultInjector::Verdict::kDelay:    // latency is an accounting
       case FaultInjector::Verdict::kDeliver:  // matter, not a delivery one
@@ -75,9 +80,11 @@ void VirtualCluster::send(rank_t from, rank_t to,
     }
   }
 
+  // The checksum is computed over the bytes the sender handed us, *before*
+  // any in-flight corruption: that is what makes detection end-to-end.
   Message msg{std::vector<std::byte>(payload.begin(), payload.end()),
-              corrupted};
-  if (corrupted && !msg.data.empty()) {
+              crc32(payload.data(), payload.size())};
+  if (corrupt_in_flight && !msg.data.empty()) {
     msg.data[msg.data.size() / 2] ^= std::byte{0x01};  // single bit flip
   }
   queues_[{from, to}].push_back(std::move(msg));
@@ -93,8 +100,9 @@ void VirtualCluster::recv(rank_t from, rank_t to, std::span<std::byte> out) {
   if (it == queues_.end() || it->second.empty()) {
     throw CommTimeout("recv " + std::to_string(from) + " -> " +
                       std::to_string(to) +
-                      " timed out: no matching message queued (queue depth 0"
-                      ", message cap " +
+                      " timed out: no matching message queued after the " +
+                      std::to_string(recv_deadline_s_) +
+                      " s watchdog deadline (queue depth 0, message cap " +
                       std::to_string(max_message_bytes_) + " bytes)");
   }
   const Message& msg = it->second.front();
@@ -108,18 +116,25 @@ void VirtualCluster::recv(rank_t from, rank_t to, std::span<std::byte> out) {
         std::to_string(max_message_bytes_) + " bytes)";
     QSV_REQUIRE(false, detail);
   }
-  const bool corrupted = msg.corrupted;
+  const std::uint32_t sent_crc = msg.crc;
   std::copy(msg.data.begin(), msg.data.end(), out.begin());
   it->second.pop_front();
   --in_flight_;
   if (it->second.empty()) {
     queues_.erase(it);
   }
-  if (corrupted) {
+  // End-to-end verification: recompute the checksum over what actually
+  // arrived and compare against what the sender computed. No injector state
+  // is consulted here.
+  const std::uint32_t got_crc = crc32(out.data(), out.size());
+  if (got_crc != sent_crc) {
+    ++stats_.checksum_failures;
     throw CommCorrupt("recv " + std::to_string(from) + " -> " +
-                      std::to_string(to) +
-                      ": payload failed its integrity check");
+                      std::to_string(to) + ": payload CRC-32 mismatch (sent " +
+                      std::to_string(sent_crc) + ", received " +
+                      std::to_string(got_crc) + ")");
   }
+  ++stats_.delivered;
 }
 
 std::size_t VirtualCluster::pending(rank_t from, rank_t to) const {

@@ -16,11 +16,20 @@
 // the engine emits; the cluster records ground-truth traffic counters that
 // the trace backend must reproduce exactly.
 //
+// Integrity is end-to-end, not oracular: every payload carries a CRC-32
+// computed at send time, and recv recomputes and compares before handing
+// the bytes over. A mismatch surfaces as CommCorrupt — the same typed error
+// a real MPI job raises from a failed application-level checksum — and the
+// fault injector is pure bookkeeping: no delivery decision ever reads an
+// injected "this one is bad" flag. A receive that finds no message models
+// an MPI watchdog timeout firing after the configured deadline.
+//
 // An optional FaultInjector (cluster/faults.hpp) makes the transport lossy
 // on a deterministic schedule: dropped messages surface as CommTimeout on
-// the matching recv, corrupted ones as CommCorrupt, and messages touching a
-// dead rank as NodeFailure. Without an injector the transport is perfect
-// and behaves exactly as before.
+// the matching recv, corrupted ones get a payload bit flipped in flight
+// (caught by the receiver's checksum), and messages touching a dead rank
+// throw NodeFailure. Without an injector the transport is perfect and
+// behaves exactly as before.
 #pragma once
 
 #include <cstddef>
@@ -56,6 +65,11 @@ struct CommStats {
   std::uint64_t max_in_flight = 0;   // peak queued messages (non-blocking)
   std::uint64_t barriers = 0;
 
+  // Receiver-side delivery counters (the trace backend reproduces the
+  // send-side traffic above; delivery is a functional-transport notion).
+  std::uint64_t delivered = 0;           // receives that passed their CRC
+  std::uint64_t checksum_failures = 0;   // receives whose CRC mismatched
+
   bool operator==(const CommStats&) const = default;
 };
 
@@ -63,8 +77,13 @@ struct CommStats {
 class VirtualCluster {
  public:
   /// `num_ranks` must be a power of two (QuEST requires 2^k processes).
-  /// `max_message_bytes` models the MPI message-size cap.
-  VirtualCluster(int num_ranks, std::size_t max_message_bytes);
+  /// `max_message_bytes` models the MPI message-size cap; `recv_deadline_s`
+  /// is the watchdog deadline a receive waits before declaring a timeout
+  /// (reported in the CommTimeout and charged by the retry layer as wait).
+  VirtualCluster(int num_ranks, std::size_t max_message_bytes,
+                 double recv_deadline_s = 0.5);
+
+  [[nodiscard]] double recv_deadline_s() const { return recv_deadline_s_; }
 
   [[nodiscard]] int num_ranks() const { return num_ranks_; }
   [[nodiscard]] std::size_t max_message_bytes() const {
@@ -77,16 +96,19 @@ class VirtualCluster {
   [[nodiscard]] FaultInjector* fault_injector() const { return injector_; }
 
   /// Posts one message from `from` to `to`. The payload is copied into the
-  /// queue (MPI buffered-send semantics). Throws if the payload exceeds the
-  /// message cap — callers must chunk. With an injector attached, the
-  /// message may be dropped or corrupted per the fault plan, and messages
-  /// touching a dead rank throw NodeFailure.
+  /// queue (MPI buffered-send semantics) together with its sender-side
+  /// CRC-32. Throws if the payload exceeds the message cap — callers must
+  /// chunk. With an injector attached, the message may be dropped or have a
+  /// payload bit flipped per the fault plan, and messages touching a dead
+  /// rank throw NodeFailure.
   void send(rank_t from, rank_t to, std::span<const std::byte> payload);
 
   /// Pops the oldest message from `from` to `to` into `out`, which must be
   /// exactly the message's size. Throws CommTimeout if no message is queued
-  /// (a dropped message, or — fault-free — an engine scheduling bug) and
-  /// CommCorrupt if the queued payload failed its integrity check.
+  /// when the watchdog deadline expires (a dropped message, or — fault-free
+  /// — an engine scheduling bug) and CommCorrupt when the recomputed CRC-32
+  /// of the received bytes disagrees with the sender's. Detection is purely
+  /// checksum-based: no injector state is consulted.
   void recv(rank_t from, rank_t to, std::span<std::byte> out);
 
   /// Number of queued messages from `from` to `to`.
@@ -112,7 +134,9 @@ class VirtualCluster {
  private:
   struct Message {
     std::vector<std::byte> data;
-    bool corrupted = false;
+    /// CRC-32 of the payload as the sender handed it over — computed before
+    /// any in-flight corruption, so the receiver's recompute catches it.
+    std::uint32_t crc = 0;
   };
 
   void check_rank(rank_t r) const;
@@ -120,6 +144,7 @@ class VirtualCluster {
 
   int num_ranks_;
   std::size_t max_message_bytes_;
+  double recv_deadline_s_;
   // Keyed by (from, to). A map keeps memory proportional to active pairs
   // rather than num_ranks^2.
   std::map<std::pair<rank_t, rank_t>, std::deque<Message>> queues_;

@@ -12,6 +12,7 @@ const char* fault_kind_name(FaultKind k) {
     case FaultKind::kDropMessage: return "drop";
     case FaultKind::kCorruptMessage: return "corrupt";
     case FaultKind::kStraggler: return "straggler";
+    case FaultKind::kBitFlip: return "bitflip";
   }
   return "?";
 }
@@ -49,12 +50,15 @@ FaultPlan sample_node_failures(double node_mtbf_s, double seconds_per_gate,
 
 namespace {
 
-/// Splits "a@b:c" into fields; throws with the offending token on error.
+/// Splits "a@b[:c[:d...]]" into fields; throws with the offending token on
+/// error. `extras` holds the colon-separated arguments after the index.
 struct Token {
   std::string kind;
   std::uint64_t at = 0;
-  bool has_extra = false;
-  double extra = 0;
+  std::vector<double> extras;
+
+  [[nodiscard]] bool has_extra() const { return !extras.empty(); }
+  [[nodiscard]] double extra() const { return extras.front(); }
 };
 
 Token parse_token(const std::string& raw) {
@@ -63,25 +67,31 @@ Token parse_token(const std::string& raw) {
               "fault spec '" + raw + "': expected kind@index[:arg]");
   Token t;
   t.kind = raw.substr(0, at);
-  std::string rest = raw.substr(at + 1);
-  std::string extra;
-  const auto colon = rest.find(':');
-  if (colon != std::string::npos) {
-    extra = rest.substr(colon + 1);
-    rest = rest.substr(0, colon);
-    t.has_extra = true;
+  const std::string rest = raw.substr(at + 1);
+  QSV_REQUIRE(rest.empty() || rest.back() != ':',
+              "fault spec '" + raw + "': trailing ':'");
+  std::vector<std::string> fields;
+  std::istringstream split(rest);
+  for (std::string field; std::getline(split, field, ':');) {
+    fields.push_back(field);
   }
+  QSV_REQUIRE(!fields.empty(),
+              "fault spec '" + raw + "': expected kind@index[:arg]");
   {
-    std::istringstream is(rest);
+    std::istringstream is(fields.front());
     is >> t.at;
     QSV_REQUIRE(!is.fail() && is.eof(),
-                "fault spec '" + raw + "': bad index '" + rest + "'");
+                "fault spec '" + raw + "': bad index '" + fields.front() +
+                    "'");
   }
-  if (t.has_extra) {
+  for (std::size_t i = 1; i < fields.size(); ++i) {
+    const std::string& extra = fields[i];
     std::istringstream is(extra);
-    is >> t.extra;
+    double value = 0;
+    is >> value;
     QSV_REQUIRE(!is.fail() && is.eof(),
                 "fault spec '" + raw + "': bad argument '" + extra + "'");
+    t.extras.push_back(value);
   }
   return t;
 }
@@ -105,26 +115,37 @@ FaultPlan parse_fault_plan(const std::string& text) {
     if (t.kind == "fail") {
       s.kind = FaultKind::kNodeFailure;
       s.at_gate = t.at;
-      s.rank = t.has_extra ? static_cast<rank_t>(t.extra) : 0;
+      s.rank = t.has_extra() ? static_cast<rank_t>(t.extra()) : 0;
     } else if (t.kind == "drop" || t.kind == "corrupt") {
       s.kind = t.kind == "drop" ? FaultKind::kDropMessage
                                 : FaultKind::kCorruptMessage;
       QSV_REQUIRE(t.at >= 1, "fault spec '" + raw +
                                  "': message ordinals are 1-based");
       s.at_message = t.at;
-      s.rank = t.has_extra ? static_cast<rank_t>(t.extra) : -1;
+      s.rank = t.has_extra() ? static_cast<rank_t>(t.extra()) : -1;
     } else if (t.kind == "delay") {
       s.kind = FaultKind::kStraggler;
       QSV_REQUIRE(t.at >= 1, "fault spec '" + raw +
                                  "': message ordinals are 1-based");
-      QSV_REQUIRE(t.has_extra && t.extra > 0,
+      QSV_REQUIRE(t.has_extra() && t.extra() > 0,
                   "fault spec '" + raw + "': delay needs ':seconds'");
       s.at_message = t.at;
-      s.delay_s = t.extra;
+      s.delay_s = t.extra();
+    } else if (t.kind == "bitflip") {
+      s.kind = FaultKind::kBitFlip;
+      s.at_gate = t.at;
+      s.rank = t.has_extra() ? static_cast<rank_t>(t.extra()) : 0;
+      if (t.extras.size() >= 2) {
+        const int bit = static_cast<int>(t.extras[1]);
+        QSV_REQUIRE(bit >= 0 && bit < 2 * 64,
+                    "fault spec '" + raw +
+                        "': amplitude bit must be in [0, 128)");
+        s.bit = bit;
+      }
     } else {
       QSV_REQUIRE(false, "fault spec '" + raw +
                              "': unknown kind '" + t.kind +
-                             "' (want fail|drop|corrupt|delay)");
+                             "' (want fail|drop|corrupt|delay|bitflip)");
     }
     plan.specs.push_back(s);
   }
@@ -134,7 +155,10 @@ FaultPlan parse_fault_plan(const std::string& text) {
 FaultInjector::FaultInjector(FaultPlan plan)
     : plan_(std::move(plan)),
       fired_(plan_.specs.size(), false),
-      rng_(plan_.seed) {}
+      rng_(plan_.seed),
+      // A fixed xor keeps the bitflip stream decoupled from the message
+      // stream while staying a pure function of the plan seed.
+      bitflip_rng_(plan_.seed ^ 0x9E3779B97F4A7C15ull) {}
 
 bool FaultInjector::rank_dead(rank_t rank) const {
   return std::find(dead_.begin(), dead_.end(), rank) != dead_.end();
@@ -169,7 +193,8 @@ FaultInjector::MessageOutcome FaultInjector::on_message(rank_t from,
         out.delay_s = s.delay_s;
         break;
       case FaultKind::kNodeFailure:
-        break;  // unreachable (filtered above)
+      case FaultKind::kBitFlip:
+        break;  // unreachable: gate-indexed specs never match a message
     }
     break;
   }
@@ -240,6 +265,32 @@ std::optional<rank_t> FaultInjector::on_gate(std::uint64_t index) {
     return s.rank;
   }
   return std::nullopt;
+}
+
+std::vector<FaultInjector::BitFlipSpec> FaultInjector::bitflips_at_gate(
+    std::uint64_t index) {
+  std::vector<BitFlipSpec> out;
+  for (std::size_t i = 0; i < plan_.specs.size(); ++i) {
+    const FaultSpec& s = plan_.specs[i];
+    if (fired_[i] || s.kind != FaultKind::kBitFlip || s.at_gate != index) {
+      continue;
+    }
+    fired_[i] = true;
+    BitFlipSpec flip;
+    flip.rank = s.rank;
+    flip.amp_draw = bitflip_rng_.next_u64();
+    flip.bit = s.bit >= 0 ? s.bit
+                          : static_cast<int>(bitflip_rng_.below(2 * 64));
+    out.push_back(flip);
+    ++totals_.bitflips;
+    FaultEvent e;
+    e.kind = FaultKind::kBitFlip;
+    e.rank = s.rank;
+    e.gate = index;
+    e.bit = flip.bit;
+    log_.push_back(e);
+  }
+  return out;
 }
 
 void FaultInjector::record_retry(std::uint64_t bytes, int messages,

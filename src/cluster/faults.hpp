@@ -61,6 +61,7 @@ enum class FaultKind {
   kDropMessage,  // a message is sent but never delivered (-> recv timeout)
   kCorruptMessage,  // a delivered message has a flipped payload byte
   kStraggler,    // a message is delivered late (charged as idle time)
+  kBitFlip,      // silent corruption: a resident amplitude bit flips in DRAM
 };
 
 [[nodiscard]] const char* fault_kind_name(FaultKind k);
@@ -75,10 +76,13 @@ struct FaultSpec {
   rank_t rank = -1;
   /// 1-based global message ordinal (message faults).
   std::uint64_t at_message = 0;
-  /// 0-based gate index (kNodeFailure).
+  /// 0-based gate index (kNodeFailure, kBitFlip).
   std::uint64_t at_gate = 0;
   /// Added latency for kStraggler, seconds.
   double delay_s = 0;
+  /// Bit to flip within the 128-bit resident amplitude (kBitFlip); -1 draws
+  /// one at random from the plan's seeded stream.
+  int bit = -1;
 
   bool operator==(const FaultSpec&) const = default;
 };
@@ -114,11 +118,12 @@ struct FaultPlan {
                                              std::uint64_t seed);
 
 /// Parses a comma-separated fault list, e.g.
-///   "fail@120:2, drop@5, corrupt@9:1, delay@3:0.25"
+///   "fail@120:2, drop@5, corrupt@9:1, delay@3:0.25, bitflip@40:1"
 /// where `fail@G[:R]` kills rank R (default 0) at gate G, `drop@M` /
-/// `corrupt@M[:R]` hit the Mth message (optionally only if sent by R), and
-/// `delay@M:S` delays the Mth message by S seconds. Throws qsv::Error on
-/// malformed specs.
+/// `corrupt@M[:R]` hit the Mth message (optionally only if sent by R),
+/// `delay@M:S` delays the Mth message by S seconds, and `bitflip@G[:R[:B]]`
+/// flips bit B (default: random) of a random resident amplitude on rank R
+/// (default 0) before gate G. Throws qsv::Error on malformed specs.
 [[nodiscard]] FaultPlan parse_fault_plan(const std::string& text);
 
 /// A fault that actually fired during a run (the deterministic event
@@ -130,6 +135,7 @@ struct FaultEvent {
   std::uint64_t message = 0;  // global message ordinal (message faults)
   std::uint64_t gate = 0;     // gate index when the fault fired
   double delay_s = 0;
+  int bit = -1;               // flipped amplitude bit (kBitFlip)
 
   bool operator==(const FaultEvent&) const = default;
 };
@@ -152,6 +158,19 @@ class FaultInjector {
   /// Called by the engine when gate `index` starts; returns the rank that
   /// dies at this gate, if any (the engine then throws NodeFailure).
   [[nodiscard]] std::optional<rank_t> on_gate(std::uint64_t index);
+
+  /// Silent-corruption events due before gate `index`: each names a rank, a
+  /// raw 64-bit amplitude draw (the engine reduces it modulo its local
+  /// amplitude count) and a bit in [0, 128) of the complex amplitude. Specs
+  /// are one-shot and the draws come from a dedicated seeded stream, so a
+  /// rollback-and-replay neither re-corrupts nor perturbs message faults.
+  struct BitFlipSpec {
+    rank_t rank = 0;
+    std::uint64_t amp_draw = 0;
+    int bit = 0;
+  };
+  [[nodiscard]] std::vector<BitFlipSpec> bitflips_at_gate(
+      std::uint64_t index);
 
   /// True once `rank` has died and not been replaced by a restart.
   [[nodiscard]] bool rank_dead(rank_t rank) const;
@@ -186,6 +205,7 @@ class FaultInjector {
     std::uint64_t corrupted = 0;
     std::uint64_t straggled = 0;
     std::uint64_t node_failures = 0;
+    std::uint64_t bitflips = 0;
     std::uint64_t retries = 0;
     std::uint64_t retry_bytes = 0;
     double delay_s = 0;
@@ -199,6 +219,7 @@ class FaultInjector {
   std::vector<bool> fired_;  // one-shot latch per spec
   std::vector<rank_t> dead_;
   Rng rng_;
+  Rng bitflip_rng_;  // separate stream: bitflips never shift message draws
   std::uint64_t message_counter_ = 0;
   std::uint64_t current_gate_ = 0;
   GateFaultCharges gate_charges_;

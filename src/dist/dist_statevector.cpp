@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "common/bits.hpp"
+#include "common/crc32.hpp"
 #include "common/error.hpp"
 #include "sv/kernels.hpp"
 
@@ -16,7 +18,7 @@ DistStateVector<S>::DistStateVector(int num_qubits, int num_ranks,
       local_qubits_(num_qubits - bits::log2_exact(
                                      static_cast<std::uint64_t>(num_ranks))),
       opts_(opts),
-      cluster_(num_ranks, opts.max_message_bytes) {
+      cluster_(num_ranks, opts.max_message_bytes, opts.recv_deadline_s) {
   QSV_REQUIRE(num_qubits >= 1 && num_qubits <= 30,
               "functional distributed engine supports 1..30 qubits");
   QSV_REQUIRE(bits::is_pow2(static_cast<std::uint64_t>(num_ranks)),
@@ -95,6 +97,25 @@ void DistStateVector<S>::tick_gate() {
                           " failed at gate " + std::to_string(index),
                       *dead, index);
   }
+  // Silent data corruption: flip the planned bit in the planned rank's
+  // resident slice. Nothing is thrown — by construction the engine cannot
+  // see this happen; only an invariant guard can.
+  for (const FaultInjector::BitFlipSpec& flip :
+       injector_->bitflips_at_gate(index)) {
+    QSV_REQUIRE(flip.rank >= 0 && flip.rank < num_ranks(),
+                "bitflip spec names rank " + std::to_string(flip.rank) +
+                    " but the cluster has " + std::to_string(num_ranks()) +
+                    " ranks");
+    const amp_index amp = static_cast<amp_index>(
+        flip.amp_draw % static_cast<std::uint64_t>(local_amps()));
+    const cplx v = slices_[flip.rank].get(amp);
+    double parts[2] = {v.real(), v.imag()};
+    std::uint64_t raw = 0;
+    std::memcpy(&raw, &parts[flip.bit / 64], sizeof raw);
+    raw ^= std::uint64_t{1} << (flip.bit % 64);
+    std::memcpy(&parts[flip.bit / 64], &raw, sizeof raw);
+    slices_[flip.rank].set(amp, cplx{parts[0], parts[1]});
+  }
 }
 
 template <class S>
@@ -108,7 +129,11 @@ void DistStateVector<S>::with_retry(rank_t r, rank_t peer, int messages,
     try {
       fn();
       return;
-    } catch (const CommFault&) {
+    } catch (const CommFault& f) {
+      // A timeout means the watchdog deadline elapsed before the receive
+      // gave up: that wait is real wall time on top of the retry backoff.
+      // A checksum mismatch is detected on arrival and costs no extra wait.
+      const bool timed_out = dynamic_cast<const CommTimeout*>(&f) != nullptr;
       // Clear half-delivered messages of this exchange before re-sending.
       cluster_.purge_pair(r, peer);
       if (a + 1 >= attempts) {
@@ -118,9 +143,10 @@ void DistStateVector<S>::with_retry(rank_t r, rank_t peer, int messages,
                 std::to_string(opts_.max_retries) + " retries",
             peer, gates_applied_ == 0 ? 0 : gates_applied_ - 1);
       }
-      injector_->record_retry(bytes, messages,
-                              opts_.retry_backoff_s *
-                                  static_cast<double>(1 << a));
+      injector_->record_retry(
+          bytes, messages,
+          opts_.retry_backoff_s * static_cast<double>(1 << a) +
+              (timed_out ? opts_.recv_deadline_s : 0.0));
     }
   }
 }
@@ -470,6 +496,22 @@ int DistStateVector<S>::measure(qubit_t qubit, Rng& rng) {
     }
   }
   return outcome;
+}
+
+template <class S>
+std::uint32_t DistStateVector<S>::slice_crc(rank_t r) const {
+  QSV_REQUIRE(r >= 0 && r < num_ranks(), "rank out of range");
+  constexpr amp_index kChunkAmps = amp_index{1} << 12;
+  std::vector<std::byte> buf(
+      static_cast<std::size_t>(std::min(local_amps(), kChunkAmps)) *
+      kBytesPerAmp);
+  Crc32 crc;
+  for (amp_index first = 0; first < local_amps(); first += kChunkAmps) {
+    const amp_index count = std::min(kChunkAmps, local_amps() - first);
+    const std::size_t bytes = slices_[r].pack(first, count, buf.data());
+    crc.update(buf.data(), bytes);
+  }
+  return crc.value();
 }
 
 template <class S>

@@ -70,6 +70,7 @@ class DistStateVector {
 
   /// Attaches an event listener (cost model or test recorder); may be null.
   void set_listener(ExecListener* listener) { listener_ = listener; }
+  [[nodiscard]] ExecListener* listener() const { return listener_; }
 
   /// Attaches a fault injector (cluster/faults.hpp); null restores perfect
   /// transport. Injected node failures surface as NodeFailure at the gate
@@ -92,6 +93,10 @@ class DistStateVector {
   /// Counters over every cache-tiled sweep run executed so far.
   [[nodiscard]] const SweepStats& sweep_stats() const { return sweep_stats_; }
 
+  /// CRC-32 over rank `r`'s resident amplitudes (the guard layer's slice
+  /// signature: captured at checkpoints, verified after restores).
+  [[nodiscard]] std::uint32_t slice_crc(rank_t r) const;
+
  private:
   void exchange_full(rank_t r, rank_t peer);
   void exchange_half(rank_t r, rank_t peer, int local_bit);
@@ -100,7 +105,8 @@ class DistStateVector {
                        std::size_t count);
   void emit(const ExecEvent& e);
   /// Consults the injector at a gate boundary; throws NodeFailure if a
-  /// planned failure fires at this index.
+  /// planned failure fires at this index, and applies any silent bitflips
+  /// due at it (kBitFlip specs corrupt resident memory, not messages).
   void tick_gate();
   /// Runs `fn` (one exchange round) with bounded retry on transient comm
   /// faults; `messages`/`bytes` are what one re-send costs.

@@ -36,6 +36,11 @@ struct DistOptions {
   /// an exponential backoff (base * 2^attempt) as idle time.
   int max_retries = 3;
   double retry_backoff_s = 0.1;
+
+  /// Watchdog deadline a receive waits before declaring CommTimeout. The
+  /// retry layer charges the deadline as idle time on every timed-out
+  /// receive (fault-free runs never time out, so this is zero-delta).
+  double recv_deadline_s = 0.5;
 };
 
 }  // namespace qsv

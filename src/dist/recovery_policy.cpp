@@ -1,0 +1,140 @@
+#include "dist/recovery_policy.hpp"
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/error.hpp"
+#include "dist/snapshot.hpp"
+
+namespace qsv {
+
+template <class S>
+IntegrityStats run_verified(DistStateVector<S>& sv, const Circuit& c,
+                            const CheckpointOptions& ck,
+                            const GuardOptions& guards,
+                            const RecoveryPolicy& policy) {
+  QSV_REQUIRE(c.num_qubits() == sv.num_qubits(), "register size mismatch");
+  IntegrityStats stats;
+  StateGuard<S> guard(sv, guards);
+
+  const bool checkpointing = ck.interval_gates > 0;
+  std::string ckpt;
+  if (checkpointing) {
+    if (!ck.dir.empty()) {
+      std::filesystem::create_directories(ck.dir);
+    }
+    ckpt = (ck.dir.empty() ? std::string(".") : ck.dir) + "/ckpt.qsv";
+  }
+  auto drop_ckpt = [&] {
+    if (checkpointing && !ck.keep_checkpoints) {
+      std::remove(ckpt.c_str());
+    }
+  };
+  auto save_ckpt = [&] {
+    save_state(ckpt, sv);
+    ++stats.checkpoints_written;
+    // Fingerprint what we just trusted to disk, so a restore can prove it
+    // came back intact.
+    guard.capture_signature();
+  };
+
+  std::size_t ckpt_gate = 0;  // circuit gates completed at the checkpoint
+  if (checkpointing) {
+    // Initial checkpoint: a failure before the first interval boundary
+    // still has a rollback target.
+    save_ckpt();
+  }
+
+  // Rolls back to the last verified checkpoint after a detection. A restore
+  // that fails its own signature check is unsalvageable: reloading the same
+  // bytes cannot do better, so that converts straight into an abort.
+  std::size_t i = 0;
+  auto roll_back = [&] {
+    sv.reset_transport();
+    if (FaultInjector* inj = sv.fault_injector()) {
+      inj->restart();
+    }
+    load_state(ckpt, sv);
+    try {
+      guard.verify_restore(ckpt_gate == 0 ? 0 : ckpt_gate - 1);
+    } catch (const GuardViolation& v) {
+      drop_ckpt();
+      throw IntegrityAbort(
+          "integrity abort: rollback target is itself corrupt (rank " +
+              std::to_string(v.rank()) + ", gate " + std::to_string(v.gate()) +
+              "): " + v.what(),
+          v.rank(), v.gate(), v.what());
+    }
+    stats.gates_replayed += i - ckpt_gate;
+    i = ckpt_gate;
+  };
+
+  while (i < c.size()) {
+    try {
+      sv.apply(c.gate(i));
+      ++i;
+      const bool at_ckpt =
+          checkpointing && i % ck.interval_gates == 0 && i < c.size();
+      if (guards.enabled() &&
+          (guard.due(i) || (at_ckpt && guards.verify_checkpoints) ||
+           i == c.size())) {
+        guard.check(i - 1);
+      }
+      if (at_ckpt) {
+        save_ckpt();
+        ckpt_gate = i;
+      }
+    } catch (const NodeFailure&) {
+      ++stats.restarts;
+      if (!checkpointing) {
+        throw;  // PR 2 semantics: nothing to restart from
+      }
+      if (stats.restarts > ck.max_restarts) {
+        drop_ckpt();
+        throw;
+      }
+      roll_back();
+    } catch (const GuardViolation& v) {
+      ++stats.rollbacks;
+      if (!checkpointing) {
+        throw IntegrityAbort(
+            "integrity abort at gate " + std::to_string(v.gate()) +
+                " (rank " + std::to_string(v.rank()) +
+                "): no checkpoint to roll back to: " + v.what(),
+            v.rank(), v.gate(), v.what());
+      }
+      if (stats.rollbacks > policy.max_rollbacks) {
+        drop_ckpt();
+        throw IntegrityAbort(
+            "integrity abort at gate " + std::to_string(v.gate()) +
+                " (rank " + std::to_string(v.rank()) + "): " +
+                std::to_string(policy.max_rollbacks) +
+                " rollbacks exhausted: " + v.what(),
+            v.rank(), v.gate(), v.what());
+      }
+      roll_back();
+    }
+  }
+
+  stats.completed = true;
+  stats.guard_checks = guard.stats().checks;
+  stats.guard_violations = guard.stats().violations;
+  if (FaultInjector* inj = sv.fault_injector()) {
+    stats.faults = inj->log();
+  }
+  drop_ckpt();
+  return stats;
+}
+
+template IntegrityStats run_verified<SoaStorage>(DistStateVector<SoaStorage>&,
+                                                 const Circuit&,
+                                                 const CheckpointOptions&,
+                                                 const GuardOptions&,
+                                                 const RecoveryPolicy&);
+template IntegrityStats run_verified<AosStorage>(DistStateVector<AosStorage>&,
+                                                 const Circuit&,
+                                                 const CheckpointOptions&,
+                                                 const GuardOptions&,
+                                                 const RecoveryPolicy&);
+
+}  // namespace qsv

@@ -1,0 +1,88 @@
+// Tiered recovery policy: who responds to which detection, and with what.
+//
+//   detection source          response                         bounded by
+//   ------------------------  -------------------------------  -----------
+//   message CRC mismatch      re-exchange with backoff          max_retries
+//   (CommCorrupt)             (engine's with_retry, PR 2 path)
+//   receive watchdog timeout  re-exchange; the elapsed          max_retries
+//   (CommTimeout)             deadline is charged as wait
+//   invariant guard           rollback to the last verified     max_rollbacks
+//   (GuardViolation)          checkpoint and replay
+//   node failure              restart from checkpoint           max_restarts
+//   (NodeFailure)             (PR 2 restart path)
+//   budget exhausted /        typed abort naming rank, gate     —
+//   no rollback target        and cause (IntegrityAbort)
+//
+// The first two tiers live inside the engine; run_verified drives the
+// rest: it executes a circuit with checkpointing (dist/resilience) plus
+// invariant guards (dist/guards), rolling back on guard violations and
+// restarting on node failures, and converting exhausted budgets into
+// IntegrityAbort so callers always get a typed, attributable outcome.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "dist/guards.hpp"
+#include "dist/resilience.hpp"
+
+namespace qsv {
+
+struct RecoveryPolicy {
+  /// Guard-violation rollbacks tolerated before aborting. Node-failure
+  /// restarts have their own budget (CheckpointOptions::max_restarts).
+  int max_rollbacks = 8;
+};
+
+/// Recovery budget exhausted, or corruption detected with nothing to roll
+/// back to: the run is not salvageable and the caller gets the forensics.
+class IntegrityAbort : public Error {
+ public:
+  IntegrityAbort(const std::string& what, rank_t rank, std::uint64_t gate,
+                 std::string cause)
+      : Error(what), rank_(rank), gate_(gate), cause_(std::move(cause)) {}
+
+  /// Rank the failure localises to; -1 for a global invariant.
+  [[nodiscard]] rank_t rank() const { return rank_; }
+  /// Circuit-gate index where detection fired.
+  [[nodiscard]] std::uint64_t gate() const { return gate_; }
+  /// The underlying detection's message.
+  [[nodiscard]] const std::string& cause() const { return cause_; }
+
+ private:
+  rank_t rank_;
+  std::uint64_t gate_;
+  std::string cause_;
+};
+
+struct IntegrityStats {
+  bool completed = false;
+  /// Node-failure restarts (tier: restart from checkpoint).
+  int restarts = 0;
+  /// Guard-violation rollbacks (tier: rollback and replay).
+  int rollbacks = 0;
+  int checkpoints_written = 0;
+  /// Circuit gates re-executed after restarts/rollbacks (lost work).
+  std::uint64_t gates_replayed = 0;
+  std::uint64_t guard_checks = 0;
+  std::uint64_t guard_violations = 0;
+  /// Copy of the injector's fault log (empty without an injector).
+  std::vector<FaultEvent> faults;
+};
+
+/// Runs `c` on `sv` under the full integrity regime: checkpoints every
+/// `ck.interval_gates` circuit gates (0 = off), guard checks per `guards`
+/// (cadence 0 = off; a final check always runs when guards are enabled so
+/// trailing corruption cannot slip out), rollbacks/restarts per `policy`.
+/// With guards on and checkpointing off, a violation aborts immediately —
+/// there is nothing to roll back to. NodeFailure propagates unchanged when
+/// checkpointing is off (PR 2 semantics).
+template <class S>
+IntegrityStats run_verified(DistStateVector<S>& sv, const Circuit& c,
+                            const CheckpointOptions& ck,
+                            const GuardOptions& guards,
+                            const RecoveryPolicy& policy = {});
+
+}  // namespace qsv

@@ -154,6 +154,12 @@ const std::map<std::string, Key>& schema() {
         },
         1e9);
 
+    add("integrity.crc_bw_gb_s",
+        [](MachineModel& m) -> double& {
+          return m.integrity.crc_bw_bytes_per_s;
+        },
+        1e9);
+
     add("reliability.node_mtbf_hours",
         [](MachineModel& m) -> double& { return m.reliability.node_mtbf_s; },
         3600.0);

@@ -39,6 +39,17 @@ double MachineModel::congestion(int nodes) const {
   return 1.0 + network.congestion_per_doubling * doublings;
 }
 
+double MachineModel::allreduce_time(int nodes) const {
+  QSV_REQUIRE(nodes >= 1, "need at least one node");
+  if (nodes == 1) {
+    return 0.0;
+  }
+  // Recursive doubling: ceil(log2(nodes)) levels, one send + one receive
+  // latency each. Payload is a scalar, so bandwidth terms are negligible.
+  const double levels = std::ceil(std::log2(static_cast<double>(nodes)));
+  return 2.0 * network.message_latency_s * levels;
+}
+
 double MachineModel::exchange_time(double bytes, int messages,
                                    CommPolicy policy, int nodes) const {
   const double bw = policy == CommPolicy::kBlocking

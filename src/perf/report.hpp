@@ -61,6 +61,13 @@ struct RunReport {
   std::uint64_t retry_messages = 0;
   double fault_delay_s = 0;
 
+  /// Integrity-guard accounting — the "price of trust" (all zero when
+  /// guards are off): invariant checks priced, their wall time, and their
+  /// share of node energy (already included in the totals above).
+  std::uint64_t guard_checks = 0;
+  double guard_s = 0;
+  double guard_energy_j = 0;
+
   [[nodiscard]] double total_energy_j() const {
     return node_energy_j + switch_energy_j;
   }

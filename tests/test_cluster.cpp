@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <string>
 #include <vector>
 
+#include "cluster/faults.hpp"
 #include "common/error.hpp"
 
 namespace qsv {
@@ -189,6 +191,72 @@ TEST(Cluster, MessageCount) {
   EXPECT_EQ(message_count(101, 100), 2);
   // The paper's case: a 64 GiB slice under a 2 GiB cap = 32 messages.
   EXPECT_EQ(message_count(64ull << 30, 2ull << 30), 32);
+}
+
+TEST(Cluster, CleanDeliveriesAreCountedAsVerified) {
+  VirtualCluster c(2, 1024);
+  c.send(0, 1, payload({1, 2, 3}));
+  std::vector<std::byte> b(3);
+  c.recv(0, 1, b);
+  EXPECT_EQ(c.stats().delivered, 1u);
+  EXPECT_EQ(c.stats().checksum_failures, 0u);
+}
+
+TEST(Cluster, CorruptedPayloadFailsItsChecksumAtTheReceiver) {
+  FaultInjector inj(parse_fault_plan("corrupt@1"));
+  VirtualCluster c(2, 1024);
+  c.set_fault_injector(&inj);
+  c.send(0, 1, payload({1, 2, 3, 4}));
+  std::vector<std::byte> b(4);
+  try {
+    c.recv(0, 1, b);
+    FAIL() << "expected CommCorrupt";
+  } catch (const CommCorrupt& e) {
+    const std::string w = e.what();
+    EXPECT_NE(w.find("0 -> 1"), std::string::npos);
+    EXPECT_NE(w.find("CRC-32 mismatch"), std::string::npos);
+  }
+  EXPECT_EQ(c.stats().checksum_failures, 1u);
+  EXPECT_EQ(c.stats().delivered, 0u);
+  EXPECT_EQ(inj.totals().corrupted, 1u);
+}
+
+TEST(Cluster, InjectedCorruptionCanNeverPassTheChecksum) {
+  // Regression for the oracle removal: the receiver consults no injector
+  // state, so the only way a corrupted payload could be delivered is a
+  // CRC-32 collision — impossible for the injector's single-bit flips.
+  // A corrupted-but-checksum-clean delivery cannot be constructed through
+  // the public API.
+  FaultPlan plan;
+  plan.corrupt_prob = 1.0;  // every message is corrupted in flight
+  FaultInjector inj(plan);
+  VirtualCluster c(2, 1024);
+  c.set_fault_injector(&inj);
+  for (int i = 0; i < 32; ++i) {
+    c.send(0, 1, payload({i, i + 1, 7 * i}));
+    std::vector<std::byte> b(3);
+    EXPECT_THROW(c.recv(0, 1, b), CommCorrupt);
+  }
+  EXPECT_EQ(c.stats().checksum_failures, 32u);
+  EXPECT_EQ(c.stats().delivered, 0u);
+  EXPECT_EQ(inj.totals().corrupted, 32u);
+}
+
+TEST(Cluster, WatchdogDeadlineIsConfigurableAndNamedInTheTimeout) {
+  EXPECT_THROW(VirtualCluster(2, 1024, 0.0), Error);
+  EXPECT_THROW(VirtualCluster(2, 1024, -1.0), Error);
+
+  VirtualCluster c(2, 1024, 0.25);
+  EXPECT_DOUBLE_EQ(c.recv_deadline_s(), 0.25);
+  try {
+    std::vector<std::byte> b(1);
+    c.recv(0, 1, b);
+    FAIL() << "expected CommTimeout";
+  } catch (const CommTimeout& e) {
+    const std::string w = e.what();
+    EXPECT_NE(w.find("watchdog deadline"), std::string::npos);
+    EXPECT_NE(w.find("0.25"), std::string::npos);
+  }
 }
 
 TEST(Cluster, PolicyNames) {

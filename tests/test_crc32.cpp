@@ -1,0 +1,73 @@
+#include "common/crc32.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace qsv {
+namespace {
+
+TEST(Crc32, Ieee8023CheckValue) {
+  // The standard check value: CRC-32("123456789") per IEEE 802.3.
+  const char* s = "123456789";
+  EXPECT_EQ(crc32(s, std::strlen(s)), 0xCBF43926u);
+}
+
+TEST(Crc32, EmptyInput) {
+  EXPECT_EQ(crc32(nullptr, 0), 0x00000000u);
+  Crc32 acc;
+  EXPECT_EQ(acc.value(), 0x00000000u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShotAtEverySplit) {
+  const std::string msg = "The quick brown fox jumps over the lazy dog";
+  const std::uint32_t whole = crc32(msg.data(), msg.size());
+  for (std::size_t split = 0; split <= msg.size(); ++split) {
+    Crc32 acc;
+    acc.update(msg.data(), split);
+    acc.update(msg.data() + split, msg.size() - split);
+    EXPECT_EQ(acc.value(), whole) << "split at " << split;
+  }
+}
+
+TEST(Crc32, ByteAtATimeStreamingMatchesOneShot) {
+  std::vector<unsigned char> data(1024);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<unsigned char>((i * 131) ^ (i >> 3));
+  }
+  Crc32 acc;
+  for (unsigned char b : data) {
+    acc.update(&b, 1);
+  }
+  EXPECT_EQ(acc.value(), crc32(data.data(), data.size()));
+}
+
+TEST(Crc32, EverySingleBitFlipChangesTheChecksum) {
+  // The property the exchange path relies on: CRC-32 detects all
+  // single-bit errors, so an injected in-flight flip can never pass.
+  std::vector<unsigned char> data(64, 0xA5);
+  const std::uint32_t clean = crc32(data.data(), data.size());
+  for (std::size_t byte = 0; byte < data.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      data[byte] ^= static_cast<unsigned char>(1 << bit);
+      EXPECT_NE(crc32(data.data(), data.size()), clean)
+          << "flip of byte " << byte << " bit " << bit << " undetected";
+      data[byte] ^= static_cast<unsigned char>(1 << bit);
+    }
+  }
+}
+
+TEST(Crc32, UpdateWithZeroBytesIsIdentity) {
+  Crc32 acc;
+  const char* s = "abc";
+  acc.update(s, 3);
+  const std::uint32_t before = acc.value();
+  acc.update(s, 0);
+  EXPECT_EQ(acc.value(), before);
+}
+
+}  // namespace
+}  // namespace qsv

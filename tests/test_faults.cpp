@@ -58,6 +58,30 @@ TEST(FaultPlan, RejectsMalformedSpecs) {
   EXPECT_THROW(parse_fault_plan("delay@3:junk"), Error);
 }
 
+TEST(FaultPlan, ParsesBitflipSpecs) {
+  const FaultPlan p =
+      parse_fault_plan("bitflip@7, bitflip@9:2, bitflip@11:3:62");
+  ASSERT_EQ(p.specs.size(), 3u);
+
+  EXPECT_EQ(p.specs[0].kind, FaultKind::kBitFlip);
+  EXPECT_EQ(p.specs[0].at_gate, 7u);
+  EXPECT_EQ(p.specs[0].rank, 0);  // defaults to rank 0
+  EXPECT_EQ(p.specs[0].bit, -1);  // random bit
+
+  EXPECT_EQ(p.specs[1].rank, 2);
+  EXPECT_EQ(p.specs[1].bit, -1);
+
+  EXPECT_EQ(p.specs[2].rank, 3);
+  EXPECT_EQ(p.specs[2].bit, 62);
+}
+
+TEST(FaultPlan, RejectsMalformedBitflipSpecs) {
+  EXPECT_THROW(parse_fault_plan("bitflip"), Error);
+  EXPECT_THROW(parse_fault_plan("bitflip@1:"), Error);     // trailing ':'
+  EXPECT_THROW(parse_fault_plan("bitflip@1:0:128"), Error);  // bit range
+  EXPECT_THROW(parse_fault_plan("bitflip@1:0:-1"), Error);
+}
+
 TEST(FaultPlan, SampledFailuresAreDeterministic) {
   const double mtbf = 500;  // short against the horizon: failures expected
   const FaultPlan a = sample_node_failures(mtbf, 1.0, 10000, 16, 42);
@@ -199,6 +223,94 @@ TEST(Faults, ProbabilisticStreamIsDeterministic) {
   for (amp_index i = 0; i < (amp_index{1} << 6); ++i) {
     EXPECT_EQ(a.amplitude(i), b.amplitude(i));
   }
+}
+
+TEST(Faults, BitflipDrawsAreDeterministicAndOneShot) {
+  FaultPlan plan = parse_fault_plan("bitflip@4:2, bitflip@4:3:17");
+  plan.seed = 9;
+  FaultInjector a(plan);
+  FaultInjector b(plan);
+
+  const auto fa = a.bitflips_at_gate(4);
+  const auto fb = b.bitflips_at_gate(4);
+  ASSERT_EQ(fa.size(), 2u);
+  ASSERT_EQ(fb.size(), 2u);
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    // Same plan, same seed: identical rank, amplitude draw and bit.
+    EXPECT_EQ(fa[i].rank, fb[i].rank);
+    EXPECT_EQ(fa[i].amp_draw, fb[i].amp_draw);
+    EXPECT_EQ(fa[i].bit, fb[i].bit);
+  }
+  EXPECT_EQ(fa[0].rank, 2);
+  EXPECT_GE(fa[0].bit, 0);  // random draw stays in range
+  EXPECT_LT(fa[0].bit, 128);
+  EXPECT_EQ(fa[1].rank, 3);
+  EXPECT_EQ(fa[1].bit, 17);  // explicit bit is honoured
+
+  EXPECT_EQ(a.totals().bitflips, 2u);
+  ASSERT_EQ(a.log().size(), 2u);
+  EXPECT_EQ(a.log()[0].kind, FaultKind::kBitFlip);
+  EXPECT_EQ(a.log()[1].bit, 17);
+
+  // One-shot latch: replaying the gate (after a rollback) does not
+  // re-inject, so replays are clean.
+  a.restart();
+  EXPECT_TRUE(a.bitflips_at_gate(4).empty());
+  EXPECT_TRUE(a.bitflips_at_gate(5).empty());  // wrong gate never fires
+}
+
+TEST(Faults, BitflipStreamDoesNotPerturbMessageFaults) {
+  // The bitflip RNG is decoupled from the message-fault RNG: consuming
+  // bitflip draws must not change which messages the probabilistic stream
+  // drops or corrupts.
+  FaultPlan plan;
+  plan.drop_prob = 0.2;
+  plan.corrupt_prob = 0.2;
+  plan.seed = 21;
+
+  FaultPlan with_flips = plan;
+  with_flips.specs = parse_fault_plan("bitflip@0, bitflip@1, bitflip@2").specs;
+
+  FaultInjector plain(plan);
+  FaultInjector flipped(with_flips);
+  for (std::uint64_t g = 0; g < 3; ++g) {
+    (void)flipped.bitflips_at_gate(g);
+  }
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(plain.on_message(0, 1).verdict,
+              flipped.on_message(0, 1).verdict)
+        << "message " << i;
+  }
+}
+
+TEST(Faults, InjectedSignFlipAltersTheStateButNotTheNorm) {
+  // H on every qubit: every amplitude is nonzero when the flip lands, so
+  // a sign flip is observable in the final state.
+  Circuit c(6, "h_all");
+  for (int q = 0; q < 6; ++q) {
+    c.add(make_h(q));
+  }
+
+  DistStateVector<SoaStorage> clean(6, 4);
+  clean.apply(c);
+
+  // Sign-bit flip (bit 63 of the real part): the mutation is observable
+  // in the final amplitudes while leaving the norm untouched — exactly
+  // the corruption class the norm guard cannot see.
+  FaultInjector inj(parse_fault_plan("bitflip@5:1:63"));
+  DistStateVector<SoaStorage> faulty(6, 4);
+  faulty.set_fault_injector(&inj);
+  faulty.apply(c);
+
+  EXPECT_EQ(inj.totals().bitflips, 1u);
+  int differing = 0;
+  for (amp_index i = 0; i < (amp_index{1} << 6); ++i) {
+    if (clean.amplitude(i) != faulty.amplitude(i)) {
+      ++differing;
+    }
+  }
+  EXPECT_GE(differing, 1);
+  EXPECT_NEAR(faulty.norm_sq(), 1.0, 1e-12);  // sign flips keep the norm
 }
 
 TEST(Faults, FaultFreeRunsAreUntouchedByTheInjectorHooks) {

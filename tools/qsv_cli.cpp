@@ -2,8 +2,9 @@
 //
 //   qsv run <file.qc> [--ranks N] [--shots K] [--seed S]
 //                 [--no-sweep] [--tile T]
-//                 [--faults PLAN] [--mtbf HOURS]
+//                 [--faults PLAN] [--mtbf HOURS] [--bitflip G[:R[:B]]]
 //                 [--checkpoint-interval GATES] [--checkpoint-dir DIR]
+//                 [--guards K] [--guard-crc]
 //   qsv info <file.qc> --local L [--half-exchange]
 //   qsv transpile <file.qc> --local L [--pass cache|greedy|fusion|cleanup]
 //                 [--min-reuse K] [--out out.qc]
@@ -11,6 +12,7 @@
 //             [--freq low|medium|high] [--nonblocking] [--half-exchange]
 //             [--timeline out.csv] [--machine overrides.machine]
 //             [--mtbf HOURS] [--checkpoint-interval SECONDS]
+//             [--guards K] [--guard-crc]
 //   qsv sbatch --qubits N [--highmem] [--freq ...] [--name J] [--cmd CMD]
 //
 // Every subcommand prints a short usage string on error.
@@ -37,6 +39,8 @@
 #include "common/table.hpp"
 #include "cluster/faults.hpp"
 #include "dist/dist_statevector.hpp"
+#include "dist/guards.hpp"
+#include "dist/recovery_policy.hpp"
 #include "dist/resilience.hpp"
 #include "dist/trace.hpp"
 #include "perf/cost_model.hpp"
@@ -73,8 +77,8 @@ int cmd_run(int argc, const char* const* argv) {
   ArgParser args;
   args.option("ranks").option("shots").option("seed").option("tile");
   args.option("faults").option("mtbf").option("checkpoint-interval");
-  args.option("checkpoint-dir");
-  args.flag("no-sweep");
+  args.option("checkpoint-dir").option("bitflip").option("guards");
+  args.flag("no-sweep").flag("guard-crc");
   args.parse(argc, argv);
   QSV_REQUIRE(args.positionals().size() == 1, "usage: qsv run <file.qc> ...");
 
@@ -94,6 +98,12 @@ int cmd_run(int argc, const char* const* argv) {
   FaultPlan plan;
   if (const auto f = args.value("faults")) {
     plan = parse_fault_plan(*f);
+  }
+  if (const auto b = args.value("bitflip")) {
+    // Shorthand for a silent-corruption spec: --bitflip G[:R[:B]].
+    const FaultPlan flips = parse_fault_plan("bitflip@" + *b);
+    plan.specs.insert(plan.specs.end(), flips.specs.begin(),
+                      flips.specs.end());
   }
   const double mtbf_hours = args.double_or("mtbf", 0);
   QSV_REQUIRE(mtbf_hours >= 0, "--mtbf must be positive");
@@ -118,18 +128,26 @@ int cmd_run(int argc, const char* const* argv) {
   ck.interval_gates = static_cast<std::uint64_t>(interval);
   ck.dir = args.value_or("checkpoint-dir", ".");
 
-  RecoveryStats rec;
-  if (injector || ck.interval_gates > 0) {
-    // Gate-by-gate resilience driver. A NodeFailure with checkpointing
-    // disabled propagates out of here to a nonzero exit.
-    rec = run_with_recovery(sv, c, ck);
+  GuardOptions guards;
+  const int cadence = args.int_or("guards", 0);
+  QSV_REQUIRE(cadence >= 0, "--guards must be >= 0");
+  guards.cadence_gates = static_cast<std::uint64_t>(cadence);
+  guards.slice_crc = args.has("guard-crc");
+
+  IntegrityStats rec;
+  const bool verified = injector || ck.interval_gates > 0 || guards.enabled();
+  if (verified) {
+    // Gate-by-gate integrity driver: checkpoints, guard checks, rollbacks.
+    // A NodeFailure with checkpointing disabled propagates out of here to a
+    // nonzero exit, as does an IntegrityAbort.
+    rec = run_verified(sv, c, ck, guards);
   } else {
     sv.apply(c);  // fault-free fast path (keeps the sweep executor active)
   }
   std::cout << "ran '" << c.name() << "' (" << c.size() << " gates) on "
             << ranks << " ranks; " << sv.comm_stats().messages
             << " messages, " << fmt::bytes(sv.comm_stats().bytes) << "\n";
-  if (opts.sweep.enabled && !injector && ck.interval_gates == 0) {
+  if (opts.sweep.enabled && !verified) {
     const SweepStats& sw = sv.sweep_stats();
     std::cout << "sweep executor: " << sw.runs << " tiled runs covering "
               << sw.swept_gates << " gates, " << sw.passes_saved
@@ -139,8 +157,14 @@ int cmd_run(int argc, const char* const* argv) {
     const FaultInjector::Totals& ft = injector->totals();
     std::cout << "faults: " << ft.node_failures << " node failures, "
               << ft.dropped << " dropped, " << ft.corrupted << " corrupted, "
-              << ft.straggled << " straggled; " << ft.retries << " retries ("
+              << ft.bitflips << " bitflips, " << ft.straggled
+              << " straggled; " << ft.retries << " retries ("
               << fmt::bytes(ft.retry_bytes) << " re-sent)\n";
+  }
+  if (guards.enabled()) {
+    std::cout << "guards: " << rec.guard_checks << " checks, "
+              << rec.guard_violations << " violations, " << rec.rollbacks
+              << " rollbacks\n";
   }
   if (ck.interval_gates > 0) {
     std::cout << "recovery: " << rec.restarts << " restarts, "
@@ -246,8 +270,9 @@ int cmd_price(int argc, const char* const* argv) {
   ArgParser args;
   args.option("qft").option("fast-qft").option("nodes").option("freq");
   args.option("timeline").option("machine");
-  args.option("mtbf").option("checkpoint-interval");
+  args.option("mtbf").option("checkpoint-interval").option("guards");
   args.flag("highmem").flag("nonblocking").flag("half-exchange");
+  args.flag("guard-crc");
   args.parse(argc, argv);
 
   // Optional machine-config overrides on top of the ARCHER2 calibration.
@@ -299,6 +324,30 @@ int cmd_price(int argc, const char* const* argv) {
   }
   sim.set_listener(&cost);
   sim.apply(c);
+
+  // Price of trust: replay the guard schedule run_verified would follow —
+  // a check every K gates plus the mandatory end-of-circuit check — as
+  // kGuard events against the same cost model.
+  const int guard_cadence = args.int_or("guards", 0);
+  QSV_REQUIRE(guard_cadence >= 0, "--guards must be >= 0");
+  if (guard_cadence > 0) {
+    const std::uint64_t local_amps =
+        (std::uint64_t{1} << c.num_qubits()) /
+        static_cast<std::uint64_t>(job.nodes);
+    ExecEvent g;
+    g.kind = ExecEvent::Kind::kGuard;
+    g.guard_bytes_per_rank = local_amps * kBytesPerAmp;
+    g.guard_flops_per_rank = 4 * local_amps;
+    g.guard_crc_bytes_per_rank =
+        args.has("guard-crc") ? local_amps * kBytesPerAmp : 0;
+    g.guard_sync = true;
+    for (std::uint64_t i = static_cast<std::uint64_t>(guard_cadence);
+         i < c.size(); i += static_cast<std::uint64_t>(guard_cadence)) {
+      cost.on_event(g);
+    }
+    cost.on_event(g);  // final check at end of circuit
+  }
+
   RunReport r = cost.report();
   r.traffic = sim.comm_stats();
 
@@ -326,6 +375,11 @@ int cmd_price(int argc, const char* const* argv) {
   t.row({"total energy", fmt::energy_j(r.total_energy_j())});
   t.row({"CU cost", fmt::fixed(r.cu, 2)});
   t.row({"MPI fraction", fmt::percent(r.phases.mpi_fraction())});
+  if (r.guard_checks > 0) {
+    t.row({"guard checks", std::to_string(r.guard_checks)});
+    t.row({"guard time", fmt::seconds(r.guard_s)});
+    t.row({"guard energy (price of trust)", fmt::energy_j(r.guard_energy_j)});
+  }
   t.print(std::cout);
 
   // Expected-energy pricing under failures, around the Daly optimum.
@@ -389,8 +443,11 @@ int usage() {
       << "  run       run a circuit file functionally on a virtual cluster\n"
       << "            (--no-sweep disables cache-tiled multi-gate sweeps,\n"
       << "             --tile T sets the tile exponent, default 16;\n"
-      << "             --faults/--mtbf inject failures, --checkpoint-interval\n"
-      << "             and --checkpoint-dir enable checkpoint/restart)\n"
+      << "             --faults/--mtbf inject failures, --bitflip G[:R[:B]]\n"
+      << "             injects silent corruption, --checkpoint-interval\n"
+      << "             and --checkpoint-dir enable checkpoint/restart,\n"
+      << "             --guards K checks invariants every K gates and\n"
+      << "             --guard-crc adds slice CRC signatures)\n"
       << "  info      locality & communication analysis of a circuit file\n"
       << "  transpile apply a pass (cache|greedy|fusion|cleanup)\n"
       << "  price     estimate runtime/energy/CU on the ARCHER2 model\n"
