@@ -1,10 +1,18 @@
 // Google-benchmark micros for the local gate kernels (host-machine
 // throughput; the ARCHER2 numbers come from the calibrated model, not from
 // these).
+//
+// The *PerBackend benchmarks pin the SIMD kernel backend (sv/simd/) per
+// run: the backend index is the last benchmark argument and the run's label
+// names it. Unsupported backends are skipped on this host, not failed.
+// JSON output comes from google-benchmark itself:
+//   micro_kernels --benchmark_out=kernels.json --benchmark_out_format=json
 #include <benchmark/benchmark.h>
 
 #include "circuit/gate.hpp"
+#include "circuit/matrix.hpp"
 #include "sv/kernels.hpp"
+#include "sv/simd/simd.hpp"
 #include "sv/statevector.hpp"
 
 namespace qsv {
@@ -76,6 +84,80 @@ void BM_LocalSwap(benchmark::State& state) {
 }
 BENCHMARK(BM_LocalSwap<SoaStorage>)->Arg(9)->Arg(17);
 BENCHMARK(BM_LocalSwap<AosStorage>)->Arg(9)->Arg(17);
+
+/// Pins the backend named by `arg`; returns false (after marking the run
+/// skipped) when this host cannot execute it.
+bool pin_backend(benchmark::State& state, std::int64_t arg) {
+  const auto b = static_cast<simd::Backend>(arg);
+  if (!simd::backend_supported(b)) {
+    state.SkipWithError("backend not supported on this host");
+    return false;
+  }
+  simd::set_active_backend(b);
+  state.SetLabel(simd::backend_name(b));
+  return true;
+}
+
+void register_backend_args(benchmark::internal::Benchmark* bench) {
+  for (int b = 0; b < simd::kBackendCount; ++b) {
+    bench->Args({8, b});  // mid target; shuffle paths are covered at 0/1
+    bench->Args({0, b});
+  }
+}
+
+template <class S>
+void BM_Matrix1PerBackend(benchmark::State& state) {
+  auto sv = prepared<S>();
+  if (!pin_backend(state, state.range(1))) {
+    return;
+  }
+  const Gate g = make_h(static_cast<qubit_t>(state.range(0)));
+  for (auto _ : state) {
+    sv.apply(g);
+    benchmark::ClobberMemory();
+  }
+  simd::set_active_backend(simd::best_backend());
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(sv.num_amps()) *
+                          static_cast<std::int64_t>(2 * kBytesPerAmp));
+}
+BENCHMARK(BM_Matrix1PerBackend<SoaStorage>)->Apply(register_backend_args);
+BENCHMARK(BM_Matrix1PerBackend<AosStorage>)->Apply(register_backend_args);
+
+template <class S>
+void BM_Matrix2PerBackend(benchmark::State& state) {
+  auto sv = prepared<S>();
+  if (!pin_backend(state, state.range(1))) {
+    return;
+  }
+  Rng rng(9);
+  const Gate g = make_unitary2(static_cast<qubit_t>(state.range(0)),
+                               static_cast<qubit_t>(state.range(0)) + 3,
+                               random_unitary2_params(rng));
+  for (auto _ : state) {
+    sv.apply(g);
+    benchmark::ClobberMemory();
+  }
+  simd::set_active_backend(simd::best_backend());
+}
+BENCHMARK(BM_Matrix2PerBackend<SoaStorage>)->Apply(register_backend_args);
+BENCHMARK(BM_Matrix2PerBackend<AosStorage>)->Apply(register_backend_args);
+
+template <class S>
+void BM_RzPerBackend(benchmark::State& state) {
+  auto sv = prepared<S>();
+  if (!pin_backend(state, state.range(1))) {
+    return;
+  }
+  const Gate g = make_rz(static_cast<qubit_t>(state.range(0)), 0.41);
+  for (auto _ : state) {
+    sv.apply(g);
+    benchmark::ClobberMemory();
+  }
+  simd::set_active_backend(simd::best_backend());
+}
+BENCHMARK(BM_RzPerBackend<SoaStorage>)->Apply(register_backend_args);
+BENCHMARK(BM_RzPerBackend<AosStorage>)->Apply(register_backend_args);
 
 template <class S>
 void BM_GatherHalf(benchmark::State& state) {

@@ -23,10 +23,14 @@
 
 namespace qsv {
 
-/// Default tile exponent: 2^16 amplitudes = 1 MiB of amplitude data
-/// (16 bytes each), half a typical per-core L2, leaving room for the second
-/// array of the SoA layout's re/im split to stay resident alongside.
-inline constexpr int kDefaultSweepTileQubits = 16;
+/// Default tile exponent: 2^15 amplitudes = 512 KiB of amplitude data
+/// (16 bytes each), a quarter of a typical per-core L2. Re-tuned after the
+/// SIMD kernel layer landed (bench/micro_sweep --tile, 25 qubits, avx512
+/// host): the vector kernels raise bandwidth demand enough that t = 15
+/// edges out the previous t = 16 (QFT local layer 0.44 s vs 0.45 s) while
+/// t = 17 overflows L2 and loses ~25%. t = 14..16 are within noise for
+/// dense runs, so half-sized L2s are still served well.
+inline constexpr int kDefaultSweepTileQubits = 15;
 
 /// Knobs for the sweep executor, shared by both engines and the planner.
 struct SweepOptions {

@@ -4,6 +4,7 @@
 #include "dist/dist_statevector.hpp"
 #include "dist/trace.hpp"
 #include "perf/cost_model.hpp"
+#include "sv/simd/simd.hpp"
 
 namespace qsv {
 
@@ -33,6 +34,7 @@ RunReport run_functional_model(const Circuit& circuit,
 
   RunReport r = cost.report();
   r.traffic = sim.comm_stats();
+  r.kernel_backend = simd::backend_name(simd::active_backend());
   return r;
 }
 

@@ -8,6 +8,13 @@
 //
 // Index convention: global amplitude index = (rank_bits << local_qubits) |
 // local index; bit q of the global index is the basis value of qubit q.
+//
+// Hot dense kernels (matrix1/matrix2/swap/phase/rz) are layered: when the
+// slice type exposes raw contiguous storage (sv/simd/simd.hpp span
+// concepts), they dispatch through the runtime-selected SIMD backend table;
+// the templated get/set loops below remain as the generic fallback for
+// slice types without span access. Backends are bit-identical, so the
+// routing never changes results (docs/KERNELS.md).
 #pragma once
 
 #include <cmath>
@@ -19,6 +26,7 @@
 #include "circuit/matrix.hpp"
 #include "common/bits.hpp"
 #include "common/error.hpp"
+#include "sv/simd/simd.hpp"
 #include "sv/storage.hpp"
 
 namespace qsv::kern {
@@ -47,6 +55,13 @@ struct SplitMask {
 /// mask. High controls must already be satisfied (caller's responsibility).
 template <class S>
 void apply_matrix1(S& s, int target, const Mat2& u, amp_index local_ctrl_mask) {
+  if constexpr (simd::SoaSpanAccess<S>) {
+    simd::ops().matrix1_soa(simd::soa_span(s), target, u, local_ctrl_mask);
+    return;
+  } else if constexpr (simd::AosSpanAccess<S>) {
+    simd::ops().matrix1_aos(simd::aos_span(s), target, u, local_ctrl_mask);
+    return;
+  }
   const amp_index pairs = s.size() / 2;
   const cplx u00 = u.m[0][0];
   const cplx u01 = u.m[0][1];
@@ -90,6 +105,13 @@ template <class S>
 void apply_matrix2(S& s, int a, int b, const Mat4& u,
                    amp_index local_ctrl_mask) {
   QSV_REQUIRE(a != b, "unitary2 targets must differ");
+  if constexpr (simd::SoaSpanAccess<S>) {
+    simd::ops().matrix2_soa(simd::soa_span(s), a, b, u, local_ctrl_mask);
+    return;
+  } else if constexpr (simd::AosSpanAccess<S>) {
+    simd::ops().matrix2_aos(simd::aos_span(s), a, b, u, local_ctrl_mask);
+    return;
+  }
   const int lo = a < b ? a : b;
   const int hi = a < b ? b : a;
   const amp_index quads = s.size() / 4;
@@ -132,6 +154,13 @@ void apply_matrix2(S& s, int a, int b, const Mat4& u,
 template <class S>
 void apply_swap_local(S& s, int a, int b) {
   QSV_REQUIRE(a != b, "swap targets must differ");
+  if constexpr (simd::SoaSpanAccess<S>) {
+    simd::ops().swap_soa(simd::soa_span(s), a, b);
+    return;
+  } else if constexpr (simd::AosSpanAccess<S>) {
+    simd::ops().swap_aos(simd::aos_span(s), a, b);
+    return;
+  }
   const int lo = a < b ? a : b;
   const int hi = a < b ? b : a;
   const amp_index quads = s.size() / 4;
@@ -162,6 +191,13 @@ void apply_phase_mask(S& s, amp_index global_mask, cplx factor,
   }
   const amp_index local_mask =
       global_mask & ((amp_index{1} << local_qubits) - 1);
+  if constexpr (simd::SoaSpanAccess<S>) {
+    simd::ops().phase_soa(simd::soa_span(s), local_mask, factor);
+    return;
+  } else if constexpr (simd::AosSpanAccess<S>) {
+    simd::ops().phase_aos(simd::aos_span(s), local_mask, factor);
+    return;
+  }
   const amp_index n = s.size();
 #ifdef _OPENMP
 #pragma omp parallel for schedule(static)
@@ -188,10 +224,18 @@ void apply_rz(S& s, int target_global, real_t theta, amp_index ctrl_global,
       ctrl_global & ((amp_index{1} << local_qubits) - 1);
   const amp_index n = s.size();
 
-  // The target may itself be a high bit: the whole slice is then one half.
+  // The target may itself be a high bit: the whole slice is then one half
+  // and the update degenerates to a mask-gated uniform phase.
   if (target_global >= local_qubits) {
     const cplx f =
         bits::bit(rank_bits, target_global - local_qubits) ? f1 : f0;
+    if constexpr (simd::SoaSpanAccess<S>) {
+      simd::ops().phase_soa(simd::soa_span(s), local_ctrl, f);
+      return;
+    } else if constexpr (simd::AosSpanAccess<S>) {
+      simd::ops().phase_aos(simd::aos_span(s), local_ctrl, f);
+      return;
+    }
 #ifdef _OPENMP
 #pragma omp parallel for schedule(static)
 #endif
@@ -203,6 +247,13 @@ void apply_rz(S& s, int target_global, real_t theta, amp_index ctrl_global,
     return;
   }
 
+  if constexpr (simd::SoaSpanAccess<S>) {
+    simd::ops().rz_soa(simd::soa_span(s), target_global, f0, f1, local_ctrl);
+    return;
+  } else if constexpr (simd::AosSpanAccess<S>) {
+    simd::ops().rz_aos(simd::aos_span(s), target_global, f0, f1, local_ctrl);
+    return;
+  }
 #ifdef _OPENMP
 #pragma omp parallel for schedule(static)
 #endif

@@ -1,0 +1,18 @@
+// Internal: per-backend kernel-table getters, linked by dispatch.cpp.
+// Availability macros (QSV_SIMD_HAVE_*) are defined by src/sv/CMakeLists.txt
+// for backends whose ISA flags the compiler accepted on this architecture.
+#pragma once
+
+#include "sv/simd/simd.hpp"
+
+namespace qsv::simd {
+
+const KernelOps& scalar_ops();
+#if QSV_SIMD_HAVE_AVX2
+const KernelOps& avx2_ops();
+#endif
+#if QSV_SIMD_HAVE_AVX512
+const KernelOps& avx512_ops();
+#endif
+
+}  // namespace qsv::simd

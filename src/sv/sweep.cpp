@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "sv/kernels.hpp"
+#include "sv/simd/simd.hpp"
 #include "sv/storage.hpp"
 
 namespace qsv::kern {
@@ -14,6 +15,13 @@ namespace {
 /// window the qubits at or above t act exactly like rank bits, so
 /// apply_gate_slice handles high controls and diagonal high operands
 /// unchanged.
+///
+/// When the underlying storage exposes raw arrays the view forwards them,
+/// shifted by the tile offset: a tile is always a contiguous window, so the
+/// dense kernels take the SIMD span fast path instead of paying a get/set
+/// indirection per amplitude (which also defeats auto-vectorisation in the
+/// scalar backend). Storage types without raw access still work through
+/// get/set.
 template <class S>
 class TileView {
  public:
@@ -23,6 +31,22 @@ class TileView {
   [[nodiscard]] amp_index size() const { return size_; }
   [[nodiscard]] cplx get(amp_index i) const { return s_->get(offset_ + i); }
   void set(amp_index i, cplx v) { s_->set(offset_ + i, v); }
+
+  [[nodiscard]] real_t* re()
+    requires simd::SoaSpanAccess<S>
+  {
+    return s_->re() + offset_;
+  }
+  [[nodiscard]] real_t* im()
+    requires simd::SoaSpanAccess<S>
+  {
+    return s_->im() + offset_;
+  }
+  [[nodiscard]] cplx* data()
+    requires simd::AosSpanAccess<S>
+  {
+    return s_->data() + offset_;
+  }
 
  private:
   S* s_;

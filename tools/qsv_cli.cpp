@@ -46,6 +46,7 @@
 #include "perf/cost_model.hpp"
 #include "perf/resilience_model.hpp"
 #include "dist/observables.hpp"
+#include "sv/simd/simd.hpp"
 #include "harness/experiments.hpp"
 #include "machine/archer2.hpp"
 #include "machine/config.hpp"
@@ -147,6 +148,8 @@ int cmd_run(int argc, const char* const* argv) {
   std::cout << "ran '" << c.name() << "' (" << c.size() << " gates) on "
             << ranks << " ranks; " << sv.comm_stats().messages
             << " messages, " << fmt::bytes(sv.comm_stats().bytes) << "\n";
+  std::cout << "kernel backend: " << simd::backend_name(simd::active_backend())
+            << " (" << simd::active_backend_origin() << ")\n";
   if (opts.sweep.enabled && !verified) {
     const SweepStats& sw = sv.sweep_stats();
     std::cout << "sweep executor: " << sw.runs << " tiled runs covering "
@@ -442,12 +445,14 @@ int usage() {
       << "usage: qsv <command> ...\n"
       << "  run       run a circuit file functionally on a virtual cluster\n"
       << "            (--no-sweep disables cache-tiled multi-gate sweeps,\n"
-      << "             --tile T sets the tile exponent, default 16;\n"
+      << "             --tile T sets the tile exponent, default 15;\n"
       << "             --faults/--mtbf inject failures, --bitflip G[:R[:B]]\n"
       << "             injects silent corruption, --checkpoint-interval\n"
       << "             and --checkpoint-dir enable checkpoint/restart,\n"
       << "             --guards K checks invariants every K gates and\n"
       << "             --guard-crc adds slice CRC signatures)\n"
+      << "            env QSV_SIMD=scalar|avx2|avx512|auto pins the SIMD\n"
+      << "            kernel backend (default: best the CPU supports)\n"
       << "  info      locality & communication analysis of a circuit file\n"
       << "  transpile apply a pass (cache|greedy|fusion|cleanup)\n"
       << "  price     estimate runtime/energy/CU on the ARCHER2 model\n"
