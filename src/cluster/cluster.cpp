@@ -67,15 +67,22 @@ void VirtualCluster::send(rank_t from, rank_t to,
 
   bool corrupt_in_flight = false;
   if (injector_ != nullptr) {
-    const FaultInjector::MessageOutcome out = injector_->on_message(from, to);
+    const FaultInjector::MessageOutcome out =
+        injector_->on_message(from, to, recv_deadline_s_);
     switch (out.verdict) {
       case FaultInjector::Verdict::kDrop:
         return;  // never enqueued: the matching recv times out
       case FaultInjector::Verdict::kCorrupt:
         corrupt_in_flight = true;  // bookkeeping only; detection is the CRC
         break;
-      case FaultInjector::Verdict::kDelay:    // latency is an accounting
-      case FaultInjector::Verdict::kDeliver:  // matter, not a delivery one
+      case FaultInjector::Verdict::kDelay:
+        if (out.past_deadline) {
+          // The straggler lands after the receiver's watchdog gives up:
+          // never consumed, so the matching recv must time out.
+          return;
+        }
+        break;  // in-deadline latency is an accounting matter
+      case FaultInjector::Verdict::kDeliver:
         break;
     }
   }
@@ -151,6 +158,32 @@ void VirtualCluster::purge_pair(rank_t a, rank_t b) {
       queues_.erase(it);
     }
   }
+}
+
+void VirtualCluster::purge_rank(rank_t rank) {
+  check_rank(rank);
+  for (auto it = queues_.begin(); it != queues_.end();) {
+    if (it->first.first == rank || it->first.second == rank) {
+      in_flight_ -= it->second.size();
+      it = queues_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void VirtualCluster::shrink_to(int new_num_ranks) {
+  QSV_REQUIRE(new_num_ranks >= 1, "need at least one rank");
+  QSV_REQUIRE(bits::is_pow2(static_cast<std::uint64_t>(new_num_ranks)),
+              "QuEST-style decomposition requires a power-of-two rank count");
+  QSV_REQUIRE(new_num_ranks < num_ranks_,
+              "shrink_to must reduce the rank count (have " +
+                  std::to_string(num_ranks_) + ", asked for " +
+                  std::to_string(new_num_ranks) + ")");
+  QSV_REQUIRE(quiescent(),
+              "shrink_to requires a quiescent cluster: " +
+                  std::to_string(in_flight_) + " messages still in flight");
+  num_ranks_ = new_num_ranks;
 }
 
 void VirtualCluster::reset_queues() {

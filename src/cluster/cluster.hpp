@@ -115,8 +115,22 @@ class VirtualCluster {
   [[nodiscard]] std::size_t pending(rank_t from, rank_t to) const;
 
   /// Discards queued messages between `a` and `b` (both directions): the
-  /// retry path clears half-delivered exchanges before re-sending.
+  /// retry path clears half-delivered exchanges before re-sending. Clearing
+  /// *both* directions matters for non-blocking exchanges: an isend posted
+  /// by the failing side before it died must not survive for a substituted
+  /// node to consume as a stale pre-failure payload.
   void purge_pair(rank_t a, rank_t b);
+
+  /// Discards every queued message touching `rank` (either direction, any
+  /// peer): the mailbox re-bind when a spare node takes over a rank id. The
+  /// replacement starts with empty mailboxes.
+  void purge_rank(rank_t rank);
+
+  /// Shrink-to-survive membership change: the cluster drops to
+  /// `new_num_ranks` (a smaller power of two). Requires quiescence — the
+  /// re-shard traffic must have fully drained first. Traffic counters are
+  /// preserved: the movement already paid for stays on the books.
+  void shrink_to(int new_num_ranks);
 
   /// Discards every queued message (restart-from-checkpoint recovery).
   void reset_queues();

@@ -164,17 +164,22 @@ bool FaultInjector::rank_dead(rank_t rank) const {
   return std::find(dead_.begin(), dead_.end(), rank) != dead_.end();
 }
 
-FaultInjector::MessageOutcome FaultInjector::on_message(rank_t from,
-                                                        rank_t to) {
+FaultInjector::MessageOutcome FaultInjector::on_message(
+    rank_t from, rank_t to, double recv_deadline_s) {
   ++message_counter_;
   MessageOutcome out;
 
   // Explicit one-shot specs first: deterministic regardless of probability
-  // settings.
+  // settings. Every spec naming this ordinal fires its latch, and when
+  // several land on the same message the most severe verdict wins (drop >
+  // corrupt > straggle): a dropped message makes a companion corruption or
+  // delay moot, since nothing is delivered.
+  double explicit_delay_s = 0;
+  int severity = 0;  // 0 deliver, 1 straggle, 2 corrupt, 3 drop
   for (std::size_t i = 0; i < plan_.specs.size(); ++i) {
     const FaultSpec& s = plan_.specs[i];
     if (fired_[i] || s.at_message != message_counter_ ||
-        s.kind == FaultKind::kNodeFailure) {
+        s.kind == FaultKind::kNodeFailure || s.kind == FaultKind::kBitFlip) {
       continue;
     }
     if (s.rank >= 0 && s.rank != from) {
@@ -183,20 +188,29 @@ FaultInjector::MessageOutcome FaultInjector::on_message(rank_t from,
     fired_[i] = true;
     switch (s.kind) {
       case FaultKind::kDropMessage:
-        out.verdict = Verdict::kDrop;
+        severity = std::max(severity, 3);
         break;
       case FaultKind::kCorruptMessage:
-        out.verdict = Verdict::kCorrupt;
+        severity = std::max(severity, 2);
         break;
       case FaultKind::kStraggler:
-        out.verdict = Verdict::kDelay;
-        out.delay_s = s.delay_s;
+        if (severity < 1) {
+          severity = 1;
+          explicit_delay_s = s.delay_s;
+        }
         break;
       case FaultKind::kNodeFailure:
       case FaultKind::kBitFlip:
         break;  // unreachable: gate-indexed specs never match a message
     }
-    break;
+  }
+  if (severity == 3) {
+    out.verdict = Verdict::kDrop;
+  } else if (severity == 2) {
+    out.verdict = Verdict::kCorrupt;
+  } else if (severity == 1) {
+    out.verdict = Verdict::kDelay;
+    out.delay_s = explicit_delay_s;
   }
 
   // Probabilistic stream: one draw per configured hazard per message, in a
@@ -214,6 +228,14 @@ FaultInjector::MessageOutcome FaultInjector::on_message(rank_t from,
       out.verdict = Verdict::kDelay;
       out.delay_s = plan_.straggler_delay_s;
     }
+  }
+
+  // A straggler that lands strictly after the receiver's watchdog deadline
+  // is never consumed: it surfaces as a recv timeout. The retry layer
+  // charges the elapsed deadline, so the injected delay itself must not be
+  // billed to the gate (that would double-count the wait).
+  if (out.verdict == Verdict::kDelay && out.delay_s > recv_deadline_s) {
+    out.past_deadline = true;
   }
 
   if (out.verdict != Verdict::kDeliver) {
@@ -235,8 +257,10 @@ FaultInjector::MessageOutcome FaultInjector::on_message(rank_t from,
         e.kind = FaultKind::kStraggler;
         e.delay_s = out.delay_s;
         ++totals_.straggled;
-        totals_.delay_s += out.delay_s;
-        gate_charges_.delay_s += out.delay_s;
+        if (!out.past_deadline) {
+          totals_.delay_s += out.delay_s;
+          gate_charges_.delay_s += out.delay_s;
+        }
         break;
       case Verdict::kDeliver:
         break;
@@ -310,5 +334,9 @@ FaultInjector::GateFaultCharges FaultInjector::take_gate_charges() {
 }
 
 void FaultInjector::restart() { dead_.clear(); }
+
+void FaultInjector::revive(rank_t rank) {
+  dead_.erase(std::remove(dead_.begin(), dead_.end(), rank), dead_.end());
+}
 
 }  // namespace qsv

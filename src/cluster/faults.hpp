@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <optional>
 #include <string>
 #include <vector>
@@ -23,18 +24,29 @@
 namespace qsv {
 
 /// Unrecoverable loss of a node (or retries exhausted against one): the
-/// typed error a resilience layer catches to trigger restart-from-checkpoint.
+/// typed error a resilience layer catches to trigger recovery — spare-node
+/// substitution, shrink-to-survive re-sharding, or restart-from-checkpoint.
 class NodeFailure : public Error {
  public:
-  NodeFailure(const std::string& what, rank_t rank, std::uint64_t gate_index)
-      : Error(what), rank_(rank), gate_index_(gate_index) {}
+  NodeFailure(const std::string& what, rank_t rank, std::uint64_t gate_index,
+              bool at_gate_boundary = false)
+      : Error(what),
+        rank_(rank),
+        gate_index_(gate_index),
+        at_gate_boundary_(at_gate_boundary) {}
 
   [[nodiscard]] rank_t rank() const { return rank_; }
   [[nodiscard]] std::uint64_t gate_index() const { return gate_index_; }
+  /// True when the failure fired at a gate boundary (tick before any work
+  /// of the gate), so every surviving slice holds a consistent pre-gate
+  /// state. False for mid-exchange detections, where surviving slices may
+  /// be partially combined — only a full restart can recover those.
+  [[nodiscard]] bool at_gate_boundary() const { return at_gate_boundary_; }
 
  private:
   rank_t rank_;
   std::uint64_t gate_index_;
+  bool at_gate_boundary_;
 };
 
 /// Transient communication fault (retryable): the base the engine's bounded
@@ -152,8 +164,22 @@ class FaultInjector {
   struct MessageOutcome {
     Verdict verdict = Verdict::kDeliver;
     double delay_s = 0;
+    /// kDelay only: the straggler lands after the receiver's watchdog gives
+    /// up, so the message is never consumed — the transport must drop it and
+    /// the matching recv surfaces a CommTimeout, not a silent late success.
+    bool past_deadline = false;
   };
-  [[nodiscard]] MessageOutcome on_message(rank_t from, rank_t to);
+  /// Draw order when several specs land on the same message ordinal: every
+  /// matching one-shot latch fires, and the *most severe* verdict wins —
+  /// drop > corrupt > straggle — because a dropped message makes a companion
+  /// corruption or delay moot (nothing is delivered). Only the winning event
+  /// is logged and charged. `recv_deadline_s` is the receiver watchdog
+  /// deadline; a straggler strictly exceeding it is flagged past_deadline
+  /// and its delay is *not* charged to the gate (the retry layer charges the
+  /// watchdog wait instead — charging both would double-count).
+  [[nodiscard]] MessageOutcome on_message(
+      rank_t from, rank_t to,
+      double recv_deadline_s = std::numeric_limits<double>::infinity());
 
   /// Called by the engine when gate `index` starts; returns the rank that
   /// dies at this gate, if any (the engine then throws NodeFailure).
@@ -195,6 +221,11 @@ class FaultInjector {
   /// Already-fired one-shot specs stay fired, so the same failure does not
   /// recur on replay.
   void restart();
+
+  /// Spare-node substitution replaces exactly one dead rank with a fresh
+  /// node bound to the same rank id: removes `rank` from the dead set
+  /// without touching other dead ranks or any one-shot latches.
+  void revive(rank_t rank);
 
   /// Every fault that fired, in firing order.
   [[nodiscard]] const std::vector<FaultEvent>& log() const { return log_; }

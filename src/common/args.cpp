@@ -31,15 +31,21 @@ void ArgParser::parse(int argc, const char* const* argv) {
     }
 
     if (known_flags_.count(name) != 0) {
-      QSV_REQUIRE(!inline_value, "flag --" + name + " takes no value");
+      if (inline_value) {
+        throw ArgError("flag --" + name + " takes no value");
+      }
       seen_flags_.insert(name);
       continue;
     }
-    QSV_REQUIRE(known_options_.count(name) != 0, "unknown option --" + name);
+    if (known_options_.count(name) == 0) {
+      throw ArgError("unknown option --" + name);
+    }
     if (inline_value) {
       values_[name] = *inline_value;
     } else {
-      QSV_REQUIRE(i + 1 < argc, "option --" + name + " needs a value");
+      if (i + 1 >= argc) {
+        throw ArgError("option --" + name + " needs a value");
+      }
       values_[name] = argv[++i];
     }
   }
@@ -69,8 +75,10 @@ int ArgParser::int_or(const std::string& name, int def) const {
   }
   char* end = nullptr;
   const long parsed = std::strtol(v->c_str(), &end, 10);
-  QSV_REQUIRE(end != nullptr && *end == '\0' && !v->empty(),
-              "option --" + name + " needs an integer, got '" + *v + "'");
+  if (v->empty() || end == nullptr || *end != '\0') {
+    throw ArgError("option --" + name + " needs an integer, got '" + *v +
+                   "'");
+  }
   return static_cast<int>(parsed);
 }
 
@@ -81,8 +89,9 @@ double ArgParser::double_or(const std::string& name, double def) const {
   }
   char* end = nullptr;
   const double parsed = std::strtod(v->c_str(), &end);
-  QSV_REQUIRE(end != nullptr && *end == '\0' && !v->empty(),
-              "option --" + name + " needs a number, got '" + *v + "'");
+  if (v->empty() || end == nullptr || *end != '\0') {
+    throw ArgError("option --" + name + " needs a number, got '" + *v + "'");
+  }
   return parsed;
 }
 

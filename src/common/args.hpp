@@ -11,7 +11,17 @@
 #include <string>
 #include <vector>
 
+#include "common/error.hpp"
+
 namespace qsv {
+
+/// Malformed command-line input: unknown flag, missing value, unparsable
+/// number, bad usage. The CLI maps this to its documented usage exit code
+/// (2), distinct from library errors (1).
+class ArgError : public Error {
+ public:
+  using Error::Error;
+};
 
 class ArgParser {
  public:
@@ -19,7 +29,7 @@ class ArgParser {
   ArgParser& flag(const std::string& name);
   ArgParser& option(const std::string& name);
 
-  /// Parses argv[1..); throws qsv::Error on unknown or malformed input.
+  /// Parses argv[1..); throws qsv::ArgError on unknown or malformed input.
   void parse(int argc, const char* const* argv);
 
   [[nodiscard]] bool has(const std::string& name) const;

@@ -93,9 +93,12 @@ void DistStateVector<S>::tick_gate() {
     return;
   }
   if (const std::optional<rank_t> dead = injector_->on_gate(index)) {
+    // Fires before any work of the gate: every surviving slice holds a
+    // consistent pre-gate state, which is what makes the cheap recovery
+    // tiers (substitution, shrink) feasible for this failure.
     throw NodeFailure("rank " + std::to_string(*dead) +
                           " failed at gate " + std::to_string(index),
-                      *dead, index);
+                      *dead, index, /*at_gate_boundary=*/true);
   }
   // Silent data corruption: flip the planned bit in the planned rank's
   // resident slice. Nothing is thrown — by construction the engine cannot
@@ -380,6 +383,106 @@ void DistStateVector<S>::apply(const Gate& g) {
     e.kind = ExecEvent::Kind::kLocalGate;
   }
   emit(e);
+}
+
+template <class S>
+bool DistStateVector<S>::gate_runs_local(const Gate& g) const {
+  const std::vector<Gate> expansion =
+      expand_for_decomposition(g, local_qubits_);
+  if (!expansion.empty()) {
+    for (const Gate& sub : expansion) {
+      if (!gate_runs_local(sub)) {
+        return false;
+      }
+    }
+    return true;
+  }
+  return plan_gate(g, num_qubits_, local_qubits_, opts_).locality !=
+         GateLocality::kDistributed;
+}
+
+template <class S>
+void DistStateVector<S>::apply_to_rank(const Gate& g, rank_t r) {
+  QSV_REQUIRE(r >= 0 && r < num_ranks(), "rank out of range");
+  const std::vector<Gate> expansion =
+      expand_for_decomposition(g, local_qubits_);
+  if (!expansion.empty()) {
+    for (const Gate& sub : expansion) {
+      apply_to_rank(sub, r);
+    }
+    return;
+  }
+  const OpPlan plan = plan_gate(g, num_qubits_, local_qubits_, opts_);
+  QSV_REQUIRE(plan.locality != GateLocality::kDistributed,
+              "solo replay requires gates with no distributed exchange");
+  kern::apply_gate_slice(slices_[r], g, local_qubits_,
+                         static_cast<amp_index>(r));
+  ExecEvent e;
+  e.kind = ExecEvent::Kind::kLocalGate;
+  e.gate = g.kind;
+  e.locality = plan.locality;
+  e.local_amps = local_amps();
+  e.local_target = plan.local_target;
+  // Exactly one node computes while the rest wait at the resume barrier.
+  e.participating_fraction = 1.0 / static_cast<double>(num_ranks());
+  emit(e);
+}
+
+template <class S>
+void DistStateVector<S>::rebind_rank(rank_t r) {
+  cluster_.purge_rank(r);
+}
+
+template <class S>
+ReshardPlan DistStateVector<S>::shrink_to_half(rank_t dead_rank) {
+  const ReshardPlan plan = plan_reshard(num_qubits_, local_qubits_, dead_rank,
+                                        opts_.max_message_bytes);
+  const amp_index n_local = local_amps();
+  const amp_index chunk_amps = std::min<amp_index>(
+      n_local,
+      std::max<amp_index>(1, opts_.max_message_bytes / kBytesPerAmp));
+
+  std::vector<S> merged;
+  merged.reserve(static_cast<std::size_t>(plan.new_ranks));
+  for (int n = 0; n < plan.new_ranks; ++n) {
+    const rank_t lo = static_cast<rank_t>(2 * n);
+    const rank_t hi = static_cast<rank_t>(2 * n + 1);
+    // The dead pair merges on its surviving member, and the rebuilt slice
+    // was read from the checkpoint straight onto that host — no network
+    // movement either way for this one pair.
+    const bool dead_pair = lo == dead_rank || hi == dead_rank;
+    S s(n_local * 2);
+    for (amp_index first = 0; first < n_local; first += chunk_amps) {
+      const amp_index count = std::min(chunk_amps, n_local - first);
+      slices_[lo].pack(first, count, scratch_.data());
+      s.unpack(first, count, scratch_.data());
+    }
+    for (amp_index first = 0; first < n_local; first += chunk_amps) {
+      const amp_index count = std::min(chunk_amps, n_local - first);
+      const std::size_t bytes =
+          slices_[hi].pack(first, count, scratch_.data());
+      if (!dead_pair) {
+        cluster_.send(hi, lo, {scratch_.data(), bytes});
+        cluster_.recv(hi, lo, {scratch_.data(), bytes});
+      }
+      s.unpack(n_local + first, count, scratch_.data());
+    }
+    merged.push_back(std::move(s));
+  }
+
+  slices_ = std::move(merged);
+  local_qubits_ += 1;
+  cluster_.shrink_to(plan.new_ranks);
+
+  const amp_index n_merged = local_amps();
+  recv_bufs_.clear();
+  recv_bufs_.reserve(static_cast<std::size_t>(plan.new_ranks));
+  for (int r = 0; r < plan.new_ranks; ++r) {
+    recv_bufs_.emplace_back(n_merged);
+  }
+  scratch_.resize(std::min<std::size_t>(opts_.max_message_bytes,
+                                        n_merged * kBytesPerAmp));
+  return plan;
 }
 
 template <class S>

@@ -48,6 +48,34 @@ class DistStateVector {
   void apply(const Gate& g);
   void apply(const Circuit& c);
 
+  /// Re-applies `g` (and its decomposition) to rank `r`'s slice only: the
+  /// rebuilt rank's solo catch-up replay after a spare-node substitution.
+  /// Requires every sub-gate to run locally (see gate_runs_local). Emits
+  /// ordinary kLocalGate events at a 1/num_ranks participating fraction —
+  /// one node computing, the rest idle — and neither advances
+  /// gates_applied() nor consults the fault plan: the replay is invisible
+  /// to gate-indexed specs, whose one-shot latches stay fired anyway.
+  void apply_to_rank(const Gate& g, rank_t r);
+
+  /// True when `g` (after decomposition at the current width) involves no
+  /// distributed exchange — the condition for a solo replay to be possible.
+  [[nodiscard]] bool gate_runs_local(const Gate& g) const;
+
+  /// Mailbox re-bind when a spare node takes over rank `r`: drops every
+  /// queued message touching the rank in either direction, so the
+  /// replacement can never consume a stale pre-failure payload.
+  void rebind_rank(rank_t r);
+
+  /// Shrink-to-survive: re-shards from 2^k to 2^(k-1) ranks. New rank n
+  /// absorbs old ranks 2n (low half) and 2n+1 (high half); the pair
+  /// containing `dead_rank` merges on the surviving member without network
+  /// traffic (the dead slice was rebuilt from the checkpoint in place),
+  /// every other odd rank ships its slice to its even partner through the
+  /// cluster — so counters and the fault injector see the re-shard traffic,
+  /// and a fault during it escalates to the caller (no retry wrapper: the
+  /// driver falls back to restart). Returns the executed plan.
+  ReshardPlan shrink_to_half(rank_t dead_rank);
+
   [[nodiscard]] cplx amplitude(amp_index global) const;
   void set_amplitude(amp_index global, cplx v);
 

@@ -16,6 +16,28 @@
 
 namespace qsv {
 
+/// The four recovery tiers, in the static cheapest-first order the policy
+/// falls back through when no expected-energy figures are supplied.
+/// kRetry is the engine's bounded re-exchange (always on, priced through the
+/// retry_* fields of the affected gate event); the other three are driver
+/// actions priced as kRecovery events.
+enum class RecoveryTier {
+  kRetry,       // re-send the affected exchange round
+  kSubstitute,  // rebuild the dead rank's slice onto a spare node
+  kShrink,      // re-shard 2^k -> 2^(k-1): survivors absorb partner slices
+  kRestart,     // reload the whole job from the last verified checkpoint
+};
+
+[[nodiscard]] inline const char* recovery_tier_name(RecoveryTier t) {
+  switch (t) {
+    case RecoveryTier::kRetry: return "retry";
+    case RecoveryTier::kSubstitute: return "substitute";
+    case RecoveryTier::kShrink: return "shrink";
+    case RecoveryTier::kRestart: return "restart";
+  }
+  return "?";
+}
+
 struct ExecEvent {
   enum class Kind {
     kLocalGate,  // fully-local or local-memory application on each slice
@@ -28,6 +50,12 @@ struct ExecEvent {
                  // the guard layer, never by the engine itself, so engine
                  // event streams stay identical between the functional and
                  // trace backends and guards-off runs are zero-delta
+    kRecovery,   // a recovery action (substitute / shrink / restart):
+                 // emitted by the recovery driver, never by the engine, so
+                 // fault-free streams are unchanged. One action emits
+                 // separate events for its I/O phase (checkpoint reads) and
+                 // network phase (re-shard movement), each with its own
+                 // participating fraction
   };
 
   Kind kind{};
@@ -62,6 +90,20 @@ struct ExecEvent {
   /// Injected latency: straggler delays plus retry backoff, charged by the
   /// cost model as idle time across the job.
   double fault_delay_s = 0;
+
+  // --- recovery-only fields (kRecovery; all zero on every other kind) ---
+  RecoveryTier recovery_tier = RecoveryTier::kRetry;
+  /// Filesystem bytes read to rebuild state (I/O-phase events).
+  std::uint64_t recovery_io_bytes = 0;
+  /// Re-shard payload bytes each moving rank ships (network-phase events);
+  /// priced with the same pairwise-exchange timing as a distributed gate.
+  std::uint64_t recovery_bytes_per_rank = 0;
+  /// Re-shard messages each moving rank sends (chunking under the MPI cap).
+  int recovery_messages_per_rank = 0;
+  /// Gates the rebuilt rank replays solo to catch up (reported for the
+  /// record; the replay itself is priced by its ordinary kLocalGate events
+  /// at a 1/R participating fraction).
+  std::uint64_t recovery_replayed_gates = 0;
 
   // --- sweep-only fields ---
   /// Gates folded into the tiled run.

@@ -111,6 +111,12 @@ class StateGuard {
   /// captured. Throws GuardViolation naming the mismatching rank.
   void verify_restore(std::uint64_t gate_index);
 
+  /// Drops the captured signature. Called after a shrink-to-survive
+  /// re-shard: the per-rank fingerprints describe the old width, so
+  /// verify_restore no-ops until the next checkpoint write recaptures at
+  /// the new width.
+  void invalidate_signature() { signature_.clear(); }
+
   [[nodiscard]] const GuardStats& stats() const { return stats_; }
 
  private:

@@ -104,4 +104,26 @@ OpPlan plan_gate(const Gate& g, int num_qubits, int local_qubits,
   return p;
 }
 
+ReshardPlan plan_reshard(int num_qubits, int local_qubits, rank_t dead_rank,
+                         std::size_t max_message_bytes) {
+  const int old_ranks = 1 << (num_qubits - local_qubits);
+  QSV_REQUIRE(old_ranks >= 2, "cannot re-shard a single-rank run");
+  QSV_REQUIRE(dead_rank >= 0 && dead_rank < old_ranks,
+              "re-shard dead rank out of range");
+  ReshardPlan p;
+  p.old_ranks = old_ranks;
+  p.new_ranks = old_ranks / 2;
+  p.dead_rank = dead_rank;
+  p.slice_amps = amp_index{1} << local_qubits;
+  p.bytes_per_move = p.slice_amps * kBytesPerAmp;
+  const amp_index chunk_amps =
+      std::max<amp_index>(1, max_message_bytes / kBytesPerAmp);
+  p.messages_per_move =
+      static_cast<int>((p.slice_amps + chunk_amps - 1) / chunk_amps);
+  p.moving_pairs = p.new_ranks - 1;
+  p.total_bytes = static_cast<std::uint64_t>(p.moving_pairs) * p.bytes_per_move;
+  p.rebuild_io_bytes = p.bytes_per_move;
+  return p;
+}
+
 }  // namespace qsv

@@ -57,4 +57,34 @@ struct OpPlan {
 [[nodiscard]] OpPlan plan_gate(const Gate& g, int num_qubits, int local_qubits,
                                const DistOptions& opts);
 
+/// Shrink-to-survive re-shard from 2^k to 2^(k-1) ranks. Because the top k
+/// qubits select the rank, new rank n's slice is the concatenation of old
+/// ranks 2n (low half) and 2n+1 (high half): every old even rank absorbs its
+/// odd partner. The pair containing `dead_rank` merges without network
+/// traffic — the dead slice is rebuilt from the checkpoint directly onto its
+/// new host — so 2^(k-1) - 1 pairs ship one slice each over the wire.
+struct ReshardPlan {
+  int old_ranks = 0;
+  int new_ranks = 0;
+  rank_t dead_rank = -1;
+  /// Amplitudes per *old* slice (what each move ships).
+  amp_index slice_amps = 0;
+  /// Payload bytes one absorbing move ships (= one old slice).
+  std::uint64_t bytes_per_move = 0;
+  /// Messages per move (chunking by whole amplitudes under the MPI cap).
+  int messages_per_move = 0;
+  /// Pairs that move a slice over the network (excludes the dead pair).
+  int moving_pairs = 0;
+  /// Total network payload: moving_pairs * bytes_per_move.
+  std::uint64_t total_bytes = 0;
+  /// Filesystem bytes read to rebuild the dead slice from the checkpoint.
+  std::uint64_t rebuild_io_bytes = 0;
+};
+
+/// Plans the re-shard for an n-qubit register currently split over
+/// 2^(n - L) >= 2 ranks. Throws when already down to one rank.
+[[nodiscard]] ReshardPlan plan_reshard(int num_qubits, int local_qubits,
+                                       rank_t dead_rank,
+                                       std::size_t max_message_bytes);
+
 }  // namespace qsv

@@ -1,37 +1,165 @@
 #include "dist/recovery_policy.hpp"
 
-#include <cstdio>
-#include <filesystem>
+#include <optional>
+#include <sstream>
 
 #include "common/error.hpp"
+#include "dist/plan.hpp"
 #include "dist/snapshot.hpp"
 
 namespace qsv {
+
+TierDecision choose_tier(const ElasticOptions& opts, const TierContext& ctx) {
+  struct Candidate {
+    RecoveryTier tier;
+    double energy_j;
+  };
+  // Built in the static cheapest-first order, so when no energies are
+  // supplied the front of the list is the pick.
+  std::vector<Candidate> feasible;
+  std::string why_not;
+  auto reject = [&](const char* tier, const std::string& why) {
+    if (!why_not.empty()) {
+      why_not += "; ";
+    }
+    why_not += std::string(tier) + ": " + why;
+  };
+
+  if (!opts.allow_substitute) {
+    reject("substitute", "disabled");
+  } else if (ctx.spares_left <= 0) {
+    reject("substitute", "no spare node left");
+  } else if (!ctx.checkpoint_exists) {
+    reject("substitute", "no checkpoint to rebuild from");
+  } else if (!ctx.clean_boundary) {
+    reject("substitute", "failure not at a clean gate boundary");
+  } else if (!ctx.window_replayable) {
+    reject("substitute", "replay window contains distributed gates");
+  } else {
+    feasible.push_back({RecoveryTier::kSubstitute, opts.substitute_energy_j});
+  }
+
+  if (!opts.allow_shrink) {
+    reject("shrink", "disabled");
+  } else if (ctx.num_ranks < 2) {
+    reject("shrink", "already down to one rank");
+  } else if (!ctx.checkpoint_exists) {
+    reject("shrink", "no checkpoint to rebuild from");
+  } else if (!ctx.clean_boundary) {
+    reject("shrink", "failure not at a clean gate boundary");
+  } else if (!ctx.window_replayable) {
+    reject("shrink", "replay window contains distributed gates");
+  } else if (opts.max_bytes_per_rank != 0 &&
+             ctx.post_shrink_bytes_per_rank > opts.max_bytes_per_rank) {
+    reject("shrink", "merged slice + MPI buffer (" +
+                         std::to_string(ctx.post_shrink_bytes_per_rank) +
+                         " bytes) exceeds the per-rank memory budget of " +
+                         std::to_string(opts.max_bytes_per_rank) + " bytes");
+  } else {
+    feasible.push_back({RecoveryTier::kShrink, opts.shrink_energy_j});
+  }
+
+  if (!opts.allow_restart) {
+    reject("restart", "disabled");
+  } else if (!ctx.checkpoint_exists) {
+    reject("restart", "no checkpoint to restart from");
+  } else {
+    feasible.push_back({RecoveryTier::kRestart, opts.restart_energy_j});
+  }
+
+  if (feasible.empty()) {
+    return {false, RecoveryTier::kRestart, "no feasible tier: " + why_not};
+  }
+
+  // Energy-informed choice only when every feasible tier is priced;
+  // comparing a priced tier against an unknown one would be a guess.
+  bool all_priced = true;
+  for (const Candidate& cand : feasible) {
+    all_priced = all_priced && cand.energy_j >= 0;
+  }
+  Candidate pick = feasible.front();
+  if (all_priced) {
+    for (const Candidate& cand : feasible) {
+      if (cand.energy_j < pick.energy_j) {
+        pick = cand;  // ties keep the statically cheaper tier
+      }
+    }
+  }
+
+  std::ostringstream reason;
+  reason << recovery_tier_name(pick.tier);
+  if (all_priced) {
+    reason << " is cheapest by expected energy (" << pick.energy_j << " J of";
+    for (const Candidate& cand : feasible) {
+      reason << ' ' << recovery_tier_name(cand.tier) << '=' << cand.energy_j;
+    }
+    reason << ')';
+  } else {
+    reason << " is first in the static cheapest-first order";
+  }
+  if (!why_not.empty()) {
+    reason << "; infeasible: " << why_not;
+  }
+  return {true, pick.tier, reason.str()};
+}
+
+ElasticOptions parse_recovery_tiers(const std::string& text) {
+  ElasticOptions opts;
+  opts.allow_substitute = false;
+  opts.allow_shrink = false;
+  opts.allow_restart = false;
+  std::istringstream in(text);
+  std::string raw;
+  bool any = false;
+  while (std::getline(in, raw, ',')) {
+    const auto b = raw.find_first_not_of(" \t");
+    if (b == std::string::npos) {
+      continue;
+    }
+    const auto e = raw.find_last_not_of(" \t");
+    const std::string tier = raw.substr(b, e - b + 1);
+    any = true;
+    if (tier == "retry") {
+      // Engine-level bounded re-exchange: always on, nothing to enable.
+    } else if (tier == "substitute") {
+      opts.allow_substitute = true;
+    } else if (tier == "shrink") {
+      opts.allow_shrink = true;
+    } else if (tier == "restart") {
+      opts.allow_restart = true;
+    } else {
+      QSV_REQUIRE(false, "unknown recovery tier '" + tier +
+                             "' (want retry|substitute|shrink|restart)");
+    }
+  }
+  QSV_REQUIRE(any, "empty recovery tier list");
+  return opts;
+}
 
 template <class S>
 IntegrityStats run_verified(DistStateVector<S>& sv, const Circuit& c,
                             const CheckpointOptions& ck,
                             const GuardOptions& guards,
-                            const RecoveryPolicy& policy) {
+                            const RecoveryPolicy& policy,
+                            const ElasticOptions& elastic) {
   QSV_REQUIRE(c.num_qubits() == sv.num_qubits(), "register size mismatch");
   IntegrityStats stats;
   StateGuard<S> guard(sv, guards);
+  stats.final_ranks = sv.num_ranks();
 
   const bool checkpointing = ck.interval_gates > 0;
-  std::string ckpt;
+  std::optional<CheckpointStore> store;
   if (checkpointing) {
-    if (!ck.dir.empty()) {
-      std::filesystem::create_directories(ck.dir);
-    }
-    ckpt = (ck.dir.empty() ? std::string(".") : ck.dir) + "/ckpt.qsv";
+    store.emplace(ck.dir.empty() ? std::string(".") : ck.dir, ck.keep_last);
   }
   auto drop_ckpt = [&] {
     if (checkpointing && !ck.keep_checkpoints) {
-      std::remove(ckpt.c_str());
+      store->clear();
     }
   };
-  auto save_ckpt = [&] {
-    save_state(ckpt, sv);
+  auto save_ckpt = [&](std::size_t gates) {
+    save_state(store->path_for(gates), sv);
+    store->committed(gates);
     ++stats.checkpoints_written;
     // Fingerprint what we just trusted to disk, so a restore can prove it
     // came back intact.
@@ -42,8 +170,15 @@ IntegrityStats run_verified(DistStateVector<S>& sv, const Circuit& c,
   if (checkpointing) {
     // Initial checkpoint: a failure before the first interval boundary
     // still has a rollback target.
-    save_ckpt();
+    save_ckpt(0);
   }
+
+  int spares_left = elastic.spares;
+  auto emit_recovery = [&](const ExecEvent& e) {
+    if (ExecListener* listener = sv.listener()) {
+      listener->on_event(e);
+    }
+  };
 
   // Rolls back to the last verified checkpoint after a detection. A restore
   // that fails its own signature check is unsalvageable: reloading the same
@@ -54,7 +189,7 @@ IntegrityStats run_verified(DistStateVector<S>& sv, const Circuit& c,
     if (FaultInjector* inj = sv.fault_injector()) {
       inj->restart();
     }
-    load_state(ckpt, sv);
+    load_state(store->path_for(ckpt_gate), sv);
     try {
       guard.verify_restore(ckpt_gate == 0 ? 0 : ckpt_gate - 1);
     } catch (const GuardViolation& v) {
@@ -69,7 +204,45 @@ IntegrityStats run_verified(DistStateVector<S>& sv, const Circuit& c,
     i = ckpt_gate;
   };
 
+  // Full restart tier: the PR 2 path, now also priced as a kRecovery event
+  // (one full-state read, every node active through the reload).
+  auto restart_tier = [&] {
+    ++stats.restarts;
+    stats.tiers_used.push_back(RecoveryTier::kRestart);
+    if (stats.restarts > ck.max_restarts) {
+      drop_ckpt();
+      return false;
+    }
+    const std::uint64_t lost = i - ckpt_gate;
+    roll_back();
+    ExecEvent e;
+    e.kind = ExecEvent::Kind::kRecovery;
+    e.recovery_tier = RecoveryTier::kRestart;
+    e.local_amps = sv.local_amps();
+    e.participating_fraction = 1.0;
+    e.recovery_io_bytes = (std::uint64_t{1} << sv.num_qubits()) * kBytesPerAmp;
+    e.recovery_replayed_gates = lost;
+    emit_recovery(e);
+    return true;
+  };
+
+  // Rebuilds rank `dead`'s slice from the last checkpoint and replays the
+  // window [ckpt_gate, i) on that rank alone — the survivors keep their
+  // position. Shared by the substitute and shrink tiers; the caller
+  // guarantees the window is solo-replayable (choose_tier checked).
+  auto rebuild_rank = [&](rank_t dead) {
+    load_rank_slice(store->path_for(ckpt_gate), sv, dead);
+    for (std::size_t j = ckpt_gate; j < i; ++j) {
+      sv.apply_to_rank(c.gate(j), dead);
+    }
+    stats.gates_replayed += i - ckpt_gate;
+  };
+
   while (i < c.size()) {
+    // Engine gate count before this circuit gate: a boundary failure whose
+    // gate_index still equals this fired before any sub-gate of the
+    // expansion ran, so the surviving slices are at the circuit boundary.
+    const std::uint64_t g0 = sv.gates_applied();
     try {
       sv.apply(c.gate(i));
       ++i;
@@ -81,19 +254,132 @@ IntegrityStats run_verified(DistStateVector<S>& sv, const Circuit& c,
         guard.check(i - 1);
       }
       if (at_ckpt) {
-        save_ckpt();
+        save_ckpt(i);
         ckpt_gate = i;
       }
-    } catch (const NodeFailure&) {
-      ++stats.restarts;
+    } catch (const NodeFailure& f) {
       if (!checkpointing) {
-        throw;  // PR 2 semantics: nothing to restart from
+        ++stats.restarts;
+        throw;  // PR 2 semantics: nothing to recover from
       }
-      if (stats.restarts > ck.max_restarts) {
+
+      TierContext tc;
+      tc.clean_boundary = f.at_gate_boundary() && f.gate_index() == g0;
+      tc.checkpoint_exists = true;
+      tc.spares_left = spares_left;
+      tc.num_ranks = sv.num_ranks();
+      bool replayable = tc.clean_boundary;
+      for (std::size_t j = ckpt_gate; j < i && replayable; ++j) {
+        replayable = sv.gate_runs_local(c.gate(j));
+      }
+      tc.window_replayable = replayable;
+      if (sv.num_ranks() >= 2) {
+        const std::uint64_t merged_slice_bytes =
+            static_cast<std::uint64_t>(sv.local_amps()) * 2 * kBytesPerAmp;
+        // Merged slice plus the same-size MPI recv buffer (the x2 rule).
+        tc.post_shrink_bytes_per_rank = 2 * merged_slice_bytes;
+      }
+
+      const TierDecision decision = choose_tier(elastic, tc);
+      if (!decision.feasible) {
+        ++stats.restarts;
         drop_ckpt();
         throw;
       }
-      roll_back();
+
+      const rank_t dead = f.rank();
+      switch (decision.tier) {
+        case RecoveryTier::kSubstitute: {
+          // A spare takes over the rank id: rebind its mailboxes, mark the
+          // slot alive again, rebuild the slice from the checkpoint and
+          // replay it solo up to the failing gate. The survivors never
+          // move, so only 1/R of the machine computes during catch-up.
+          sv.rebind_rank(dead);
+          if (FaultInjector* inj = sv.fault_injector()) {
+            inj->revive(dead);
+          }
+          const std::uint64_t slice_bytes =
+              static_cast<std::uint64_t>(sv.local_amps()) * kBytesPerAmp;
+          rebuild_rank(dead);
+          ++stats.substitutions;
+          ++stats.spares_used;
+          --spares_left;
+          stats.tiers_used.push_back(RecoveryTier::kSubstitute);
+          ExecEvent e;
+          e.kind = ExecEvent::Kind::kRecovery;
+          e.recovery_tier = RecoveryTier::kSubstitute;
+          e.local_amps = sv.local_amps();
+          e.participating_fraction =
+              1.0 / static_cast<double>(sv.num_ranks());
+          e.recovery_io_bytes = slice_bytes;
+          e.recovery_replayed_gates = i - ckpt_gate;
+          emit_recovery(e);
+          break;  // the loop re-runs gate i with every rank caught up
+        }
+        case RecoveryTier::kShrink: {
+          try {
+            // No spare: rebuild the dead slice in place (its new host is
+            // the surviving pair member), catch it up, then re-shard to
+            // half the ranks. The re-shard traffic flows through the live
+            // cluster — counted, priced, and itself subject to faults.
+            sv.rebind_rank(dead);
+            const std::uint64_t replayed = i - ckpt_gate;
+            rebuild_rank(dead);
+            const ReshardPlan rp = sv.shrink_to_half(dead);
+            if (FaultInjector* inj = sv.fault_injector()) {
+              // Ranks renumber under the new decomposition: the dead set
+              // (old numbering) is meaningless now. Fault specs always
+              // refer to the current numbering.
+              inj->restart();
+            }
+            // The per-rank checkpoint signature describes the old width;
+            // verify_restore no-ops until the next checkpoint recaptures.
+            guard.invalidate_signature();
+            ++stats.shrinks;
+            stats.tiers_used.push_back(RecoveryTier::kShrink);
+            stats.final_ranks = sv.num_ranks();
+
+            ExecEvent io;
+            io.kind = ExecEvent::Kind::kRecovery;
+            io.recovery_tier = RecoveryTier::kShrink;
+            io.local_amps = sv.local_amps();
+            io.participating_fraction =
+                1.0 / static_cast<double>(rp.old_ranks);
+            io.recovery_io_bytes = rp.rebuild_io_bytes;
+            io.recovery_replayed_gates = replayed;
+            emit_recovery(io);
+            if (rp.moving_pairs > 0) {
+              ExecEvent net;
+              net.kind = ExecEvent::Kind::kRecovery;
+              net.recovery_tier = RecoveryTier::kShrink;
+              net.local_amps = sv.local_amps();
+              net.participating_fraction =
+                  2.0 * static_cast<double>(rp.moving_pairs) /
+                  static_cast<double>(rp.old_ranks);
+              net.recovery_bytes_per_rank = rp.bytes_per_move;
+              net.recovery_messages_per_rank = rp.messages_per_move;
+              net.policy = sv.options().policy;
+              emit_recovery(net);
+            }
+          } catch (const Error&) {
+            // The re-shard itself faulted (or memory/plan constraints bit
+            // at execution time): fall through to the restart tier, which
+            // rebuilds everything from the checkpoint.
+            if (!restart_tier()) {
+              throw;
+            }
+          }
+          break;
+        }
+        case RecoveryTier::kRestart: {
+          if (!restart_tier()) {
+            throw;
+          }
+          break;
+        }
+        case RecoveryTier::kRetry:
+          QSV_REQUIRE(false, "retry is an engine tier, not a driver one");
+      }
     } catch (const GuardViolation& v) {
       ++stats.rollbacks;
       if (!checkpointing) {
@@ -117,6 +403,7 @@ IntegrityStats run_verified(DistStateVector<S>& sv, const Circuit& c,
   }
 
   stats.completed = true;
+  stats.final_ranks = sv.num_ranks();
   stats.guard_checks = guard.stats().checks;
   stats.guard_violations = guard.stats().violations;
   if (FaultInjector* inj = sv.fault_injector()) {
@@ -130,11 +417,13 @@ template IntegrityStats run_verified<SoaStorage>(DistStateVector<SoaStorage>&,
                                                  const Circuit&,
                                                  const CheckpointOptions&,
                                                  const GuardOptions&,
-                                                 const RecoveryPolicy&);
+                                                 const RecoveryPolicy&,
+                                                 const ElasticOptions&);
 template IntegrityStats run_verified<AosStorage>(DistStateVector<AosStorage>&,
                                                  const Circuit&,
                                                  const CheckpointOptions&,
                                                  const GuardOptions&,
-                                                 const RecoveryPolicy&);
+                                                 const RecoveryPolicy&,
+                                                 const ElasticOptions&);
 
 }  // namespace qsv

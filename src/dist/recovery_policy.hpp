@@ -8,16 +8,25 @@
 //   (CommTimeout)             deadline is charged as wait
 //   invariant guard           rollback to the last verified     max_rollbacks
 //   (GuardViolation)          checkpoint and replay
-//   node failure              restart from checkpoint           max_restarts
-//   (NodeFailure)             (PR 2 restart path)
+//   node failure              cheapest feasible of:
+//   (NodeFailure)              substitute a spare node           spares
+//                              shrink to half the ranks          width >= 2
+//                              restart from checkpoint           max_restarts
 //   budget exhausted /        typed abort naming rank, gate     —
 //   no rollback target        and cause (IntegrityAbort)
 //
 // The first two tiers live inside the engine; run_verified drives the
 // rest: it executes a circuit with checkpointing (dist/resilience) plus
 // invariant guards (dist/guards), rolling back on guard violations and
-// restarting on node failures, and converting exhausted budgets into
-// IntegrityAbort so callers always get a typed, attributable outcome.
+// recovering node failures through choose_tier — spare-node substitution
+// (only the rebuilt rank replays), shrink-to-survive re-sharding (survivors
+// absorb partner slices and the run continues at half width), or the PR 2
+// full restart — converting exhausted budgets into IntegrityAbort so
+// callers always get a typed, attributable outcome. Every recovery action
+// is charged through kRecovery execution events, so a listening cost model
+// prices the movement; the *choice* between feasible tiers is by expected
+// energy when the caller supplies closed-form figures
+// (perf/resilience_model), else by the static cheapest-first order.
 #pragma once
 
 #include <cstdint>
@@ -35,6 +44,68 @@ struct RecoveryPolicy {
   /// restarts have their own budget (CheckpointOptions::max_restarts).
   int max_rollbacks = 8;
 };
+
+/// Elastic-recovery configuration. The library defaults reproduce the PR 4
+/// restart-only behaviour (no spare pool, shrink off), so existing callers
+/// see identical semantics; the CLI opts into all tiers.
+struct ElasticOptions {
+  /// Spare nodes available for substitution. 0 = the substitute tier never
+  /// fires.
+  int spares = 0;
+  /// Tier enables (`--recovery=retry,substitute,shrink,restart`). The retry
+  /// tier is engine-level and always on.
+  bool allow_substitute = true;
+  bool allow_shrink = false;
+  bool allow_restart = true;
+  /// Closed-form expected energies per tier (perf/resilience_model), in
+  /// joules; negative = unknown. The policy compares energies only when
+  /// every *feasible* tier has one — otherwise it falls back to the static
+  /// cheapest-first order substitute < shrink < restart.
+  double substitute_energy_j = -1;
+  double shrink_energy_j = -1;
+  double restart_energy_j = -1;
+  /// Per-rank memory budget in bytes (slice + the x2 MPI recv buffer).
+  /// A shrink that would exceed it is infeasible; 0 = no cap.
+  std::uint64_t max_bytes_per_rank = 0;
+};
+
+/// What the failure looked like when it was caught — the feasibility facts
+/// choose_tier filters tiers against.
+struct TierContext {
+  /// The failure fired at a gate boundary with no sub-gate of the current
+  /// circuit gate applied: every surviving slice is consistent pre-gate
+  /// state. Mid-exchange failures are dirty; only restart can recover them.
+  bool clean_boundary = false;
+  /// Every circuit gate since the last checkpoint runs without a
+  /// distributed exchange, so a rebuilt rank can replay them solo.
+  bool window_replayable = false;
+  bool checkpoint_exists = false;
+  int spares_left = 0;
+  int num_ranks = 1;
+  /// Memory per rank after a shrink (merged slice + recv buffer).
+  std::uint64_t post_shrink_bytes_per_rank = 0;
+};
+
+/// The chosen action, or feasible=false when no tier can recover (the
+/// caller rethrows the NodeFailure).
+struct TierDecision {
+  bool feasible = false;
+  RecoveryTier tier = RecoveryTier::kRestart;
+  /// Human-readable account of why this tier won (or why none could).
+  std::string reason;
+};
+
+/// Picks the cheapest feasible recovery tier. Pure: no engine or machine
+/// state, just the options and the failure context — callable from tests
+/// and the CLI's `price` command alike.
+[[nodiscard]] TierDecision choose_tier(const ElasticOptions& opts,
+                                       const TierContext& ctx);
+
+/// Parses a `--recovery=` tier list ("retry,substitute,shrink,restart"
+/// in any order) into the enable flags; tiers not named are disabled.
+/// "retry" is accepted and ignored — that tier lives in the engine and is
+/// always on. Throws qsv::Error on unknown tokens.
+[[nodiscard]] ElasticOptions parse_recovery_tiers(const std::string& text);
 
 /// Recovery budget exhausted, or corruption detected with nothing to roll
 /// back to: the run is not salvageable and the caller gets the forensics.
@@ -63,8 +134,19 @@ struct IntegrityStats {
   int restarts = 0;
   /// Guard-violation rollbacks (tier: rollback and replay).
   int rollbacks = 0;
+  /// Spare-node substitutions (tier: rebuild one rank onto a spare).
+  int substitutions = 0;
+  /// Shrink-to-survive re-shards (tier: halve the rank count).
+  int shrinks = 0;
+  /// Spares consumed from the pool (== substitutions).
+  int spares_used = 0;
+  /// Rank count at the end of the run (< initial after shrinks).
+  int final_ranks = 0;
+  /// Tier chosen for each recovered node failure, in firing order.
+  std::vector<RecoveryTier> tiers_used;
   int checkpoints_written = 0;
-  /// Circuit gates re-executed after restarts/rollbacks (lost work).
+  /// Circuit gates re-executed after restarts/rollbacks/solo replays
+  /// (lost work).
   std::uint64_t gates_replayed = 0;
   std::uint64_t guard_checks = 0;
   std::uint64_t guard_violations = 0;
@@ -78,11 +160,14 @@ struct IntegrityStats {
 /// trailing corruption cannot slip out), rollbacks/restarts per `policy`.
 /// With guards on and checkpointing off, a violation aborts immediately —
 /// there is nothing to roll back to. NodeFailure propagates unchanged when
-/// checkpointing is off (PR 2 semantics).
+/// checkpointing is off (PR 2 semantics). Node failures route through
+/// choose_tier(elastic, ...); the default ElasticOptions reduce that to the
+/// PR 4 restart-only path.
 template <class S>
 IntegrityStats run_verified(DistStateVector<S>& sv, const Circuit& c,
                             const CheckpointOptions& ck,
                             const GuardOptions& guards,
-                            const RecoveryPolicy& policy = {});
+                            const RecoveryPolicy& policy = {},
+                            const ElasticOptions& elastic = {});
 
 }  // namespace qsv

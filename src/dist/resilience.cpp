@@ -46,16 +46,17 @@ RecoveryStats run_with_recovery(DistStateVector<S>& sv, const Circuit& c,
     return stats;
   }
 
-  if (!opts.dir.empty()) {
-    std::filesystem::create_directories(opts.dir);
-  }
-  const std::string ckpt =
-      (opts.dir.empty() ? std::string(".") : opts.dir) + "/ckpt.qsv";
+  CheckpointStore store(opts.dir.empty() ? std::string(".") : opts.dir,
+                        opts.keep_last);
 
   // Initial checkpoint: a failure before the first interval boundary still
   // has a snapshot to restart from.
-  save_state(ckpt, sv);
-  ++stats.checkpoints_written;
+  auto save_ckpt = [&](std::size_t gates) {
+    save_state(store.path_for(gates), sv);
+    store.committed(gates);
+    ++stats.checkpoints_written;
+  };
+  save_ckpt(0);
   std::size_t ckpt_gate = 0;  // circuit gates completed at the checkpoint
 
   std::size_t i = 0;
@@ -64,15 +65,14 @@ RecoveryStats run_with_recovery(DistStateVector<S>& sv, const Circuit& c,
       sv.apply(c.gate(i));
       ++i;
       if (i % opts.interval_gates == 0 && i < c.size()) {
-        save_state(ckpt, sv);
-        ++stats.checkpoints_written;
+        save_ckpt(i);
         ckpt_gate = i;
       }
     } catch (const NodeFailure&) {
       ++stats.restarts;
       if (stats.restarts > opts.max_restarts) {
         if (!opts.keep_checkpoints) {
-          std::remove(ckpt.c_str());
+          store.clear();
         }
         throw;
       }
@@ -82,7 +82,7 @@ RecoveryStats run_with_recovery(DistStateVector<S>& sv, const Circuit& c,
       if (FaultInjector* inj = sv.fault_injector()) {
         inj->restart();
       }
-      load_state(ckpt, sv);
+      load_state(store.path_for(ckpt_gate), sv);
       stats.gates_replayed += i - ckpt_gate;
       i = ckpt_gate;
     }
@@ -93,7 +93,7 @@ RecoveryStats run_with_recovery(DistStateVector<S>& sv, const Circuit& c,
     stats.faults = inj->log();
   }
   if (!opts.keep_checkpoints) {
-    std::remove(ckpt.c_str());
+    store.clear();
   }
   return stats;
 }

@@ -45,6 +45,9 @@ struct CheckpointOptions {
   int max_restarts = 8;
   /// Leave the final checkpoint file on disk after a successful run.
   bool keep_checkpoints = false;
+  /// Snapshot retention: newest N checkpoints kept per directory, older
+  /// ones deleted as soon as a newer write commits (see CheckpointStore).
+  int keep_last = 2;
 };
 
 struct RecoveryStats {

@@ -1,8 +1,10 @@
 #include "dist/snapshot.hpp"
 
+#include <algorithm>
 #include <array>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 
 #include "common/crc32.hpp"
@@ -173,6 +175,88 @@ int snapshot_qubits(const std::string& path) {
   return read_header(in, path).num_qubits;
 }
 
+template <class S>
+void load_rank_slice(const std::string& path, DistStateVector<S>& sv,
+                     rank_t r) {
+  QSV_REQUIRE(r >= 0 && r < sv.num_ranks(), "rank out of range");
+  std::ifstream in = open_in(path);
+  const Header h = read_header(in, path);
+  QSV_REQUIRE(h.num_qubits == sv.num_qubits(),
+              "snapshot holds " + std::to_string(h.num_qubits) +
+                  " qubits, register has " + std::to_string(sv.num_qubits()));
+  const std::streamoff payload = in.tellg();
+  const amp_index n_local = sv.local_amps();
+  const amp_index first = static_cast<amp_index>(r) * n_local;
+  in.seekg(payload + static_cast<std::streamoff>(first * kBytesPerAmp));
+  QSV_REQUIRE(in.good(), "snapshot truncated: " + path);
+  for (amp_index i = 0; i < n_local; ++i) {
+    real_t re = 0;
+    real_t im = 0;
+    in.read(reinterpret_cast<char*>(&re), sizeof re);
+    in.read(reinterpret_cast<char*>(&im), sizeof im);
+    QSV_REQUIRE(in.good(), "snapshot truncated: " + path);
+    sv.set_amplitude(first + i, cplx{re, im});
+  }
+}
+
+CheckpointStore::CheckpointStore(std::string dir, int keep_last)
+    : dir_(std::move(dir)), keep_last_(keep_last) {
+  QSV_REQUIRE(keep_last_ >= 1, "checkpoint retention must keep at least one");
+  namespace fs = std::filesystem;
+  fs::create_directories(dir_);
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir_)) {
+    if (!entry.is_regular_file()) {
+      continue;
+    }
+    const std::string name = entry.path().filename().string();
+    if (name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0) {
+      // A writer died mid-checkpoint: the rename never happened, so the
+      // partial file is garbage by construction.
+      fs::remove(entry.path());
+      ++stale_tmps_removed_;
+      continue;
+    }
+    // Adopt committed checkpoints from a previous incarnation of the job.
+    unsigned long long gates = 0;
+    if (std::sscanf(name.c_str(), "ckpt-%llu.qsv", &gates) == 1 &&
+        name == "ckpt-" + std::to_string(gates) + ".qsv") {
+      retained_.push_back(static_cast<std::uint64_t>(gates));
+    }
+  }
+  std::sort(retained_.begin(), retained_.end());
+  while (static_cast<int>(retained_.size()) > keep_last_) {
+    fs::remove(path_for(retained_.front()));
+    retained_.erase(retained_.begin());
+    ++pruned_;
+  }
+}
+
+std::string CheckpointStore::path_for(std::uint64_t gates) const {
+  return dir_ + "/ckpt-" + std::to_string(gates) + ".qsv";
+}
+
+void CheckpointStore::committed(std::uint64_t gates) {
+  retained_.erase(std::remove(retained_.begin(), retained_.end(), gates),
+                  retained_.end());
+  retained_.push_back(gates);
+  while (static_cast<int>(retained_.size()) > keep_last_) {
+    std::filesystem::remove(path_for(retained_.front()));
+    retained_.erase(retained_.begin());
+    ++pruned_;
+  }
+}
+
+std::string CheckpointStore::latest() const {
+  return retained_.empty() ? std::string{} : path_for(retained_.back());
+}
+
+void CheckpointStore::clear() {
+  for (const std::uint64_t gates : retained_) {
+    std::filesystem::remove(path_for(gates));
+  }
+  retained_.clear();
+}
+
 template void save_state<SoaStorage>(const std::string&,
                                      const BasicStateVector<SoaStorage>&);
 template void save_state<AosStorage>(const std::string&,
@@ -189,5 +273,11 @@ template void load_state<SoaStorage>(const std::string&,
                                      DistStateVector<SoaStorage>&);
 template void load_state<AosStorage>(const std::string&,
                                      DistStateVector<AosStorage>&);
+template void load_rank_slice<SoaStorage>(const std::string&,
+                                          DistStateVector<SoaStorage>&,
+                                          rank_t);
+template void load_rank_slice<AosStorage>(const std::string&,
+                                          DistStateVector<AosStorage>&,
+                                          rank_t);
 
 }  // namespace qsv

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "dist/dist_statevector.hpp"
 #include "sv/statevector.hpp"
@@ -40,5 +41,64 @@ void load_state(const std::string& path, DistStateVector<S>& sv);
 
 /// Reads just the header; returns the qubit count.
 [[nodiscard]] int snapshot_qubits(const std::string& path);
+
+/// Restores only rank `r`'s slice from a snapshot: the spare-node
+/// substitution path, where the replacement reads its 1/R of the state and
+/// the survivors keep theirs. Amplitudes are stored in global order, so a
+/// rank slice is one contiguous byte range seeked to directly. The whole-
+/// file payload CRC is *not* verified (that would mean reading everything —
+/// the full-restore path does); per-slice integrity is the guard layer's
+/// slice signature, checked by the caller after the restore.
+template <class S>
+void load_rank_slice(const std::string& path, DistStateVector<S>& sv,
+                     rank_t r);
+
+/// Keep-last-N snapshot retention for a checkpoint directory.
+///
+/// Construction scans the directory: stale `*.tmp` files left by a writer
+/// killed mid-checkpoint are deleted, and already-committed `ckpt-*.qsv`
+/// files are adopted (oldest pruned down to the retention limit), so a
+/// restarted job resumes the same rotation. `path_for`/`committed` bracket
+/// each write: save to path_for(gates), then report committed(gates) to
+/// prune superseded files beyond the newest `keep_last`.
+class CheckpointStore {
+ public:
+  explicit CheckpointStore(std::string dir, int keep_last = 2);
+
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+  [[nodiscard]] int keep_last() const { return keep_last_; }
+
+  /// Path for the checkpoint taken after `gates` applied gates.
+  [[nodiscard]] std::string path_for(std::uint64_t gates) const;
+
+  /// Records a committed write at path_for(gates) and prunes beyond the
+  /// retention limit.
+  void committed(std::uint64_t gates);
+
+  /// Newest committed checkpoint path (empty string when none).
+  [[nodiscard]] std::string latest() const;
+
+  /// Gate indices of retained checkpoints, oldest first.
+  [[nodiscard]] const std::vector<std::uint64_t>& retained() const {
+    return retained_;
+  }
+
+  /// Deletes every retained checkpoint (end-of-run cleanup).
+  void clear();
+
+  /// Superseded snapshots deleted so far (retention housekeeping).
+  [[nodiscard]] std::uint64_t pruned() const { return pruned_; }
+  /// Stale `*.tmp` files removed by the startup scan.
+  [[nodiscard]] std::uint64_t stale_tmps_removed() const {
+    return stale_tmps_removed_;
+  }
+
+ private:
+  std::string dir_;
+  int keep_last_;
+  std::vector<std::uint64_t> retained_;  // ascending gate indices
+  std::uint64_t pruned_ = 0;
+  std::uint64_t stale_tmps_removed_ = 0;
+};
 
 }  // namespace qsv

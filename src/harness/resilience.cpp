@@ -90,4 +90,59 @@ CheckpointSweepResult experiment_checkpoint_sweep(const MachineModel& m) {
   return res;
 }
 
+RecoveryTierSweepResult experiment_recovery_tiers(const MachineModel& m) {
+  QSV_REQUIRE(m.reliability.node_mtbf_s > 0,
+              "recovery-tier sweep needs a finite node MTBF "
+              "(reliability.node_mtbf_s)");
+
+  RecoveryTierSweepResult res;
+  res.table = Table("Per-failure recovery cost by tier (built-in QFT; "
+                    "replay = half the Daly interval)");
+  res.table.header({"qubits", "nodes", "tier", "time", "energy",
+                    "vs restart"});
+
+  for (const auto& [qubits, nodes] :
+       std::vector<std::pair<int, int>>{{43, 2048}, {44, 4096}}) {
+    JobConfig job;
+    job.num_qubits = qubits;
+    job.node_kind = NodeKind::kStandard;
+    job.freq = CpuFreq::kMedium2000;
+    job.nodes = nodes;
+
+    DistOptions opts;
+    opts.policy = CommPolicy::kBlocking;
+    const RunReport base = run_model(builtin_qft(qubits), m, job, opts);
+
+    // A failure lands uniformly inside a checkpoint segment, so the
+    // expected replay window is half the Daly-optimal interval.
+    const double mtbf = m.system_mtbf_s(nodes);
+    const double tau_opt =
+        daly_interval_s(mtbf, checkpoint_write_s(m, qubits));
+    const double replay_s = tau_opt / 2;
+
+    RecoveryTierSweepResult::Row row;
+    row.qubits = qubits;
+    row.nodes = nodes;
+    row.substitute = expected_substitute(m, job, base, replay_s);
+    row.shrink = expected_shrink(m, job, base, replay_s);
+    row.restart = expected_restart(m, job, base, replay_s);
+    row.spare_pool_j = spare_pool_energy_j(m, job, 1, base.runtime_s);
+    row.expected_failures =
+        std::isfinite(mtbf) && mtbf > 0 ? base.runtime_s / mtbf : 0.0;
+
+    for (const RecoveryEnergy* e :
+         {&row.substitute, &row.shrink, &row.restart}) {
+      res.table.row({std::to_string(qubits), std::to_string(nodes),
+                     recovery_tier_name(e->tier), fmt::seconds(e->time_s),
+                     fmt::energy_j(e->energy_j),
+                     fmt::fixed(e->energy_j / row.restart.energy_j, 3)});
+    }
+    res.table.row({std::to_string(qubits), std::to_string(nodes),
+                   "spare pool (1, solve)", fmt::seconds(base.runtime_s),
+                   fmt::energy_j(row.spare_pool_j), "-"});
+    res.rows.push_back(std::move(row));
+  }
+  return res;
+}
+
 }  // namespace qsv

@@ -15,6 +15,11 @@ struct JobConfig {
   NodeKind node_kind = NodeKind::kStandard;
   CpuFreq freq = CpuFreq::kMedium2000;
   int nodes = 0;  // one MPI rank per node, as in all the paper's runs
+  /// Spare nodes held idle alongside the job for substitution recovery
+  /// (`--spares N`). Not counted in `nodes`: spares do no gate work, but
+  /// their idle draw is a standing cost (resilience_model's
+  /// spare_pool_energy_j) and their CU is billed like any allocation.
+  int spares = 0;
 
   [[nodiscard]] std::string label() const;
 };

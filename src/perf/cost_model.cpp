@@ -112,6 +112,51 @@ void CostModel::on_event(const ExecEvent& e) {
     sample(MachineModel::Phase::kMpi, sync_t, job_.nodes * p_mpi);
     return;
   }
+  if (e.kind == ExecEvent::Kind::kRecovery) {
+    // Elastic recovery: checkpoint-slice reads (I/O phase) and re-shard
+    // movement (network phase) arrive as separate events, each naming the
+    // fraction of nodes doing the work — the rest idle at the resume
+    // barrier. The rebuilt rank's solo replay is priced by its ordinary
+    // kLocalGate events, not here.
+    ++acc_.recovery_events;
+    const double active = job_.nodes * e.participating_fraction;
+    const double idle = job_.nodes - active;
+    const double p_idle = machine_.node_power(MachineModel::Phase::kIdle,
+                                              job_.freq, job_.node_kind);
+    if (e.recovery_io_bytes > 0) {
+      QSV_REQUIRE(machine_.filesystem.read_bw_bytes_per_s > 0,
+                  "filesystem read bandwidth unset");
+      const double t_io = static_cast<double>(e.recovery_io_bytes) /
+                          machine_.filesystem.read_bw_bytes_per_s;
+      const double p_io = machine_.node_power(MachineModel::Phase::kIo,
+                                              job_.freq, job_.node_kind);
+      acc_.runtime_s += t_io;
+      acc_.phases.memory_s += t_io;
+      const double energy = t_io * (active * p_io + idle * p_idle);
+      acc_.node_energy_j += energy;
+      acc_.recovery_s += t_io;
+      acc_.recovery_energy_j += energy;
+      acc_.recovery_io_bytes += e.recovery_io_bytes;
+      sample(MachineModel::Phase::kIo, t_io, active * p_io + idle * p_idle);
+    }
+    if (e.recovery_bytes_per_rank > 0) {
+      const double t_net = machine_.exchange_time(
+          static_cast<double>(e.recovery_bytes_per_rank),
+          e.recovery_messages_per_rank, e.policy, job_.nodes);
+      const double p_mpi = machine_.node_power(MachineModel::Phase::kMpi,
+                                               job_.freq, job_.node_kind);
+      acc_.runtime_s += t_net;
+      acc_.phases.mpi_s += t_net;
+      const double energy = t_net * (active * p_mpi + idle * p_idle);
+      acc_.node_energy_j += energy;
+      acc_.recovery_s += t_net;
+      acc_.recovery_energy_j += energy;
+      acc_.recovery_net_bytes += e.recovery_bytes_per_rank;
+      sample(MachineModel::Phase::kMpi, t_net,
+             active * p_mpi + idle * p_idle);
+    }
+    return;
+  }
   ++acc_.gates;
   const double slice_bytes =
       static_cast<double>(e.local_amps) * kBytesPerAmp;

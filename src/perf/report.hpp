@@ -75,6 +75,16 @@ struct RunReport {
   double guard_s = 0;
   double guard_energy_j = 0;
 
+  /// Elastic-recovery accounting (all zero on fault-free runs): recovery
+  /// actions priced (substitute/shrink/restart kRecovery events), their
+  /// checkpoint-read I/O and re-shard network traffic, wall time and share
+  /// of node energy (already included in the totals above).
+  std::uint64_t recovery_events = 0;
+  std::uint64_t recovery_io_bytes = 0;
+  std::uint64_t recovery_net_bytes = 0;
+  double recovery_s = 0;
+  double recovery_energy_j = 0;
+
   [[nodiscard]] double total_energy_j() const {
     return node_energy_j + switch_energy_j;
   }

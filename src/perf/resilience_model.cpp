@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 
+#include "cluster/cluster.hpp"
 #include "common/error.hpp"
 #include "common/types.hpp"
+#include "dist/options.hpp"
 #include "dist/resilience.hpp"
 
 namespace qsv {
@@ -95,6 +97,107 @@ ExpectedRun expected_run(const MachineModel& m, const JobConfig& job,
   r.lost_work_energy_j = r.lost_work_s * (solve_node_w + switches_w);
   r.restart_energy_j = restart_total * (job.nodes * p_idle + switches_w);
   return r;
+}
+
+namespace {
+
+// Shared per-tier ingredients: phase powers, switch draw, the aggregate
+// solve draw from the fault-free report, and the one-rank slice.
+struct TierTerms {
+  int nodes = 0;
+  double sw_w = 0;       // continuous switch draw (W)
+  double p_io = 0;       // per-node I/O-phase power
+  double p_idle = 0;     // per-node idle power
+  double p_mpi = 0;      // per-node MPI-phase power
+  double solve_w = 0;    // aggregate node draw during solve (all nodes)
+  double slice_bytes = 0;
+  double slice_read_s = 0;  // one rank's slice over the filesystem
+};
+
+[[nodiscard]] TierTerms tier_terms(const MachineModel& m,
+                                   const JobConfig& job,
+                                   const RunReport& fault_free) {
+  QSV_REQUIRE(job.nodes >= 1, "job without nodes");
+  QSV_REQUIRE(m.filesystem.read_bw_bytes_per_s > 0,
+              "filesystem read bandwidth unset");
+  TierTerms t;
+  t.nodes = job.nodes;
+  t.sw_w = m.switch_count(job.nodes) * m.switches.power_w;
+  t.p_io = m.node_power(MachineModel::Phase::kIo, job.freq, job.node_kind);
+  t.p_idle =
+      m.node_power(MachineModel::Phase::kIdle, job.freq, job.node_kind);
+  t.p_mpi = m.node_power(MachineModel::Phase::kMpi, job.freq, job.node_kind);
+  t.solve_w = fault_free.runtime_s > 0
+                  ? fault_free.node_energy_j / fault_free.runtime_s
+                  : 0.0;
+  t.slice_bytes = state_bytes(job.num_qubits) / job.nodes;
+  t.slice_read_s = t.slice_bytes / m.filesystem.read_bw_bytes_per_s;
+  return t;
+}
+
+}  // namespace
+
+RecoveryEnergy expected_substitute(const MachineModel& m,
+                                   const JobConfig& job,
+                                   const RunReport& fault_free,
+                                   double replay_s) {
+  QSV_REQUIRE(replay_s >= 0, "negative replay time");
+  const TierTerms t = tier_terms(m, job, fault_free);
+  RecoveryEnergy r;
+  r.tier = RecoveryTier::kSubstitute;
+  // The spare reads the lost slice while the survivors idle at the resume
+  // barrier, then replays the window solo at one node's share of the solve
+  // draw. Nothing else moves.
+  r.time_s = t.slice_read_s + replay_s;
+  r.energy_j =
+      t.slice_read_s * (t.p_io + (t.nodes - 1) * t.p_idle + t.sw_w) +
+      replay_s * (t.solve_w / t.nodes + (t.nodes - 1) * t.p_idle + t.sw_w);
+  return r;
+}
+
+RecoveryEnergy expected_shrink(const MachineModel& m, const JobConfig& job,
+                               const RunReport& fault_free, double replay_s) {
+  const TierTerms t = tier_terms(m, job, fault_free);
+  // Rebuild-and-replay is the substitute cost (the partner plays the
+  // spare's role); on top, every surviving pair moves one slice so each
+  // new rank holds a doubled slice — a full-cluster exchange.
+  const RecoveryEnergy base = expected_substitute(m, job, fault_free,
+                                                  replay_s);
+  const int msgs = message_count(
+      static_cast<std::uint64_t>(t.slice_bytes), DistOptions{}.max_message_bytes);
+  const double t_move = m.exchange_time(t.slice_bytes, msgs,
+                                        CommPolicy::kBlocking, t.nodes);
+  RecoveryEnergy r;
+  r.tier = RecoveryTier::kShrink;
+  r.time_s = base.time_s + t_move;
+  r.energy_j = base.energy_j + t_move * (t.nodes * t.p_mpi + t.sw_w);
+  return r;
+}
+
+RecoveryEnergy expected_restart(const MachineModel& m, const JobConfig& job,
+                                const RunReport& fault_free,
+                                double replay_s) {
+  QSV_REQUIRE(replay_s >= 0, "negative replay time");
+  const TierTerms t = tier_terms(m, job, fault_free);
+  const double full_read_s = checkpoint_read_s(m, job.num_qubits);
+  RecoveryEnergy r;
+  r.tier = RecoveryTier::kRestart;
+  // Requeue at idle draw, full-state read-back, then every node replays
+  // the lost window at the solve draw.
+  r.time_s = m.reliability.requeue_s + full_read_s + replay_s;
+  r.energy_j = m.reliability.requeue_s * (t.nodes * t.p_idle + t.sw_w) +
+               full_read_s * (t.nodes * t.p_io + t.sw_w) +
+               replay_s * (t.solve_w + t.sw_w);
+  return r;
+}
+
+double spare_pool_energy_j(const MachineModel& m, const JobConfig& job,
+                           int spares, double wall_s) {
+  QSV_REQUIRE(spares >= 0, "negative spare count");
+  QSV_REQUIRE(wall_s >= 0, "negative wall time");
+  const double p_idle =
+      m.node_power(MachineModel::Phase::kIdle, job.freq, job.node_kind);
+  return spares * p_idle * wall_s;
 }
 
 }  // namespace qsv

@@ -9,6 +9,7 @@
 // exactly, so the existing calibration anchors are untouched.
 #pragma once
 
+#include "dist/events.hpp"
 #include "machine/job.hpp"
 #include "machine/machine.hpp"
 #include "perf/report.hpp"
@@ -57,5 +58,47 @@ struct ExpectedRun {
                                        const JobConfig& job,
                                        const RunReport& fault_free,
                                        double interval_s);
+
+/// Expected cost of recovering ONE node failure by a given elastic tier
+/// (PR 5). These are the closed-form figures RecoveryPolicy::choose_tier
+/// compares; the simulator charges the same actions event-by-event through
+/// kRecovery, so the two agree in shape (I/O reads at filesystem read
+/// bandwidth, slice movement at exchange rates, replay at solve draw).
+struct RecoveryEnergy {
+  RecoveryTier tier = RecoveryTier::kRestart;
+  double time_s = 0;    // wall time the recovery adds
+  double energy_j = 0;  // node + switch energy it burns
+};
+
+/// Substitute a spare: the spare reads the failed rank's checkpoint slice
+/// (1/N of the state) while the other N-1 nodes idle at the resume
+/// barrier, then replays `replay_s` of solo work at 1/N of the solve draw.
+[[nodiscard]] RecoveryEnergy expected_substitute(const MachineModel& m,
+                                                 const JobConfig& job,
+                                                 const RunReport& fault_free,
+                                                 double replay_s);
+
+/// Shrink to half the ranks: the substitute cost (the dead rank's partner
+/// rebuilds that slice from the checkpoint and replays), plus moving one
+/// slice per surviving pair so every new rank holds a doubled slice —
+/// priced at MPI-phase draw on all nodes.
+[[nodiscard]] RecoveryEnergy expected_shrink(const MachineModel& m,
+                                             const JobConfig& job,
+                                             const RunReport& fault_free,
+                                             double replay_s);
+
+/// Full restart: scheduler requeue at idle draw, every node reads its
+/// slice back (full-state read over the aggregate filesystem bandwidth),
+/// then all nodes replay `replay_s` at the solve draw.
+[[nodiscard]] RecoveryEnergy expected_restart(const MachineModel& m,
+                                              const JobConfig& job,
+                                              const RunReport& fault_free,
+                                              double replay_s);
+
+/// Standing cost of holding `spares` idle nodes alongside the job for its
+/// whole wall time — what the substitution tier's speed is bought with.
+[[nodiscard]] double spare_pool_energy_j(const MachineModel& m,
+                                         const JobConfig& job, int spares,
+                                         double wall_s);
 
 }  // namespace qsv

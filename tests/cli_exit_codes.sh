@@ -1,0 +1,125 @@
+#!/usr/bin/env bash
+# CLI contract test: the documented exit codes and the determinism digest.
+#
+#   0  success
+#   2  bad arguments (usage errors, unknown flags, malformed values)
+#   4  node failure no recovery tier could absorb
+#   5  integrity abort (corruption with nothing to roll back to)
+#
+# Driven by ctest: cli_exit_codes.sh <path-to-qsv-binary>.
+set -u
+
+qsv=${1:?usage: cli_exit_codes.sh <qsv-binary>}
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+expect_exit() {
+  local want=$1
+  shift
+  local got=0
+  "$@" >"$tmp/out" 2>"$tmp/err" || got=$?
+  if [ "$got" -ne "$want" ]; then
+    echo "--- stdout ---" >&2; cat "$tmp/out" >&2
+    echo "--- stderr ---" >&2; cat "$tmp/err" >&2
+    fail "expected exit $want, got $got: $*"
+  fi
+}
+
+# 6 qubits on the default 4 ranks: gates 0..9 touch the distributed qubits
+# 4/5, gates 10..19 are rank-local, so a failure late in the run is elastic-
+# recoverable from a checkpoint written at gate 10.
+cat >"$tmp/c.qc" <<'EOF'
+qubits 6
+name cli_contract
+h 4
+h 0
+cx 0 1
+rz 1 0.37
+h 2
+cx 2 3
+h 5
+rx 3 0.81
+cz 0 2
+ry 1 1.13
+rz 0 0.29
+cx 1 2
+rz 1 0.4
+cx 2 3
+rz 2 0.51
+cx 3 0
+rz 3 0.62
+cx 0 1
+rz 0 0.73
+cx 1 2
+EOF
+
+# --- exit 2: usage errors ---------------------------------------------------
+expect_exit 2 "$qsv"                                   # no command
+expect_exit 2 "$qsv" run                               # missing circuit file
+expect_exit 2 "$qsv" run "$tmp/c.qc" --no-such-flag    # unknown option
+expect_exit 2 "$qsv" run "$tmp/c.qc" --ranks banana    # non-integer value
+expect_exit 2 "$qsv" run "$tmp/c.qc" --recovery warp   # unknown tier name
+expect_exit 2 "$qsv" run "$tmp/c.qc" --spares -1
+
+# --- exit 4: unrecovered node failure ---------------------------------------
+# No checkpointing: NodeFailure propagates unchanged (PR 2 semantics).
+expect_exit 4 "$qsv" run "$tmp/c.qc" --faults fail@3:1
+grep -q "node failure" "$tmp/err" || fail "exit-4 message missing"
+
+# Checkpointing on but every driver tier disabled: still unrecoverable.
+expect_exit 4 "$qsv" run "$tmp/c.qc" --faults fail@12:1 \
+  --checkpoint-interval 5 --checkpoint-dir "$tmp/ck_disabled" \
+  --recovery retry
+
+# --- exit 5: integrity abort ------------------------------------------------
+# A silent exponent-bit flip with guards on but no checkpoint to roll back
+# to: detection has nowhere to go but a typed abort.
+expect_exit 5 "$qsv" run "$tmp/c.qc" --bitflip 2:0:62 --guards 1
+grep -q "integrity abort" "$tmp/err" || fail "exit-5 message missing"
+
+# --- exit 0 + digest: clean and recovered runs agree ------------------------
+expect_exit 0 "$qsv" run "$tmp/c.qc"
+crc_clean=$(grep -o 'state crc32: [0-9a-f]*' "$tmp/out") ||
+  fail "clean run printed no state digest"
+
+# Substitute tier: a spare absorbs the failure; the run must land on the
+# bit-identical state (same digest).
+expect_exit 0 "$qsv" run "$tmp/c.qc" --faults fail@12:1 \
+  --checkpoint-interval 5 --checkpoint-dir "$tmp/ck_sub" --spares 1
+grep -q "substitutions" "$tmp/out" || fail "recovery summary missing"
+crc_sub=$(grep -o 'state crc32: [0-9a-f]*' "$tmp/out")
+[ "$crc_sub" = "$crc_clean" ] ||
+  fail "substitute run digest '$crc_sub' != clean '$crc_clean'"
+
+# Shrink tier: no spare, the run finishes at half width — the digest is
+# layout-independent, so it still matches.
+expect_exit 0 "$qsv" run "$tmp/c.qc" --faults fail@12:1 \
+  --checkpoint-interval 5 --checkpoint-dir "$tmp/ck_shrink"
+grep -q "shrink-to-survive" "$tmp/out" || fail "shrink summary missing"
+crc_shrink=$(grep -o 'state crc32: [0-9a-f]*' "$tmp/out")
+[ "$crc_shrink" = "$crc_clean" ] ||
+  fail "shrink run digest '$crc_shrink' != clean '$crc_clean'"
+
+# Restart tier: substitution and shrink disabled.
+expect_exit 0 "$qsv" run "$tmp/c.qc" --faults fail@12:1 \
+  --checkpoint-interval 5 --checkpoint-dir "$tmp/ck_restart" \
+  --recovery restart
+crc_restart=$(grep -o 'state crc32: [0-9a-f]*' "$tmp/out")
+[ "$crc_restart" = "$crc_clean" ] ||
+  fail "restart run digest '$crc_restart' != clean '$crc_clean'"
+
+# Checkpoint hygiene: a successful run cleans its checkpoints up, leaving
+# neither committed files nor temp files behind (keep-last bounds the
+# footprint *during* the run; rotation itself is unit-tested).
+expect_exit 0 "$qsv" run "$tmp/c.qc" --checkpoint-interval 5 \
+  --checkpoint-dir "$tmp/ck_keep" --keep-last 1
+if ls "$tmp/ck_keep"/ckpt-*.qsv >/dev/null 2>&1; then
+  fail "committed checkpoints left behind after a successful run"
+fi
+if ls "$tmp/ck_keep"/*.tmp >/dev/null 2>&1; then
+  fail "stale .tmp left behind"
+fi
+
+echo "ok: all CLI exit-code and digest contracts hold"

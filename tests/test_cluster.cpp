@@ -259,6 +259,69 @@ TEST(Cluster, WatchdogDeadlineIsConfigurableAndNamedInTheTimeout) {
   }
 }
 
+TEST(Cluster, PurgePairDropsInFlightMessagesInBothDirections) {
+  // Regression: a failed rank can leave an unconsumed message it *sent*
+  // (the reverse direction of the pair) queued, not just messages sent to
+  // it. purge_pair must clear both directions or the substituted rank's
+  // next exchange receives a stale slice.
+  VirtualCluster c(2, 1024);
+  c.send(0, 1, payload({1, 2, 3}));
+  c.send(1, 0, payload({4, 5, 6}));
+  ASSERT_EQ(c.pending(0, 1), 1u);
+  ASSERT_EQ(c.pending(1, 0), 1u);
+  EXPECT_FALSE(c.quiescent());
+
+  c.purge_pair(0, 1);
+  EXPECT_EQ(c.pending(0, 1), 0u);
+  EXPECT_EQ(c.pending(1, 0), 0u);
+  EXPECT_TRUE(c.quiescent());
+}
+
+TEST(Cluster, PurgeRankClearsEveryQueueTouchingTheRankAndNoOthers) {
+  VirtualCluster c(4, 1024);
+  c.send(0, 1, payload({1}));
+  c.send(1, 2, payload({2}));
+  c.send(2, 3, payload({3}));
+
+  c.purge_rank(1);
+  EXPECT_EQ(c.pending(0, 1), 0u);
+  EXPECT_EQ(c.pending(1, 2), 0u);
+  EXPECT_EQ(c.pending(2, 3), 1u);
+
+  std::vector<std::byte> b(1);
+  c.recv(2, 3, b);  // the unrelated queue still delivers
+  EXPECT_TRUE(c.quiescent());
+}
+
+TEST(Cluster, ShrinkToHalvesTheClusterAndPreservesStats) {
+  VirtualCluster c(4, 1024);
+  c.send(0, 1, payload({1, 2}));
+  std::vector<std::byte> b(2);
+  c.recv(0, 1, b);
+  const CommStats before = c.stats();
+  ASSERT_GT(before.messages, 0u);
+
+  c.shrink_to(2);
+  EXPECT_EQ(c.num_ranks(), 2);
+  // The lifetime traffic record survives the re-shard.
+  EXPECT_EQ(c.stats(), before);
+}
+
+TEST(Cluster, ShrinkToRejectsBadWidthsAndBusyClusters) {
+  VirtualCluster c(4, 1024);
+  EXPECT_THROW(c.shrink_to(0), Error);
+  EXPECT_THROW(c.shrink_to(3), Error);   // not a power of two
+  EXPECT_THROW(c.shrink_to(4), Error);   // not a reduction
+  EXPECT_THROW(c.shrink_to(8), Error);
+
+  c.send(0, 1, payload({9}));
+  EXPECT_THROW(c.shrink_to(2), Error);   // in-flight message: not quiescent
+  std::vector<std::byte> b(1);
+  c.recv(0, 1, b);
+  c.shrink_to(2);                        // quiescent again: allowed
+  EXPECT_EQ(c.num_ranks(), 2);
+}
+
 TEST(Cluster, PolicyNames) {
   EXPECT_STREQ(comm_policy_name(CommPolicy::kBlocking), "blocking");
   EXPECT_STREQ(comm_policy_name(CommPolicy::kNonBlocking), "non-blocking");

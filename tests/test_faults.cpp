@@ -157,6 +157,63 @@ TEST(Faults, StragglerDelayIsChargedToTheGateEvent) {
   EXPECT_DOUBLE_EQ(charged, 0.5);
 }
 
+TEST(Faults, PastDeadlineStragglerTimesOutAndIsRetried) {
+  // Fault interplay: a straggler slower than the receive watchdog is not a
+  // wait, it is a timeout — the message never arrives, the retry layer
+  // re-sends, and the *deadline* (not the injected delay) is what gets
+  // charged. Billing the 5 s delay too would double-count the wall time.
+  const Circuit c = distributed_bench(6, 2);
+  DistStateVector<SoaStorage> clean(6, 4);
+  clean.apply(c);
+
+  FaultInjector inj(parse_fault_plan("delay@1:5.0"));
+  DistStateVector<SoaStorage> faulty(6, 4);  // default 0.5 s deadline
+  faulty.set_fault_injector(&inj);
+  RecordingListener rec;
+  faulty.set_listener(&rec);
+  faulty.apply(c);
+
+  EXPECT_EQ(inj.totals().straggled, 1u);
+  EXPECT_GE(inj.totals().retries, 1u);
+  // Charged: one retry backoff (0.1 s) plus the elapsed watchdog deadline
+  // (0.5 s). The injected 5 s never appears anywhere.
+  EXPECT_DOUBLE_EQ(inj.totals().delay_s, 0.6);
+  double charged = 0;
+  for (const ExecEvent& e : rec.events()) {
+    charged += e.fault_delay_s;
+  }
+  EXPECT_DOUBLE_EQ(charged, 0.6);
+
+  for (amp_index i = 0; i < (amp_index{1} << 6); ++i) {
+    EXPECT_EQ(clean.amplitude(i), faulty.amplitude(i));
+  }
+}
+
+TEST(Faults, DropAndCorruptOnTheSameMessageResolveToTheDrop) {
+  // Fault interplay: two latches on one ordinal both fire, but a message
+  // cannot be both lost and delivered-corrupted. Severity resolves the
+  // verdict (drop > corrupt > straggle); the totals and the log record the
+  // winning verdict only, so accounting stays one-event-per-message.
+  const Circuit c = distributed_bench(6, 2);
+  DistStateVector<SoaStorage> clean(6, 4);
+  clean.apply(c);
+
+  FaultInjector inj(parse_fault_plan("drop@2, corrupt@2"));
+  DistStateVector<SoaStorage> faulty(6, 4);
+  faulty.set_fault_injector(&inj);
+  faulty.apply(c);
+
+  EXPECT_EQ(inj.totals().dropped, 1u);
+  EXPECT_EQ(inj.totals().corrupted, 0u);
+  ASSERT_EQ(inj.log().size(), 1u);
+  EXPECT_EQ(inj.log()[0].kind, FaultKind::kDropMessage);
+  EXPECT_GE(inj.totals().retries, 1u);
+
+  for (amp_index i = 0; i < (amp_index{1} << 6); ++i) {
+    EXPECT_EQ(clean.amplitude(i), faulty.amplitude(i));
+  }
+}
+
 TEST(Faults, ExhaustedRetriesEscalateToNodeFailure) {
   FaultPlan plan;
   plan.drop_prob = 1.0;  // every delivery (and every re-send) fails

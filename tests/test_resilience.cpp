@@ -230,5 +230,32 @@ TEST(CheckpointSweep, RequiresFiniteMtbf) {
   EXPECT_THROW(experiment_checkpoint_sweep(m), Error);
 }
 
+TEST(RecoveryTiers, StaticOrderIsTheEnergyOrderAtHeadlineScale) {
+  // The policy's static fallback order (substitute < shrink < restart) is
+  // only honest if the closed-form energies actually rank that way at the
+  // paper's configurations — this is the acceptance check for `qsv price`.
+  const RecoveryTierSweepResult res = experiment_recovery_tiers(archer2());
+  ASSERT_EQ(res.rows.size(), 2u);
+  EXPECT_EQ(res.rows[0].qubits, 43);
+  EXPECT_EQ(res.rows[1].qubits, 44);
+
+  for (const auto& row : res.rows) {
+    EXPECT_GT(row.substitute.energy_j, 0.0);
+    EXPECT_LT(row.substitute.energy_j, row.shrink.energy_j);
+    EXPECT_LT(row.shrink.energy_j, row.restart.energy_j);
+    EXPECT_GT(row.substitute.time_s, 0.0);
+    EXPECT_GT(row.shrink.time_s, row.substitute.time_s);
+    EXPECT_GT(row.restart.time_s, 0.0);
+    EXPECT_GT(row.spare_pool_j, 0.0);
+    EXPECT_GT(row.expected_failures, 0.0);
+  }
+}
+
+TEST(RecoveryTiers, RequiresFiniteMtbf) {
+  MachineModel m = archer2();
+  m.reliability.node_mtbf_s = 0;
+  EXPECT_THROW(experiment_recovery_tiers(m), Error);
+}
+
 }  // namespace
 }  // namespace qsv

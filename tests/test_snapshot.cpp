@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 
 #include "circuit/builders.hpp"
@@ -249,6 +250,102 @@ TEST(Snapshot, AtomicRenameLeavesNoTempAndSurvivesStaleTemp) {
   load_state(path, b);
   for (amp_index i = 0; i < a.num_amps(); ++i) {
     EXPECT_EQ(a.amplitude(i), b.amplitude(i));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointStore, KeepsTheLastNAndPrunesTheRest) {
+  const std::string dir = tmp_path("ckpt_rotation");
+  CheckpointStore store(dir, 2);
+  StateVector sv(3);
+  Rng rng(4);
+  sv.init_random_state(rng);
+  for (const std::uint64_t gates : {0ull, 5ull, 10ull}) {
+    save_state(store.path_for(gates), sv);
+    store.committed(gates);
+  }
+
+  ASSERT_EQ(store.retained().size(), 2u);
+  EXPECT_EQ(store.retained()[0], 5u);
+  EXPECT_EQ(store.retained()[1], 10u);
+  EXPECT_EQ(store.pruned(), 1u);
+  EXPECT_EQ(store.latest(), store.path_for(10));
+  // The rotated-out checkpoint is really gone from disk.
+  EXPECT_FALSE(std::ifstream(store.path_for(0)).good());
+  EXPECT_TRUE(std::ifstream(store.path_for(5)).good());
+  store.clear();
+  EXPECT_FALSE(std::ifstream(store.path_for(10)).good());
+}
+
+TEST(CheckpointStore, RemovesStaleTempsAndAdoptsCommittedFiles) {
+  // A job killed mid-checkpoint leaves a .tmp (garbage by construction,
+  // the rename never happened) next to its committed checkpoints. A new
+  // incarnation must clean the former and resume the rotation on the
+  // latter.
+  const std::string dir = tmp_path("ckpt_adoption");
+  std::filesystem::create_directories(dir);
+  StateVector sv(3);
+  Rng rng(5);
+  sv.init_random_state(rng);
+  save_state(dir + "/ckpt-3.qsv", sv);
+  save_state(dir + "/ckpt-9.qsv", sv);
+  {
+    std::ofstream out(dir + "/ckpt-12.qsv.tmp", std::ios::binary);
+    out << "half-written garbage";
+  }
+  {
+    std::ofstream out(dir + "/notes.txt");
+    out << "not a checkpoint";
+  }
+
+  CheckpointStore store(dir, 2);
+  EXPECT_EQ(store.stale_tmps_removed(), 1u);
+  EXPECT_FALSE(std::ifstream(dir + "/ckpt-12.qsv.tmp").good());
+  ASSERT_EQ(store.retained().size(), 2u);
+  EXPECT_EQ(store.retained()[0], 3u);
+  EXPECT_EQ(store.retained()[1], 9u);
+  EXPECT_EQ(store.latest(), store.path_for(9));
+
+  // A tighter retention prunes adopted checkpoints oldest-first.
+  CheckpointStore tight(dir, 1);
+  ASSERT_EQ(tight.retained().size(), 1u);
+  EXPECT_EQ(tight.retained()[0], 9u);
+  EXPECT_EQ(tight.pruned(), 1u);
+  EXPECT_FALSE(std::ifstream(store.path_for(3)).good());
+}
+
+TEST(CheckpointStore, RejectsZeroRetention) {
+  EXPECT_THROW(CheckpointStore(tmp_path("ckpt_zero"), 0), Error);
+}
+
+TEST(Snapshot, LoadRankSliceRestoresExactlyOneSlice) {
+  // Spare-node substitution reads only the dead rank's contiguous span of
+  // the global snapshot: the restored slice is bit-exact and no other
+  // rank's amplitudes are touched.
+  const std::string path = tmp_path("snap_rank_slice.qsv");
+  DistStateVector<SoaStorage> a(6, 4);
+  a.apply(build_qft(6));
+  save_state(path, a);
+
+  DistStateVector<SoaStorage> b(6, 4);  // |0...0>
+  load_rank_slice(path, b, 2);
+  const amp_index local = amp_index{1} << 4;  // 64 amps over 4 ranks
+  for (amp_index i = 0; i < (amp_index{1} << 6); ++i) {
+    if (i / local == 2) {
+      EXPECT_EQ(b.amplitude(i), a.amplitude(i)) << "amplitude " << i;
+    } else {
+      // Untouched: still the basis state.
+      EXPECT_EQ(b.amplitude(i), (i == 0 ? cplx{1, 0} : cplx{0, 0}))
+          << "amplitude " << i;
+    }
+  }
+
+  // Loading the remaining slices completes the full restore.
+  for (const rank_t r : {0, 1, 3}) {
+    load_rank_slice(path, b, r);
+  }
+  for (amp_index i = 0; i < (amp_index{1} << 6); ++i) {
+    EXPECT_EQ(b.amplitude(i), a.amplitude(i));
   }
   std::remove(path.c_str());
 }

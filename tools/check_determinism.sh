@@ -1,0 +1,107 @@
+#!/usr/bin/env bash
+# Determinism checker: the same faulted run, executed twice, must produce an
+# identical state digest and an identical fault/recovery summary — for every
+# recovery tier. The virtual cluster is single-process and the fault plan is
+# a deterministic latch list, so any divergence here is a real bug
+# (uninitialised state, iteration-order dependence, a stray RNG), not noise.
+#
+#   tools/check_determinism.sh [path-to-qsv-binary]
+#
+# Defaults to ./build/tools/qsv (the `default` CMake preset's output).
+set -u
+
+qsv=${1:-build/tools/qsv}
+[ -x "$qsv" ] || { echo "error: '$qsv' not found or not executable" >&2
+                   echo "build first: cmake --preset default && cmake --build --preset default" >&2
+                   exit 2; }
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+status=0
+
+# The elastic reference workload: distributed gates up front, a rank-local
+# tail, so a late failure is recoverable by every tier from the gate-10
+# checkpoint.
+cat >"$tmp/c.qc" <<'EOF'
+qubits 6
+name determinism_probe
+h 4
+h 0
+cx 0 1
+rz 1 0.37
+h 2
+cx 2 3
+h 5
+rx 3 0.81
+cz 0 2
+ry 1 1.13
+rz 0 0.29
+cx 1 2
+rz 1 0.4
+cx 2 3
+rz 2 0.51
+cx 3 0
+rz 3 0.62
+cx 0 1
+rz 0 0.73
+cx 1 2
+EOF
+
+# Everything that must be reproducible: the digest, the traffic totals, the
+# fault totals and the recovery summary. Timestamps or paths never appear in
+# these lines.
+summarise() {
+  grep -E "state crc32|messages|faults:|recovery:|shrink-to-survive" "$1"
+}
+
+check() {
+  local name=$1
+  shift
+  "$@" >"$tmp/run1" 2>&1 || { echo "FAIL $name: first run exited $?" >&2
+                              cat "$tmp/run1" >&2; status=1; return; }
+  "$@" >"$tmp/run2" 2>&1 || { echo "FAIL $name: second run exited $?" >&2
+                              cat "$tmp/run2" >&2; status=1; return; }
+  summarise "$tmp/run1" >"$tmp/sum1"
+  summarise "$tmp/run2" >"$tmp/sum2"
+  if ! diff -u "$tmp/sum1" "$tmp/sum2" >"$tmp/diff"; then
+    echo "FAIL $name: two identical invocations diverged:" >&2
+    cat "$tmp/diff" >&2
+    status=1
+  else
+    echo "ok   $name: $(grep -o 'state crc32: [0-9a-f]*' "$tmp/sum1")"
+  fi
+}
+
+common=(--faults fail@12:1 --checkpoint-interval 5)
+
+check "clean            " "$qsv" run "$tmp/c.qc"
+check "retry (drop)     " "$qsv" run "$tmp/c.qc" --faults drop@3
+check "tier: substitute " "$qsv" run "$tmp/c.qc" "${common[@]}" \
+      --checkpoint-dir "$tmp/ck_sub" --spares 1
+check "tier: shrink     " "$qsv" run "$tmp/c.qc" "${common[@]}" \
+      --checkpoint-dir "$tmp/ck_shrink"
+check "tier: restart    " "$qsv" run "$tmp/c.qc" "${common[@]}" \
+      --checkpoint-dir "$tmp/ck_restart" --recovery restart
+
+# Cross-tier bit-identity: every recovered run must land on the clean run's
+# digest (the digest is global-order, so it is comparable across the shrink
+# run's narrower final layout).
+"$qsv" run "$tmp/c.qc" >"$tmp/clean_out" 2>&1
+clean_crc=$(grep -o 'state crc32: [0-9a-f]*' "$tmp/clean_out")
+for tier in sub shrink restart; do
+  case $tier in
+    sub)     args=(--spares 1) ;;
+    shrink)  args=() ;;
+    restart) args=(--recovery restart) ;;
+  esac
+  "$qsv" run "$tmp/c.qc" "${common[@]}" --checkpoint-dir "$tmp/ck2_$tier" \
+      "${args[@]}" >"$tmp/out" 2>&1
+  crc=$(grep -o 'state crc32: [0-9a-f]*' "$tmp/out")
+  if [ "$crc" != "$clean_crc" ]; then
+    echo "FAIL bit-identity ($tier): '$crc' != clean '$clean_crc'" >&2
+    status=1
+  fi
+done
+[ "$status" -eq 0 ] && echo "ok   bit-identity: all tiers match the clean digest"
+
+exit $status

@@ -4,7 +4,8 @@
 //                 [--no-sweep] [--tile T]
 //                 [--faults PLAN] [--mtbf HOURS] [--bitflip G[:R[:B]]]
 //                 [--checkpoint-interval GATES] [--checkpoint-dir DIR]
-//                 [--guards K] [--guard-crc]
+//                 [--keep-last N] [--guards K] [--guard-crc]
+//                 [--spares N] [--recovery TIERS]
 //   qsv info <file.qc> --local L [--half-exchange]
 //   qsv transpile <file.qc> --local L [--pass cache|greedy|fusion|cleanup]
 //                 [--min-reuse K] [--out out.qc]
@@ -12,11 +13,20 @@
 //             [--freq low|medium|high] [--nonblocking] [--half-exchange]
 //             [--timeline out.csv] [--machine overrides.machine]
 //             [--mtbf HOURS] [--checkpoint-interval SECONDS]
-//             [--guards K] [--guard-crc]
+//             [--guards K] [--guard-crc] [--spares N]
 //   qsv sbatch --qubits N [--highmem] [--freq ...] [--name J] [--cmd CMD]
 //
-// Every subcommand prints a short usage string on error.
+// Every subcommand prints a short usage string on error. Exit codes are
+// part of the interface (scripts and the CI determinism check key off
+// them):
+//   0  success
+//   1  library/runtime error (qsv::Error or any other exception)
+//   2  bad arguments or usage
+//   4  unrecovered node failure (NodeFailure escaped every recovery tier)
+//   5  integrity abort (recovery budget exhausted or unrecoverable
+//      corruption; forensics on stderr)
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <map>
@@ -32,6 +42,7 @@
 #include "circuit/transpile/greedy_cache_blocking.hpp"
 #include "common/args.hpp"
 #include "common/bits.hpp"
+#include "common/crc32.hpp"
 #include "common/error.hpp"
 #include "common/format.hpp"
 #include "common/csv.hpp"
@@ -56,20 +67,27 @@
 namespace qsv::cli {
 namespace {
 
+/// Bad-argument precondition: maps to the usage exit code (2), not the
+/// generic error exit (1).
+void require_arg(bool ok, const std::string& msg) {
+  if (!ok) {
+    throw ArgError(msg);
+  }
+}
+
 CpuFreq parse_freq(const std::string& s) {
   if (s == "low") return CpuFreq::kLow1500;
   if (s == "medium") return CpuFreq::kMedium2000;
   if (s == "high") return CpuFreq::kHigh2250;
-  QSV_REQUIRE(false, "--freq must be low|medium|high, got '" + s + "'");
-  return CpuFreq::kMedium2000;
+  throw ArgError("--freq must be low|medium|high, got '" + s + "'");
 }
 
 /// std::stoi minus the raw std::invalid_argument escape hatch: bad input
-/// surfaces as a one-line qsv::Error like every other CLI mistake.
+/// surfaces as a one-line usage error like every other CLI mistake.
 int parse_int(const std::string& s, const std::string& what) {
   char* end = nullptr;
   const long v = std::strtol(s.c_str(), &end, 10);
-  QSV_REQUIRE(!s.empty() && end != nullptr && *end == '\0',
+  require_arg(!s.empty() && end != nullptr && *end == '\0',
               what + " needs an integer, got '" + s + "'");
   return static_cast<int>(v);
 }
@@ -79,9 +97,11 @@ int cmd_run(int argc, const char* const* argv) {
   args.option("ranks").option("shots").option("seed").option("tile");
   args.option("faults").option("mtbf").option("checkpoint-interval");
   args.option("checkpoint-dir").option("bitflip").option("guards");
+  args.option("keep-last").option("spares").option("recovery");
   args.flag("no-sweep").flag("guard-crc");
   args.parse(argc, argv);
-  QSV_REQUIRE(args.positionals().size() == 1, "usage: qsv run <file.qc> ...");
+  require_arg(args.positionals().size() == 1,
+              "usage: qsv run <file.qc> ...");
 
   const Circuit c = load_circuit(args.positionals()[0]);
   QSV_REQUIRE(c.num_qubits() <= 24, "register too large for functional run");
@@ -107,7 +127,7 @@ int cmd_run(int argc, const char* const* argv) {
                       flips.specs.end());
   }
   const double mtbf_hours = args.double_or("mtbf", 0);
-  QSV_REQUIRE(mtbf_hours >= 0, "--mtbf must be positive");
+  require_arg(mtbf_hours >= 0, "--mtbf must be positive");
   if (mtbf_hours > 0) {
     const FaultPlan sampled = sample_node_failures(
         mtbf_hours * 3600, /*seconds_per_gate=*/1.0, c.size(), ranks,
@@ -125,23 +145,39 @@ int cmd_run(int argc, const char* const* argv) {
 
   CheckpointOptions ck;
   const int interval = args.int_or("checkpoint-interval", 0);
-  QSV_REQUIRE(interval >= 0, "--checkpoint-interval must be >= 0");
+  require_arg(interval >= 0, "--checkpoint-interval must be >= 0");
   ck.interval_gates = static_cast<std::uint64_t>(interval);
   ck.dir = args.value_or("checkpoint-dir", ".");
+  ck.keep_last = args.int_or("keep-last", 2);
+  require_arg(ck.keep_last >= 1, "--keep-last must be >= 1");
 
   GuardOptions guards;
   const int cadence = args.int_or("guards", 0);
-  QSV_REQUIRE(cadence >= 0, "--guards must be >= 0");
+  require_arg(cadence >= 0, "--guards must be >= 0");
   guards.cadence_gates = static_cast<std::uint64_t>(cadence);
   guards.slice_crc = args.has("guard-crc");
+
+  // Elastic recovery: the CLI enables every tier by default (the library
+  // default is PR 4 restart-only); --recovery narrows the set.
+  ElasticOptions elastic;
+  elastic.allow_shrink = true;
+  if (const auto tiers = args.value("recovery")) {
+    try {
+      elastic = parse_recovery_tiers(*tiers);
+    } catch (const Error& e) {
+      throw ArgError(e.what());
+    }
+  }
+  elastic.spares = args.int_or("spares", 0);
+  require_arg(elastic.spares >= 0, "--spares must be >= 0");
 
   IntegrityStats rec;
   const bool verified = injector || ck.interval_gates > 0 || guards.enabled();
   if (verified) {
-    // Gate-by-gate integrity driver: checkpoints, guard checks, rollbacks.
-    // A NodeFailure with checkpointing disabled propagates out of here to a
-    // nonzero exit, as does an IntegrityAbort.
-    rec = run_verified(sv, c, ck, guards);
+    // Gate-by-gate integrity driver: checkpoints, guard checks, rollbacks,
+    // elastic node-failure recovery. A NodeFailure that no tier can recover
+    // propagates out of here to exit code 4, an IntegrityAbort to 5.
+    rec = run_verified(sv, c, ck, guards, RecoveryPolicy{}, elastic);
   } else {
     sv.apply(c);  // fault-free fast path (keeps the sweep executor active)
   }
@@ -171,8 +207,30 @@ int cmd_run(int argc, const char* const* argv) {
   }
   if (ck.interval_gates > 0) {
     std::cout << "recovery: " << rec.restarts << " restarts, "
-              << rec.checkpoints_written << " checkpoints written, "
-              << rec.gates_replayed << " gates replayed\n";
+              << rec.substitutions << " substitutions, " << rec.shrinks
+              << " shrinks, " << rec.checkpoints_written
+              << " checkpoints written, " << rec.gates_replayed
+              << " gates replayed\n";
+    if (rec.shrinks > 0) {
+      std::cout << "shrink-to-survive: finished at " << sv.num_ranks()
+                << " ranks (started at " << ranks << ")\n";
+    }
+  }
+  // Layout-independent digest of the final state (global amplitude order,
+  // so it matches across rank counts — including after a shrink). The
+  // determinism checker diffs this line across repeated faulted runs.
+  {
+    Crc32 crc;
+    for (amp_index g = 0; g < (amp_index{1} << c.num_qubits()); ++g) {
+      const cplx a = sv.amplitude(g);
+      const double re = a.real();
+      const double im = a.imag();
+      crc.update(&re, sizeof re);
+      crc.update(&im, sizeof im);
+    }
+    char digest[16];
+    std::snprintf(digest, sizeof digest, "%08x", crc.value());
+    std::cout << "state crc32: " << digest << "\n";
   }
   for (qubit_t q = 0; q < c.num_qubits(); ++q) {
     PauliTerm z;
@@ -209,7 +267,7 @@ int cmd_info(int argc, const char* const* argv) {
   ArgParser args;
   args.option("local").flag("half-exchange");
   args.parse(argc, argv);
-  QSV_REQUIRE(args.positionals().size() == 1,
+  require_arg(args.positionals().size() == 1,
               "usage: qsv info <file.qc> --local L");
   const Circuit c = load_circuit(args.positionals()[0]);
   const int local = args.int_or("local", c.num_qubits());
@@ -232,7 +290,7 @@ int cmd_transpile(int argc, const char* const* argv) {
   ArgParser args;
   args.option("local").option("pass").option("out").option("min-reuse");
   args.parse(argc, argv);
-  QSV_REQUIRE(args.positionals().size() == 1,
+  require_arg(args.positionals().size() == 1,
               "usage: qsv transpile <file.qc> --local L --pass ...");
   const Circuit c = load_circuit(args.positionals()[0]);
   const int local = args.int_or("local", c.num_qubits());
@@ -253,7 +311,7 @@ int cmd_transpile(int argc, const char* const* argv) {
   } else if (which == "cleanup") {
     pass = std::make_unique<CleanupPass>();
   } else {
-    QSV_REQUIRE(false, "--pass must be cache|greedy|fusion|cleanup");
+    throw ArgError("--pass must be cache|greedy|fusion|cleanup");
   }
 
   const Circuit out = pass->run(c);
@@ -274,6 +332,7 @@ int cmd_price(int argc, const char* const* argv) {
   args.option("qft").option("fast-qft").option("nodes").option("freq");
   args.option("timeline").option("machine");
   args.option("mtbf").option("checkpoint-interval").option("guards");
+  args.option("spares");
   args.flag("highmem").flag("nonblocking").flag("half-exchange");
   args.flag("guard-crc");
   args.parse(argc, argv);
@@ -285,7 +344,7 @@ int cmd_price(int argc, const char* const* argv) {
           : archer2();
   if (args.has("mtbf")) {
     const double mtbf_hours = args.double_or("mtbf", 0);
-    QSV_REQUIRE(mtbf_hours > 0, "--mtbf must be positive");
+    require_arg(mtbf_hours > 0, "--mtbf must be positive");
     m.reliability.node_mtbf_s = mtbf_hours * 3600;
   }
   const NodeKind kind =
@@ -303,7 +362,7 @@ int cmd_price(int argc, const char* const* argv) {
                       qubits - bits::log2_exact(
                                    static_cast<std::uint64_t>(nodes)));
     }
-    QSV_REQUIRE(args.positionals().size() == 1,
+    require_arg(args.positionals().size() == 1,
                 "usage: qsv price (<file.qc> | --qft N | --fast-qft N)");
     return load_circuit(args.positionals()[0]);
   }();
@@ -313,6 +372,8 @@ int cmd_price(int argc, const char* const* argv) {
   job.node_kind = kind;
   job.freq = freq;
   job.nodes = args.int_or("nodes", min_nodes(m, c.num_qubits(), kind));
+  job.spares = args.int_or("spares", 0);
+  require_arg(job.spares >= 0, "--spares must be >= 0");
 
   DistOptions opts;
   opts.policy = args.has("nonblocking") ? CommPolicy::kNonBlocking
@@ -332,7 +393,7 @@ int cmd_price(int argc, const char* const* argv) {
   // a check every K gates plus the mandatory end-of-circuit check — as
   // kGuard events against the same cost model.
   const int guard_cadence = args.int_or("guards", 0);
-  QSV_REQUIRE(guard_cadence >= 0, "--guards must be >= 0");
+  require_arg(guard_cadence >= 0, "--guards must be >= 0");
   if (guard_cadence > 0) {
     const std::uint64_t local_amps =
         (std::uint64_t{1} << c.num_qubits()) /
@@ -358,10 +419,14 @@ int cmd_price(int argc, const char* const* argv) {
     CsvWriter csv(*timeline_path);
     csv.row({"t_start_s", "duration_s", "phase", "power_w"});
     for (const PowerSample& s : cost.timeline()) {
-      const char* phase =
-          s.phase == MachineModel::Phase::kMpi
-              ? "mpi"
-              : (s.phase == MachineModel::Phase::kStall ? "stall" : "local");
+      const char* phase = "local";
+      switch (s.phase) {
+        case MachineModel::Phase::kMpi: phase = "mpi"; break;
+        case MachineModel::Phase::kStall: phase = "stall"; break;
+        case MachineModel::Phase::kIo: phase = "io"; break;
+        case MachineModel::Phase::kIdle: phase = "idle"; break;
+        default: break;
+      }
       csv.row({fmt::fixed(s.t_start_s, 4), fmt::fixed(s.duration_s, 4),
                phase, fmt::fixed(s.power_w, 1)});
     }
@@ -409,12 +474,40 @@ int cmd_price(int argc, const char* const* argv) {
     add(0.0, "none");
     if (args.has("checkpoint-interval")) {
       const double requested = args.double_or("checkpoint-interval", 0);
-      QSV_REQUIRE(requested > 0, "--checkpoint-interval must be positive");
+      require_arg(requested > 0, "--checkpoint-interval must be positive");
       add(requested, fmt::seconds(requested));
     }
     add(tau_opt, fmt::seconds(tau_opt) + " (Daly opt)");
     std::cout << "\n";
     rt.print(std::cout);
+
+    // Per-failure cost of each elastic recovery tier, with the expected
+    // replay window (half the Daly interval — failures land uniformly
+    // between checkpoints). This is the table choose_tier's static
+    // cheapest-first order is calibrated against.
+    const double replay_s = tau_opt / 2;
+    const RecoveryEnergy tiers[] = {
+        expected_substitute(m, job, r, replay_s),
+        expected_shrink(m, job, r, replay_s),
+        expected_restart(m, job, r, replay_s),
+    };
+    Table tt("Per-failure recovery cost by tier (replay = half the Daly "
+             "interval)");
+    tt.header({"tier", "time", "energy", "vs restart"});
+    for (const RecoveryEnergy& e : tiers) {
+      tt.row({recovery_tier_name(e.tier), fmt::seconds(e.time_s),
+              fmt::energy_j(e.energy_j),
+              fmt::fixed(e.energy_j / tiers[2].energy_j, 3)});
+    }
+    if (job.spares > 0) {
+      tt.row({"spare pool (" + std::to_string(job.spares) + ", solve)",
+              fmt::seconds(r.runtime_s),
+              fmt::energy_j(spare_pool_energy_j(m, job, job.spares,
+                                                r.runtime_s)),
+              "-"});
+    }
+    std::cout << "\n";
+    tt.print(std::cout);
   }
   return 0;
 }
@@ -425,7 +518,7 @@ int cmd_sbatch(int argc, const char* const* argv) {
   args.flag("highmem");
   args.parse(argc, argv);
   const int qubits = args.int_or("qubits", 0);
-  QSV_REQUIRE(qubits > 0, "usage: qsv sbatch --qubits N ...");
+  require_arg(qubits > 0, "usage: qsv sbatch --qubits N ...");
 
   const MachineModel m = archer2();
   const NodeKind kind =
@@ -448,15 +541,24 @@ int usage() {
       << "             --tile T sets the tile exponent, default 15;\n"
       << "             --faults/--mtbf inject failures, --bitflip G[:R[:B]]\n"
       << "             injects silent corruption, --checkpoint-interval\n"
-      << "             and --checkpoint-dir enable checkpoint/restart,\n"
+      << "             and --checkpoint-dir enable checkpoint/restart\n"
+      << "             (--keep-last N retains N checkpoints, default 2),\n"
       << "             --guards K checks invariants every K gates and\n"
-      << "             --guard-crc adds slice CRC signatures)\n"
+      << "             --guard-crc adds slice CRC signatures;\n"
+      << "             --spares N holds spare nodes for substitution and\n"
+      << "             --recovery retry,substitute,shrink,restart picks\n"
+      << "             the allowed recovery tiers, default all)\n"
       << "            env QSV_SIMD=scalar|avx2|avx512|auto pins the SIMD\n"
       << "            kernel backend (default: best the CPU supports)\n"
       << "  info      locality & communication analysis of a circuit file\n"
       << "  transpile apply a pass (cache|greedy|fusion|cleanup)\n"
       << "  price     estimate runtime/energy/CU on the ARCHER2 model\n"
-      << "  sbatch    print the SLURM job script for a register size\n";
+      << "            (--mtbf adds expected-energy and per-failure\n"
+      << "             recovery-tier tables, --spares prices the spare\n"
+      << "             pool's standing cost)\n"
+      << "  sbatch    print the SLURM job script for a register size\n"
+      << "exit codes: 0 ok, 1 error, 2 bad arguments, 4 unrecovered node\n"
+      << "failure, 5 integrity abort\n";
   return 2;
 }
 
@@ -471,6 +573,18 @@ int main(int argc, const char* const* argv) {
     if (cmd == "transpile") return cmd_transpile(argc - 1, argv + 1);
     if (cmd == "price") return cmd_price(argc - 1, argv + 1);
     if (cmd == "sbatch") return cmd_sbatch(argc - 1, argv + 1);
+  } catch (const IntegrityAbort& e) {
+    // Recovery budget exhausted or unrecoverable corruption: forensics
+    // (rank, gate, cause) are in the message. Documented exit code 5.
+    std::cerr << "qsv: integrity abort: " << e.what() << "\n";
+    return 5;
+  } catch (const NodeFailure& e) {
+    // A node failure no recovery tier could absorb. Documented exit code 4.
+    std::cerr << "qsv: node failure: " << e.what() << "\n";
+    return 4;
+  } catch (const ArgError& e) {
+    std::cerr << "qsv: " << e.what() << "\n";
+    return 2;
   } catch (const Error& e) {
     std::cerr << "qsv: " << e.what() << "\n";
     return 1;
