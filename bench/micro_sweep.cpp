@@ -22,8 +22,10 @@
 #include "circuit/circuit.hpp"
 #include "circuit/gate.hpp"
 #include "circuit/sweep_plan.hpp"
+#include "cluster/topology.hpp"
 #include "common/format.hpp"
 #include "common/table.hpp"
+#include "dist/dist_statevector.hpp"
 #include "sv/simd/simd.hpp"
 #include "sv/statevector.hpp"
 
@@ -217,6 +219,57 @@ int run(int argc, char** argv) {
       "are split-lane (SoA-native) and delegate interleaved storage to the "
       "scalar reference. The SoA-vs-AoS gap under vectorisation is the "
       "layout-sensitivity result, not an accident.");
+
+  // Ranks-as-threads section: the same sweep workload through the
+  // distributed engine, serial vs one-thread-per-rank. The speedup is
+  // bounded by the host's CPU count (recorded in the JSON so the numbers
+  // are interpretable on any machine).
+  {
+    const HostTopology topo = discover_host_topology();
+    const int ranks = 4;
+    const int dq = std::min(qubits, 22);  // keep both engines in budget
+    auto time_dist = [&](bool threaded) {
+      DistOptions o;
+      o.sweep.tile_qubits = g_tile_qubits;
+      if (threaded) {
+        o.threading.threads = ranks;
+        o.threading.placement = PlacementPolicy::kCompact;
+      }
+      DistStateVectorSoa sv(dq, ranks, o);
+      const Circuit& c = workloads[0].circuit;
+      Circuit shrunk(dq);
+      for (const Gate& g : c.gates()) {
+        shrunk.add(g);
+      }
+      sv.apply(shrunk);  // warm-up
+      double best = std::numeric_limits<double>::infinity();
+      for (int r = 0; r < reps; ++r) {
+        const auto t0 = std::chrono::steady_clock::now();
+        sv.apply(shrunk);
+        const auto t1 = std::chrono::steady_clock::now();
+        best =
+            std::min(best, std::chrono::duration<double>(t1 - t0).count());
+      }
+      return best;
+    };
+    const double serial_s = time_dist(false);
+    const double threads_s = time_dist(true);
+    Table tt("distributed sweep: serial vs ranks-as-threads (" +
+             std::to_string(ranks) + " ranks, " + std::to_string(dq) +
+             " qubits)");
+    tt.header({"engine", "sweep", "speedup"});
+    tt.row({"serial", fmt::seconds(serial_s), "1.00x"});
+    tt.row({"threaded", fmt::seconds(threads_s),
+            fmt::fixed(serial_s / threads_s, 2) + "x"});
+    tt.print(std::cout);
+    json.add("dist4_serial", serial_s, "s");
+    json.add("dist4_threads", threads_s, "s");
+    json.add("dist4_thread_speedup", serial_s / threads_s, "x");
+    json.add("host_cpus", topo.total_cpus, "cpus");
+    json.add("host_numa_domains", static_cast<double>(topo.domains.size()),
+             "domains");
+  }
+
   json.write("micro_sweep");
   return 0;
 }

@@ -1,0 +1,119 @@
+// Strong-scaling benchmark for the ranks-as-threads engine: a QFT workload
+// run through the distributed engine at increasing rank counts, serial
+// orchestrator vs one-OS-thread-per-rank, across placement policies.
+//
+// The attainable speedup is bounded by the host: a machine with one CPU (or
+// one NUMA domain) cannot show parallel speedup no matter how correct the
+// threading is, so the host topology is printed and recorded in the JSON
+// alongside every number. Interpret `*_speedup` against `host_cpus`.
+//
+// Usage: scaling_threads [--qubits N] [--reps R] [--json PATH]
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "circuit/builders.hpp"
+#include "circuit/circuit.hpp"
+#include "cluster/topology.hpp"
+#include "common/format.hpp"
+#include "common/table.hpp"
+#include "dist/dist_statevector.hpp"
+
+namespace qsv {
+namespace {
+
+// One timed configuration: best-of-`reps` wall time for a full apply of the
+// circuit, after one warm-up apply that faults in both slices and scratch.
+double best_seconds(int qubits, int ranks, const Circuit& c, bool threaded,
+                    PlacementPolicy placement, int reps) {
+  DistOptions o;
+  if (threaded) {
+    o.threading.threads = ranks;
+    o.threading.placement = placement;
+  }
+  DistStateVectorSoa sv(qubits, ranks, o);
+  sv.apply(c);  // warm-up
+  double best = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    sv.apply(c);
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+int run(int argc, char** argv) {
+  int qubits = 20;
+  int reps = 2;
+  for (int i = 1; i + 1 < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--qubits") {
+      qubits = std::atoi(argv[i + 1]);
+    } else if (a == "--reps") {
+      reps = std::atoi(argv[i + 1]);
+    }
+  }
+
+  const HostTopology topo = discover_host_topology();
+  bench::print_header("ranks-as-threads strong scaling (host machine)");
+  std::cout << "workload: qft" << qubits << ", reps: " << reps
+            << " (best-of)\nhost: " << topo.total_cpus << " CPU(s), "
+            << topo.domains.size() << " NUMA domain(s)\n\n";
+
+  bench::JsonReport json = bench::JsonReport::from_args(argc, argv);
+  json.add("host_cpus", topo.total_cpus, "cpus");
+  json.add("host_numa_domains", static_cast<double>(topo.domains.size()),
+           "domains");
+  json.add("qubits", qubits, "qubits");
+
+  const Circuit c = build_qft(qubits);
+  const std::string wl = "qft" + std::to_string(qubits);
+
+  Table table("serial engine vs ranks-as-threads");
+  table.header({"ranks", "placement", "seconds", "vs serial"});
+  for (const int ranks : {1, 2, 4}) {
+    const double serial_s =
+        best_seconds(qubits, ranks, c, false, PlacementPolicy::kNone, reps);
+    table.row({std::to_string(ranks), "(serial)", fmt::seconds(serial_s),
+               "1.00x"});
+    json.add(wl + "_r" + std::to_string(ranks) + "_serial", serial_s, "s");
+
+    // All placement policies at the widest rank count; compact elsewhere
+    // (on a one-domain host the policies differ only in pinning).
+    std::vector<PlacementPolicy> policies = {PlacementPolicy::kCompact};
+    if (ranks == 4) {
+      policies.push_back(PlacementPolicy::kScatter);
+      policies.push_back(PlacementPolicy::kNone);
+    }
+    for (const PlacementPolicy p : policies) {
+      const double t = best_seconds(qubits, ranks, c, true, p, reps);
+      const double vs = serial_s / t;
+      table.row({std::to_string(ranks), placement_policy_name(p),
+                 fmt::seconds(t), fmt::fixed(vs, 2) + "x"});
+      const std::string key = wl + "_r" + std::to_string(ranks) + "_" +
+                              placement_policy_name(p);
+      json.add(key, t, "s");
+      json.add(key + "_speedup", vs, "x");
+    }
+  }
+  table.print(std::cout);
+
+  bench::print_note(
+      "speedup is capped by host_cpus: with one CPU the threaded engine can "
+      "only match the serial engine (minus synchronisation overhead), which "
+      "is itself the correctness signal here. Re-run on a multi-socket host "
+      "to see placement policies separate.");
+  json.write("scaling_threads");
+  return 0;
+}
+
+}  // namespace
+}  // namespace qsv
+
+int main(int argc, char** argv) { return qsv::run(argc, argv); }

@@ -1,6 +1,7 @@
 #include "cluster/cluster.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <string>
 
 #include "cluster/faults.hpp"
@@ -9,6 +10,13 @@
 #include "common/error.hpp"
 
 namespace qsv {
+namespace {
+
+std::chrono::duration<double> deadline_of(double seconds) {
+  return std::chrono::duration<double>(seconds);
+}
+
+}  // namespace
 
 VirtualCluster::VirtualCluster(int num_ranks, std::size_t max_message_bytes,
                                double recv_deadline_s)
@@ -43,6 +51,16 @@ void VirtualCluster::check_alive(rank_t from, rank_t to) const {
   }
 }
 
+void VirtualCluster::enable_concurrent(std::size_t capacity_messages) {
+  QSV_REQUIRE(capacity_messages >= 1,
+              "concurrent mailboxes need capacity for at least one message");
+  std::lock_guard<std::mutex> lk(m_);
+  QSV_REQUIRE(in_flight_ == 0,
+              "enable_concurrent requires a quiescent cluster");
+  concurrent_ = true;
+  capacity_messages_ = capacity_messages;
+}
+
 void VirtualCluster::send(rank_t from, rank_t to,
                           std::span<const std::byte> payload) {
   check_rank(from);
@@ -58,20 +76,17 @@ void VirtualCluster::send(rank_t from, rank_t to,
                   " bytes; chunk the payload");
   check_alive(from, to);
 
-  // The wire carries the message whether or not it arrives: dropped and
-  // corrupted sends are real traffic (and get re-sent by the retry layer).
-  ++stats_.messages;
-  stats_.bytes += payload.size();
-  stats_.max_message_bytes =
-      std::max<std::uint64_t>(stats_.max_message_bytes, payload.size());
-
+  bool deliver = true;
   bool corrupt_in_flight = false;
   if (injector_ != nullptr) {
+    // The injector is internally synchronised; consulting it outside the
+    // transport lock keeps verdict draws off the mailbox critical path.
     const FaultInjector::MessageOutcome out =
         injector_->on_message(from, to, recv_deadline_s_);
     switch (out.verdict) {
       case FaultInjector::Verdict::kDrop:
-        return;  // never enqueued: the matching recv times out
+        deliver = false;  // never enqueued: the matching recv times out
+        break;
       case FaultInjector::Verdict::kCorrupt:
         corrupt_in_flight = true;  // bookkeeping only; detection is the CRC
         break;
@@ -79,7 +94,7 @@ void VirtualCluster::send(rank_t from, rank_t to,
         if (out.past_deadline) {
           // The straggler lands after the receiver's watchdog gives up:
           // never consumed, so the matching recv must time out.
-          return;
+          deliver = false;
         }
         break;  // in-deadline latency is an accounting matter
       case FaultInjector::Verdict::kDeliver:
@@ -87,69 +102,125 @@ void VirtualCluster::send(rank_t from, rank_t to,
     }
   }
 
-  // The checksum is computed over the bytes the sender handed us, *before*
-  // any in-flight corruption: that is what makes detection end-to-end.
-  Message msg{std::vector<std::byte>(payload.begin(), payload.end()),
-              crc32(payload.data(), payload.size())};
-  if (corrupt_in_flight && !msg.data.empty()) {
-    msg.data[msg.data.size() / 2] ^= std::byte{0x01};  // single bit flip
+  // The payload copy and checksum are the expensive part of a send; they
+  // happen outside the lock so concurrent senders overlap. The checksum is
+  // computed over the bytes the sender handed us, *before* any in-flight
+  // corruption: that is what makes detection end-to-end.
+  Message msg;
+  if (deliver) {
+    msg = Message{std::vector<std::byte>(payload.begin(), payload.end()),
+                  crc32(payload.data(), payload.size())};
+    if (corrupt_in_flight && !msg.data.empty()) {
+      msg.data[msg.data.size() / 2] ^= std::byte{0x01};  // single bit flip
+    }
   }
-  queues_[{from, to}].push_back(std::move(msg));
+
+  std::unique_lock<std::mutex> lk(m_);
+  // The wire carries the message whether or not it arrives: dropped and
+  // corrupted sends are real traffic (and get re-sent by the retry layer).
+  ++stats_.messages;
+  stats_.bytes += payload.size();
+  stats_.max_message_bytes =
+      std::max<std::uint64_t>(stats_.max_message_bytes, payload.size());
+  if (!deliver) {
+    return;
+  }
+  std::deque<Message>& q = queues_[{from, to}];
+  if (concurrent_ && q.size() >= capacity_messages_) {
+    // Buffered-send backpressure, bounded by the same watchdog deadline as
+    // a receive: a receiver that stopped draining must not hang the sender.
+    const bool freed =
+        cv_send_.wait_for(lk, deadline_of(recv_deadline_s_),
+                          [&] { return q.size() < capacity_messages_; });
+    if (!freed) {
+      throw CommTimeout("send " + std::to_string(from) + " -> " +
+                        std::to_string(to) + " timed out: mailbox full (" +
+                        std::to_string(q.size()) + " of " +
+                        std::to_string(capacity_messages_) +
+                        " messages) after the " +
+                        std::to_string(recv_deadline_s_) +
+                        " s watchdog deadline");
+    }
+  }
+  q.push_back(std::move(msg));
   ++in_flight_;
   stats_.max_in_flight = std::max(stats_.max_in_flight, in_flight_);
+  if (concurrent_) {
+    cv_recv_.notify_all();
+  }
 }
 
 void VirtualCluster::recv(rank_t from, rank_t to, std::span<std::byte> out) {
   check_rank(from);
   check_rank(to);
   check_alive(from, to);
-  auto it = queues_.find({from, to});
-  if (it == queues_.end() || it->second.empty()) {
-    throw CommTimeout("recv " + std::to_string(from) + " -> " +
-                      std::to_string(to) +
-                      " timed out: no matching message queued after the " +
-                      std::to_string(recv_deadline_s_) +
-                      " s watchdog deadline (queue depth 0, message cap " +
-                      std::to_string(max_message_bytes_) + " bytes)");
-  }
-  const Message& msg = it->second.front();
-  if (msg.data.size() != out.size()) {
-    const std::string detail =
-        "recv " + std::to_string(from) + " -> " + std::to_string(to) +
-        ": buffer of " + std::to_string(out.size()) +
-        " bytes does not match the queued message of " +
-        std::to_string(msg.data.size()) + " bytes (queue depth " +
-        std::to_string(it->second.size()) + ", message cap " +
-        std::to_string(max_message_bytes_) + " bytes)";
-    QSV_REQUIRE(false, detail);
-  }
-  const std::uint32_t sent_crc = msg.crc;
-  std::copy(msg.data.begin(), msg.data.end(), out.begin());
-  it->second.pop_front();
-  --in_flight_;
-  if (it->second.empty()) {
-    queues_.erase(it);
+  Message msg;
+  {
+    std::unique_lock<std::mutex> lk(m_);
+    const auto queued = [&] {
+      const auto it = queues_.find({from, to});
+      return it != queues_.end() && !it->second.empty();
+    };
+    if (concurrent_ && !queued()) {
+      // Blocking mailbox receive: the sender thread may simply not have
+      // arrived yet. The watchdog deadline turns a genuinely missing
+      // message (dropped, or the sender died) into the same CommTimeout
+      // the serial transport throws immediately.
+      cv_recv_.wait_for(lk, deadline_of(recv_deadline_s_), queued);
+    }
+    const auto it = queues_.find({from, to});
+    if (it == queues_.end() || it->second.empty()) {
+      throw CommTimeout("recv " + std::to_string(from) + " -> " +
+                        std::to_string(to) +
+                        " timed out: no matching message queued after the " +
+                        std::to_string(recv_deadline_s_) +
+                        " s watchdog deadline (queue depth 0, message cap " +
+                        std::to_string(max_message_bytes_) + " bytes)");
+    }
+    if (it->second.front().data.size() != out.size()) {
+      const std::string detail =
+          "recv " + std::to_string(from) + " -> " + std::to_string(to) +
+          ": buffer of " + std::to_string(out.size()) +
+          " bytes does not match the queued message of " +
+          std::to_string(it->second.front().data.size()) +
+          " bytes (queue depth " + std::to_string(it->second.size()) +
+          ", message cap " + std::to_string(max_message_bytes_) + " bytes)";
+      QSV_REQUIRE(false, detail);
+    }
+    msg = std::move(it->second.front());
+    it->second.pop_front();
+    --in_flight_;
+    if (it->second.empty()) {
+      queues_.erase(it);
+    }
+    if (concurrent_) {
+      cv_send_.notify_all();
+    }
   }
   // End-to-end verification: recompute the checksum over what actually
   // arrived and compare against what the sender computed. No injector state
-  // is consulted here.
+  // is consulted here. Copy + CRC run outside the lock.
+  std::copy(msg.data.begin(), msg.data.end(), out.begin());
   const std::uint32_t got_crc = crc32(out.data(), out.size());
-  if (got_crc != sent_crc) {
+  std::lock_guard<std::mutex> lk(m_);
+  if (got_crc != msg.crc) {
     ++stats_.checksum_failures;
     throw CommCorrupt("recv " + std::to_string(from) + " -> " +
                       std::to_string(to) + ": payload CRC-32 mismatch (sent " +
-                      std::to_string(sent_crc) + ", received " +
+                      std::to_string(msg.crc) + ", received " +
                       std::to_string(got_crc) + ")");
   }
   ++stats_.delivered;
 }
 
 std::size_t VirtualCluster::pending(rank_t from, rank_t to) const {
+  std::lock_guard<std::mutex> lk(m_);
   const auto it = queues_.find({from, to});
   return it == queues_.end() ? 0 : it->second.size();
 }
 
 void VirtualCluster::purge_pair(rank_t a, rank_t b) {
+  std::lock_guard<std::mutex> lk(m_);
   for (const auto key : {std::pair<rank_t, rank_t>{a, b},
                          std::pair<rank_t, rank_t>{b, a}}) {
     const auto it = queues_.find(key);
@@ -158,10 +229,14 @@ void VirtualCluster::purge_pair(rank_t a, rank_t b) {
       queues_.erase(it);
     }
   }
+  if (concurrent_) {
+    cv_send_.notify_all();
+  }
 }
 
 void VirtualCluster::purge_rank(rank_t rank) {
   check_rank(rank);
+  std::lock_guard<std::mutex> lk(m_);
   for (auto it = queues_.begin(); it != queues_.end();) {
     if (it->first.first == rank || it->first.second == rank) {
       in_flight_ -= it->second.size();
@@ -169,6 +244,9 @@ void VirtualCluster::purge_rank(rank_t rank) {
     } else {
       ++it;
     }
+  }
+  if (concurrent_) {
+    cv_send_.notify_all();
   }
 }
 
@@ -180,20 +258,58 @@ void VirtualCluster::shrink_to(int new_num_ranks) {
               "shrink_to must reduce the rank count (have " +
                   std::to_string(num_ranks_) + ", asked for " +
                   std::to_string(new_num_ranks) + ")");
-  QSV_REQUIRE(quiescent(),
+  std::lock_guard<std::mutex> lk(m_);
+  QSV_REQUIRE(in_flight_ == 0,
               "shrink_to requires a quiescent cluster: " +
                   std::to_string(in_flight_) + " messages still in flight");
   num_ranks_ = new_num_ranks;
 }
 
 void VirtualCluster::reset_queues() {
+  std::lock_guard<std::mutex> lk(m_);
   queues_.clear();
   in_flight_ = 0;
+  if (concurrent_) {
+    cv_send_.notify_all();
+  }
 }
 
-bool VirtualCluster::quiescent() const { return in_flight_ == 0; }
+bool VirtualCluster::quiescent() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return in_flight_ == 0;
+}
 
-void VirtualCluster::barrier() { ++stats_.barriers; }
+void VirtualCluster::barrier() {
+  std::lock_guard<std::mutex> lk(m_);
+  ++stats_.barriers;
+  stats_.barrier_arrivals += static_cast<std::uint64_t>(num_ranks_);
+}
+
+void VirtualCluster::barrier(rank_t r) {
+  check_rank(r);
+  std::unique_lock<std::mutex> lk(m_);
+  ++stats_.barrier_arrivals;
+  const std::uint64_t epoch = barrier_epoch_;
+  if (++barrier_waiting_ == num_ranks_) {
+    barrier_waiting_ = 0;
+    ++barrier_epoch_;
+    ++stats_.barriers;
+    cv_barrier_.notify_all();
+    return;
+  }
+  const bool released =
+      cv_barrier_.wait_for(lk, deadline_of(recv_deadline_s_),
+                           [&] { return barrier_epoch_ != epoch; });
+  if (!released) {
+    // Withdraw so a later complete barrier is not corrupted by our ghost.
+    --barrier_waiting_;
+    throw CommTimeout("barrier: rank " + std::to_string(r) +
+                      " waited " + std::to_string(recv_deadline_s_) +
+                      " s but only " + std::to_string(barrier_waiting_ + 1) +
+                      " of " + std::to_string(num_ranks_) +
+                      " ranks arrived");
+  }
+}
 
 int message_count(std::uint64_t total_bytes, std::size_t max_message_bytes) {
   QSV_REQUIRE(max_message_bytes > 0, "zero message cap");

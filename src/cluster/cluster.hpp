@@ -10,11 +10,22 @@
 //    rewrite posts all Isend/Irecv up front and waits once.
 //
 // The transport here is *functional*: messages are byte buffers delivered
-// through per-pair FIFO queues, orchestrated deterministically by the
-// single-threaded engine. Timing semantics (serialisation vs pipelining,
-// congestion) belong to the cost model, which consumes the execution events
-// the engine emits; the cluster records ground-truth traffic counters that
-// the trace backend must reproduce exactly.
+// through per-pair FIFO queues. Timing semantics (serialisation vs
+// pipelining, congestion) belong to the cost model, which consumes the
+// execution events the engine emits; the cluster records ground-truth
+// traffic counters that the trace backend must reproduce exactly.
+//
+// Two execution modes share this transport:
+//  * serial (default): the single-threaded engine orchestrates every send
+//    and recv in program order; a recv that finds no message throws
+//    CommTimeout immediately (the message can never arrive later).
+//  * concurrent (enable_concurrent): ranks run on their own threads
+//    (cluster/rank_team.hpp) and the per-pair queues become bounded MPSC
+//    mailboxes — recv blocks on a condition variable until a message lands
+//    or the watchdog deadline expires, and send blocks while the
+//    destination mailbox is at capacity (MPI buffered-send backpressure).
+//    The same watchdog deadline bounds both waits, so a lost peer always
+//    surfaces as the familiar CommTimeout instead of a hang.
 //
 // Integrity is end-to-end, not oracular: every payload carries a CRC-32
 // computed at send time, and recv recomputes and compares before handing
@@ -32,10 +43,13 @@
 // behaves exactly as before.
 #pragma once
 
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <limits>
 #include <map>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -62,8 +76,18 @@ struct CommStats {
   std::uint64_t messages = 0;        // individual messages sent
   std::uint64_t bytes = 0;           // payload bytes sent
   std::uint64_t max_message_bytes = 0;  // largest single message observed
-  std::uint64_t max_in_flight = 0;   // peak queued messages (non-blocking)
+  /// Peak queued messages. Deterministic in serial mode; in concurrent mode
+  /// it depends on thread scheduling (a fast sender deepens the mailbox a
+  /// slow receiver is draining), so determinism checks must not key off it.
+  std::uint64_t max_in_flight = 0;
+  /// Completed barriers (every participant arrived).
   std::uint64_t barriers = 0;
+  /// Per-rank barrier participations: each completed barrier contributes
+  /// one arrival per rank, whether the ranks arrived concurrently
+  /// (barrier(rank)) or the orchestrator arrived for all of them
+  /// (barrier()). barriers counted whole-cluster events only, which
+  /// under-reported participation once ranks became real threads.
+  std::uint64_t barrier_arrivals = 0;
 
   // Receiver-side delivery counters (the trace backend reproduces the
   // send-side traffic above; delivery is a functional-transport notion).
@@ -139,10 +163,31 @@ class VirtualCluster {
   /// gate so no exchange leaks into the next operation.
   [[nodiscard]] bool quiescent() const;
 
-  /// Synchronisation marker (no-op in a single-threaded cluster; counted).
+  /// Switches the per-pair queues into bounded concurrent mailboxes:
+  /// recv blocks (condition variable) until a message lands or the watchdog
+  /// deadline expires; send blocks while the destination mailbox holds
+  /// `capacity_messages` undelivered messages. Call before any traffic.
+  void enable_concurrent(std::size_t capacity_messages);
+  [[nodiscard]] bool concurrent() const { return concurrent_; }
+
+  /// Whole-cluster barrier executed by a single orchestrating thread on
+  /// behalf of every rank: counts one completed barrier and one arrival per
+  /// rank (the serial engine's synchronisation points are implicit in its
+  /// program order, so this never blocks).
   void barrier();
 
-  [[nodiscard]] const CommStats& stats() const { return stats_; }
+  /// Rank `r` arrives at the current barrier and blocks until all
+  /// num_ranks() ranks have arrived (concurrent mode's real
+  /// synchronisation point; also correct, if pointless, serially with one
+  /// rank). Throws CommTimeout if the rest of the cluster fails to arrive
+  /// within the watchdog deadline — a dead peer must not hang the caller.
+  void barrier(rank_t r);
+
+  [[nodiscard]] const CommStats& stats() const {
+    // Caller-visible reads happen between parallel regions (quiescent), so
+    // no lock is taken; concurrent readers would need one.
+    return stats_;
+  }
   void reset_stats() { stats_ = CommStats{}; }
 
  private:
@@ -165,6 +210,18 @@ class VirtualCluster {
   std::uint64_t in_flight_ = 0;
   CommStats stats_;
   FaultInjector* injector_ = nullptr;
+
+  // Concurrent-mode state. The single mutex guards queues_, in_flight_,
+  // stats_ and the barrier epoch; payload copies and CRC work happen
+  // outside it so senders and receivers overlap on the expensive part.
+  bool concurrent_ = false;
+  std::size_t capacity_messages_ = std::numeric_limits<std::size_t>::max();
+  mutable std::mutex m_;
+  std::condition_variable cv_recv_;   // a message landed
+  std::condition_variable cv_send_;   // mailbox space freed
+  std::condition_variable cv_barrier_;
+  int barrier_waiting_ = 0;
+  std::uint64_t barrier_epoch_ = 0;
 };
 
 /// Splits a payload of `total_bytes` into messages of at most

@@ -161,12 +161,31 @@ FaultInjector::FaultInjector(FaultPlan plan)
       bitflip_rng_(plan_.seed ^ 0x9E3779B97F4A7C15ull) {}
 
 bool FaultInjector::rank_dead(rank_t rank) const {
+  std::lock_guard<std::mutex> lk(m_);
   return std::find(dead_.begin(), dead_.end(), rank) != dead_.end();
+}
+
+Rng& FaultInjector::rng_for_sender(rank_t from) {
+  auto it = sender_rngs_.find(from);
+  if (it == sender_rngs_.end()) {
+    // Mix the sender into the plan seed (distinct odd multiplier per rank,
+    // SplitMix-style): every sender's stream is a pure function of
+    // (plan seed, sender) and independent of arrival interleaving.
+    const std::uint64_t seed =
+        plan_.seed ^
+        (0x9E3779B97F4A7C15ull * (static_cast<std::uint64_t>(from) + 2));
+    it = sender_rngs_.emplace(from, Rng(seed)).first;
+  }
+  return it->second;
 }
 
 FaultInjector::MessageOutcome FaultInjector::on_message(
     rank_t from, rank_t to, double recv_deadline_s) {
-  ++message_counter_;
+  std::lock_guard<std::mutex> lk(m_);
+  const bool per_sender = scope_ == OrdinalScope::kPerSender;
+  const std::uint64_t ordinal =
+      per_sender ? ++sender_counters_[from] : ++message_counter_;
+  Rng& rng = per_sender ? rng_for_sender(from) : rng_;
   MessageOutcome out;
 
   // Explicit one-shot specs first: deterministic regardless of probability
@@ -178,11 +197,14 @@ FaultInjector::MessageOutcome FaultInjector::on_message(
   int severity = 0;  // 0 deliver, 1 straggle, 2 corrupt, 3 drop
   for (std::size_t i = 0; i < plan_.specs.size(); ++i) {
     const FaultSpec& s = plan_.specs[i];
-    if (fired_[i] || s.at_message != message_counter_ ||
+    if (fired_[i] || s.at_message != ordinal ||
         s.kind == FaultKind::kNodeFailure || s.kind == FaultKind::kBitFlip) {
       continue;
     }
-    if (s.rank >= 0 && s.rank != from) {
+    // Per-sender ordinals only exist relative to a sender, so a spec that
+    // names none binds to rank 0 (documented in OrdinalScope).
+    const rank_t spec_rank = per_sender && s.rank < 0 ? 0 : s.rank;
+    if (spec_rank >= 0 && spec_rank != from) {
       continue;
     }
     fired_[i] = true;
@@ -216,14 +238,14 @@ FaultInjector::MessageOutcome FaultInjector::on_message(
   // Probabilistic stream: one draw per configured hazard per message, in a
   // fixed order, so the consumed RNG stream is identical between runs.
   if (out.verdict == Verdict::kDeliver) {
-    if (plan_.drop_prob > 0 && rng_.uniform() < plan_.drop_prob) {
+    if (plan_.drop_prob > 0 && rng.uniform() < plan_.drop_prob) {
       out.verdict = Verdict::kDrop;
     }
-    if (plan_.corrupt_prob > 0 && rng_.uniform() < plan_.corrupt_prob &&
+    if (plan_.corrupt_prob > 0 && rng.uniform() < plan_.corrupt_prob &&
         out.verdict == Verdict::kDeliver) {
       out.verdict = Verdict::kCorrupt;
     }
-    if (plan_.straggler_prob > 0 && rng_.uniform() < plan_.straggler_prob &&
+    if (plan_.straggler_prob > 0 && rng.uniform() < plan_.straggler_prob &&
         out.verdict == Verdict::kDeliver) {
       out.verdict = Verdict::kDelay;
       out.delay_s = plan_.straggler_delay_s;
@@ -242,7 +264,7 @@ FaultInjector::MessageOutcome FaultInjector::on_message(
     FaultEvent e;
     e.rank = from;
     e.peer = to;
-    e.message = message_counter_;
+    e.message = ordinal;
     e.gate = current_gate_;
     switch (out.verdict) {
       case Verdict::kDrop:
@@ -271,6 +293,7 @@ FaultInjector::MessageOutcome FaultInjector::on_message(
 }
 
 std::optional<rank_t> FaultInjector::on_gate(std::uint64_t index) {
+  std::lock_guard<std::mutex> lk(m_);
   current_gate_ = index;
   for (std::size_t i = 0; i < plan_.specs.size(); ++i) {
     const FaultSpec& s = plan_.specs[i];
@@ -293,6 +316,7 @@ std::optional<rank_t> FaultInjector::on_gate(std::uint64_t index) {
 
 std::vector<FaultInjector::BitFlipSpec> FaultInjector::bitflips_at_gate(
     std::uint64_t index) {
+  std::lock_guard<std::mutex> lk(m_);
   std::vector<BitFlipSpec> out;
   for (std::size_t i = 0; i < plan_.specs.size(); ++i) {
     const FaultSpec& s = plan_.specs[i];
@@ -319,6 +343,7 @@ std::vector<FaultInjector::BitFlipSpec> FaultInjector::bitflips_at_gate(
 
 void FaultInjector::record_retry(std::uint64_t bytes, int messages,
                                  double backoff_s) {
+  std::lock_guard<std::mutex> lk(m_);
   ++totals_.retries;
   totals_.retry_bytes += bytes;
   totals_.delay_s += backoff_s;
@@ -328,14 +353,19 @@ void FaultInjector::record_retry(std::uint64_t bytes, int messages,
 }
 
 FaultInjector::GateFaultCharges FaultInjector::take_gate_charges() {
+  std::lock_guard<std::mutex> lk(m_);
   const GateFaultCharges out = gate_charges_;
   gate_charges_ = GateFaultCharges{};
   return out;
 }
 
-void FaultInjector::restart() { dead_.clear(); }
+void FaultInjector::restart() {
+  std::lock_guard<std::mutex> lk(m_);
+  dead_.clear();
+}
 
 void FaultInjector::revive(rank_t rank) {
+  std::lock_guard<std::mutex> lk(m_);
   dead_.erase(std::remove(dead_.begin(), dead_.end(), rank), dead_.end());
 }
 

@@ -13,6 +13,8 @@
 
 #include <cstdint>
 #include <limits>
+#include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -86,7 +88,8 @@ struct FaultSpec {
   /// Affected rank: the dying rank for kNodeFailure, the sender for message
   /// faults (-1 = any sender).
   rank_t rank = -1;
-  /// 1-based global message ordinal (message faults).
+  /// 1-based message ordinal (message faults): global under the injector's
+  /// default scope, per-sender under OrdinalScope::kPerSender.
   std::uint64_t at_message = 0;
   /// 0-based gate index (kNodeFailure, kBitFlip).
   std::uint64_t at_gate = 0;
@@ -155,9 +158,36 @@ struct FaultEvent {
 /// Executes a FaultPlan against a run. The VirtualCluster consults it on
 /// every message; the engine consults it at every gate boundary. All
 /// decisions are functions of (plan, message ordinal, gate index) only.
+/// Every mutating entry point is internally synchronised, so concurrent
+/// rank threads can consult one injector; log() and totals() return
+/// references and must only be read between parallel regions.
 class FaultInjector {
  public:
   explicit FaultInjector(FaultPlan plan);
+
+  /// How message ordinals are counted.
+  ///
+  /// kGlobal (default, the serial engine): one counter over every message
+  /// the cluster carries, in program order — `drop@M` means the Mth message
+  /// of the run. Meaningless under concurrent ranks, where the interleaving
+  /// of senders is scheduling-dependent.
+  ///
+  /// kPerSender (the threaded engine): each sender has its own 1-based
+  /// ordinal and its own RNG stream (derived from the plan seed and the
+  /// sender id), making every verdict a pure function of (plan, sender,
+  /// per-sender ordinal) — thread-safe and ordering-stable per rank no
+  /// matter how the scheduler interleaves senders. `drop@M:R` means the Mth
+  /// message *sent by rank R*; a message spec without a rank binds to
+  /// sender 0.
+  enum class OrdinalScope { kGlobal, kPerSender };
+  void set_scope(OrdinalScope scope) {
+    std::lock_guard<std::mutex> lk(m_);
+    scope_ = scope;
+  }
+  [[nodiscard]] OrdinalScope scope() const {
+    std::lock_guard<std::mutex> lk(m_);
+    return scope_;
+  }
 
   /// Verdict for one message about to be carried from `from` to `to`.
   enum class Verdict { kDeliver, kDrop, kCorrupt, kDelay };
@@ -202,7 +232,10 @@ class FaultInjector {
   [[nodiscard]] bool rank_dead(rank_t rank) const;
 
   /// Gate index most recently announced via on_gate (for error reporting).
-  [[nodiscard]] std::uint64_t current_gate() const { return current_gate_; }
+  [[nodiscard]] std::uint64_t current_gate() const {
+    std::lock_guard<std::mutex> lk(m_);
+    return current_gate_;
+  }
 
   /// Records an engine-level retry (for the per-gate accounting the cost
   /// model charges as extra traffic + backoff idle time).
@@ -246,16 +279,24 @@ class FaultInjector {
   [[nodiscard]] const FaultPlan& plan() const { return plan_; }
 
  private:
+  /// Stream for `from` under kPerSender: lazily seeded from the plan seed
+  /// and the sender id, so it is a pure function of both. Call under m_.
+  Rng& rng_for_sender(rank_t from);
+
   FaultPlan plan_;
   std::vector<bool> fired_;  // one-shot latch per spec
   std::vector<rank_t> dead_;
   Rng rng_;
   Rng bitflip_rng_;  // separate stream: bitflips never shift message draws
+  OrdinalScope scope_ = OrdinalScope::kGlobal;
   std::uint64_t message_counter_ = 0;
+  std::map<rank_t, std::uint64_t> sender_counters_;  // kPerSender ordinals
+  std::map<rank_t, Rng> sender_rngs_;                // kPerSender streams
   std::uint64_t current_gate_ = 0;
   GateFaultCharges gate_charges_;
   Totals totals_;
   std::vector<FaultEvent> log_;
+  mutable std::mutex m_;
 };
 
 }  // namespace qsv

@@ -1,0 +1,113 @@
+// The rank runtime: one persistent OS thread per rank.
+//
+// The serial engine iterates ranks on the calling thread; with a RankTeam
+// each rank's share of a gate runs concurrently on its own worker, so
+// exchanges really overlap and the mailboxes carry concurrent traffic. The
+// orchestration (gate planning, fault ticks, event emission, reductions,
+// recovery) stays on the calling thread between parallel regions — that is
+// what keeps floating-point summation order, and therefore the state,
+// bitwise identical to the serial engine.
+//
+// run() is a fork/join region: workers execute fn(rank) for each rank and
+// the caller blocks until all are done (the engine's barrier point). A
+// worker's exception is captured and the lowest-rank one is rethrown from
+// run(), mirroring the serial engine's ascending-rank iteration order.
+//
+// pair_arrive() is a two-party combining rendezvous keyed by the lower rank
+// of an exchanging pair: both sides deposit their round outcome (failed /
+// timed out / fatal) and both observe the OR of the two, so coordinated
+// retry decisions are symmetric — no one-sided retry can desynchronise a
+// pair. Fault-free exchanges never call it.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "cluster/topology.hpp"
+
+namespace qsv {
+
+class RankTeam {
+ public:
+  /// Spawns `num_workers` threads placed per `plan` (workers pin themselves
+  /// where the plan names CPUs; failures are recorded, not fatal).
+  /// `omp_threads_per_worker` caps each worker's nested OpenMP width so
+  /// rank-parallel kernels do not oversubscribe the machine; <= 0 leaves
+  /// the OpenMP default untouched.
+  RankTeam(int num_workers, PlacementPlan plan,
+           int omp_threads_per_worker = 0);
+  ~RankTeam();
+
+  RankTeam(const RankTeam&) = delete;
+  RankTeam& operator=(const RankTeam&) = delete;
+
+  /// Runs fn(r) for r in [0, count) on the worker threads and joins.
+  /// `count` must not exceed workers() — after a shrink the extra workers
+  /// simply idle. Rethrows the lowest-rank captured exception, if any.
+  void run(int count, const std::function<void(int)>& fn);
+
+  [[nodiscard]] int workers() const {
+    return static_cast<int>(threads_.size());
+  }
+  /// Workers that successfully pinned to their planned CPU.
+  [[nodiscard]] int pinned() const { return pinned_; }
+  [[nodiscard]] const PlacementPlan& plan() const { return plan_; }
+
+  /// Combined outcome of one exchange round as both pair members saw it.
+  struct PairOutcome {
+    bool any_fail = false;   // at least one side caught a CommFault
+    bool any_timed = false;  // at least one side's fault was a timeout
+    bool any_fatal = false;  // at least one side hit NodeFailure
+  };
+
+  /// Two-party rendezvous for the exchanging pair whose lower rank is
+  /// `pair_id`: blocks until both members have arrived, then both see the
+  /// OR-combination of the deposited flags. Reusable round after round
+  /// (the same two threads are the only parties, so rounds cannot overlap).
+  /// `timeout_s` > 0 bounds the wait — a peer that died of something other
+  /// than a communication fault must not hang its partner; expiry throws
+  /// qsv::Error. <= 0 waits indefinitely.
+  PairOutcome pair_arrive(int pair_id, bool fail, bool timed, bool fatal,
+                          double timeout_s = 0);
+
+ private:
+  void worker_main(int index);
+
+  PlacementPlan plan_;
+  std::vector<std::thread> threads_;
+  int pinned_ = 0;
+  int omp_threads_per_worker_ = 0;
+
+  // Fork/join state: a generation counter publishes jobs; workers with
+  // index < job_count_ execute and report back through done_.
+  std::mutex m_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::uint64_t generation_ = 0;
+  int job_count_ = 0;
+  int done_ = 0;
+  int started_ = 0;  // workers past their init (pinning) phase
+  bool stop_ = false;
+  const std::function<void(int)>* job_ = nullptr;
+  std::vector<std::exception_ptr> errors_;
+
+  struct PairSlot {
+    std::mutex m;
+    std::condition_variable cv;
+    int arrived = 0;
+    std::uint64_t epoch = 0;
+    bool fail = false;
+    bool timed = false;
+    bool fatal = false;
+    PairOutcome result;
+  };
+  std::vector<std::unique_ptr<PairSlot>> pair_slots_;
+};
+
+}  // namespace qsv

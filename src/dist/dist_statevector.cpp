@@ -27,16 +27,83 @@ DistStateVector<S>::DistStateVector(int num_qubits, int num_ranks,
               "each rank must hold at least 2 amplitudes (QuEST's rule)");
 
   const amp_index n_local = amp_index{1} << local_qubits_;
-  slices_.reserve(num_ranks);
-  recv_bufs_.reserve(num_ranks);
-  for (int r = 0; r < num_ranks; ++r) {
-    slices_.emplace_back(n_local);
-    recv_bufs_.emplace_back(n_local);
-  }
   const std::size_t chunk_bytes = std::min<std::size_t>(
       opts_.max_message_bytes, n_local * kBytesPerAmp);
+
+  if (opts_.threading.enabled()) {
+    QSV_REQUIRE(
+        opts_.threading.threads == num_ranks,
+        "threaded engine needs exactly one thread per rank (asked for " +
+            std::to_string(opts_.threading.threads) + " threads, " +
+            std::to_string(num_ranks) +
+            " ranks): the symmetric exchange protocol needs every rank "
+            "live at once");
+    const HostTopology topo = discover_host_topology();
+    numa_domains_ = static_cast<int>(topo.domains.size());
+    host_cpus_ = topo.total_cpus;
+    PlacementPlan plan =
+        plan_placement(topo, num_ranks, opts_.threading.placement);
+    if (opts_.threading.numa_remote_bw_ratio > 0) {
+      numa_ratio_ = std::max(1.0, opts_.threading.numa_remote_bw_ratio);
+    } else if (numa_domains_ > 1) {
+      numa_ratio_ = measure_numa_bandwidth_ratio(topo);
+    }
+    // Each rank thread gets an equal share of the machine for its nested
+    // OpenMP kernels, so rank-parallelism does not oversubscribe.
+    const int omp_share = std::max(1, topo.total_cpus / num_ranks);
+    team_ = std::make_unique<RankTeam>(num_ranks, std::move(plan), omp_share);
+
+    // Mailbox capacity: one full exchange direction at the widest slice any
+    // shrink can reach (half the state), so the non-blocking policy (all
+    // sends posted before any recv) can never stall on backpressure.
+    std::size_t capacity = opts_.threading.mailbox_capacity;
+    if (capacity == 0) {
+      const std::uint64_t widest_bytes =
+          (std::uint64_t{1} << (num_qubits_ - 1)) * kBytesPerAmp;
+      capacity = static_cast<std::size_t>(
+          (widest_bytes + opts_.max_message_bytes - 1) /
+          opts_.max_message_bytes);
+    }
+    cluster_.enable_concurrent(std::max<std::size_t>(1, capacity));
+
+    // First touch: each rank thread allocates and zero-fills its own slice,
+    // recv buffer and packing scratch, so the pages land in the NUMA domain
+    // the thread was placed in.
+    slices_.resize(static_cast<std::size_t>(num_ranks));
+    recv_bufs_.resize(static_cast<std::size_t>(num_ranks));
+    rank_scratch_.resize(static_cast<std::size_t>(num_ranks));
+    team_->run(num_ranks, [&](int r) {
+      slices_[static_cast<std::size_t>(r)] = S(n_local);
+      recv_bufs_[static_cast<std::size_t>(r)] = S(n_local);
+      rank_scratch_[static_cast<std::size_t>(r)].msg.resize(chunk_bytes);
+    });
+  } else {
+    slices_.reserve(num_ranks);
+    recv_bufs_.reserve(num_ranks);
+    for (int r = 0; r < num_ranks; ++r) {
+      slices_.emplace_back(n_local);
+      recv_bufs_.emplace_back(n_local);
+    }
+  }
   scratch_.resize(chunk_bytes);
   init_zero_state();
+}
+
+template <class S>
+typename DistStateVector<S>::ThreadSummary
+DistStateVector<S>::thread_summary() const {
+  ThreadSummary s;
+  if (team_ == nullptr) {
+    return s;
+  }
+  s.enabled = true;
+  s.threads = team_->workers();
+  s.placement = team_->plan().policy;
+  s.pinned = team_->pinned();
+  s.domains = numa_domains_;
+  s.cpus = host_cpus_;
+  s.numa_ratio = numa_ratio_;
+  return s;
 }
 
 template <class S>
@@ -276,6 +343,250 @@ void DistStateVector<S>::exchange_half(rank_t r, rank_t peer, int local_bit) {
 }
 
 template <class S>
+template <class Fn>
+void DistStateVector<S>::exchange_round(rank_t r, rank_t peer, int messages,
+                                        std::uint64_t bytes, Fn&& fn) {
+  if (injector_ == nullptr) {
+    // Fault-free transport gets a single attempt (as in with_retry) and
+    // skips the rendezvous entirely — the hot path has no extra sync.
+    fn();
+    return;
+  }
+  const int pair_id = static_cast<int>(std::min(r, peer));
+  const int attempts = opts_.max_retries + 1;
+  // Bounds the rendezvous wait: the peer's legitimate latency is at most
+  // one watchdog deadline per message of the round, plus slack. A peer
+  // that died of a non-communication error must not hang its partner.
+  const double rendezvous_s =
+      opts_.recv_deadline_s * (2.0 * messages + 4.0);
+  for (int a = 0; a < attempts; ++a) {
+    bool fail = false;
+    bool timed = false;
+    bool fatal = false;
+    try {
+      fn();
+    } catch (const CommTimeout&) {
+      fail = true;
+      timed = true;
+    } catch (const NodeFailure&) {
+      fatal = true;
+    } catch (const CommFault&) {
+      fail = true;
+    }
+    const RankTeam::PairOutcome out =
+        team_->pair_arrive(pair_id, fail, timed, fatal, rendezvous_s);
+    if (out.any_fatal) {
+      // One side saw a dead rank: both throw, so recovery starts from a
+      // symmetric position (mid-exchange, not at a gate boundary).
+      throw NodeFailure(
+          "exchange between ranks " + std::to_string(r) + " and " +
+              std::to_string(peer) + " observed a node failure",
+          peer, gates_applied_ == 0 ? 0 : gates_applied_ - 1);
+    }
+    if (!out.any_fail) {
+      return;
+    }
+    // Coordinated retry: the lower rank clears half-delivered messages and
+    // records the pair's single retry charge — the same figures the serial
+    // engine records — then both sides rendezvous again so no re-send can
+    // race the purge.
+    if (r < peer) {
+      cluster_.purge_pair(r, peer);
+      if (a + 1 < attempts) {
+        injector_->record_retry(
+            bytes, messages,
+            opts_.retry_backoff_s * static_cast<double>(1 << a) +
+                (out.any_timed ? opts_.recv_deadline_s : 0.0));
+      }
+    }
+    team_->pair_arrive(pair_id, false, false, false, rendezvous_s);
+    if (a + 1 >= attempts) {
+      throw NodeFailure(
+          "exchange between ranks " + std::to_string(r) + " and " +
+              std::to_string(peer) + " abandoned after " +
+              std::to_string(opts_.max_retries) + " retries",
+          peer, gates_applied_ == 0 ? 0 : gates_applied_ - 1);
+    }
+  }
+}
+
+template <class S>
+void DistStateVector<S>::exchange_full_rank(rank_t r, rank_t peer) {
+  const amp_index n_local = local_amps();
+  const amp_index chunk_amps = std::min<amp_index>(
+      n_local, opts_.max_message_bytes / kBytesPerAmp);
+  const amp_index chunks = (n_local + chunk_amps - 1) / chunk_amps;
+  std::vector<std::byte>& buf = rank_scratch_[static_cast<std::size_t>(r)].msg;
+
+  auto send_chunk = [&](amp_index first, amp_index count) {
+    const std::size_t bytes = slices_[r].pack(first, count, buf.data());
+    cluster_.send(r, peer, {buf.data(), bytes});
+  };
+  auto recv_chunk = [&](amp_index first, amp_index count) {
+    const std::size_t bytes = count * kBytesPerAmp;
+    cluster_.recv(peer, r, {buf.data(), bytes});
+    recv_bufs_[r].unpack(first, count, buf.data());
+  };
+
+  if (opts_.policy == CommPolicy::kBlocking) {
+    for (amp_index c = 0; c < chunks; ++c) {
+      const amp_index first = c * chunk_amps;
+      const amp_index count = std::min(chunk_amps, n_local - first);
+      // The round totals cover both directions, so one retry is charged
+      // exactly what the serial engine charges for the pair.
+      exchange_round(r, peer, 2, 2 * count * kBytesPerAmp, [&] {
+        send_chunk(first, count);
+        recv_chunk(first, count);
+      });
+    }
+  } else {
+    exchange_round(r, peer, 2 * static_cast<int>(chunks),
+                   2 * n_local * kBytesPerAmp, [&] {
+      for (amp_index c = 0; c < chunks; ++c) {
+        const amp_index first = c * chunk_amps;
+        const amp_index count = std::min(chunk_amps, n_local - first);
+        send_chunk(first, count);
+      }
+      for (amp_index c = 0; c < chunks; ++c) {
+        const amp_index first = c * chunk_amps;
+        const amp_index count = std::min(chunk_amps, n_local - first);
+        recv_chunk(first, count);
+      }
+    });
+  }
+}
+
+template <class S>
+void DistStateVector<S>::exchange_half_rank(rank_t r, rank_t peer,
+                                            int local_bit) {
+  const int high_bit =
+      bits::log2_exact(static_cast<std::uint64_t>(r ^ peer));
+  const std::size_t half_bytes = kern::half_payload_bytes(local_amps());
+  RankScratch& rs = rank_scratch_[static_cast<std::size_t>(r)];
+  rs.half_out.resize(half_bytes);
+  rs.half_in.resize(half_bytes);
+
+  // Each side ships the half whose local bit disagrees with its own high
+  // bit — the same halves the serial engine moves, gathered symmetrically.
+  const int rb = bits::bit(static_cast<amp_index>(r), high_bit);
+  kern::gather_half(slices_[r], local_bit, 1 - rb, rs.half_out.data());
+
+  const std::size_t chunk = std::min(opts_.max_message_bytes, half_bytes);
+  const std::size_t chunks = (half_bytes + chunk - 1) / chunk;
+
+  auto ship = [&](std::size_t c) {
+    const std::size_t first = c * chunk;
+    const std::size_t len = std::min(chunk, half_bytes - first);
+    cluster_.send(r, peer, {rs.half_out.data() + first, len});
+  };
+  auto land = [&](std::size_t c) {
+    const std::size_t first = c * chunk;
+    const std::size_t len = std::min(chunk, half_bytes - first);
+    cluster_.recv(peer, r, {rs.half_in.data() + first, len});
+  };
+
+  if (opts_.policy == CommPolicy::kBlocking) {
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t len = std::min(chunk, half_bytes - c * chunk);
+      exchange_round(r, peer, 2, 2 * static_cast<std::uint64_t>(len), [&] {
+        ship(c);
+        land(c);
+      });
+    }
+  } else {
+    exchange_round(r, peer, 2 * static_cast<int>(chunks),
+                   2 * static_cast<std::uint64_t>(half_bytes), [&] {
+      for (std::size_t c = 0; c < chunks; ++c) {
+        ship(c);
+      }
+      for (std::size_t c = 0; c < chunks; ++c) {
+        land(c);
+      }
+    });
+  }
+
+  kern::scatter_half(slices_[r], local_bit, 1 - rb, rs.half_in.data());
+}
+
+template <class S>
+void DistStateVector<S>::apply_distributed_threaded(const Gate& g,
+                                                    const OpPlan& plan) {
+  const amp_index local_ctrl =
+      kern::split_controls(g.controls, local_qubits_).local;
+  // Computed once on the orchestrator: every combine sees identical inputs.
+  Mat2 u{};
+  if (plan.combine == OpPlan::Combine::kMatrix1) {
+    u = gate_matrix2(g);
+  }
+  team_->run(num_ranks(), [&](int ri) {
+    const rank_t r = static_cast<rank_t>(ri);
+    const rank_t peer = static_cast<rank_t>(
+        static_cast<std::uint64_t>(r) ^ plan.rank_xor_mask);
+    // high_mask names control bits, rank_xor_mask target bits; they are
+    // disjoint, so both pair members agree on this participation test.
+    if (!bits::all_set(static_cast<amp_index>(r), plan.high_mask)) {
+      return;  // high controls unsatisfied: the pair is idle
+    }
+    switch (plan.combine) {
+      case OpPlan::Combine::kMatrix1: {
+        exchange_full_rank(r, peer);
+        const int row_r = bits::bit(static_cast<amp_index>(r), plan.high_bit);
+        kern::combine_matrix1(slices_[r], recv_bufs_[r], row_r, u,
+                              local_ctrl);
+        break;
+      }
+      case OpPlan::Combine::kSwapOneHigh: {
+        const int a = g.targets[0];
+        if (plan.half_exchange) {
+          exchange_half_rank(r, peer, a);
+        } else {
+          exchange_full_rank(r, peer);
+          kern::combine_swap_one_high(
+              slices_[r], recv_bufs_[r], a,
+              bits::bit(static_cast<amp_index>(r), plan.high_bit));
+        }
+        break;
+      }
+      case OpPlan::Combine::kSwapTwoHigh: {
+        const std::uint64_t m = plan.rank_xor_mask;
+        const std::uint64_t rbits = static_cast<std::uint64_t>(r) & m;
+        if (rbits != 0 && rbits != m) {
+          exchange_full_rank(r, peer);
+          kern::combine_swap_two_high(slices_[r], recv_bufs_[r]);
+        }
+        break;
+      }
+      case OpPlan::Combine::kNone:
+        QSV_REQUIRE(false, "distributed plan without a combine kind");
+    }
+  });
+  QSV_REQUIRE(cluster_.quiescent(),
+              "messages left in flight after a distributed gate");
+}
+
+template <class S>
+double DistStateVector<S>::exchange_numa_ratio(const OpPlan& plan) const {
+  if (team_ == nullptr || numa_ratio_ <= 1.0) {
+    return 1.0;
+  }
+  const std::vector<int>& dom = team_->plan().domain_of_rank;
+  for (rank_t r = 0; r < num_ranks(); ++r) {
+    const rank_t peer = static_cast<rank_t>(
+        static_cast<std::uint64_t>(r) ^ plan.rank_xor_mask);
+    if (peer <= r ||
+        !bits::all_set(static_cast<amp_index>(r), plan.high_mask)) {
+      continue;
+    }
+    if (static_cast<std::size_t>(peer) < dom.size() &&
+        dom[static_cast<std::size_t>(r)] !=
+            dom[static_cast<std::size_t>(peer)]) {
+      return numa_ratio_;  // a gate waits on its slowest pair
+    }
+  }
+  return 1.0;
+}
+
+template <class S>
 void DistStateVector<S>::apply_distributed(const Gate& g, const OpPlan& plan) {
   const int R = num_ranks();
   const amp_index local_ctrl =
@@ -362,12 +673,17 @@ void DistStateVector<S>::apply(const Gate& g) {
   e.participating_fraction = plan.participating_fraction;
 
   if (plan.locality == GateLocality::kDistributed) {
-    apply_distributed(g, plan);
+    if (team_ != nullptr) {
+      apply_distributed_threaded(g, plan);
+    } else {
+      apply_distributed(g, plan);
+    }
     e.kind = ExecEvent::Kind::kExchange;
     e.bytes_per_rank = plan.exchange_bytes;
     e.messages_per_rank = plan.messages;
     e.policy = opts_.policy;
     e.half_exchange = plan.half_exchange;
+    e.numa_ratio = exchange_numa_ratio(plan);
     if (injector_ != nullptr) {
       const FaultInjector::GateFaultCharges charges =
           injector_->take_gate_charges();
@@ -376,9 +692,16 @@ void DistStateVector<S>::apply(const Gate& g) {
       e.fault_delay_s = charges.delay_s;
     }
   } else {
-    for (rank_t r = 0; r < num_ranks(); ++r) {
-      kern::apply_gate_slice(slices_[r], g, local_qubits_,
-                             static_cast<amp_index>(r));
+    if (team_ != nullptr) {
+      team_->run(num_ranks(), [&](int r) {
+        kern::apply_gate_slice(slices_[static_cast<std::size_t>(r)], g,
+                               local_qubits_, static_cast<amp_index>(r));
+      });
+    } else {
+      for (rank_t r = 0; r < num_ranks(); ++r) {
+        kern::apply_gate_slice(slices_[r], g, local_qubits_,
+                               static_cast<amp_index>(r));
+      }
     }
     e.kind = ExecEvent::Kind::kLocalGate;
   }
@@ -482,6 +805,15 @@ ReshardPlan DistStateVector<S>::shrink_to_half(rank_t dead_rank) {
   }
   scratch_.resize(std::min<std::size_t>(opts_.max_message_bytes,
                                         n_merged * kBytesPerAmp));
+  if (team_ != nullptr) {
+    // Doubled slices double the packing chunk; the extra workers beyond
+    // new_ranks simply idle in later fork/join regions.
+    const std::size_t new_chunk = std::min<std::size_t>(
+        opts_.max_message_bytes, n_merged * kBytesPerAmp);
+    for (RankScratch& rs : rank_scratch_) {
+      rs.msg.resize(new_chunk);
+    }
+  }
   return plan;
 }
 
@@ -495,9 +827,17 @@ void DistStateVector<S>::apply_sweep_run(const Circuit& c, std::size_t first,
   }
   const Gate* gates = c.gates().data() + first;
   const int t = std::min(opts_.sweep.tile_qubits, local_qubits_);
-  for (rank_t r = 0; r < num_ranks(); ++r) {
-    kern::apply_sweep_run(slices_[r], gates, count, t, local_qubits_,
-                          static_cast<amp_index>(r));
+  if (team_ != nullptr) {
+    team_->run(num_ranks(), [&](int r) {
+      kern::apply_sweep_run(slices_[static_cast<std::size_t>(r)], gates,
+                            count, t, local_qubits_,
+                            static_cast<amp_index>(r));
+    });
+  } else {
+    for (rank_t r = 0; r < num_ranks(); ++r) {
+      kern::apply_sweep_run(slices_[r], gates, count, t, local_qubits_,
+                            static_cast<amp_index>(r));
+    }
   }
   const amp_index tiles = local_amps() >> t;
   sweep_stats_.add_run(count, tiles);

@@ -14,6 +14,8 @@
 #include "circuit/circuit.hpp"
 #include "cluster/cluster.hpp"
 #include "cluster/faults.hpp"
+#include "cluster/rank_team.hpp"
+#include "cluster/topology.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "dist/events.hpp"
@@ -104,9 +106,15 @@ class DistStateVector {
   /// transport. Injected node failures surface as NodeFailure at the gate
   /// boundary; dropped/corrupted messages are retried up to
   /// options().max_retries times before escalating to NodeFailure.
+  /// Under the threaded engine the injector is switched to per-sender
+  /// ordinals (see FaultInjector::OrdinalScope) so `drop@M:R` specs stay
+  /// deterministic regardless of thread interleaving.
   void set_fault_injector(FaultInjector* injector) {
     injector_ = injector;
     cluster_.set_fault_injector(injector);
+    if (injector_ != nullptr && team_ != nullptr) {
+      injector_->set_scope(FaultInjector::OrdinalScope::kPerSender);
+    }
   }
   [[nodiscard]] FaultInjector* fault_injector() const { return injector_; }
 
@@ -125,10 +133,37 @@ class DistStateVector {
   /// signature: captured at checkpoints, verified after restores).
   [[nodiscard]] std::uint32_t slice_crc(rank_t r) const;
 
+  /// True when options().threading selected the ranks-as-threads engine.
+  [[nodiscard]] bool threaded() const { return team_ != nullptr; }
+
+  /// What the threaded runtime actually did (for the CLI summary line and
+  /// tests); `enabled` false on the serial engine, other fields default.
+  struct ThreadSummary {
+    bool enabled = false;
+    int threads = 0;
+    PlacementPolicy placement = PlacementPolicy::kNone;
+    int pinned = 0;   // workers that landed on their planned CPU
+    int domains = 1;  // NUMA domains discovered on the host
+    int cpus = 1;     // CPUs discovered on the host
+    double numa_ratio = 1.0;
+  };
+  [[nodiscard]] ThreadSummary thread_summary() const;
+
  private:
   void exchange_full(rank_t r, rank_t peer);
   void exchange_half(rank_t r, rank_t peer, int local_bit);
   void apply_distributed(const Gate& g, const OpPlan& plan);
+  /// Symmetric per-rank form of apply_distributed: each rank thread sends
+  /// its own chunks, blocks on its peer's, and runs its own combine.
+  void apply_distributed_threaded(const Gate& g, const OpPlan& plan);
+  /// Rank `r`'s side of a full-slice exchange with `peer` (threaded engine;
+  /// the peer's thread runs the mirror-image call concurrently).
+  void exchange_full_rank(rank_t r, rank_t peer);
+  /// Rank `r`'s side of a half-slice SWAP exchange (threaded engine).
+  void exchange_half_rank(rank_t r, rank_t peer, int local_bit);
+  /// Measured NUMA ratio for this exchange: numa_ratio_ when any
+  /// participating pair spans domains under the placement plan, else 1.0.
+  [[nodiscard]] double exchange_numa_ratio(const OpPlan& plan) const;
   void apply_sweep_run(const Circuit& c, std::size_t first,
                        std::size_t count);
   void emit(const ExecEvent& e);
@@ -141,6 +176,13 @@ class DistStateVector {
   template <class Fn>
   void with_retry(rank_t r, rank_t peer, int messages, std::uint64_t bytes,
                   Fn&& fn);
+  /// Threaded counterpart of with_retry: both pair members run their side
+  /// of the round, rendezvous on the combined outcome, and retry (or throw)
+  /// symmetrically. The lower rank purges the pair and records the single
+  /// retry charge — the same figures the serial engine would record.
+  template <class Fn>
+  void exchange_round(rank_t r, rank_t peer, int messages,
+                      std::uint64_t bytes, Fn&& fn);
 
   int num_qubits_;
   int local_qubits_;
@@ -155,6 +197,21 @@ class DistStateVector {
     std::vector<std::byte> out_lo, out_hi, in_lo, in_hi;
   };
   HalfScratch half_scratch_;
+  /// Ranks-as-threads runtime (null on the serial engine).
+  std::unique_ptr<RankTeam> team_;
+  /// Per-rank scratch for the threaded engine: each rank thread packs into
+  /// its own message buffer and half-exchange staging area (the shared
+  /// scratch_/half_scratch_ above serve the serial engine only).
+  struct RankScratch {
+    std::vector<std::byte> msg;
+    std::vector<std::byte> half_out, half_in;
+  };
+  std::vector<RankScratch> rank_scratch_;
+  /// Measured (or configured) local-vs-remote bandwidth ratio; 1.0 on
+  /// single-domain hosts, so exchange pricing is unchanged there.
+  double numa_ratio_ = 1.0;
+  int numa_domains_ = 1;
+  int host_cpus_ = 1;
   SweepStats sweep_stats_;
   ExecListener* listener_ = nullptr;
   FaultInjector* injector_ = nullptr;

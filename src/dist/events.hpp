@@ -80,6 +80,12 @@ struct ExecEvent {
   int messages_per_rank = 0;
   CommPolicy policy = CommPolicy::kBlocking;
   bool half_exchange = false;
+  /// Measured local-vs-remote NUMA bandwidth ratio applied to this
+  /// exchange's timing when at least one participating pair spans NUMA
+  /// domains (a gate waits on its slowest pair). 1.0 — the default, and
+  /// the value on single-domain hosts or same-domain exchanges — is
+  /// zero-delta for all pricing.
+  double numa_ratio = 1.0;
 
   // --- fault-recovery fields (zero on fault-free runs, so pricing and
   // event-stream identity with the trace engine are unchanged) ---

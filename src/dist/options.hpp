@@ -5,9 +5,41 @@
 
 #include "circuit/sweep_plan.hpp"
 #include "cluster/cluster.hpp"
+#include "cluster/topology.hpp"
 #include "common/units.hpp"
 
 namespace qsv {
+
+/// Ranks-as-threads execution (cluster/rank_team.hpp). Off by default: the
+/// serial engine stays bitwise-identical to previous releases. When on,
+/// every rank runs on its own OS thread, exchanges really overlap through
+/// the concurrent mailboxes, and results remain bitwise identical to the
+/// serial engine (asserted by tests/test_threads.cpp) because all
+/// floating-point reductions stay on the orchestrating thread.
+struct ThreadOptions {
+  /// Rank threads. 0 = serial engine (the default); otherwise must equal
+  /// the rank count — the exchange protocol needs every rank live at once,
+  /// so a rank cannot share a thread with its peer.
+  int threads = 0;
+
+  /// Where rank threads and their first-touched slices land
+  /// (QSV_PLACEMENT=compact|scatter|none).
+  PlacementPolicy placement = PlacementPolicy::kNone;
+
+  /// Local-vs-remote bandwidth ratio fed into exchange pricing for pairs
+  /// spanning NUMA domains. 0 = measure at startup
+  /// (topology.hpp: measure_numa_bandwidth_ratio; 1.0 on single-domain
+  /// hosts); explicit values let tests and single-domain hosts model a
+  /// multi-domain machine.
+  double numa_remote_bw_ratio = 0;
+
+  /// Per-pair mailbox capacity in messages; 0 sizes it automatically to
+  /// one full exchange direction so the non-blocking policy (all sends
+  /// posted before any recv) cannot deadlock on backpressure.
+  std::size_t mailbox_capacity = 0;
+
+  [[nodiscard]] bool enabled() const { return threads > 0; }
+};
 
 struct DistOptions {
   /// Exchange flavour: QuEST's blocking Sendrecv chain, or the paper's
@@ -41,6 +73,9 @@ struct DistOptions {
   /// retry layer charges the deadline as idle time on every timed-out
   /// receive (fault-free runs never time out, so this is zero-delta).
   double recv_deadline_s = 0.5;
+
+  /// Ranks-as-threads execution (docs/THREADING.md). Default off.
+  ThreadOptions threading;
 };
 
 }  // namespace qsv

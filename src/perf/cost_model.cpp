@@ -186,7 +186,10 @@ void CostModel::on_event(const ExecEvent& e) {
 
   // Distributed gate: exchange + combine.
   ++acc_.distributed_gates;
-  const double t_comm = machine_.exchange_time(
+  // Cross-domain exchanges run at the measured remote-bandwidth deficit
+  // (events carry 1.0 unless the threaded engine saw a pair span domains).
+  const double numa_ratio = std::max(1.0, e.numa_ratio);
+  const double t_comm = numa_ratio * machine_.exchange_time(
       static_cast<double>(e.bytes_per_rank), e.messages_per_rank, e.policy,
       job_.nodes);
   acc_.runtime_s += t_comm;
@@ -206,7 +209,7 @@ void CostModel::on_event(const ExecEvent& e) {
   // priced exactly like the original exchange, and straggler/backoff delay
   // is idle time across the whole job.
   if (e.retry_bytes > 0 || e.retry_messages > 0) {
-    const double t_retry = machine_.exchange_time(
+    const double t_retry = numa_ratio * machine_.exchange_time(
         static_cast<double>(e.retry_bytes), e.retry_messages, e.policy,
         job_.nodes);
     acc_.runtime_s += t_retry;

@@ -99,9 +99,22 @@ TEST(Cluster, StatsTrackTraffic) {
   EXPECT_EQ(s.max_message_bytes, 3u);
   EXPECT_EQ(s.max_in_flight, 2u);
   EXPECT_EQ(s.barriers, 1u);
+  // The accounting fix: a collective barrier counts one arrival per rank,
+  // not one per call (the old `barriers` figure under-reported
+  // participation by a factor of num_ranks).
+  EXPECT_EQ(s.barrier_arrivals, 4u);
 
   c.reset_stats();
   EXPECT_EQ(c.stats().messages, 0u);
+}
+
+TEST(Cluster, BarrierArrivalsAccumulateAcrossWidths) {
+  VirtualCluster c(4, 1024);
+  c.barrier();
+  c.shrink_to(2);
+  c.barrier();  // two ranks now: two more arrivals, not four
+  EXPECT_EQ(c.stats().barriers, 2u);
+  EXPECT_EQ(c.stats().barrier_arrivals, 6u);
 }
 
 TEST(Cluster, MaxInFlightSeesQueueDepth) {

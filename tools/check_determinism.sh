@@ -83,6 +83,34 @@ check "tier: shrink     " "$qsv" run "$tmp/c.qc" "${common[@]}" \
 check "tier: restart    " "$qsv" run "$tmp/c.qc" "${common[@]}" \
       --checkpoint-dir "$tmp/ck_restart" --recovery restart
 
+# Threaded duplicates: the ranks-as-threads engine must be just as
+# reproducible. Message-ordinal specs are rank-qualified (drop@3:1 = rank
+# 1's 3rd send) because the threaded injector counts per sender — a global
+# ordinal would depend on thread interleaving.
+threaded=(--threads auto --placement compact)
+check "thr: clean       " "$qsv" run "$tmp/c.qc" "${threaded[@]}"
+check "thr: retry (drop)" "$qsv" run "$tmp/c.qc" "${threaded[@]}" \
+      --faults drop@3:1
+check "thr: substitute  " "$qsv" run "$tmp/c.qc" "${threaded[@]}" \
+      "${common[@]}" --checkpoint-dir "$tmp/ck_tsub" --spares 1
+check "thr: shrink      " "$qsv" run "$tmp/c.qc" "${threaded[@]}" \
+      "${common[@]}" --checkpoint-dir "$tmp/ck_tshrink"
+check "thr: restart     " "$qsv" run "$tmp/c.qc" "${threaded[@]}" \
+      "${common[@]}" --checkpoint-dir "$tmp/ck_trestart" --recovery restart
+
+# Serial/threaded digest identity: the clean threaded run must land on the
+# serial clean digest bit-for-bit (all floating-point reductions stay on
+# the orchestrating thread).
+serial_crc=$("$qsv" run "$tmp/c.qc" 2>&1 | grep -o 'state crc32: [0-9a-f]*')
+thr_crc=$("$qsv" run "$tmp/c.qc" "${threaded[@]}" 2>&1 \
+          | grep -o 'state crc32: [0-9a-f]*')
+if [ "$thr_crc" != "$serial_crc" ]; then
+  echo "FAIL serial/threaded identity: '$thr_crc' != '$serial_crc'" >&2
+  status=1
+else
+  echo "ok   serial/threaded identity: $serial_crc"
+fi
+
 # Cross-tier bit-identity: every recovered run must land on the clean run's
 # digest (the digest is global-order, so it is comparable across the shrink
 # run's narrower final layout).

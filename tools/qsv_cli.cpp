@@ -92,12 +92,22 @@ int parse_int(const std::string& s, const std::string& what) {
   return static_cast<int>(v);
 }
 
+/// Environment fallback for a CLI option (flags win over env vars).
+std::optional<std::string> env_value(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') {
+    return std::nullopt;
+  }
+  return std::string(v);
+}
+
 int cmd_run(int argc, const char* const* argv) {
   ArgParser args;
   args.option("ranks").option("shots").option("seed").option("tile");
   args.option("faults").option("mtbf").option("checkpoint-interval");
   args.option("checkpoint-dir").option("bitflip").option("guards");
   args.option("keep-last").option("spares").option("recovery");
+  args.option("threads").option("placement");
   args.flag("no-sweep").flag("guard-crc");
   args.parse(argc, argv);
   require_arg(args.positionals().size() == 1,
@@ -113,6 +123,27 @@ int cmd_run(int argc, const char* const* argv) {
   DistOptions opts;
   opts.sweep.enabled = !args.has("no-sweep");
   opts.sweep.tile_qubits = args.int_or("tile", kDefaultSweepTileQubits);
+
+  // Ranks-as-threads: --threads N|auto (env QSV_THREADS; "auto" = one
+  // thread per rank) and --placement compact|scatter|none (QSV_PLACEMENT).
+  // Default 0 keeps the serial engine.
+  const std::string threads_s =
+      args.value_or("threads", env_value("QSV_THREADS").value_or("0"));
+  if (threads_s == "auto") {
+    opts.threading.threads = ranks;
+  } else {
+    const int threads = parse_int(threads_s, "--threads");
+    require_arg(threads >= 0, "--threads must be >= 0");
+    opts.threading.threads = threads;
+  }
+  const std::string placement_s =
+      args.value_or("placement", env_value("QSV_PLACEMENT").value_or("none"));
+  const std::optional<PlacementPolicy> placement =
+      parse_placement_policy(placement_s);
+  require_arg(placement.has_value(),
+              "--placement must be compact|scatter|none, got '" +
+                  placement_s + "'");
+  opts.threading.placement = *placement;
 
   // Fault schedule: explicit --faults specs, plus failures sampled from a
   // per-node MTBF (--mtbf, hours of virtual time at one second per gate).
@@ -186,6 +217,19 @@ int cmd_run(int argc, const char* const* argv) {
             << " messages, " << fmt::bytes(sv.comm_stats().bytes) << "\n";
   std::cout << "kernel backend: " << simd::backend_name(simd::active_backend())
             << " (" << simd::active_backend_origin() << ")\n";
+  {
+    const auto ts = sv.thread_summary();
+    if (ts.enabled) {
+      std::cout << "threads: " << ts.threads << " rank threads, placement "
+                << placement_policy_name(ts.placement) << ", " << ts.pinned
+                << "/" << ts.threads << " pinned, " << ts.domains
+                << " NUMA domain(s) over " << ts.cpus
+                << " CPU(s), remote-bw ratio " << fmt::fixed(ts.numa_ratio, 2)
+                << "\n";
+    } else {
+      std::cout << "threads: off (serial engine)\n";
+    }
+  }
   if (opts.sweep.enabled && !verified) {
     const SweepStats& sw = sv.sweep_stats();
     std::cout << "sweep executor: " << sw.runs << " tiled runs covering "
@@ -550,6 +594,10 @@ int usage() {
       << "             the allowed recovery tiers, default all)\n"
       << "            env QSV_SIMD=scalar|avx2|avx512|auto pins the SIMD\n"
       << "            kernel backend (default: best the CPU supports)\n"
+      << "            --threads N|auto (env QSV_THREADS) runs each rank on\n"
+      << "            its own OS thread (N must equal the rank count);\n"
+      << "            --placement compact|scatter|none (env QSV_PLACEMENT)\n"
+      << "            pins rank threads and their slices to NUMA domains\n"
       << "  info      locality & communication analysis of a circuit file\n"
       << "  transpile apply a pass (cache|greedy|fusion|cleanup)\n"
       << "  price     estimate runtime/energy/CU on the ARCHER2 model\n"
