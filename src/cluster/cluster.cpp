@@ -125,24 +125,32 @@ void VirtualCluster::send(rank_t from, rank_t to,
   if (!deliver) {
     return;
   }
-  std::deque<Message>& q = queues_[{from, to}];
-  if (concurrent_ && q.size() >= capacity_messages_) {
+  const std::pair<rank_t, rank_t> key{from, to};
+  // A drained mailbox is erased from the map (recv, purge_*, reset_queues),
+  // so a reference into queues_ must never be held across a wait: re-find
+  // the node each time the predicate runs and treat a missing entry as
+  // free space.
+  const auto mailbox_depth = [&] {
+    const auto it = queues_.find(key);
+    return it == queues_.end() ? std::size_t{0} : it->second.size();
+  };
+  if (concurrent_ && mailbox_depth() >= capacity_messages_) {
     // Buffered-send backpressure, bounded by the same watchdog deadline as
     // a receive: a receiver that stopped draining must not hang the sender.
     const bool freed =
         cv_send_.wait_for(lk, deadline_of(recv_deadline_s_),
-                          [&] { return q.size() < capacity_messages_; });
+                          [&] { return mailbox_depth() < capacity_messages_; });
     if (!freed) {
       throw CommTimeout("send " + std::to_string(from) + " -> " +
                         std::to_string(to) + " timed out: mailbox full (" +
-                        std::to_string(q.size()) + " of " +
+                        std::to_string(mailbox_depth()) + " of " +
                         std::to_string(capacity_messages_) +
                         " messages) after the " +
                         std::to_string(recv_deadline_s_) +
                         " s watchdog deadline");
     }
   }
-  q.push_back(std::move(msg));
+  queues_[key].push_back(std::move(msg));
   ++in_flight_;
   stats_.max_in_flight = std::max(stats_.max_in_flight, in_flight_);
   if (concurrent_) {
@@ -301,8 +309,11 @@ void VirtualCluster::barrier(rank_t r) {
       cv_barrier_.wait_for(lk, deadline_of(recv_deadline_s_),
                            [&] { return barrier_epoch_ != epoch; });
   if (!released) {
-    // Withdraw so a later complete barrier is not corrupted by our ghost.
+    // Withdraw so a later complete barrier is not corrupted by our ghost;
+    // the arrival stat is withdrawn too, preserving the invariant that
+    // every completed barrier contributes exactly one arrival per rank.
     --barrier_waiting_;
+    --stats_.barrier_arrivals;
     throw CommTimeout("barrier: rank " + std::to_string(r) +
                       " waited " + std::to_string(recv_deadline_s_) +
                       " s but only " + std::to_string(barrier_waiting_ + 1) +

@@ -115,25 +115,41 @@ PlacementPlan plan_placement(const HostTopology& topo, int num_ranks,
   }
 
   const int domains = static_cast<int>(topo.domains.size());
-  // Per-domain cursor into the CPU list; CPUs wrap when ranks outnumber
-  // them (oversubscription still gets a stable assignment).
-  std::vector<std::size_t> cursor(static_cast<std::size_t>(domains), 0);
-  // Compact fills domain 0's CPUs before moving on; scatter round-robins
-  // ranks across domains. kNone still computes the compact *domain* map so
-  // cross-domain pricing has a defined answer.
-  const int per_domain =
-      (num_ranks + domains - 1) / domains;  // compact split point
+  int host_cpus = 0;
+  for (const NumaDomain& d : topo.domains) {
+    host_cpus += static_cast<int>(d.cpus.size());
+  }
+  QSV_REQUIRE(host_cpus >= 1, "placement needs at least one CPU");
   for (int r = 0; r < num_ranks; ++r) {
-    const int di = policy == PlacementPolicy::kScatter
-                       ? r % domains
-                       : std::min(r / per_domain, domains - 1);
-    const NumaDomain& d = topo.domains[static_cast<std::size_t>(di)];
+    int di = 0;
+    int cpu = 0;
+    if (policy == PlacementPolicy::kScatter) {
+      // Scatter round-robins ranks across domains; each domain hands out
+      // its CPUs in order, wrapping when ranks outnumber them
+      // (oversubscription still gets a stable assignment).
+      di = r % domains;
+      const NumaDomain& d = topo.domains[static_cast<std::size_t>(di)];
+      cpu = d.cpus[static_cast<std::size_t>(r / domains) % d.cpus.size()];
+    } else {
+      // Compact exhausts a domain's CPUs before spilling to the next, so
+      // co-resident ranks share an LLC and exchange pairs stay local as
+      // long as a domain has room; ranks beyond the host's CPU count wrap
+      // back to domain 0. kNone uses the same domain map so cross-domain
+      // pricing has a defined answer.
+      int slot = r % host_cpus;
+      while (slot >=
+             static_cast<int>(topo.domains[static_cast<std::size_t>(di)]
+                                  .cpus.size())) {
+        slot -= static_cast<int>(
+            topo.domains[static_cast<std::size_t>(di)].cpus.size());
+        ++di;
+      }
+      cpu = topo.domains[static_cast<std::size_t>(di)]
+                .cpus[static_cast<std::size_t>(slot)];
+    }
     plan.domain_of_rank[static_cast<std::size_t>(r)] = di;
     if (policy != PlacementPolicy::kNone) {
-      std::size_t& cur = cursor[static_cast<std::size_t>(di)];
-      plan.cpu_of_rank[static_cast<std::size_t>(r)] =
-          d.cpus[cur % d.cpus.size()];
-      ++cur;
+      plan.cpu_of_rank[static_cast<std::size_t>(r)] = cpu;
     }
   }
   return plan;

@@ -53,10 +53,34 @@ TEST(Topology, DiscoverNeverReturnsEmpty) {
 
 TEST(Topology, CompactFillsDomainsInOrder) {
   const HostTopology t = synthetic_topology(2, 4);
+  // Domain 0 has room for all four ranks, so nobody spills to domain 1:
+  // exchange pairs stay on one LLC, which is the point of compact.
   const PlacementPlan p = plan_placement(t, 4, PlacementPolicy::kCompact);
-  // Two ranks per domain: 0,1 in domain 0 and 2,3 in domain 1.
-  EXPECT_EQ(p.domain_of_rank, (std::vector<int>{0, 0, 1, 1}));
-  EXPECT_EQ(p.cpu_of_rank.size(), 4u);
+  EXPECT_EQ(p.domain_of_rank, (std::vector<int>{0, 0, 0, 0}));
+  EXPECT_EQ(p.cpu_of_rank, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Topology, CompactKeepsExchangePairsLocalWhenRoomAllows) {
+  // The regression: equal-block splitting used to put 2 ranks on a
+  // 2-domain host in *different* domains, making every exchange remote.
+  const HostTopology t = synthetic_topology(2, 4);
+  const PlacementPlan p = plan_placement(t, 2, PlacementPolicy::kCompact);
+  EXPECT_EQ(p.domain_of_rank, (std::vector<int>{0, 0}));
+}
+
+TEST(Topology, CompactSpillsOnlyWhenADomainIsFull) {
+  const HostTopology t = synthetic_topology(2, 4);
+  const PlacementPlan p = plan_placement(t, 6, PlacementPolicy::kCompact);
+  EXPECT_EQ(p.domain_of_rank, (std::vector<int>{0, 0, 0, 0, 1, 1}));
+  EXPECT_EQ(p.cpu_of_rank, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(Topology, CompactWrapsWhenRanksOutnumberCpus) {
+  const HostTopology t = synthetic_topology(2, 1);
+  const PlacementPlan p = plan_placement(t, 4, PlacementPolicy::kCompact);
+  // Oversubscription wraps back to domain 0 for a stable assignment.
+  EXPECT_EQ(p.domain_of_rank, (std::vector<int>{0, 1, 0, 1}));
+  EXPECT_EQ(p.cpu_of_rank, (std::vector<int>{0, 1, 0, 1}));
 }
 
 TEST(Topology, ScatterRoundRobinsDomains) {
@@ -172,6 +196,28 @@ TEST(Cluster, ConcurrentSendBackpressureTimesOut) {
   EXPECT_THROW(c.send(0, 1, m), CommTimeout);
 }
 
+TEST(Cluster, ConcurrentSendBackpressureSurvivesQueueErase) {
+  // The regression: a blocked sender used to hold a reference into the
+  // queue map across its wait; the receiver draining the mailbox to empty
+  // erases that map node, and the woken sender then pushed into a
+  // destroyed deque. Capacity 1 makes the erase-while-waiting interleaving
+  // deterministic.
+  VirtualCluster c(2, 1024, /*recv_deadline_s=*/5.0);
+  c.enable_concurrent(/*capacity_messages=*/1);
+  const std::vector<std::byte> first{std::byte{1}};
+  const std::vector<std::byte> second{std::byte{2}};
+  c.send(0, 1, first);  // fills the mailbox
+  std::thread sender([&] { c.send(0, 1, second); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  std::vector<std::byte> got(1);
+  c.recv(0, 1, got);  // drains to empty: the queue node is erased
+  EXPECT_EQ(got, first);
+  sender.join();
+  c.recv(0, 1, got);
+  EXPECT_EQ(got, second);
+  EXPECT_TRUE(c.quiescent());
+}
+
 TEST(Cluster, PerRankBarrierSynchronisesThreads) {
   VirtualCluster c(4, 1024, /*recv_deadline_s=*/5.0);
   c.enable_concurrent(4);
@@ -197,6 +243,9 @@ TEST(Cluster, PerRankBarrierTimesOutWhenShortHanded) {
   c.enable_concurrent(2);
   EXPECT_THROW(c.barrier(0), CommTimeout);
   EXPECT_EQ(c.stats().barriers, 0u);
+  // The timed-out arrival is withdrawn from the stats too, so completed
+  // barriers always satisfy arrivals == barriers * num_ranks.
+  EXPECT_EQ(c.stats().barrier_arrivals, 0u);
 }
 
 // --- serial vs threaded bit identity ---
