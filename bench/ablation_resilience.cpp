@@ -45,6 +45,7 @@ int main(int argc, char** argv) {
     const std::string tag = std::to_string(row.qubits) + "q";
     json.add(tag + "_substitute_j", row.substitute.energy_j, "J");
     json.add(tag + "_shrink_j", row.shrink.energy_j, "J");
+    json.add(tag + "_grow_back_j", row.grow_back.energy_j, "J");
     json.add(tag + "_restart_j", row.restart.energy_j, "J");
     json.add(tag + "_spare_pool_j", row.spare_pool_j, "J");
   }
@@ -57,7 +58,8 @@ int main(int argc, char** argv) {
       "expected rework; the optimum balances the two. The tier table "
       "prices one failure under each elastic recovery path: substituting "
       "a spare touches one slice and one node's replay, shrinking adds a "
-      "cluster-wide slice move, restarting re-reads and replays on every "
+      "cluster-wide slice move, growing back adds a second such move when "
+      "the replacement arrives, restarting re-reads and replays on every "
       "node — which is why the policy's static order is also the energy "
       "order.");
   return 0;

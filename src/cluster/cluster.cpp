@@ -273,6 +273,20 @@ void VirtualCluster::shrink_to(int new_num_ranks) {
   num_ranks_ = new_num_ranks;
 }
 
+void VirtualCluster::grow_to(int new_num_ranks) {
+  QSV_REQUIRE(bits::is_pow2(static_cast<std::uint64_t>(new_num_ranks)),
+              "QuEST-style decomposition requires a power-of-two rank count");
+  QSV_REQUIRE(new_num_ranks > num_ranks_,
+              "grow_to must increase the rank count (have " +
+                  std::to_string(num_ranks_) + ", asked for " +
+                  std::to_string(new_num_ranks) + ")");
+  std::lock_guard<std::mutex> lk(m_);
+  QSV_REQUIRE(in_flight_ == 0,
+              "grow_to requires a quiescent cluster: " +
+                  std::to_string(in_flight_) + " messages still in flight");
+  num_ranks_ = new_num_ranks;
+}
+
 void VirtualCluster::reset_queues() {
   std::lock_guard<std::mutex> lk(m_);
   queues_.clear();

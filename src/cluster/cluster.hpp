@@ -156,6 +156,12 @@ class VirtualCluster {
   /// preserved: the movement already paid for stays on the books.
   void shrink_to(int new_num_ranks);
 
+  /// Elastic grow-back membership change: the cluster widens to
+  /// `new_num_ranks` (a larger power of two) when replacement nodes arrive
+  /// mid-run. Requires quiescence, like shrink_to; traffic counters are
+  /// preserved. The revived ranks start with empty mailboxes.
+  void grow_to(int new_num_ranks);
+
   /// Discards every queued message (restart-from-checkpoint recovery).
   void reset_queues();
 

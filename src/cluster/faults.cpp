@@ -13,6 +13,7 @@ const char* fault_kind_name(FaultKind k) {
     case FaultKind::kCorruptMessage: return "corrupt";
     case FaultKind::kStraggler: return "straggler";
     case FaultKind::kBitFlip: return "bitflip";
+    case FaultKind::kRevive: return "revive";
   }
   return "?";
 }
@@ -142,10 +143,15 @@ FaultPlan parse_fault_plan(const std::string& text) {
                         "': amplitude bit must be in [0, 128)");
         s.bit = bit;
       }
+    } else if (t.kind == "revive") {
+      s.kind = FaultKind::kRevive;
+      s.at_gate = t.at;
+      s.rank = t.has_extra() ? static_cast<rank_t>(t.extra()) : -1;
     } else {
       QSV_REQUIRE(false, "fault spec '" + raw +
                              "': unknown kind '" + t.kind +
-                             "' (want fail|drop|corrupt|delay|bitflip)");
+                             "' (want fail|drop|corrupt|delay|bitflip|"
+                             "revive)");
     }
     plan.specs.push_back(s);
   }
@@ -198,7 +204,8 @@ FaultInjector::MessageOutcome FaultInjector::on_message(
   for (std::size_t i = 0; i < plan_.specs.size(); ++i) {
     const FaultSpec& s = plan_.specs[i];
     if (fired_[i] || s.at_message != ordinal ||
-        s.kind == FaultKind::kNodeFailure || s.kind == FaultKind::kBitFlip) {
+        s.kind == FaultKind::kNodeFailure || s.kind == FaultKind::kBitFlip ||
+        s.kind == FaultKind::kRevive) {
       continue;
     }
     // Per-sender ordinals only exist relative to a sender, so a spec that
@@ -223,6 +230,7 @@ FaultInjector::MessageOutcome FaultInjector::on_message(
         break;
       case FaultKind::kNodeFailure:
       case FaultKind::kBitFlip:
+      case FaultKind::kRevive:
         break;  // unreachable: gate-indexed specs never match a message
     }
   }
@@ -367,6 +375,37 @@ void FaultInjector::restart() {
 void FaultInjector::revive(rank_t rank) {
   std::lock_guard<std::mutex> lk(m_);
   dead_.erase(std::remove(dead_.begin(), dead_.end(), rank), dead_.end());
+}
+
+std::size_t FaultInjector::take_revivals(std::uint64_t up_to_gate) {
+  std::lock_guard<std::mutex> lk(m_);
+  std::size_t fired = 0;
+  for (std::size_t i = 0; i < plan_.specs.size(); ++i) {
+    const FaultSpec& s = plan_.specs[i];
+    if (fired_[i] || s.kind != FaultKind::kRevive || s.at_gate > up_to_gate) {
+      continue;
+    }
+    fired_[i] = true;
+    ++fired;
+    ++totals_.revivals;
+    FaultEvent e;
+    e.kind = FaultKind::kRevive;
+    e.rank = s.rank;
+    e.gate = s.at_gate;
+    log_.push_back(e);
+  }
+  return fired;
+}
+
+std::size_t FaultInjector::pending_revivals() const {
+  std::lock_guard<std::mutex> lk(m_);
+  std::size_t pending = 0;
+  for (std::size_t i = 0; i < plan_.specs.size(); ++i) {
+    if (!fired_[i] && plan_.specs[i].kind == FaultKind::kRevive) {
+      ++pending;
+    }
+  }
+  return pending;
 }
 
 }  // namespace qsv

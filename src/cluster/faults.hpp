@@ -76,6 +76,8 @@ enum class FaultKind {
   kCorruptMessage,  // a delivered message has a flipped payload byte
   kStraggler,    // a message is delivered late (charged as idle time)
   kBitFlip,      // silent corruption: a resident amplitude bit flips in DRAM
+  kRevive,       // a replacement node joins the allocation at a gate index
+                 // (the elastic grow-back trigger, not a fault per se)
 };
 
 [[nodiscard]] const char* fault_kind_name(FaultKind k);
@@ -136,9 +138,12 @@ struct FaultPlan {
 ///   "fail@120:2, drop@5, corrupt@9:1, delay@3:0.25, bitflip@40:1"
 /// where `fail@G[:R]` kills rank R (default 0) at gate G, `drop@M` /
 /// `corrupt@M[:R]` hit the Mth message (optionally only if sent by R),
-/// `delay@M:S` delays the Mth message by S seconds, and `bitflip@G[:R[:B]]`
+/// `delay@M:S` delays the Mth message by S seconds, `bitflip@G[:R[:B]]`
 /// flips bit B (default: random) of a random resident amplitude on rank R
-/// (default 0) before gate G. Throws qsv::Error on malformed specs.
+/// (default 0) before gate G, and `revive@G[:R]` announces a replacement
+/// node (optionally earmarked for rank R) joining the allocation at gate G —
+/// the deterministic arrival stream the elastic grow-back consumes. Throws
+/// qsv::Error on malformed specs.
 [[nodiscard]] FaultPlan parse_fault_plan(const std::string& text);
 
 /// A fault that actually fired during a run (the deterministic event
@@ -260,6 +265,18 @@ class FaultInjector {
   /// without touching other dead ranks or any one-shot latches.
   void revive(rank_t rank);
 
+  /// Drains the replacement-arrival stream: fires (and logs) every kRevive
+  /// spec whose gate index is <= `up_to_gate`, returning how many fired.
+  /// One-shot like every spec: a drained arrival never re-fires on replay.
+  /// The recovery driver polls this at gate boundaries and triggers the
+  /// grow-back re-shard when it returns non-zero.
+  [[nodiscard]] std::size_t take_revivals(std::uint64_t up_to_gate);
+
+  /// kRevive specs not yet fired: whether a replacement node is still
+  /// expected to arrive later in the run (feeds TierContext so choose_tier
+  /// can prefer shrink-now-grow-back-later over shrink-forever).
+  [[nodiscard]] std::size_t pending_revivals() const;
+
   /// Every fault that fired, in firing order.
   [[nodiscard]] const std::vector<FaultEvent>& log() const { return log_; }
 
@@ -270,6 +287,7 @@ class FaultInjector {
     std::uint64_t straggled = 0;
     std::uint64_t node_failures = 0;
     std::uint64_t bitflips = 0;
+    std::uint64_t revivals = 0;
     std::uint64_t retries = 0;
     std::uint64_t retry_bytes = 0;
     double delay_s = 0;

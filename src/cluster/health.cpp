@@ -1,0 +1,125 @@
+#include "cluster/health.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace qsv {
+
+HealthMonitor::HealthMonitor(int num_ranks, HealthOptions opts)
+    : opts_(opts), ranks_(static_cast<std::size_t>(num_ranks)) {
+  QSV_REQUIRE(num_ranks >= 1, "health monitor needs at least one rank");
+  QSV_REQUIRE(opts_.clear_phi <= opts_.suspect_phi,
+              "health hysteresis requires clear_phi <= suspect_phi");
+}
+
+void HealthMonitor::heartbeat(rank_t r, std::uint64_t gate) {
+  if (r < 0 || r >= num_ranks()) {
+    return;
+  }
+  RankState& s = ranks_[static_cast<std::size_t>(r)];
+  // A beat from a confirmed-dead rank means a fresh node took the id over
+  // (substitution): resume the bookkeeping.
+  s.dead = false;
+  if (gate > s.last_beat) {
+    const double interval = static_cast<double>(gate - s.last_beat);
+    s.mean_interval = 0.8 * s.mean_interval + 0.2 * interval;
+  }
+  s.last_beat = gate;
+  ++stats_.beats;
+}
+
+double HealthMonitor::phi(rank_t r, std::uint64_t now_gate) const {
+  if (r < 0 || r >= num_ranks()) {
+    return 0;
+  }
+  const RankState& s = ranks_[static_cast<std::size_t>(r)];
+  if (s.dead || now_gate <= s.last_beat) {
+    return 0;
+  }
+  const double staleness = static_cast<double>(now_gate - s.last_beat);
+  return staleness / std::max(s.mean_interval, opts_.min_mean_interval);
+}
+
+bool HealthMonitor::suspected(rank_t r) const {
+  if (r < 0 || r >= num_ranks()) {
+    return false;
+  }
+  return ranks_[static_cast<std::size_t>(r)].suspected;
+}
+
+void HealthMonitor::update_suspicion(std::uint64_t now_gate) {
+  for (rank_t r = 0; r < num_ranks(); ++r) {
+    RankState& s = ranks_[static_cast<std::size_t>(r)];
+    if (s.dead) {
+      continue;
+    }
+    const double p = phi(r, now_gate);
+    if (!s.suspected && p >= opts_.suspect_phi) {
+      s.suspected = true;
+      ++stats_.suspicions;
+    } else if (s.suspected && p <= opts_.clear_phi) {
+      // Only a fresh beat can bring phi back down: this is the clear edge
+      // of the hysteresis band.
+      s.suspected = false;
+      ++stats_.clears;
+    }
+  }
+}
+
+void HealthMonitor::observe(std::uint64_t gate, bool exchanged,
+                            const std::vector<rank_t>& missed) {
+  const auto is_missed = [&missed](rank_t r) {
+    return std::find(missed.begin(), missed.end(), r) != missed.end();
+  };
+  if (exchanged) {
+    // Piggybacked beats: the exchange itself proves every participating
+    // rank alive. A rank whose message faulted this gate is withheld.
+    for (rank_t r = 0; r < num_ranks(); ++r) {
+      if (!ranks_[static_cast<std::size_t>(r)].dead && !is_missed(r)) {
+        heartbeat(r, gate);
+      }
+    }
+    last_exchange_gate_ = gate;
+  } else if (opts_.probe_cadence_gates > 0 &&
+             gate - last_exchange_gate_ >= opts_.probe_cadence_gates) {
+    // Idle-period probe: a long local stretch carries no traffic, so poll
+    // liveness out of band at the configured cadence.
+    ++stats_.probes;
+    for (rank_t r = 0; r < num_ranks(); ++r) {
+      if (!ranks_[static_cast<std::size_t>(r)].dead && !is_missed(r)) {
+        heartbeat(r, gate);
+      }
+    }
+    last_exchange_gate_ = gate;
+  }
+  update_suspicion(gate);
+}
+
+void HealthMonitor::confirm_failure(rank_t r, std::uint64_t gate) {
+  if (r < 0 || r >= num_ranks()) {
+    return;
+  }
+  RankState& s = ranks_[static_cast<std::size_t>(r)];
+  if (!s.dead) {
+    s.dead = true;
+    s.suspected = false;  // not late — gone; suspicion is moot
+    s.last_beat = gate;
+    ++stats_.confirmed;
+  }
+}
+
+void HealthMonitor::replacement_arrived(std::uint64_t gate) {
+  (void)gate;
+  ++stats_.replacements;
+}
+
+void HealthMonitor::reset_width(int num_ranks, std::uint64_t gate) {
+  QSV_REQUIRE(num_ranks >= 1, "health monitor needs at least one rank");
+  RankState fresh;
+  fresh.last_beat = gate;
+  ranks_.assign(static_cast<std::size_t>(num_ranks), fresh);
+  last_exchange_gate_ = gate;
+}
+
+}  // namespace qsv

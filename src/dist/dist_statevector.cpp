@@ -818,6 +818,110 @@ ReshardPlan DistStateVector<S>::shrink_to_half(rank_t dead_rank) {
 }
 
 template <class S>
+GrowBackPlan DistStateVector<S>::grow_back_double() {
+  const GrowBackPlan plan =
+      plan_grow_back(num_qubits_, local_qubits_, opts_.max_message_bytes);
+  QSV_REQUIRE(team_ == nullptr || plan.new_ranks <= team_->workers(),
+              "grow-back beyond the constructed width: the rank team has " +
+                  std::to_string(team_ != nullptr ? team_->workers() : 0) +
+                  " workers, asked for " + std::to_string(plan.new_ranks) +
+                  " ranks");
+  const amp_index n_local = local_amps();
+  const amp_index n_half = n_local / 2;
+  const amp_index chunk_amps = std::min<amp_index>(
+      n_half,
+      std::max<amp_index>(1, opts_.max_message_bytes / kBytesPerAmp));
+
+  // Widen the cluster before any traffic: the revived ranks must be valid
+  // send targets. The engine is quiescent at a gate boundary, so this (and
+  // the rollback shrink below) cannot race in-flight messages.
+  cluster_.grow_to(plan.new_ranks);
+
+  std::vector<S> grown;
+  grown.resize(static_cast<std::size_t>(plan.new_ranks));
+  try {
+    if (team_ != nullptr) {
+      // First touch: each new rank's worker thread allocates and zero-fills
+      // its own slice, so the pages land in the revived rank's NUMA domain.
+      team_->run(plan.new_ranks, [&](int r) {
+        grown[static_cast<std::size_t>(r)] = S(n_half);
+      });
+    } else {
+      for (int r = 0; r < plan.new_ranks; ++r) {
+        grown[static_cast<std::size_t>(r)] = S(n_half);
+      }
+    }
+    for (int n = 0; n < plan.old_ranks; ++n) {
+      const rank_t lo = static_cast<rank_t>(2 * n);
+      const rank_t hi = static_cast<rank_t>(2 * n + 1);
+      // The low half stays resident on the survivor (new rank 2n).
+      for (amp_index first = 0; first < n_half; first += chunk_amps) {
+        const amp_index count = std::min(chunk_amps, n_half - first);
+        slices_[static_cast<std::size_t>(n)].pack(first, count,
+                                                  scratch_.data());
+        grown[static_cast<std::size_t>(lo)].unpack(first, count,
+                                                   scratch_.data());
+      }
+      // The absorbed partner half ships to the revived rank 2n+1 through the
+      // cluster — CRC-checked end-to-end and retried on transient faults
+      // like any exchange, so a corrupted handoff payload is caught and
+      // re-sent, never absorbed into the revived slice.
+      with_retry(lo, hi, plan.messages_per_move, plan.bytes_per_move, [&] {
+        for (amp_index first = 0; first < n_half; first += chunk_amps) {
+          const amp_index count = std::min(chunk_amps, n_half - first);
+          const std::size_t bytes = slices_[static_cast<std::size_t>(n)].pack(
+              n_half + first, count, scratch_.data());
+          cluster_.send(lo, hi, {scratch_.data(), bytes});
+          cluster_.recv(lo, hi, {scratch_.data(), bytes});
+          grown[static_cast<std::size_t>(hi)].unpack(first, count,
+                                                     scratch_.data());
+        }
+      });
+    }
+  } catch (...) {
+    // The movement faulted past the retry budget: restore the narrow
+    // membership and leave the (untouched) merged slices in place, so the
+    // run continues at the old width.
+    cluster_.reset_queues();
+    cluster_.shrink_to(plan.old_ranks);
+    throw;
+  }
+
+  slices_ = std::move(grown);
+  local_qubits_ -= 1;
+
+  recv_bufs_.clear();
+  recv_bufs_.reserve(static_cast<std::size_t>(plan.new_ranks));
+  for (int r = 0; r < plan.new_ranks; ++r) {
+    recv_bufs_.emplace_back(n_half);
+  }
+  scratch_.resize(std::min<std::size_t>(opts_.max_message_bytes,
+                                        n_half * kBytesPerAmp));
+  if (team_ != nullptr) {
+    const std::size_t new_chunk = std::min<std::size_t>(
+        opts_.max_message_bytes, n_half * kBytesPerAmp);
+    for (RankScratch& rs : rank_scratch_) {
+      rs.msg.resize(new_chunk);
+    }
+  }
+  return plan;
+}
+
+template <class S>
+std::vector<GrowBackPlan> DistStateVector<S>::grow_back_to_full(
+    int target_ranks) {
+  QSV_REQUIRE(bits::is_pow2(static_cast<std::uint64_t>(target_ranks)),
+              "rank count must be a power of two");
+  QSV_REQUIRE(target_ranks >= num_ranks(),
+              "grow_back_to_full cannot reduce the rank count");
+  std::vector<GrowBackPlan> plans;
+  while (num_ranks() < target_ranks) {
+    plans.push_back(grow_back_double());
+  }
+  return plans;
+}
+
+template <class S>
 void DistStateVector<S>::apply_sweep_run(const Circuit& c, std::size_t first,
                                          std::size_t count) {
   // A planned node failure anywhere inside the tiled run fires before the

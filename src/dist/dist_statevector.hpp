@@ -78,6 +78,24 @@ class DistStateVector {
   /// driver falls back to restart). Returns the executed plan.
   ReshardPlan shrink_to_half(rank_t dead_rank);
 
+  /// Elastic grow-back: re-shards from 2^k to 2^(k+1) ranks, the exact
+  /// inverse of shrink_to_half. Survivor n keeps the low half of its doubled
+  /// slice as new rank 2n and sheds the absorbed partner half to revived
+  /// rank 2n+1 through the cluster (CRC-checked end-to-end and retried on
+  /// transient faults, like any exchange). Transactional: a fault that
+  /// exhausts the retries leaves the engine at the old width with the state
+  /// untouched and rethrows. In threaded mode the revived ranks' slices are
+  /// allocated first-touch on their own worker threads, so the pages land in
+  /// the owning NUMA domain. Returns the executed plan.
+  GrowBackPlan grow_back_double();
+
+  /// Repeats grow_back_double until the engine is back at `target_ranks`
+  /// (a power of two between the current width and the constructed width).
+  /// A fault mid-sequence leaves the engine at the last consistent width
+  /// (every completed doubling stands) and rethrows. Returns one executed
+  /// plan per doubling.
+  std::vector<GrowBackPlan> grow_back_to_full(int target_ranks);
+
   [[nodiscard]] cplx amplitude(amp_index global) const;
   void set_amplitude(amp_index global, cplx v);
 

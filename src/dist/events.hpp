@@ -25,6 +25,8 @@ enum class RecoveryTier {
   kRetry,       // re-send the affected exchange round
   kSubstitute,  // rebuild the dead rank's slice onto a spare node
   kShrink,      // re-shard 2^k -> 2^(k-1): survivors absorb partner slices
+  kGrowBack,    // shrink now, then re-shard 2^k -> 2^(k+1) when a
+                // replacement arrives: survivors shed the absorbed halves
   kRestart,     // reload the whole job from the last verified checkpoint
 };
 
@@ -33,6 +35,7 @@ enum class RecoveryTier {
     case RecoveryTier::kRetry: return "retry";
     case RecoveryTier::kSubstitute: return "substitute";
     case RecoveryTier::kShrink: return "shrink";
+    case RecoveryTier::kGrowBack: return "grow-back";
     case RecoveryTier::kRestart: return "restart";
   }
   return "?";

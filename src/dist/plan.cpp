@@ -126,4 +126,22 @@ ReshardPlan plan_reshard(int num_qubits, int local_qubits, rank_t dead_rank,
   return p;
 }
 
+GrowBackPlan plan_grow_back(int num_qubits, int local_qubits,
+                            std::size_t max_message_bytes) {
+  QSV_REQUIRE(local_qubits >= 2 && local_qubits <= num_qubits,
+              "cannot grow back: slices would drop below two amplitudes");
+  GrowBackPlan p;
+  p.old_ranks = 1 << (num_qubits - local_qubits);
+  p.new_ranks = p.old_ranks * 2;
+  p.slice_amps = amp_index{1} << (local_qubits - 1);
+  p.bytes_per_move = p.slice_amps * kBytesPerAmp;
+  const amp_index chunk_amps =
+      std::max<amp_index>(1, max_message_bytes / kBytesPerAmp);
+  p.messages_per_move =
+      static_cast<int>((p.slice_amps + chunk_amps - 1) / chunk_amps);
+  p.moving_pairs = p.old_ranks;
+  p.total_bytes = static_cast<std::uint64_t>(p.moving_pairs) * p.bytes_per_move;
+  return p;
+}
+
 }  // namespace qsv

@@ -87,4 +87,33 @@ struct ReshardPlan {
                                        rank_t dead_rank,
                                        std::size_t max_message_bytes);
 
+/// Grow-back re-shard from 2^k to 2^(k+1) ranks — the exact inverse of the
+/// shrink: survivor n keeps the low half of its doubled slice as new rank 2n
+/// and sheds the absorbed partner half to revived rank 2n+1. Unlike the
+/// shrink there is no free pair: every survivor ships one (new-width) slice
+/// over the wire, and nothing is read from the filesystem — the data is
+/// already resident in survivor memory.
+struct GrowBackPlan {
+  int old_ranks = 0;
+  int new_ranks = 0;
+  /// Amplitudes per *new* slice (what each survivor sheds).
+  amp_index slice_amps = 0;
+  /// Payload bytes one shedding move ships (= one new slice).
+  std::uint64_t bytes_per_move = 0;
+  /// Messages per move (chunking by whole amplitudes under the MPI cap).
+  int messages_per_move = 0;
+  /// Pairs that move a slice over the network (= old_ranks: all of them).
+  int moving_pairs = 0;
+  /// Total network payload: moving_pairs * bytes_per_move.
+  std::uint64_t total_bytes = 0;
+};
+
+/// Plans the grow-back for an n-qubit register currently split over
+/// 2^(n - L) ranks holding 2^L amplitudes each. Requires L >= 2 so each
+/// post-grow rank still holds at least two amplitudes, and L < n is implied
+/// by the shrink that preceded it (a never-shrunk single-rank run has L == n
+/// and cannot grow).
+[[nodiscard]] GrowBackPlan plan_grow_back(int num_qubits, int local_qubits,
+                                          std::size_t max_message_bytes);
+
 }  // namespace qsv

@@ -31,6 +31,8 @@ TierDecision choose_tier(const ElasticOptions& opts, const TierContext& ctx) {
     reject("substitute", "no spare node left");
   } else if (!ctx.checkpoint_exists) {
     reject("substitute", "no checkpoint to rebuild from");
+  } else if (!ctx.checkpoint_geometry_matches) {
+    reject("substitute", "checkpoint predates a re-shard (geometry mismatch)");
   } else if (!ctx.clean_boundary) {
     reject("substitute", "failure not at a clean gate boundary");
   } else if (!ctx.window_replayable) {
@@ -39,24 +41,58 @@ TierDecision choose_tier(const ElasticOptions& opts, const TierContext& ctx) {
     feasible.push_back({RecoveryTier::kSubstitute, opts.substitute_energy_j});
   }
 
+  // Shrink and grow-back share the same immediate action (re-shard to half
+  // width) and therefore the same feasibility facts; they are mutually
+  // exclusive candidates for one failure. Grow-back — shrink now, re-expand
+  // when the expected replacement arrives — supersedes plain shrink
+  // whenever it is enabled and an arrival is expected.
+  auto reshard_infeasible = [&]() -> std::string {
+    if (ctx.num_ranks < 2) {
+      return "already down to one rank";
+    }
+    if (!ctx.checkpoint_exists) {
+      return "no checkpoint to rebuild from";
+    }
+    if (!ctx.checkpoint_geometry_matches) {
+      return "checkpoint predates a re-shard (geometry mismatch)";
+    }
+    if (!ctx.clean_boundary) {
+      return "failure not at a clean gate boundary";
+    }
+    if (!ctx.window_replayable) {
+      return "replay window contains distributed gates";
+    }
+    if (opts.max_bytes_per_rank != 0 &&
+        ctx.post_shrink_bytes_per_rank > opts.max_bytes_per_rank) {
+      return "merged slice + MPI buffer (" +
+             std::to_string(ctx.post_shrink_bytes_per_rank) +
+             " bytes) exceeds the per-rank memory budget of " +
+             std::to_string(opts.max_bytes_per_rank) + " bytes";
+    }
+    return "";
+  };
+  const std::string reshard_why = reshard_infeasible();
+  const bool grow_back_ok = opts.allow_grow_back &&
+                            ctx.replacement_expected && reshard_why.empty();
+
   if (!opts.allow_shrink) {
     reject("shrink", "disabled");
-  } else if (ctx.num_ranks < 2) {
-    reject("shrink", "already down to one rank");
-  } else if (!ctx.checkpoint_exists) {
-    reject("shrink", "no checkpoint to rebuild from");
-  } else if (!ctx.clean_boundary) {
-    reject("shrink", "failure not at a clean gate boundary");
-  } else if (!ctx.window_replayable) {
-    reject("shrink", "replay window contains distributed gates");
-  } else if (opts.max_bytes_per_rank != 0 &&
-             ctx.post_shrink_bytes_per_rank > opts.max_bytes_per_rank) {
-    reject("shrink", "merged slice + MPI buffer (" +
-                         std::to_string(ctx.post_shrink_bytes_per_rank) +
-                         " bytes) exceeds the per-rank memory budget of " +
-                         std::to_string(opts.max_bytes_per_rank) + " bytes");
+  } else if (!reshard_why.empty()) {
+    reject("shrink", reshard_why);
+  } else if (grow_back_ok) {
+    reject("shrink", "superseded by grow-back (a replacement is expected)");
   } else {
     feasible.push_back({RecoveryTier::kShrink, opts.shrink_energy_j});
+  }
+
+  if (!opts.allow_grow_back) {
+    reject("grow-back", "disabled");
+  } else if (!ctx.replacement_expected) {
+    reject("grow-back", "no replacement arrival expected");
+  } else if (!reshard_why.empty()) {
+    reject("grow-back", reshard_why);
+  } else {
+    feasible.push_back({RecoveryTier::kGrowBack, opts.grow_back_energy_j});
   }
 
   if (!opts.allow_restart) {
@@ -125,11 +161,14 @@ ElasticOptions parse_recovery_tiers(const std::string& text) {
       opts.allow_substitute = true;
     } else if (tier == "shrink") {
       opts.allow_shrink = true;
+    } else if (tier == "grow-back") {
+      opts.allow_grow_back = true;
     } else if (tier == "restart") {
       opts.allow_restart = true;
     } else {
-      QSV_REQUIRE(false, "unknown recovery tier '" + tier +
-                             "' (want retry|substitute|shrink|restart)");
+      QSV_REQUIRE(false,
+                  "unknown recovery tier '" + tier +
+                      "' (want retry|substitute|shrink|grow-back|restart)");
     }
   }
   QSV_REQUIRE(any, "empty recovery tier list");
@@ -145,7 +184,16 @@ IntegrityStats run_verified(DistStateVector<S>& sv, const Circuit& c,
   QSV_REQUIRE(c.num_qubits() == sv.num_qubits(), "register size mismatch");
   IntegrityStats stats;
   StateGuard<S> guard(sv, guards);
+  stats.planned_ranks = sv.num_ranks();
   stats.final_ranks = sv.num_ranks();
+  FaultInjector* const inj = sv.fault_injector();
+
+  // Observational failure detection: heartbeats are piggybacked on the
+  // exchanges the run performs anyway, an idle probe covers local
+  // stretches, and the injector's per-gate fault log tells the monitor
+  // which senders missed their beat. Never consulted for decisions.
+  HealthMonitor monitor(sv.num_ranks(), policy.health);
+  std::size_t fault_log_seen = inj != nullptr ? inj->log().size() : 0;
 
   const bool checkpointing = ck.interval_gates > 0;
   std::optional<CheckpointStore> store;
@@ -157,9 +205,11 @@ IntegrityStats run_verified(DistStateVector<S>& sv, const Circuit& c,
       store->clear();
     }
   };
+  int ckpt_ranks = sv.num_ranks();  // rank width the checkpoint was taken at
   auto save_ckpt = [&](std::size_t gates) {
     save_state(store->path_for(gates), sv);
-    store->committed(gates);
+    store->committed(gates, sv.num_ranks());
+    ckpt_ranks = sv.num_ranks();
     ++stats.checkpoints_written;
     // Fingerprint what we just trusted to disk, so a restore can prove it
     // came back intact.
@@ -186,7 +236,7 @@ IntegrityStats run_verified(DistStateVector<S>& sv, const Circuit& c,
   std::size_t i = 0;
   auto roll_back = [&] {
     sv.reset_transport();
-    if (FaultInjector* inj = sv.fault_injector()) {
+    if (inj != nullptr) {
       inj->restart();
     }
     load_state(store->path_for(ckpt_gate), sv);
@@ -238,6 +288,152 @@ IntegrityStats run_verified(DistStateVector<S>& sv, const Circuit& c,
     stats.gates_replayed += i - ckpt_gate;
   };
 
+  // Re-shard to half width: the immediate action shared by the shrink and
+  // grow-back tiers (they differ only in whether a later replacement
+  // arrival re-expands the run). Falls back to the restart tier when the
+  // re-shard itself faults; returns false when even that budget is gone.
+  std::size_t degraded_from = 0;  // circuit gate the run last fell below plan
+  auto reshard_now = [&](rank_t dead, RecoveryTier label) {
+    try {
+      // No spare: rebuild the dead slice in place (its new host is the
+      // surviving pair member), catch it up, then re-shard to half the
+      // ranks. The re-shard traffic flows through the live cluster —
+      // counted, priced, and itself subject to faults.
+      sv.rebind_rank(dead);
+      const std::uint64_t replayed = i - ckpt_gate;
+      rebuild_rank(dead);
+      const ReshardPlan rp = sv.shrink_to_half(dead);
+      if (inj != nullptr) {
+        // Ranks renumber under the new decomposition: the dead set (old
+        // numbering) is meaningless now. Fault specs always refer to the
+        // current numbering.
+        inj->restart();
+      }
+      // The per-rank checkpoint signature describes the old width;
+      // verify_restore no-ops until the next checkpoint recaptures.
+      guard.invalidate_signature();
+      ++stats.shrinks;
+      stats.tiers_used.push_back(label);
+      stats.final_ranks = sv.num_ranks();
+      degraded_from = i;
+      if (policy.health.enabled) {
+        monitor.reset_width(sv.num_ranks(), sv.gates_applied());
+      }
+
+      ExecEvent io;
+      io.kind = ExecEvent::Kind::kRecovery;
+      io.recovery_tier = label;
+      io.local_amps = sv.local_amps();
+      io.participating_fraction = 1.0 / static_cast<double>(rp.old_ranks);
+      io.recovery_io_bytes = rp.rebuild_io_bytes;
+      io.recovery_replayed_gates = replayed;
+      emit_recovery(io);
+      if (rp.moving_pairs > 0) {
+        ExecEvent net;
+        net.kind = ExecEvent::Kind::kRecovery;
+        net.recovery_tier = label;
+        net.local_amps = sv.local_amps();
+        net.participating_fraction = 2.0 *
+                                     static_cast<double>(rp.moving_pairs) /
+                                     static_cast<double>(rp.old_ranks);
+        net.recovery_bytes_per_rank = rp.bytes_per_move;
+        net.recovery_messages_per_rank = rp.messages_per_move;
+        net.policy = sv.options().policy;
+        emit_recovery(net);
+      }
+    } catch (const Error&) {
+      // The re-shard itself faulted (or memory/plan constraints bit at
+      // execution time): fall through to the restart tier, which rebuilds
+      // everything from the checkpoint.
+      if (!restart_tier()) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  // One observation per completed gate: the gate's exchange (if any) is the
+  // heartbeat carrier, and any sender whose message faulted during it is
+  // withheld — that is what accrues suspicion.
+  auto observe_health = [&](const Gate& applied) {
+    if (!policy.health.enabled) {
+      return;
+    }
+    std::vector<rank_t> missed;
+    if (inj != nullptr) {
+      const std::vector<FaultEvent>& log = inj->log();
+      for (std::size_t k = fault_log_seen; k < log.size(); ++k) {
+        const FaultEvent& e = log[k];
+        if (e.kind == FaultKind::kDropMessage ||
+            e.kind == FaultKind::kCorruptMessage ||
+            e.kind == FaultKind::kStraggler) {
+          missed.push_back(e.rank);
+        }
+      }
+      fault_log_seen = log.size();
+    }
+    monitor.observe(sv.gates_applied(), !sv.gate_runs_local(applied), missed);
+  };
+
+  // Drains the replacement-arrival stream and, when the run is below its
+  // planned width and the grow-back tier is enabled, re-expands toward it.
+  // A handoff fault past the retry budget leaves the run at the last
+  // consistent width (degraded, not dead) — every completed doubling
+  // stands.
+  auto poll_replacements = [&] {
+    if (inj == nullptr) {
+      return;
+    }
+    const std::size_t arrived = inj->take_revivals(sv.gates_applied());
+    if (arrived == 0) {
+      return;
+    }
+    stats.revivals += arrived;
+    if (policy.health.enabled) {
+      fault_log_seen = inj->log().size();  // revive events are not misses
+      for (std::size_t k = 0; k < arrived; ++k) {
+        monitor.replacement_arrived(sv.gates_applied());
+      }
+    }
+    if (!elastic.allow_grow_back || sv.num_ranks() >= stats.planned_ranks) {
+      return;
+    }
+    const int before = sv.num_ranks();
+    try {
+      while (sv.num_ranks() < stats.planned_ranks) {
+        const GrowBackPlan gp = sv.grow_back_double();
+        ++stats.grow_backs;
+        stats.tiers_used.push_back(RecoveryTier::kGrowBack);
+        // One net-phase recovery event per doubling: every survivor ships
+        // its absorbed half and every revived rank receives one, so the
+        // whole cluster participates. No io phase — unlike the shrink
+        // direction nothing is read from the checkpoint, the data is
+        // already resident in survivor memory.
+        ExecEvent net;
+        net.kind = ExecEvent::Kind::kRecovery;
+        net.recovery_tier = RecoveryTier::kGrowBack;
+        net.local_amps = sv.local_amps();
+        net.participating_fraction = 1.0;
+        net.recovery_bytes_per_rank = gp.bytes_per_move;
+        net.recovery_messages_per_rank = gp.messages_per_move;
+        net.policy = sv.options().policy;
+        emit_recovery(net);
+      }
+    } catch (const Error&) {
+      // Movement faulted past the retry budget: stay at the current width.
+    }
+    if (sv.num_ranks() != before) {
+      // Same renumbering contract as the shrink direction.
+      inj->restart();
+      guard.invalidate_signature();
+      stats.final_ranks = sv.num_ranks();
+      if (policy.health.enabled) {
+        monitor.reset_width(sv.num_ranks(), sv.gates_applied());
+        fault_log_seen = inj->log().size();
+      }
+    }
+  };
+
   while (i < c.size()) {
     // Engine gate count before this circuit gate: a boundary failure whose
     // gate_index still equals this fired before any sub-gate of the
@@ -246,6 +442,12 @@ IntegrityStats run_verified(DistStateVector<S>& sv, const Circuit& c,
     try {
       sv.apply(c.gate(i));
       ++i;
+      observe_health(c.gate(i - 1));
+      // Replacement arrivals are polled (and any grow-back runs) before the
+      // guard/checkpoint block, so a checkpoint landing on the same gate is
+      // written at the restored width — keeping the rank-slice tiers armed
+      // for the rest of the run.
+      poll_replacements();
       const bool at_ckpt =
           checkpointing && i % ck.interval_gates == 0 && i < c.size();
       if (guards.enabled() &&
@@ -263,9 +465,19 @@ IntegrityStats run_verified(DistStateVector<S>& sv, const Circuit& c,
         throw;  // PR 2 semantics: nothing to recover from
       }
 
+      if (policy.health.enabled) {
+        monitor.confirm_failure(f.rank(), sv.gates_applied());
+        if (inj != nullptr) {
+          fault_log_seen = inj->log().size();
+        }
+      }
+
       TierContext tc;
       tc.clean_boundary = f.at_gate_boundary() && f.gate_index() == g0;
       tc.checkpoint_exists = true;
+      tc.checkpoint_geometry_matches = ckpt_ranks == sv.num_ranks();
+      tc.replacement_expected =
+          inj != nullptr && inj->pending_revivals() > 0;
       tc.spares_left = spares_left;
       tc.num_ranks = sv.num_ranks();
       bool replayable = tc.clean_boundary;
@@ -295,7 +507,7 @@ IntegrityStats run_verified(DistStateVector<S>& sv, const Circuit& c,
           // replay it solo up to the failing gate. The survivors never
           // move, so only 1/R of the machine computes during catch-up.
           sv.rebind_rank(dead);
-          if (FaultInjector* inj = sv.fault_injector()) {
+          if (inj != nullptr) {
             inj->revive(dead);
           }
           const std::uint64_t slice_bytes =
@@ -317,57 +529,17 @@ IntegrityStats run_verified(DistStateVector<S>& sv, const Circuit& c,
           break;  // the loop re-runs gate i with every rank caught up
         }
         case RecoveryTier::kShrink: {
-          try {
-            // No spare: rebuild the dead slice in place (its new host is
-            // the surviving pair member), catch it up, then re-shard to
-            // half the ranks. The re-shard traffic flows through the live
-            // cluster — counted, priced, and itself subject to faults.
-            sv.rebind_rank(dead);
-            const std::uint64_t replayed = i - ckpt_gate;
-            rebuild_rank(dead);
-            const ReshardPlan rp = sv.shrink_to_half(dead);
-            if (FaultInjector* inj = sv.fault_injector()) {
-              // Ranks renumber under the new decomposition: the dead set
-              // (old numbering) is meaningless now. Fault specs always
-              // refer to the current numbering.
-              inj->restart();
-            }
-            // The per-rank checkpoint signature describes the old width;
-            // verify_restore no-ops until the next checkpoint recaptures.
-            guard.invalidate_signature();
-            ++stats.shrinks;
-            stats.tiers_used.push_back(RecoveryTier::kShrink);
-            stats.final_ranks = sv.num_ranks();
-
-            ExecEvent io;
-            io.kind = ExecEvent::Kind::kRecovery;
-            io.recovery_tier = RecoveryTier::kShrink;
-            io.local_amps = sv.local_amps();
-            io.participating_fraction =
-                1.0 / static_cast<double>(rp.old_ranks);
-            io.recovery_io_bytes = rp.rebuild_io_bytes;
-            io.recovery_replayed_gates = replayed;
-            emit_recovery(io);
-            if (rp.moving_pairs > 0) {
-              ExecEvent net;
-              net.kind = ExecEvent::Kind::kRecovery;
-              net.recovery_tier = RecoveryTier::kShrink;
-              net.local_amps = sv.local_amps();
-              net.participating_fraction =
-                  2.0 * static_cast<double>(rp.moving_pairs) /
-                  static_cast<double>(rp.old_ranks);
-              net.recovery_bytes_per_rank = rp.bytes_per_move;
-              net.recovery_messages_per_rank = rp.messages_per_move;
-              net.policy = sv.options().policy;
-              emit_recovery(net);
-            }
-          } catch (const Error&) {
-            // The re-shard itself faulted (or memory/plan constraints bit
-            // at execution time): fall through to the restart tier, which
-            // rebuilds everything from the checkpoint.
-            if (!restart_tier()) {
-              throw;
-            }
+          if (!reshard_now(dead, RecoveryTier::kShrink)) {
+            throw;
+          }
+          break;
+        }
+        case RecoveryTier::kGrowBack: {
+          // The immediate action is the shrink; the tier's second half
+          // (the re-expand) fires when poll_replacements drains the
+          // expected arrival.
+          if (!reshard_now(dead, RecoveryTier::kGrowBack)) {
+            throw;
           }
           break;
         }
@@ -404,9 +576,13 @@ IntegrityStats run_verified(DistStateVector<S>& sv, const Circuit& c,
 
   stats.completed = true;
   stats.final_ranks = sv.num_ranks();
+  if (stats.final_ranks < stats.planned_ranks) {
+    stats.degraded_gates = c.size() - degraded_from;
+  }
   stats.guard_checks = guard.stats().checks;
   stats.guard_violations = guard.stats().violations;
-  if (FaultInjector* inj = sv.fault_injector()) {
+  stats.health = monitor.stats();
+  if (inj != nullptr) {
     stats.faults = inj->log();
   }
   drop_ckpt();

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "circuit/circuit.hpp"
+#include "cluster/health.hpp"
 #include "dist/guards.hpp"
 #include "dist/resilience.hpp"
 
@@ -43,6 +44,10 @@ struct RecoveryPolicy {
   /// Guard-violation rollbacks tolerated before aborting. Node-failure
   /// restarts have their own budget (CheckpointOptions::max_restarts).
   int max_rollbacks = 8;
+  /// Online health monitoring (cluster/health): observational heartbeats,
+  /// suspicion scores and replacement-arrival bookkeeping. Off by default —
+  /// it never changes recovery decisions, only the reported stats.
+  HealthOptions health;
 };
 
 /// Elastic-recovery configuration. The library defaults reproduce the PR 4
@@ -52,17 +57,22 @@ struct ElasticOptions {
   /// Spare nodes available for substitution. 0 = the substitute tier never
   /// fires.
   int spares = 0;
-  /// Tier enables (`--recovery=retry,substitute,shrink,restart`). The retry
-  /// tier is engine-level and always on.
+  /// Tier enables (`--recovery=retry,substitute,shrink,grow-back,restart`).
+  /// The retry tier is engine-level and always on. Grow-back and shrink are
+  /// the same immediate action (re-shard to half width); grow-back
+  /// additionally re-expands when a replacement arrives, so it supersedes
+  /// plain shrink whenever one is expected.
   bool allow_substitute = true;
   bool allow_shrink = false;
+  bool allow_grow_back = false;
   bool allow_restart = true;
   /// Closed-form expected energies per tier (perf/resilience_model), in
   /// joules; negative = unknown. The policy compares energies only when
   /// every *feasible* tier has one — otherwise it falls back to the static
-  /// cheapest-first order substitute < shrink < restart.
+  /// cheapest-first order substitute < shrink < grow-back < restart.
   double substitute_energy_j = -1;
   double shrink_energy_j = -1;
+  double grow_back_energy_j = -1;
   double restart_energy_j = -1;
   /// Per-rank memory budget in bytes (slice + the x2 MPI recv buffer).
   /// A shrink that would exceed it is infeasible; 0 = no cap.
@@ -84,6 +94,16 @@ struct TierContext {
   int num_ranks = 1;
   /// Memory per rank after a shrink (merged slice + recv buffer).
   std::uint64_t post_shrink_bytes_per_rank = 0;
+  /// A replacement node is still expected to arrive later in the run (the
+  /// injector holds unfired revive specs): the fact that turns a shrink
+  /// into a shrink-now-grow-back-later.
+  bool replacement_expected = false;
+  /// The retained checkpoint was written at the current rank width. The
+  /// rank-slice tiers (substitute, shrink, grow-back) read one rank's span
+  /// of the snapshot, which is only meaningful at matching geometry; a
+  /// checkpoint predating a re-shard leaves restart (global amplitude
+  /// order, width-agnostic) as the only rank-rebuild-free option.
+  bool checkpoint_geometry_matches = true;
 };
 
 /// The chosen action, or feasible=false when no tier can recover (the
@@ -136,12 +156,23 @@ struct IntegrityStats {
   int rollbacks = 0;
   /// Spare-node substitutions (tier: rebuild one rank onto a spare).
   int substitutions = 0;
-  /// Shrink-to-survive re-shards (tier: halve the rank count).
+  /// Shrink-to-survive re-shards (tier: halve the rank count), including
+  /// those performed by the grow-back tier's immediate action.
   int shrinks = 0;
+  /// Elastic grow-back re-shards (doublings back toward the planned width).
+  int grow_backs = 0;
   /// Spares consumed from the pool (== substitutions).
   int spares_used = 0;
-  /// Rank count at the end of the run (< initial after shrinks).
+  /// Rank count the run was planned at.
+  int planned_ranks = 0;
+  /// Rank count at the end of the run (< planned_ranks after a shrink that
+  /// never grew back — the degraded-completion case).
   int final_ranks = 0;
+  /// Replacement arrivals drained from the injector's revive stream.
+  std::uint64_t revivals = 0;
+  /// Circuit gates executed below the planned width by the end of the run
+  /// (0 when the run finished at full width).
+  std::uint64_t degraded_gates = 0;
   /// Tier chosen for each recovered node failure, in firing order.
   std::vector<RecoveryTier> tiers_used;
   int checkpoints_written = 0;
@@ -152,6 +183,8 @@ struct IntegrityStats {
   std::uint64_t guard_violations = 0;
   /// Copy of the injector's fault log (empty without an injector).
   std::vector<FaultEvent> faults;
+  /// Health-monitor counters (all zero when RecoveryPolicy::health is off).
+  HealthMonitor::Stats health;
 };
 
 /// Runs `c` on `sv` under the full integrity regime: checkpoints every

@@ -24,6 +24,9 @@ struct Header {
   int num_qubits = 0;
   bool has_crc = false;
   std::uint32_t crc = 0;
+  /// Rank width the writer was split over; 0 = untagged (v1 files and v2
+  /// files written before the reserved slot became the width tag).
+  int ranks = 0;
 };
 
 void write_u32(std::ofstream& out, std::uint32_t v) {
@@ -50,7 +53,7 @@ Header read_header(std::ifstream& in, const std::string& path) {
     const std::uint32_t n = read_u32(in);
     h.crc = read_u32(in);
     h.has_crc = true;
-    (void)read_u32(in);  // reserved
+    h.ranks = static_cast<int>(read_u32(in));  // rank-width tag (0 = none)
     QSV_REQUIRE(in.good() && n >= 1 && n <= 62,
                 "corrupt snapshot header: " + path);
     h.num_qubits = static_cast<int>(n);
@@ -114,8 +117,8 @@ std::ifstream open_in(const std::string& path) {
 /// Writes the whole snapshot to `<path>.tmp` (patching the CRC slot once
 /// the payload is known) and commits it with an atomic rename.
 template <class GetAmp>
-void write_snapshot(const std::string& path, int num_qubits, amp_index count,
-                    GetAmp get) {
+void write_snapshot(const std::string& path, int num_qubits, int ranks,
+                    amp_index count, GetAmp get) {
   const std::string tmp = path + ".tmp";
   {
     std::ofstream out = open_out(tmp);
@@ -123,7 +126,7 @@ void write_snapshot(const std::string& path, int num_qubits, amp_index count,
     write_u32(out, kSnapshotFormatVersion);
     write_u32(out, static_cast<std::uint32_t>(num_qubits));
     write_u32(out, 0);  // CRC placeholder
-    write_u32(out, 0);  // reserved
+    write_u32(out, static_cast<std::uint32_t>(ranks));  // rank-width tag
     Crc32 crc;
     write_amps(out, count, get, crc);
     out.seekp(kCrcOffset);
@@ -138,13 +141,14 @@ void write_snapshot(const std::string& path, int num_qubits, amp_index count,
 
 template <class S>
 void save_state(const std::string& path, const BasicStateVector<S>& sv) {
-  write_snapshot(path, sv.num_qubits(), sv.num_amps(),
+  write_snapshot(path, sv.num_qubits(), /*ranks=*/1, sv.num_amps(),
                  [&](amp_index i) { return sv.amplitude(i); });
 }
 
 template <class S>
 void save_state(const std::string& path, const DistStateVector<S>& sv) {
-  write_snapshot(path, sv.num_qubits(), amp_index{1} << sv.num_qubits(),
+  write_snapshot(path, sv.num_qubits(), sv.num_ranks(),
+                 amp_index{1} << sv.num_qubits(),
                  [&](amp_index i) { return sv.amplitude(i); });
 }
 
@@ -175,6 +179,11 @@ int snapshot_qubits(const std::string& path) {
   return read_header(in, path).num_qubits;
 }
 
+int snapshot_ranks(const std::string& path) {
+  std::ifstream in = open_in(path);
+  return read_header(in, path).ranks;
+}
+
 template <class S>
 void load_rank_slice(const std::string& path, DistStateVector<S>& sv,
                      rank_t r) {
@@ -184,6 +193,15 @@ void load_rank_slice(const std::string& path, DistStateVector<S>& sv,
   QSV_REQUIRE(h.num_qubits == sv.num_qubits(),
               "snapshot holds " + std::to_string(h.num_qubits) +
                   " qubits, register has " + std::to_string(sv.num_qubits()));
+  // Rank slices are only meaningful at the geometry they were written at:
+  // after a shrink or grow-back, rank r's span of an old-width snapshot is
+  // a different piece of the state than the caller means. Untagged legacy
+  // files carry no width and are trusted.
+  QSV_REQUIRE(h.ranks == 0 || h.ranks == sv.num_ranks(),
+              "snapshot was written at " + std::to_string(h.ranks) +
+                  " ranks but the register is split over " +
+                  std::to_string(sv.num_ranks()) +
+                  " (re-shard geometry mismatch): " + path);
   const std::streamoff payload = in.tellg();
   const amp_index n_local = sv.local_amps();
   const amp_index first = static_cast<amp_index>(r) * n_local;
@@ -229,21 +247,48 @@ CheckpointStore::CheckpointStore(std::string dir, int keep_last)
     retained_.erase(retained_.begin());
     ++pruned_;
   }
+  // Recover the rank-width tags of the adopted files from their headers, so
+  // geometry checks work across job incarnations. A file that cannot be
+  // read keeps width 0 (unknown) — the full-restore path will surface the
+  // real error if it is ever used.
+  widths_.assign(retained_.size(), 0);
+  for (std::size_t k = 0; k < retained_.size(); ++k) {
+    try {
+      widths_[k] = snapshot_ranks(path_for(retained_[k]));
+    } catch (const Error&) {
+      widths_[k] = 0;
+    }
+  }
 }
 
 std::string CheckpointStore::path_for(std::uint64_t gates) const {
   return dir_ + "/ckpt-" + std::to_string(gates) + ".qsv";
 }
 
-void CheckpointStore::committed(std::uint64_t gates) {
-  retained_.erase(std::remove(retained_.begin(), retained_.end(), gates),
-                  retained_.end());
+void CheckpointStore::committed(std::uint64_t gates, int ranks) {
+  for (std::size_t k = retained_.size(); k-- > 0;) {
+    if (retained_[k] == gates) {
+      retained_.erase(retained_.begin() + static_cast<std::ptrdiff_t>(k));
+      widths_.erase(widths_.begin() + static_cast<std::ptrdiff_t>(k));
+    }
+  }
   retained_.push_back(gates);
+  widths_.push_back(ranks);
   while (static_cast<int>(retained_.size()) > keep_last_) {
     std::filesystem::remove(path_for(retained_.front()));
     retained_.erase(retained_.begin());
+    widths_.erase(widths_.begin());
     ++pruned_;
   }
+}
+
+int CheckpointStore::width_of(std::uint64_t gates) const {
+  for (std::size_t k = 0; k < retained_.size(); ++k) {
+    if (retained_[k] == gates) {
+      return widths_[k];
+    }
+  }
+  return 0;
 }
 
 std::string CheckpointStore::latest() const {
@@ -255,6 +300,7 @@ void CheckpointStore::clear() {
     std::filesystem::remove(path_for(gates));
   }
   retained_.clear();
+  widths_.clear();
 }
 
 template void save_state<SoaStorage>(const std::string&,

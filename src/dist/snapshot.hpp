@@ -1,11 +1,19 @@
 // Binary statevector snapshots: checkpoint/restore for long simulations.
 //
 // Format v2: 8-byte magic "QSVSNAP2", u32 format version, u32 num_qubits,
-// u32 CRC-32 of the amplitude payload, u32 reserved, then 2^n amplitudes as
-// interleaved little-endian doubles (re, im). Writes go to `<path>.tmp` and
-// are committed with an atomic rename, so a crash mid-checkpoint never
-// leaves a plausible-but-torn file at the final path. v1 snapshots (magic
-// "QSVSNAP1", no CRC) are still read.
+// u32 CRC-32 of the amplitude payload, u32 writer rank-width (how many ranks
+// the register was split over when the snapshot was taken; 0 in files
+// written before the field existed — it was reserved-zero), then 2^n
+// amplitudes as interleaved little-endian doubles (re, im). Writes go to
+// `<path>.tmp` and are committed with an atomic rename, so a crash
+// mid-checkpoint never leaves a plausible-but-torn file at the final path.
+// v1 snapshots (magic "QSVSNAP1", no CRC) are still read.
+//
+// The payload is always in global amplitude order, so a *full* restore
+// (load_state) is width-agnostic; the rank-width tag exists for the
+// rank-slice path, where the elastic re-shards (shrink / grow-back) change
+// what "rank r's span" means and a geometry-mismatched adoption must be
+// refused rather than silently misread.
 //
 // The layout on disk is storage-independent, so a snapshot written from a
 // SoA run restores into an interleaved-layout engine and vice versa.
@@ -42,13 +50,21 @@ void load_state(const std::string& path, DistStateVector<S>& sv);
 /// Reads just the header; returns the qubit count.
 [[nodiscard]] int snapshot_qubits(const std::string& path);
 
+/// Reads just the header; returns the rank width the writer was split over
+/// (1 for single-address-space snapshots, 0 for files predating the tag).
+[[nodiscard]] int snapshot_ranks(const std::string& path);
+
 /// Restores only rank `r`'s slice from a snapshot: the spare-node
 /// substitution path, where the replacement reads its 1/R of the state and
 /// the survivors keep theirs. Amplitudes are stored in global order, so a
-/// rank slice is one contiguous byte range seeked to directly. The whole-
-/// file payload CRC is *not* verified (that would mean reading everything —
-/// the full-restore path does); per-slice integrity is the guard layer's
-/// slice signature, checked by the caller after the restore.
+/// rank slice is one contiguous byte range seeked to directly. Throws when
+/// the snapshot carries a rank-width tag that does not match the register's
+/// current width: after a re-shard, "rank r's slice" of an old-width
+/// snapshot is a different span of the state than the caller means, so the
+/// adoption is refused (untagged legacy files are trusted). The whole-file
+/// payload CRC is *not* verified (that would mean reading everything — the
+/// full-restore path does); per-slice integrity is the guard layer's slice
+/// signature, checked by the caller after the restore.
 template <class S>
 void load_rank_slice(const std::string& path, DistStateVector<S>& sv,
                      rank_t r);
@@ -72,8 +88,14 @@ class CheckpointStore {
   [[nodiscard]] std::string path_for(std::uint64_t gates) const;
 
   /// Records a committed write at path_for(gates) and prunes beyond the
-  /// retention limit.
-  void committed(std::uint64_t gates);
+  /// retention limit. `ranks` is the rank width the snapshot was written
+  /// at (0 = unknown), kept so a post-re-shard restore can check geometry
+  /// without re-opening the file.
+  void committed(std::uint64_t gates, int ranks = 0);
+
+  /// Rank width recorded for the checkpoint at `gates` (0 = unknown or not
+  /// retained).
+  [[nodiscard]] int width_of(std::uint64_t gates) const;
 
   /// Newest committed checkpoint path (empty string when none).
   [[nodiscard]] std::string latest() const;
@@ -97,6 +119,7 @@ class CheckpointStore {
   std::string dir_;
   int keep_last_;
   std::vector<std::uint64_t> retained_;  // ascending gate indices
+  std::vector<int> widths_;              // rank width per retained entry
   std::uint64_t pruned_ = 0;
   std::uint64_t stale_tmps_removed_ = 0;
 };

@@ -125,13 +125,14 @@ RecoveryTierSweepResult experiment_recovery_tiers(const MachineModel& m) {
     row.nodes = nodes;
     row.substitute = expected_substitute(m, job, base, replay_s);
     row.shrink = expected_shrink(m, job, base, replay_s);
+    row.grow_back = expected_grow_back(m, job, base, replay_s);
     row.restart = expected_restart(m, job, base, replay_s);
     row.spare_pool_j = spare_pool_energy_j(m, job, 1, base.runtime_s);
     row.expected_failures =
         std::isfinite(mtbf) && mtbf > 0 ? base.runtime_s / mtbf : 0.0;
 
     for (const RecoveryEnergy* e :
-         {&row.substitute, &row.shrink, &row.restart}) {
+         {&row.substitute, &row.shrink, &row.grow_back, &row.restart}) {
       res.table.row({std::to_string(qubits), std::to_string(nodes),
                      recovery_tier_name(e->tier), fmt::seconds(e->time_s),
                      fmt::energy_j(e->energy_j),

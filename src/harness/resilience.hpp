@@ -43,16 +43,16 @@ struct CheckpointSweepResult {
 [[nodiscard]] CheckpointSweepResult experiment_checkpoint_sweep(
     const MachineModel& m);
 
-/// Per-failure cost of the three elastic recovery tiers (PR 5) at the same
-/// headline configurations, with the replay window set to half the Daly
-/// interval (the expected loss when failures land uniformly between
-/// checkpoints).
+/// Per-failure cost of the four elastic recovery tiers at the same headline
+/// configurations, with the replay window set to half the Daly interval
+/// (the expected loss when failures land uniformly between checkpoints).
 struct RecoveryTierSweepResult {
   struct Row {
     int qubits = 0;
     int nodes = 0;
     RecoveryEnergy substitute;
     RecoveryEnergy shrink;
+    RecoveryEnergy grow_back;
     RecoveryEnergy restart;
     /// Standing idle cost of holding one spare for the fault-free solve —
     /// what buys the substitute tier's speed.
@@ -64,10 +64,11 @@ struct RecoveryTierSweepResult {
   Table table;
 };
 
-/// Prices substitute / shrink / restart per failure with the closed forms
-/// in perf/resilience_model. At ARCHER2 defaults the order is strictly
-/// substitute < shrink < restart at both configurations — the static
-/// cheapest-first order choose_tier falls back to is the energy order.
+/// Prices substitute / shrink / grow-back / restart per failure with the
+/// closed forms in perf/resilience_model. At ARCHER2 defaults the order is
+/// strictly substitute < shrink < grow-back < restart at both
+/// configurations — the static cheapest-first order choose_tier falls back
+/// to is the energy order.
 [[nodiscard]] RecoveryTierSweepResult experiment_recovery_tiers(
     const MachineModel& m);
 

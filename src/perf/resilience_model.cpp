@@ -191,6 +191,47 @@ RecoveryEnergy expected_restart(const MachineModel& m, const JobConfig& job,
   return r;
 }
 
+RecoveryEnergy expected_grow_back(const MachineModel& m, const JobConfig& job,
+                                  const RunReport& fault_free,
+                                  double replay_s) {
+  const TierTerms t = tier_terms(m, job, fault_free);
+  // The immediate action is exactly a shrink; when the replacement arrives
+  // the inverse re-shard moves one (new-width) slice per surviving pair —
+  // the same total bytes as the shrink's merge — at MPI-phase draw again.
+  const RecoveryEnergy base = expected_shrink(m, job, fault_free, replay_s);
+  const int msgs = message_count(static_cast<std::uint64_t>(t.slice_bytes),
+                                 DistOptions{}.max_message_bytes);
+  const double t_move = m.exchange_time(t.slice_bytes, msgs,
+                                        CommPolicy::kBlocking, t.nodes);
+  RecoveryEnergy r;
+  r.tier = RecoveryTier::kGrowBack;
+  r.time_s = base.time_s + t_move;
+  r.energy_j = base.energy_j + t_move * (t.nodes * t.p_mpi + t.sw_w);
+  return r;
+}
+
+double degraded_tail_extra_j(const MachineModel& m, const JobConfig& job,
+                             double remaining_solve_s) {
+  QSV_REQUIRE(remaining_solve_s >= 0, "negative remaining solve time");
+  // Half the nodes do the same work in twice the time: node joules cancel,
+  // the continuous switch draw does not — it burns for the extra seconds.
+  const double sw_w = m.switch_count(job.nodes) * m.switches.power_w;
+  return remaining_solve_s * sw_w;
+}
+
+TierEnergies tier_energies_from_machine(const MachineModel& m,
+                                        const JobConfig& job,
+                                        const RunReport& fault_free,
+                                        double replay_s) {
+  TierEnergies e;
+  e.replay_s = replay_s;
+  e.substitute_j = expected_substitute(m, job, fault_free, replay_s).energy_j;
+  e.shrink_j = expected_shrink(m, job, fault_free, replay_s).energy_j;
+  e.grow_back_j = expected_grow_back(m, job, fault_free, replay_s).energy_j;
+  e.restart_j = expected_restart(m, job, fault_free, replay_s).energy_j;
+  return e;
+}
+
 double spare_pool_energy_j(const MachineModel& m, const JobConfig& job,
                            int spares, double wall_s) {
   QSV_REQUIRE(spares >= 0, "negative spare count");

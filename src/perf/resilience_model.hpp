@@ -101,4 +101,44 @@ struct RecoveryEnergy {
                                          const JobConfig& job, int spares,
                                          double wall_s);
 
+/// Shrink now, grow back when the replacement arrives: the shrink cost plus
+/// a second full-cluster slice move (the inverse re-shard — every survivor
+/// ships half its doubled slice to a revived rank), priced at MPI-phase
+/// draw. Strictly dearer than a plain shrink and strictly cheaper than it
+/// plus a degraded tail, which is the whole argument for the tier.
+[[nodiscard]] RecoveryEnergy expected_grow_back(const MachineModel& m,
+                                                const JobConfig& job,
+                                                const RunReport& fault_free,
+                                                double replay_s);
+
+/// Extra energy of finishing `remaining_solve_s` of full-width work at half
+/// the ranks instead of growing back: the work takes twice as long on half
+/// the nodes, so node energy is a wash but the fabric's switches draw for
+/// the extra seconds. This is the term a shrink-forever strategy pays that
+/// shrink-then-grow-back does not.
+[[nodiscard]] double degraded_tail_extra_j(const MachineModel& m,
+                                           const JobConfig& job,
+                                           double remaining_solve_s);
+
+/// The per-failure tier energies derived from one machine model — the
+/// numbers the CLI feeds into ElasticOptions so choose_tier ranks tiers by
+/// machine-specific joules instead of the static order.
+struct TierEnergies {
+  double replay_s = 0;  // expected lost window replayed after recovery
+  double substitute_j = 0;
+  double shrink_j = 0;
+  double grow_back_j = 0;
+  double restart_j = 0;
+};
+
+/// Computes all four closed-form tier energies for one job on one machine.
+/// `replay_s` is the expected re-executed window (checkpoint interval / 2
+/// under a uniform failure arrival). The physics guarantees the ordering
+/// substitute < shrink < grow-back < restart whenever the full-state
+/// read-back dominates a slice move, which holds for every machine whose
+/// filesystem is slower than its interconnect — i.e. all of them.
+[[nodiscard]] TierEnergies tier_energies_from_machine(
+    const MachineModel& m, const JobConfig& job, const RunReport& fault_free,
+    double replay_s);
+
 }  // namespace qsv

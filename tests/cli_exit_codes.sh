@@ -3,6 +3,7 @@
 #
 #   0  success
 #   2  bad arguments (usage errors, unknown flags, malformed values)
+#   3  degraded completion (valid digest, but below the planned rank width)
 #   4  node failure no recovery tier could absorb
 #   5  integrity abort (corruption with nothing to roll back to)
 #
@@ -94,13 +95,27 @@ crc_sub=$(grep -o 'state crc32: [0-9a-f]*' "$tmp/out")
   fail "substitute run digest '$crc_sub' != clean '$crc_clean'"
 
 # Shrink tier: no spare, the run finishes at half width — the digest is
-# layout-independent, so it still matches.
-expect_exit 0 "$qsv" run "$tmp/c.qc" --faults fail@12:1 \
+# layout-independent, so it still matches, but finishing below the planned
+# width is the documented degraded-completion exit 3 with a summary line.
+expect_exit 3 "$qsv" run "$tmp/c.qc" --faults fail@12:1 \
   --checkpoint-interval 5 --checkpoint-dir "$tmp/ck_shrink"
 grep -q "shrink-to-survive" "$tmp/out" || fail "shrink summary missing"
+grep -q "^degraded: " "$tmp/out" || fail "degraded-completion line missing"
 crc_shrink=$(grep -o 'state crc32: [0-9a-f]*' "$tmp/out")
 [ "$crc_shrink" = "$crc_clean" ] ||
   fail "shrink run digest '$crc_shrink' != clean '$crc_clean'"
+
+# Grow-back tier: the same failure, but a replacement arrives at gate 16 —
+# the run re-expands to full width, so it is NOT degraded (exit 0) and the
+# digest still matches.
+expect_exit 0 "$qsv" run "$tmp/c.qc" --faults fail@12:1,revive@16 \
+  --checkpoint-interval 5 --checkpoint-dir "$tmp/ck_grow"
+grep -q "grow-back: restored to 4 ranks" "$tmp/out" ||
+  fail "grow-back summary missing"
+grep -q "^degraded: " "$tmp/out" && fail "grow-back run must not be degraded"
+crc_grow=$(grep -o 'state crc32: [0-9a-f]*' "$tmp/out")
+[ "$crc_grow" = "$crc_clean" ] ||
+  fail "grow-back run digest '$crc_grow' != clean '$crc_clean'"
 
 # Restart tier: substitution and shrink disabled.
 expect_exit 0 "$qsv" run "$tmp/c.qc" --faults fail@12:1 \

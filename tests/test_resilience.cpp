@@ -242,9 +242,11 @@ TEST(RecoveryTiers, StaticOrderIsTheEnergyOrderAtHeadlineScale) {
   for (const auto& row : res.rows) {
     EXPECT_GT(row.substitute.energy_j, 0.0);
     EXPECT_LT(row.substitute.energy_j, row.shrink.energy_j);
-    EXPECT_LT(row.shrink.energy_j, row.restart.energy_j);
+    EXPECT_LT(row.shrink.energy_j, row.grow_back.energy_j);
+    EXPECT_LT(row.grow_back.energy_j, row.restart.energy_j);
     EXPECT_GT(row.substitute.time_s, 0.0);
     EXPECT_GT(row.shrink.time_s, row.substitute.time_s);
+    EXPECT_GT(row.grow_back.time_s, row.shrink.time_s);
     EXPECT_GT(row.restart.time_s, 0.0);
     EXPECT_GT(row.spare_pool_j, 0.0);
     EXPECT_GT(row.expected_failures, 0.0);

@@ -6,6 +6,7 @@
 //                 [--checkpoint-interval GATES] [--checkpoint-dir DIR]
 //                 [--keep-last N] [--guards K] [--guard-crc]
 //                 [--spares N] [--recovery TIERS]
+//                 [--machine (archer2 | overrides.machine)]
 //   qsv info <file.qc> --local L [--half-exchange]
 //   qsv transpile <file.qc> --local L [--pass cache|greedy|fusion|cleanup]
 //                 [--min-reuse K] [--out out.qc]
@@ -22,6 +23,8 @@
 //   0  success
 //   1  library/runtime error (qsv::Error or any other exception)
 //   2  bad arguments or usage
+//   3  degraded completion (the run finished and the digest is valid, but
+//      at fewer ranks than planned — a shrink that never grew back)
 //   4  unrecovered node failure (NodeFailure escaped every recovery tier)
 //   5  integrity abort (recovery budget exhausted or unrecoverable
 //      corruption; forensics on stderr)
@@ -107,7 +110,7 @@ int cmd_run(int argc, const char* const* argv) {
   args.option("faults").option("mtbf").option("checkpoint-interval");
   args.option("checkpoint-dir").option("bitflip").option("guards");
   args.option("keep-last").option("spares").option("recovery");
-  args.option("threads").option("placement");
+  args.option("threads").option("placement").option("machine");
   args.flag("no-sweep").flag("guard-crc");
   args.parse(argc, argv);
   require_arg(args.positionals().size() == 1,
@@ -192,6 +195,7 @@ int cmd_run(int argc, const char* const* argv) {
   // default is PR 4 restart-only); --recovery narrows the set.
   ElasticOptions elastic;
   elastic.allow_shrink = true;
+  elastic.allow_grow_back = true;
   if (const auto tiers = args.value("recovery")) {
     try {
       elastic = parse_recovery_tiers(*tiers);
@@ -202,13 +206,52 @@ int cmd_run(int argc, const char* const* argv) {
   elastic.spares = args.int_or("spares", 0);
   require_arg(elastic.spares >= 0, "--spares must be >= 0");
 
+  // Machine-derived tier selection: price the circuit on the named machine
+  // model and hand choose_tier the closed-form joules, so tier ranking is
+  // energy-driven instead of the static cheapest-first order. The expected
+  // replay window is half the checkpoint interval (failures land uniformly
+  // between checkpoints) at the fault clock's one second per gate.
+  if (const auto machine = args.value("machine")) {
+    const MachineModel m = *machine == "archer2"
+                               ? archer2()
+                               : load_machine_config(archer2(), *machine);
+    JobConfig job;
+    job.num_qubits = c.num_qubits();
+    job.nodes = ranks;
+    TraceSim sim(c.num_qubits(), ranks, opts);
+    CostModel cost(m, job);
+    sim.set_listener(&cost);
+    sim.apply(c);
+    const double replay_s =
+        interval > 0 ? interval / 2.0 : c.size() / 2.0;
+    const TierEnergies te =
+        tier_energies_from_machine(m, job, cost.report(), replay_s);
+    elastic.substitute_energy_j = te.substitute_j;
+    elastic.shrink_energy_j = te.shrink_j;
+    elastic.grow_back_energy_j = te.grow_back_j;
+    elastic.restart_energy_j = te.restart_j;
+    // Raw joules (not the 3-sig-fig pretty form): the chaos-soak harness
+    // asserts the strict tier ordering off this line, and nearby tiers can
+    // tie at display precision.
+    std::cout << "tier energies: substitute=" << fmt::fixed(te.substitute_j, 3)
+              << " shrink=" << fmt::fixed(te.shrink_j, 3)
+              << " grow-back=" << fmt::fixed(te.grow_back_j, 3)
+              << " restart=" << fmt::fixed(te.restart_j, 3) << " (replay "
+              << fmt::seconds(te.replay_s) << ", " << *machine << ")\n";
+  }
+
+  RecoveryPolicy policy;
+  // The health monitor rides along whenever faults can occur; it is
+  // observational, so this changes only the reported stats.
+  policy.health.enabled = injector.has_value();
+
   IntegrityStats rec;
   const bool verified = injector || ck.interval_gates > 0 || guards.enabled();
   if (verified) {
     // Gate-by-gate integrity driver: checkpoints, guard checks, rollbacks,
     // elastic node-failure recovery. A NodeFailure that no tier can recover
     // propagates out of here to exit code 4, an IntegrityAbort to 5.
-    rec = run_verified(sv, c, ck, guards, RecoveryPolicy{}, elastic);
+    rec = run_verified(sv, c, ck, guards, policy, elastic);
   } else {
     sv.apply(c);  // fault-free fast path (keeps the sweep executor active)
   }
@@ -241,8 +284,14 @@ int cmd_run(int argc, const char* const* argv) {
     std::cout << "faults: " << ft.node_failures << " node failures, "
               << ft.dropped << " dropped, " << ft.corrupted << " corrupted, "
               << ft.bitflips << " bitflips, " << ft.straggled
-              << " straggled; " << ft.retries << " retries ("
-              << fmt::bytes(ft.retry_bytes) << " re-sent)\n";
+              << " straggled, " << ft.revivals << " revivals; "
+              << ft.retries << " retries (" << fmt::bytes(ft.retry_bytes)
+              << " re-sent)\n";
+    const HealthMonitor::Stats& hs = rec.health;
+    std::cout << "health: " << hs.beats << " heartbeats, " << hs.probes
+              << " probes, " << hs.suspicions << " suspicions, " << hs.clears
+              << " cleared, " << hs.confirmed << " confirmed failures, "
+              << hs.replacements << " replacements\n";
   }
   if (guards.enabled()) {
     std::cout << "guards: " << rec.guard_checks << " checks, "
@@ -252,12 +301,15 @@ int cmd_run(int argc, const char* const* argv) {
   if (ck.interval_gates > 0) {
     std::cout << "recovery: " << rec.restarts << " restarts, "
               << rec.substitutions << " substitutions, " << rec.shrinks
-              << " shrinks, " << rec.checkpoints_written
-              << " checkpoints written, " << rec.gates_replayed
-              << " gates replayed\n";
-    if (rec.shrinks > 0) {
+              << " shrinks, " << rec.grow_backs << " grow-backs, "
+              << rec.checkpoints_written << " checkpoints written, "
+              << rec.gates_replayed << " gates replayed\n";
+    if (rec.shrinks > 0 && sv.num_ranks() < ranks) {
       std::cout << "shrink-to-survive: finished at " << sv.num_ranks()
                 << " ranks (started at " << ranks << ")\n";
+    } else if (rec.grow_backs > 0) {
+      std::cout << "grow-back: restored to " << sv.num_ranks()
+                << " ranks after " << rec.shrinks << " shrink(s)\n";
     }
   }
   // Layout-independent digest of the final state (global amplitude order,
@@ -275,6 +327,16 @@ int cmd_run(int argc, const char* const* argv) {
     char digest[16];
     std::snprintf(digest, sizeof digest, "%08x", crc.value());
     std::cout << "state crc32: " << digest << "\n";
+  }
+  // Degraded completion: the run finished and the digest above is valid,
+  // but at fewer ranks than planned — a shrink that never grew back.
+  // Scripts key off the documented exit code 3 and this line.
+  const bool degraded = verified && rec.completed && rec.planned_ranks > 0 &&
+                        rec.final_ranks < rec.planned_ranks;
+  if (degraded) {
+    std::cout << "degraded: finished at " << rec.final_ranks << " of "
+              << rec.planned_ranks << " planned ranks ("
+              << rec.degraded_gates << " gates below planned width)\n";
   }
   for (qubit_t q = 0; q < c.num_qubits(); ++q) {
     PauliTerm z;
@@ -304,7 +366,7 @@ int cmd_run(int argc, const char* const* argv) {
       ++printed;
     }
   }
-  return 0;
+  return degraded ? 3 : 0;
 }
 
 int cmd_info(int argc, const char* const* argv) {
@@ -533,6 +595,7 @@ int cmd_price(int argc, const char* const* argv) {
     const RecoveryEnergy tiers[] = {
         expected_substitute(m, job, r, replay_s),
         expected_shrink(m, job, r, replay_s),
+        expected_grow_back(m, job, r, replay_s),
         expected_restart(m, job, r, replay_s),
     };
     Table tt("Per-failure recovery cost by tier (replay = half the Daly "
@@ -541,7 +604,7 @@ int cmd_price(int argc, const char* const* argv) {
     for (const RecoveryEnergy& e : tiers) {
       tt.row({recovery_tier_name(e.tier), fmt::seconds(e.time_s),
               fmt::energy_j(e.energy_j),
-              fmt::fixed(e.energy_j / tiers[2].energy_j, 3)});
+              fmt::fixed(e.energy_j / tiers[3].energy_j, 3)});
     }
     if (job.spares > 0) {
       tt.row({"spare pool (" + std::to_string(job.spares) + ", solve)",
@@ -552,6 +615,32 @@ int cmd_price(int argc, const char* const* argv) {
     }
     std::cout << "\n";
     tt.print(std::cout);
+
+    // Whole-run strategy comparison: per-failure cost times the expected
+    // failure count, plus what each strategy pays on the side — the spare
+    // pool's standing idle draw (substitute), or the degraded tail's extra
+    // switch-hours (shrink with no grow-back; the expected tail is half the
+    // solve — failures land uniformly in the run).
+    const ExpectedRun at_opt = expected_run(m, job, r, tau_opt);
+    const double n_fail = at_opt.expected_failures;
+    const TierEnergies te = tier_energies_from_machine(m, job, r, replay_s);
+    const double pool_j = spare_pool_energy_j(
+        m, job, std::max(1, job.spares), r.runtime_s);
+    const double tail_j = degraded_tail_extra_j(m, job, r.runtime_s / 2);
+    Table st("Recovery strategy over the run (E[failures] = " +
+             fmt::fixed(n_fail, 3) + ")");
+    st.header({"strategy", "per-failure", "standing/tail", "E[total]"});
+    auto strategy = [&](const std::string& name, double per_j,
+                        double side_j) {
+      st.row({name, fmt::energy_j(per_j), fmt::energy_j(side_j),
+              fmt::energy_j(n_fail * per_j + side_j)});
+    };
+    strategy("restart from checkpoint", te.restart_j, 0.0);
+    strategy("substitute (spare pool idles)", te.substitute_j, pool_j);
+    strategy("shrink, stay degraded", te.shrink_j, tail_j);
+    strategy("shrink, grow back on arrival", te.grow_back_j, 0.0);
+    std::cout << "\n";
+    st.print(std::cout);
   }
   return 0;
 }
@@ -589,9 +678,11 @@ int usage() {
       << "             (--keep-last N retains N checkpoints, default 2),\n"
       << "             --guards K checks invariants every K gates and\n"
       << "             --guard-crc adds slice CRC signatures;\n"
-      << "             --spares N holds spare nodes for substitution and\n"
-      << "             --recovery retry,substitute,shrink,restart picks\n"
-      << "             the allowed recovery tiers, default all)\n"
+      << "             --spares N holds spare nodes for substitution,\n"
+      << "             --recovery retry,substitute,shrink,grow-back,restart\n"
+      << "             picks the allowed recovery tiers (default all), and\n"
+      << "             --machine archer2|overrides.machine derives the\n"
+      << "             tier-selection energies from the machine model)\n"
       << "            env QSV_SIMD=scalar|avx2|avx512|auto pins the SIMD\n"
       << "            kernel backend (default: best the CPU supports)\n"
       << "            --threads N|auto (env QSV_THREADS) runs each rank on\n"
@@ -605,8 +696,9 @@ int usage() {
       << "             recovery-tier tables, --spares prices the spare\n"
       << "             pool's standing cost)\n"
       << "  sbatch    print the SLURM job script for a register size\n"
-      << "exit codes: 0 ok, 1 error, 2 bad arguments, 4 unrecovered node\n"
-      << "failure, 5 integrity abort\n";
+      << "exit codes: 0 ok, 1 error, 2 bad arguments, 3 degraded completion\n"
+      << "(finished below planned width), 4 unrecovered node failure,\n"
+      << "5 integrity abort\n";
   return 2;
 }
 
