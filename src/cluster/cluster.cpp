@@ -63,6 +63,11 @@ void VirtualCluster::enable_concurrent(std::size_t capacity_messages) {
 
 void VirtualCluster::send(rank_t from, rank_t to,
                           std::span<const std::byte> payload) {
+  send(from, to, payload, kAnyTag);
+}
+
+void VirtualCluster::send(rank_t from, rank_t to,
+                          std::span<const std::byte> payload, int tag) {
   check_rank(from);
   check_rank(to);
   QSV_REQUIRE(from != to, "self-send is not a message (rank " +
@@ -109,7 +114,7 @@ void VirtualCluster::send(rank_t from, rank_t to,
   Message msg;
   if (deliver) {
     msg = Message{std::vector<std::byte>(payload.begin(), payload.end()),
-                  crc32(payload.data(), payload.size())};
+                  crc32(payload.data(), payload.size()), tag};
     if (corrupt_in_flight && !msg.data.empty()) {
       msg.data[msg.data.size() / 2] ^= std::byte{0x01};  // single bit flip
     }
@@ -159,15 +164,35 @@ void VirtualCluster::send(rank_t from, rank_t to,
 }
 
 void VirtualCluster::recv(rank_t from, rank_t to, std::span<std::byte> out) {
+  recv(from, to, out, kAnyTag);
+}
+
+void VirtualCluster::recv(rank_t from, rank_t to, std::span<std::byte> out,
+                          int tag) {
   check_rank(from);
   check_rank(to);
   check_alive(from, to);
   Message msg;
   {
     std::unique_lock<std::mutex> lk(m_);
+    // MPI tag matching: a wildcard request takes the oldest message; a
+    // tagged request takes the oldest message carrying that tag, leaving
+    // out-of-order arrivals (chunk k+1 before chunk k) queued for their own
+    // receives. Iterators are re-found under the lock on every predicate
+    // run — a concurrent recv/purge may have reshaped the deque.
+    std::deque<Message>::iterator m;
     const auto queued = [&] {
       const auto it = queues_.find({from, to});
-      return it != queues_.end() && !it->second.empty();
+      if (it == queues_.end()) {
+        return false;
+      }
+      for (auto mi = it->second.begin(); mi != it->second.end(); ++mi) {
+        if (tag == kAnyTag || mi->tag == tag) {
+          m = mi;
+          return true;
+        }
+      }
+      return false;
     };
     if (concurrent_ && !queued()) {
       // Blocking mailbox receive: the sender thread may simply not have
@@ -176,27 +201,30 @@ void VirtualCluster::recv(rank_t from, rank_t to, std::span<std::byte> out) {
       // the serial transport throws immediately.
       cv_recv_.wait_for(lk, deadline_of(recv_deadline_s_), queued);
     }
-    const auto it = queues_.find({from, to});
-    if (it == queues_.end() || it->second.empty()) {
+    if (!queued()) {
       throw CommTimeout("recv " + std::to_string(from) + " -> " +
                         std::to_string(to) +
+                        (tag == kAnyTag ? std::string{}
+                                        : " (tag " + std::to_string(tag) +
+                                              ")") +
                         " timed out: no matching message queued after the " +
                         std::to_string(recv_deadline_s_) +
                         " s watchdog deadline (queue depth 0, message cap " +
                         std::to_string(max_message_bytes_) + " bytes)");
     }
-    if (it->second.front().data.size() != out.size()) {
+    const auto it = queues_.find({from, to});
+    if (m->data.size() != out.size()) {
       const std::string detail =
           "recv " + std::to_string(from) + " -> " + std::to_string(to) +
           ": buffer of " + std::to_string(out.size()) +
           " bytes does not match the queued message of " +
-          std::to_string(it->second.front().data.size()) +
-          " bytes (queue depth " + std::to_string(it->second.size()) +
-          ", message cap " + std::to_string(max_message_bytes_) + " bytes)";
+          std::to_string(m->data.size()) + " bytes (queue depth " +
+          std::to_string(it->second.size()) + ", message cap " +
+          std::to_string(max_message_bytes_) + " bytes)";
       QSV_REQUIRE(false, detail);
     }
-    msg = std::move(it->second.front());
-    it->second.pop_front();
+    msg = std::move(*m);
+    it->second.erase(m);
     --in_flight_;
     if (it->second.empty()) {
       queues_.erase(it);
@@ -234,6 +262,32 @@ void VirtualCluster::purge_pair(rank_t a, rank_t b) {
     const auto it = queues_.find(key);
     if (it != queues_.end()) {
       in_flight_ -= it->second.size();
+      queues_.erase(it);
+    }
+  }
+  if (concurrent_) {
+    cv_send_.notify_all();
+  }
+}
+
+void VirtualCluster::purge_tag(rank_t a, rank_t b, int tag) {
+  std::lock_guard<std::mutex> lk(m_);
+  for (const auto key : {std::pair<rank_t, rank_t>{a, b},
+                         std::pair<rank_t, rank_t>{b, a}}) {
+    const auto it = queues_.find(key);
+    if (it == queues_.end()) {
+      continue;
+    }
+    auto& q = it->second;
+    for (auto m = q.begin(); m != q.end();) {
+      if (m->tag == tag) {
+        m = q.erase(m);
+        --in_flight_;
+      } else {
+        ++m;
+      }
+    }
+    if (q.empty()) {
       queues_.erase(it);
     }
   }

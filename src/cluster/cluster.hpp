@@ -59,14 +59,24 @@ namespace qsv {
 
 class FaultInjector;
 
-/// Communication flavour of a pairwise exchange (paper §3.2).
+/// Communication flavour of a pairwise exchange (paper §3.2). The three
+/// values are the paper's optimization arc: its measured blocking→
+/// non-blocking win, then its stated future work — overlapping the combine
+/// with the chunk stream still in flight.
 enum class CommPolicy {
   kBlocking,     // QuEST default: sequence of blocking Sendrecv
   kNonBlocking,  // the paper's rewrite: Isend/Irecv + WaitAll
+  kOverlapped,   // Isend/Irecv + per-chunk Waitany: the combine kernel runs
+                 // on chunk k while chunk k+1 is in flight
 };
 
 [[nodiscard]] inline const char* comm_policy_name(CommPolicy p) {
-  return p == CommPolicy::kBlocking ? "blocking" : "non-blocking";
+  switch (p) {
+    case CommPolicy::kBlocking: return "blocking";
+    case CommPolicy::kNonBlocking: return "non-blocking";
+    case CommPolicy::kOverlapped: return "overlapped";
+  }
+  return "?";
 }
 
 /// Ground-truth traffic counters. Messages consumed by an injected drop are
@@ -127,6 +137,19 @@ class VirtualCluster {
   /// rank throw NodeFailure.
   void send(rank_t from, rank_t to, std::span<const std::byte> payload);
 
+  /// MPI-style wildcard tag: recv(tag = kAnyTag) matches the oldest message
+  /// regardless of its tag, and send(tag = kAnyTag) posts an untagged
+  /// message. All pre-overlap traffic is untagged, so its behaviour is
+  /// unchanged.
+  static constexpr int kAnyTag = -1;
+
+  /// Tagged send: like send(), but the message carries `tag` (>= 0) for the
+  /// receiver to match on. The overlapped exchange pipeline tags each chunk
+  /// with its chunk index so completion is chunk-granular — a retry can
+  /// purge and re-request one chunk without touching healthy in-flight ones.
+  void send(rank_t from, rank_t to, std::span<const std::byte> payload,
+            int tag);
+
   /// Pops the oldest message from `from` to `to` into `out`, which must be
   /// exactly the message's size. Throws CommTimeout if no message is queued
   /// when the watchdog deadline expires (a dropped message, or — fault-free
@@ -135,8 +158,21 @@ class VirtualCluster {
   /// checksum-based: no injector state is consulted.
   void recv(rank_t from, rank_t to, std::span<std::byte> out);
 
+  /// Tagged receive (MPI tag matching): pops the oldest queued message from
+  /// `from` to `to` whose tag equals `tag`, skipping non-matching ones —
+  /// chunk k+1 landing first never satisfies the wait for chunk k. Same
+  /// timeout/CRC semantics as the untagged form.
+  void recv(rank_t from, rank_t to, std::span<std::byte> out, int tag);
+
   /// Number of queued messages from `from` to `to`.
   [[nodiscard]] std::size_t pending(rank_t from, rank_t to) const;
+
+  /// Discards queued messages with tag `tag` between `a` and `b` (both
+  /// directions): the overlapped pipeline's chunk-granular retry clears just
+  /// the failed chunk before re-requesting it, leaving every other chunk of
+  /// the exchange in flight — purge_pair here would destroy healthy chunks
+  /// and force a full re-send.
+  void purge_tag(rank_t a, rank_t b, int tag);
 
   /// Discards queued messages between `a` and `b` (both directions): the
   /// retry path clears half-delivered exchanges before re-sending. Clearing
@@ -202,6 +238,9 @@ class VirtualCluster {
     /// CRC-32 of the payload as the sender handed it over — computed before
     /// any in-flight corruption, so the receiver's recompute catches it.
     std::uint32_t crc = 0;
+    /// Sender-assigned tag (kAnyTag for untagged traffic); the overlapped
+    /// pipeline's chunk index.
+    int tag = kAnyTag;
   };
 
   void check_rank(rank_t r) const;

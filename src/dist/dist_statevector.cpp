@@ -222,6 +222,38 @@ void DistStateVector<S>::with_retry(rank_t r, rank_t peer, int messages,
 }
 
 template <class S>
+template <class RecvFn, class ResendFn>
+void DistStateVector<S>::chunk_retry(rank_t r, rank_t peer, int tag,
+                                     int messages, std::uint64_t bytes,
+                                     RecvFn&& recv_fn, ResendFn&& resend_fn) {
+  const int attempts = injector_ != nullptr ? opts_.max_retries + 1 : 1;
+  for (int a = 0; a < attempts; ++a) {
+    try {
+      recv_fn();
+      return;
+    } catch (const CommFault& f) {
+      const bool timed_out = dynamic_cast<const CommTimeout*>(&f) != nullptr;
+      // Purge only this chunk's tag: the exchange's other chunks stay
+      // queued (they are healthy in-flight traffic the pipeline will still
+      // consume), which is what makes the retry chunk-granular.
+      cluster_.purge_tag(r, peer, tag);
+      if (a + 1 >= attempts) {
+        throw NodeFailure(
+            "exchange between ranks " + std::to_string(r) + " and " +
+                std::to_string(peer) + " abandoned after " +
+                std::to_string(opts_.max_retries) + " retries",
+            peer, gates_applied_ == 0 ? 0 : gates_applied_ - 1);
+      }
+      injector_->record_retry(
+          bytes, messages,
+          opts_.retry_backoff_s * static_cast<double>(1 << a) +
+              (timed_out ? opts_.recv_deadline_s : 0.0));
+      resend_fn();
+    }
+  }
+}
+
+template <class S>
 void DistStateVector<S>::exchange_full(rank_t r, rank_t peer) {
   const amp_index n_local = local_amps();
   const amp_index chunk_amps = std::min<amp_index>(
@@ -343,6 +375,145 @@ void DistStateVector<S>::exchange_half(rank_t r, rank_t peer, int local_bit) {
 }
 
 template <class S>
+void DistStateVector<S>::exchange_full_overlapped(rank_t r, rank_t peer,
+                                                  amp_index align_amps,
+                                                  const RegionFn& combine) {
+  const amp_index n_local = local_amps();
+  const amp_index chunk_amps = std::min<amp_index>(
+      n_local, opts_.max_message_bytes / kBytesPerAmp);
+  const amp_index chunks = (n_local + chunk_amps - 1) / chunk_amps;
+  const amp_index tile =
+      amp_index{1} << std::min(opts_.sweep.tile_qubits, local_qubits_);
+
+  auto send_chunk = [this](rank_t from, rank_t to, amp_index first,
+                           amp_index count, int tag) {
+    const std::size_t bytes = slices_[from].pack(first, count, scratch_.data());
+    cluster_.send(from, to, {scratch_.data(), bytes}, tag);
+  };
+  auto recv_chunk = [this](rank_t from, rank_t to, amp_index first,
+                           amp_index count, int tag) {
+    const std::size_t bytes = count * kBytesPerAmp;
+    cluster_.recv(from, to, {scratch_.data(), bytes}, tag);
+    recv_bufs_[to].unpack(first, count, scratch_.data());
+  };
+
+  // Producer side: post every chunk of both directions up front (the
+  // Isend/Irecv posting of the non-blocking path), each tagged with its
+  // chunk index so completion is chunk-granular rather than WaitAll.
+  for (amp_index c = 0; c < chunks; ++c) {
+    const amp_index first = c * chunk_amps;
+    const amp_index count = std::min(chunk_amps, n_local - first);
+    send_chunk(r, peer, first, count, static_cast<int>(c));
+    send_chunk(peer, r, first, count, static_cast<int>(c));
+  }
+  // Consumer side: wait on chunks in index order (per-chunk Waitany) and
+  // let the combine chase the arrival frontier — chunk k is applied while
+  // chunks k+1.. are still queued. A transient fault re-requests only the
+  // failed chunk; the slices' combine regions are untouched at that point,
+  // so a re-pack re-sends identical bytes and replay charges match the
+  // blocking path's per-chunk figures.
+  amp_index next = 0;
+  kern::apply_over_frontier(
+      n_local, align_amps, tile,
+      [&]() -> amp_index {
+        const amp_index c = next++;
+        const amp_index first = c * chunk_amps;
+        const amp_index count = std::min(chunk_amps, n_local - first);
+        const int tag = static_cast<int>(c);
+        chunk_retry(
+            r, peer, tag, 2, 2 * count * kBytesPerAmp,
+            [&] {
+              recv_chunk(r, peer, first, count, tag);
+              recv_chunk(peer, r, first, count, tag);
+            },
+            [&] {
+              send_chunk(r, peer, first, count, tag);
+              send_chunk(peer, r, first, count, tag);
+            });
+        return first + count;
+      },
+      combine);
+}
+
+template <class S>
+void DistStateVector<S>::exchange_half_overlapped(rank_t r, rank_t peer,
+                                                  int local_bit) {
+  const int high_bit =
+      bits::log2_exact(static_cast<std::uint64_t>(r ^ peer));
+  const std::size_t half_bytes = kern::half_payload_bytes(local_amps());
+
+  std::vector<std::byte>& out_r = half_scratch_.out_lo;
+  std::vector<std::byte>& out_peer = half_scratch_.out_hi;
+  std::vector<std::byte>& in_r = half_scratch_.in_lo;
+  std::vector<std::byte>& in_peer = half_scratch_.in_hi;
+  out_r.resize(half_bytes);
+  out_peer.resize(half_bytes);
+  in_r.resize(half_bytes);
+  in_peer.resize(half_bytes);
+
+  const int rb = bits::bit(static_cast<amp_index>(r), high_bit);
+  kern::gather_half(slices_[r], local_bit, 1 - rb, out_r.data());
+  kern::gather_half(slices_[peer], local_bit, rb, out_peer.data());
+
+  const std::size_t chunk = std::min(opts_.max_message_bytes, half_bytes);
+  const std::size_t chunks = (half_bytes + chunk - 1) / chunk;
+
+  auto ship = [&](rank_t from, rank_t to, const std::vector<std::byte>& buf,
+                  std::size_t c) {
+    const std::size_t first = c * chunk;
+    const std::size_t len = std::min(chunk, half_bytes - first);
+    cluster_.send(from, to, {buf.data() + first, len}, static_cast<int>(c));
+  };
+  auto land = [&](rank_t from, rank_t to, std::vector<std::byte>& buf,
+                  std::size_t c) {
+    const std::size_t first = c * chunk;
+    const std::size_t len = std::min(chunk, half_bytes - first);
+    cluster_.recv(from, to, {buf.data() + first, len}, static_cast<int>(c));
+  };
+
+  for (std::size_t c = 0; c < chunks; ++c) {
+    ship(r, peer, out_r, c);
+    ship(peer, r, out_peer, c);
+  }
+  // The frontier runs in *bytes* here (a chunk boundary may split an
+  // amplitude across two messages); kBytesPerAmp alignment holds the
+  // scatter back to whole packed amplitudes. The gathered out_* buffers
+  // are immutable during the drain, so a chunk re-send ships identical
+  // bytes.
+  const amp_index tile_bytes =
+      (amp_index{1} << std::min(opts_.sweep.tile_qubits, local_qubits_)) *
+      kBytesPerAmp;
+  std::size_t next = 0;
+  kern::apply_over_frontier(
+      static_cast<amp_index>(half_bytes), kBytesPerAmp, tile_bytes,
+      [&]() -> amp_index {
+        const std::size_t c = next++;
+        const std::size_t first = c * chunk;
+        const std::size_t len = std::min(chunk, half_bytes - first);
+        chunk_retry(
+            r, peer, static_cast<int>(c), 2,
+            2 * static_cast<std::uint64_t>(len),
+            [&] {
+              land(r, peer, in_peer, c);
+              land(peer, r, in_r, c);
+            },
+            [&] {
+              ship(r, peer, out_r, c);
+              ship(peer, r, out_peer, c);
+            });
+        return static_cast<amp_index>(first + len);
+      },
+      [&](amp_index first_b, amp_index count_b) {
+        const amp_index k0 = first_b / kBytesPerAmp;
+        const amp_index kc = count_b / kBytesPerAmp;
+        kern::scatter_half_range(slices_[r], local_bit, 1 - rb, in_r.data(),
+                                 k0, kc);
+        kern::scatter_half_range(slices_[peer], local_bit, rb, in_peer.data(),
+                                 k0, kc);
+      });
+}
+
+template <class S>
 template <class Fn>
 void DistStateVector<S>::exchange_round(rank_t r, rank_t peer, int messages,
                                         std::uint64_t bytes, Fn&& fn) {
@@ -392,6 +563,76 @@ void DistStateVector<S>::exchange_round(rank_t r, rank_t peer, int messages,
     // race the purge.
     if (r < peer) {
       cluster_.purge_pair(r, peer);
+      if (a + 1 < attempts) {
+        injector_->record_retry(
+            bytes, messages,
+            opts_.retry_backoff_s * static_cast<double>(1 << a) +
+                (out.any_timed ? opts_.recv_deadline_s : 0.0));
+      }
+    }
+    team_->pair_arrive(pair_id, false, false, false, rendezvous_s);
+    if (a + 1 >= attempts) {
+      throw NodeFailure(
+          "exchange between ranks " + std::to_string(r) + " and " +
+              std::to_string(peer) + " abandoned after " +
+              std::to_string(opts_.max_retries) + " retries",
+          peer, gates_applied_ == 0 ? 0 : gates_applied_ - 1);
+    }
+  }
+}
+
+template <class S>
+template <class RecvFn, class ResendFn>
+void DistStateVector<S>::exchange_round_tagged(rank_t r, rank_t peer, int tag,
+                                               int messages,
+                                               std::uint64_t bytes,
+                                               RecvFn&& recv_fn,
+                                               ResendFn&& resend_fn) {
+  if (injector_ == nullptr) {
+    // Fault-free transport gets a single attempt and skips the rendezvous
+    // entirely — the hot path has no extra sync (as in exchange_round).
+    recv_fn();
+    return;
+  }
+  const int pair_id = static_cast<int>(std::min(r, peer));
+  const int attempts = opts_.max_retries + 1;
+  const double rendezvous_s =
+      opts_.recv_deadline_s * (2.0 * messages + 4.0);
+  for (int a = 0; a < attempts; ++a) {
+    bool fail = false;
+    bool timed = false;
+    bool fatal = false;
+    try {
+      if (a > 0) {
+        resend_fn();  // the post-purge re-send of this rank's own chunk
+      }
+      recv_fn();
+    } catch (const CommTimeout&) {
+      fail = true;
+      timed = true;
+    } catch (const NodeFailure&) {
+      fatal = true;
+    } catch (const CommFault&) {
+      fail = true;
+    }
+    const RankTeam::PairOutcome out =
+        team_->pair_arrive(pair_id, fail, timed, fatal, rendezvous_s);
+    if (out.any_fatal) {
+      throw NodeFailure(
+          "exchange between ranks " + std::to_string(r) + " and " +
+              std::to_string(peer) + " observed a node failure",
+          peer, gates_applied_ == 0 ? 0 : gates_applied_ - 1);
+    }
+    if (!out.any_fail) {
+      return;
+    }
+    // Coordinated chunk-granular retry: the lower rank purges only this
+    // chunk's tag — the exchange's other chunks stay in flight — and
+    // records the pair's single retry charge (the same one-chunk figures
+    // the serial overlapped engine records). The second rendezvous keeps
+    // any re-send from racing the purge.
+    if (r < peer) {
+      cluster_.purge_tag(r, peer, tag);
       if (a + 1 < attempts) {
         injector_->record_retry(
             bytes, messages,
@@ -509,6 +750,109 @@ void DistStateVector<S>::exchange_half_rank(rank_t r, rank_t peer,
 }
 
 template <class S>
+void DistStateVector<S>::exchange_full_rank_overlapped(
+    rank_t r, rank_t peer, amp_index align_amps, const RegionFn& combine) {
+  const amp_index n_local = local_amps();
+  const amp_index chunk_amps = std::min<amp_index>(
+      n_local, opts_.max_message_bytes / kBytesPerAmp);
+  const amp_index chunks = (n_local + chunk_amps - 1) / chunk_amps;
+  const amp_index tile =
+      amp_index{1} << std::min(opts_.sweep.tile_qubits, local_qubits_);
+  std::vector<std::byte>& buf = rank_scratch_[static_cast<std::size_t>(r)].msg;
+
+  auto send_chunk = [&](amp_index first, amp_index count, int tag) {
+    const std::size_t bytes = slices_[r].pack(first, count, buf.data());
+    cluster_.send(r, peer, {buf.data(), bytes}, tag);
+  };
+  auto recv_chunk = [&](amp_index first, amp_index count, int tag) {
+    const std::size_t bytes = count * kBytesPerAmp;
+    cluster_.recv(peer, r, {buf.data(), bytes}, tag);
+    recv_bufs_[r].unpack(first, count, buf.data());
+  };
+
+  // Post this rank's whole chunk stream up front, tagged by chunk index;
+  // the peer's thread posts the mirror stream concurrently.
+  for (amp_index c = 0; c < chunks; ++c) {
+    const amp_index first = c * chunk_amps;
+    const amp_index count = std::min(chunk_amps, n_local - first);
+    send_chunk(first, count, static_cast<int>(c));
+  }
+  // Drain the peer's stream in index order, combining each chunk's region
+  // while the rest is still in flight.
+  amp_index next = 0;
+  kern::apply_over_frontier(
+      n_local, align_amps, tile,
+      [&]() -> amp_index {
+        const amp_index c = next++;
+        const amp_index first = c * chunk_amps;
+        const amp_index count = std::min(chunk_amps, n_local - first);
+        const int tag = static_cast<int>(c);
+        // Round totals cover both directions, so one retry is charged
+        // exactly what the serial overlapped engine charges for the pair.
+        exchange_round_tagged(
+            r, peer, tag, 2, 2 * count * kBytesPerAmp,
+            [&] { recv_chunk(first, count, tag); },
+            [&] { send_chunk(first, count, tag); });
+        return first + count;
+      },
+      combine);
+}
+
+template <class S>
+void DistStateVector<S>::exchange_half_rank_overlapped(rank_t r, rank_t peer,
+                                                       int local_bit) {
+  const int high_bit =
+      bits::log2_exact(static_cast<std::uint64_t>(r ^ peer));
+  const std::size_t half_bytes = kern::half_payload_bytes(local_amps());
+  RankScratch& rs = rank_scratch_[static_cast<std::size_t>(r)];
+  rs.half_out.resize(half_bytes);
+  rs.half_in.resize(half_bytes);
+
+  const int rb = bits::bit(static_cast<amp_index>(r), high_bit);
+  kern::gather_half(slices_[r], local_bit, 1 - rb, rs.half_out.data());
+
+  const std::size_t chunk = std::min(opts_.max_message_bytes, half_bytes);
+  const std::size_t chunks = (half_bytes + chunk - 1) / chunk;
+
+  auto ship = [&](std::size_t c) {
+    const std::size_t first = c * chunk;
+    const std::size_t len = std::min(chunk, half_bytes - first);
+    cluster_.send(r, peer, {rs.half_out.data() + first, len},
+                  static_cast<int>(c));
+  };
+  auto land = [&](std::size_t c) {
+    const std::size_t first = c * chunk;
+    const std::size_t len = std::min(chunk, half_bytes - first);
+    cluster_.recv(peer, r, {rs.half_in.data() + first, len},
+                  static_cast<int>(c));
+  };
+
+  for (std::size_t c = 0; c < chunks; ++c) {
+    ship(c);
+  }
+  const amp_index tile_bytes =
+      (amp_index{1} << std::min(opts_.sweep.tile_qubits, local_qubits_)) *
+      kBytesPerAmp;
+  std::size_t next = 0;
+  kern::apply_over_frontier(
+      static_cast<amp_index>(half_bytes), kBytesPerAmp, tile_bytes,
+      [&]() -> amp_index {
+        const std::size_t c = next++;
+        const std::size_t first = c * chunk;
+        const std::size_t len = std::min(chunk, half_bytes - first);
+        exchange_round_tagged(r, peer, static_cast<int>(c), 2,
+                              2 * static_cast<std::uint64_t>(len),
+                              [&] { land(c); }, [&] { ship(c); });
+        return static_cast<amp_index>(first + len);
+      },
+      [&](amp_index first_b, amp_index count_b) {
+        kern::scatter_half_range(slices_[r], local_bit, 1 - rb,
+                                 rs.half_in.data(), first_b / kBytesPerAmp,
+                                 count_b / kBytesPerAmp);
+      });
+}
+
+template <class S>
 void DistStateVector<S>::apply_distributed_threaded(const Gate& g,
                                                     const OpPlan& plan) {
   const amp_index local_ctrl =
@@ -527,23 +871,42 @@ void DistStateVector<S>::apply_distributed_threaded(const Gate& g,
     if (!bits::all_set(static_cast<amp_index>(r), plan.high_mask)) {
       return;  // high controls unsatisfied: the pair is idle
     }
+    const bool overlapped = opts_.policy == CommPolicy::kOverlapped;
     switch (plan.combine) {
       case OpPlan::Combine::kMatrix1: {
-        exchange_full_rank(r, peer);
         const int row_r = bits::bit(static_cast<amp_index>(r), plan.high_bit);
-        kern::combine_matrix1(slices_[r], recv_bufs_[r], row_r, u,
-                              local_ctrl);
+        if (overlapped) {
+          exchange_full_rank_overlapped(
+              r, peer, 1, [&](amp_index first, amp_index count) {
+                kern::combine_matrix1_range(slices_[r], recv_bufs_[r], row_r,
+                                            u, local_ctrl, first, count);
+              });
+        } else {
+          exchange_full_rank(r, peer);
+          kern::combine_matrix1(slices_[r], recv_bufs_[r], row_r, u,
+                                local_ctrl);
+        }
         break;
       }
       case OpPlan::Combine::kSwapOneHigh: {
         const int a = g.targets[0];
+        const int bit_r = bits::bit(static_cast<amp_index>(r), plan.high_bit);
         if (plan.half_exchange) {
-          exchange_half_rank(r, peer, a);
+          if (overlapped) {
+            exchange_half_rank_overlapped(r, peer, a);
+          } else {
+            exchange_half_rank(r, peer, a);
+          }
+        } else if (overlapped) {
+          exchange_full_rank_overlapped(
+              r, peer, amp_index{1} << (a + 1),
+              [&](amp_index first, amp_index count) {
+                kern::combine_swap_one_high_range(slices_[r], recv_bufs_[r],
+                                                  a, bit_r, first, count);
+              });
         } else {
           exchange_full_rank(r, peer);
-          kern::combine_swap_one_high(
-              slices_[r], recv_bufs_[r], a,
-              bits::bit(static_cast<amp_index>(r), plan.high_bit));
+          kern::combine_swap_one_high(slices_[r], recv_bufs_[r], a, bit_r);
         }
         break;
       }
@@ -551,8 +914,16 @@ void DistStateVector<S>::apply_distributed_threaded(const Gate& g,
         const std::uint64_t m = plan.rank_xor_mask;
         const std::uint64_t rbits = static_cast<std::uint64_t>(r) & m;
         if (rbits != 0 && rbits != m) {
-          exchange_full_rank(r, peer);
-          kern::combine_swap_two_high(slices_[r], recv_bufs_[r]);
+          if (overlapped) {
+            exchange_full_rank_overlapped(
+                r, peer, 1, [&](amp_index first, amp_index count) {
+                  kern::combine_swap_two_high_range(slices_[r], recv_bufs_[r],
+                                                    first, count);
+                });
+          } else {
+            exchange_full_rank(r, peer);
+            kern::combine_swap_two_high(slices_[r], recv_bufs_[r]);
+          }
         }
         break;
       }
@@ -602,28 +973,59 @@ void DistStateVector<S>::apply_distributed(const Gate& g, const OpPlan& plan) {
       continue;  // high controls unsatisfied: the pair is idle
     }
 
+    const bool overlapped = opts_.policy == CommPolicy::kOverlapped;
     switch (plan.combine) {
       case OpPlan::Combine::kMatrix1: {
-        exchange_full(r, peer);
         const Mat2 u = gate_matrix2(g);
         const int row_r = bits::bit(static_cast<amp_index>(r), plan.high_bit);
-        kern::combine_matrix1(slices_[r], recv_bufs_[r], row_r, u, local_ctrl);
-        kern::combine_matrix1(slices_[peer], recv_bufs_[peer], 1 - row_r, u,
-                              local_ctrl);
+        if (overlapped) {
+          // Elementwise combine: every arrived amplitude is immediately
+          // combinable (align 1).
+          exchange_full_overlapped(
+              r, peer, 1, [&](amp_index first, amp_index count) {
+                kern::combine_matrix1_range(slices_[r], recv_bufs_[r], row_r,
+                                            u, local_ctrl, first, count);
+                kern::combine_matrix1_range(slices_[peer], recv_bufs_[peer],
+                                            1 - row_r, u, local_ctrl, first,
+                                            count);
+              });
+        } else {
+          exchange_full(r, peer);
+          kern::combine_matrix1(slices_[r], recv_bufs_[r], row_r, u,
+                                local_ctrl);
+          kern::combine_matrix1(slices_[peer], recv_bufs_[peer], 1 - row_r, u,
+                                local_ctrl);
+        }
         break;
       }
       case OpPlan::Combine::kSwapOneHigh: {
         const int a = g.targets[0];
+        const int bit_r = bits::bit(static_cast<amp_index>(r), plan.high_bit);
+        const int bit_p =
+            bits::bit(static_cast<amp_index>(peer), plan.high_bit);
         if (plan.half_exchange) {
-          exchange_half(r, peer, a);
+          if (overlapped) {
+            exchange_half_overlapped(r, peer, a);
+          } else {
+            exchange_half(r, peer, a);
+          }
+        } else if (overlapped) {
+          // The combine reads the partner amplitude flip_bit(i, a), so
+          // regions must be closed under that flip: align 2^(a+1).
+          exchange_full_overlapped(
+              r, peer, amp_index{1} << (a + 1),
+              [&](amp_index first, amp_index count) {
+                kern::combine_swap_one_high_range(slices_[r], recv_bufs_[r],
+                                                  a, bit_r, first, count);
+                kern::combine_swap_one_high_range(slices_[peer],
+                                                  recv_bufs_[peer], a, bit_p,
+                                                  first, count);
+              });
         } else {
           exchange_full(r, peer);
-          kern::combine_swap_one_high(
-              slices_[r], recv_bufs_[r], a,
-              bits::bit(static_cast<amp_index>(r), plan.high_bit));
-          kern::combine_swap_one_high(
-              slices_[peer], recv_bufs_[peer], a,
-              bits::bit(static_cast<amp_index>(peer), plan.high_bit));
+          kern::combine_swap_one_high(slices_[r], recv_bufs_[r], a, bit_r);
+          kern::combine_swap_one_high(slices_[peer], recv_bufs_[peer], a,
+                                      bit_p);
         }
         break;
       }
@@ -633,9 +1035,19 @@ void DistStateVector<S>::apply_distributed(const Gate& g, const OpPlan& plan) {
         const std::uint64_t rb = static_cast<std::uint64_t>(r) & m;
         if (rb != 0 && rb != m) {
           // r has exactly one of the two bits set: it pairs with r ^ m.
-          exchange_full(r, peer);
-          kern::combine_swap_two_high(slices_[r], recv_bufs_[r]);
-          kern::combine_swap_two_high(slices_[peer], recv_bufs_[peer]);
+          if (overlapped) {
+            exchange_full_overlapped(
+                r, peer, 1, [&](amp_index first, amp_index count) {
+                  kern::combine_swap_two_high_range(slices_[r], recv_bufs_[r],
+                                                    first, count);
+                  kern::combine_swap_two_high_range(
+                      slices_[peer], recv_bufs_[peer], first, count);
+                });
+          } else {
+            exchange_full(r, peer);
+            kern::combine_swap_two_high(slices_[r], recv_bufs_[r]);
+            kern::combine_swap_two_high(slices_[peer], recv_bufs_[peer]);
+          }
         }
         break;
       }
@@ -683,6 +1095,8 @@ void DistStateVector<S>::apply(const Gate& g) {
     e.messages_per_rank = plan.messages;
     e.policy = opts_.policy;
     e.half_exchange = plan.half_exchange;
+    e.overlap_chunks =
+        opts_.policy == CommPolicy::kOverlapped ? plan.messages : 0;
     e.numa_ratio = exchange_numa_ratio(plan);
     if (injector_ != nullptr) {
       const FaultInjector::GateFaultCharges charges =

@@ -8,6 +8,7 @@
 // implementation, doubling the overall memory requirement".
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -168,8 +169,28 @@ class DistStateVector {
   [[nodiscard]] ThreadSummary thread_summary() const;
 
  private:
+  /// Region kernel handed to the overlapped exchange pipeline: applies the
+  /// combine to amplitudes (or packed half-payload amplitudes) in
+  /// [first, first + count).
+  using RegionFn = std::function<void(amp_index first, amp_index count)>;
+
   void exchange_full(rank_t r, rank_t peer);
   void exchange_half(rank_t r, rank_t peer, int local_bit);
+  /// Overlapped (CommPolicy::kOverlapped) full-slice exchange: every chunk
+  /// of both directions is posted up front tagged with its chunk index, and
+  /// `combine` is applied to each chunk's region as it lands — while later
+  /// chunks are still in flight. `align_amps` (power of two) holds the
+  /// combine back to regions closed under its partner reads (1 for
+  /// elementwise combines, 2^(a+1) for a one-local-bit SWAP). A transient
+  /// fault purges and re-requests only the failed chunk. Application order
+  /// (chunk 0, 1, ...) and per-amplitude arithmetic mirror the serial path
+  /// exactly, so the result is bitwise identical.
+  void exchange_full_overlapped(rank_t r, rank_t peer, amp_index align_amps,
+                                const RegionFn& combine);
+  /// Overlapped half-slice SWAP exchange (serial engine): the packed half
+  /// payloads stream chunk by chunk and each chunk is scattered into both
+  /// slices on arrival.
+  void exchange_half_overlapped(rank_t r, rank_t peer, int local_bit);
   void apply_distributed(const Gate& g, const OpPlan& plan);
   /// Symmetric per-rank form of apply_distributed: each rank thread sends
   /// its own chunks, blocks on its peer's, and runs its own combine.
@@ -179,6 +200,16 @@ class DistStateVector {
   void exchange_full_rank(rank_t r, rank_t peer);
   /// Rank `r`'s side of a half-slice SWAP exchange (threaded engine).
   void exchange_half_rank(rank_t r, rank_t peer, int local_bit);
+  /// Rank `r`'s side of an overlapped full-slice exchange (threaded
+  /// engine): posts its own tagged chunks, then combines each arriving peer
+  /// chunk while its successors are still in flight. Chunk-granular retry
+  /// is coordinated through the pair rendezvous like exchange_round, but
+  /// purges only the failed chunk's tag.
+  void exchange_full_rank_overlapped(rank_t r, rank_t peer,
+                                     amp_index align_amps,
+                                     const RegionFn& combine);
+  /// Rank `r`'s side of an overlapped half-slice SWAP exchange (threaded).
+  void exchange_half_rank_overlapped(rank_t r, rank_t peer, int local_bit);
   /// Measured NUMA ratio for this exchange: numa_ratio_ when any
   /// participating pair spans domains under the placement plan, else 1.0.
   [[nodiscard]] double exchange_numa_ratio(const OpPlan& plan) const;
@@ -194,6 +225,16 @@ class DistStateVector {
   template <class Fn>
   void with_retry(rank_t r, rank_t peer, int messages, std::uint64_t bytes,
                   Fn&& fn);
+  /// Chunk-granular counterpart of with_retry for the overlapped pipeline
+  /// (serial engine): `recv_fn` receives one tagged chunk; on a transient
+  /// fault only that chunk's tag is purged and `resend_fn` re-posts just
+  /// that chunk before the next attempt. `messages`/`bytes` are the
+  /// one-chunk re-send cost, so retries replay exactly the charges a
+  /// blocking per-chunk retry would.
+  template <class RecvFn, class ResendFn>
+  void chunk_retry(rank_t r, rank_t peer, int tag, int messages,
+                   std::uint64_t bytes, RecvFn&& recv_fn,
+                   ResendFn&& resend_fn);
   /// Threaded counterpart of with_retry: both pair members run their side
   /// of the round, rendezvous on the combined outcome, and retry (or throw)
   /// symmetrically. The lower rank purges the pair and records the single
@@ -201,6 +242,15 @@ class DistStateVector {
   template <class Fn>
   void exchange_round(rank_t r, rank_t peer, int messages,
                       std::uint64_t bytes, Fn&& fn);
+  /// Chunk-granular counterpart of exchange_round (threaded engine): both
+  /// pair members run their side of one tagged chunk, rendezvous on the
+  /// outcome, and on failure the lower rank purges only that chunk's tag
+  /// (and records the pair's single retry charge) before both re-send their
+  /// own chunk via `resend_fn` and retry `recv_fn`.
+  template <class RecvFn, class ResendFn>
+  void exchange_round_tagged(rank_t r, rank_t peer, int tag, int messages,
+                             std::uint64_t bytes, RecvFn&& recv_fn,
+                             ResendFn&& resend_fn);
 
   int num_qubits_;
   int local_qubits_;

@@ -83,6 +83,13 @@ struct ExecEvent {
   int messages_per_rank = 0;
   CommPolicy policy = CommPolicy::kBlocking;
   bool half_exchange = false;
+  /// Pipeline depth of an overlapped exchange: the number of chunks the
+  /// payload was streamed in (== messages_per_rank), each combined while
+  /// its successors were still in flight. 0 for non-overlapped policies, so
+  /// overlap-off event streams are unchanged. The cost model turns this
+  /// into the measured t_comm − t_overlap saving via the pipelined-chunk
+  /// relation: (chunks−1)/chunks of min(t_comm, t_combine) is hidden.
+  int overlap_chunks = 0;
   /// Measured local-vs-remote NUMA bandwidth ratio applied to this
   /// exchange's timing when at least one participating pair spans NUMA
   /// domains (a gate waits on its slowest pair). 1.0 — the default, and

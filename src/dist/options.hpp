@@ -42,8 +42,9 @@ struct ThreadOptions {
 };
 
 struct DistOptions {
-  /// Exchange flavour: QuEST's blocking Sendrecv chain, or the paper's
-  /// non-blocking rewrite.
+  /// Exchange flavour: QuEST's blocking Sendrecv chain, the paper's
+  /// non-blocking rewrite, or the overlapped chunk pipeline that combines
+  /// chunk k while chunk k+1 is still on the wire (docs/COMMS.md).
   CommPolicy policy = CommPolicy::kBlocking;
 
   /// The paper's future-work optimisation: a distributed SWAP with one local

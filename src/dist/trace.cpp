@@ -60,6 +60,8 @@ void TraceSim::apply(const Gate& g) {
       e.messages_per_rank = plan.messages;
       e.policy = opts_.policy;
       e.half_exchange = plan.half_exchange;
+      e.overlap_chunks =
+          opts_.policy == CommPolicy::kOverlapped ? plan.messages : 0;
 
       // Reproduce the cluster counters the functional engine would record.
       int idle_shift = std::popcount(plan.high_mask);

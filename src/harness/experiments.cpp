@@ -294,6 +294,38 @@ Table experiment_half_exchange(const MachineModel& m) {
   return t;
 }
 
+OverlapResult experiment_overlap(const MachineModel& m) {
+  OverlapResult res;
+  res.table = Table("Ablation — exchange pipeline: blocking vs non-blocking "
+                    "vs overlapped (Fast QFT)");
+  res.table.header({"qubits", "nodes", "policy", "runtime", "energy",
+                    "MPI time", "overlap saved"});
+
+  for (const auto& [qubits, nodes] :
+       std::vector<std::pair<int, int>>{{43, 2048}, {44, 4096}}) {
+    JobConfig job;
+    job.num_qubits = qubits;
+    job.node_kind = NodeKind::kStandard;
+    job.freq = CpuFreq::kMedium2000;
+    job.nodes = nodes;
+    const int local = qubits - static_cast<int>(std::log2(nodes));
+    const Circuit c = fast_qft(qubits, local);
+
+    for (CommPolicy policy : {CommPolicy::kBlocking, CommPolicy::kNonBlocking,
+                              CommPolicy::kOverlapped}) {
+      const RunReport r = run_model(c, m, job, policy_opts(policy));
+      res.rows.push_back(OverlapResult::Row{qubits, nodes, policy, r});
+      res.table.row(
+          {std::to_string(qubits), std::to_string(nodes),
+           comm_policy_name(policy), fmt::seconds(r.runtime_s),
+           fmt::energy_j(r.total_energy_j()), fmt::seconds(r.phases.mpi_s),
+           r.overlapped_exchanges > 0 ? fmt::seconds(r.overlap_saved_s)
+                                      : "-"});
+    }
+  }
+  return res;
+}
+
 Table experiment_chunking(const MachineModel& m) {
   Table t("Ablation — MPI message cap (chunking of one 64 GiB exchange)");
   t.header({"message cap", "messages", "exchange time blk",

@@ -115,4 +115,21 @@ struct Table2Result {
 /// Ablation: effect of the MPI message cap (chunk size) on exchange cost.
 [[nodiscard]] Table experiment_chunking(const MachineModel& m);
 
+struct OverlapResult {
+  struct Row {
+    int qubits;
+    int nodes;
+    CommPolicy policy;
+    RunReport report;
+  };
+  std::vector<Row> rows;
+  Table table;
+};
+
+/// Ablation: the optimization arc blocking -> non-blocking -> overlapped on
+/// the Fast QFT headline configurations (43q/2048 and 44q/4096 nodes). The
+/// overlapped rows carry the cost model's measured hidden time
+/// (overlap_saved_s): (C-1)/C of min(t_comm, t_combine) per exchange.
+[[nodiscard]] OverlapResult experiment_overlap(const MachineModel& m);
+
 }  // namespace qsv

@@ -52,6 +52,9 @@ double MachineModel::allreduce_time(int nodes) const {
 
 double MachineModel::exchange_time(double bytes, int messages,
                                    CommPolicy policy, int nodes) const {
+  // The overlapped pipeline posts the same Isend/Irecv stream as the
+  // non-blocking policy, so it runs at the non-blocking wire rate; the
+  // compute-hidden share is subtracted by the cost model, not here.
   const double bw = policy == CommPolicy::kBlocking
                         ? network.bw_blocking_bytes_per_s
                         : network.bw_nonblocking_bytes_per_s;

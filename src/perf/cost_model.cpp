@@ -186,12 +186,44 @@ void CostModel::on_event(const ExecEvent& e) {
 
   // Distributed gate: exchange + combine.
   ++acc_.distributed_gates;
+
+  // Combine cost, computed first because the overlapped policy hides part
+  // of the wire time behind it.
+  const OpPlan::Combine combine =
+      e.gate == GateKind::kSwap
+          ? (e.local_target < 0 ? OpPlan::Combine::kSwapTwoHigh
+                                : OpPlan::Combine::kSwapOneHigh)
+          : OpPlan::Combine::kMatrix1;
+  const GateCost c = combine_cost(combine, e.half_exchange);
+  // The combine reads/writes sequentially (the pairing is across ranks),
+  // so no NUMA stride penalty applies.
+  const double combine_mem_t =
+      machine_.mem_time(slice_bytes * c.mem_passes, job_.freq, 1.0);
+  const double combine_comp_t = machine_.compute_time(
+      static_cast<double>(e.local_amps) * c.flops_per_amp, job_.freq);
+
   // Cross-domain exchanges run at the measured remote-bandwidth deficit
   // (events carry 1.0 unless the threaded engine saw a pair span domains).
   const double numa_ratio = std::max(1.0, e.numa_ratio);
-  const double t_comm = numa_ratio * machine_.exchange_time(
+  double t_comm = numa_ratio * machine_.exchange_time(
       static_cast<double>(e.bytes_per_rank), e.messages_per_rank, e.policy,
       job_.nodes);
+
+  // Overlapped pipeline: with C chunks in flight, the combine of chunk k
+  // runs while chunks k+1.. are on the wire, so all but the first chunk of
+  // the shorter leg is hidden — the steady-state pipelined-chunk relation
+  // t_exposed = t_comm − (C−1)/C · min(t_comm, t_combine). The combine
+  // itself is still charged in full below; only the wire time the combine
+  // shadows is removed, and retry traffic stays fully exposed (a retried
+  // chunk stalls the frontier).
+  if (e.overlap_chunks > 1) {
+    const double chunks = static_cast<double>(e.overlap_chunks);
+    const double hidden = (chunks - 1.0) / chunks *
+                          std::min(t_comm, combine_mem_t + combine_comp_t);
+    t_comm -= hidden;
+    acc_.overlap_saved_s += hidden;
+    ++acc_.overlapped_exchanges;
+  }
   acc_.runtime_s += t_comm;
   acc_.phases.mpi_s += t_comm;
 
@@ -229,19 +261,8 @@ void CostModel::on_event(const ExecEvent& e) {
            job_.nodes * p_idle);
   }
 
-  const OpPlan::Combine combine =
-      e.gate == GateKind::kSwap
-          ? (e.local_target < 0 ? OpPlan::Combine::kSwapTwoHigh
-                                : OpPlan::Combine::kSwapOneHigh)
-          : OpPlan::Combine::kMatrix1;
-  const GateCost c = combine_cost(combine, e.half_exchange);
-  // The combine reads/writes sequentially (the pairing is across ranks),
-  // so no NUMA stride penalty applies.
-  const double mem_t =
-      machine_.mem_time(slice_bytes * c.mem_passes, job_.freq, 1.0);
-  const double comp_t = machine_.compute_time(
-      static_cast<double>(e.local_amps) * c.flops_per_amp, job_.freq);
-  charge_local(mem_t, comp_t, e.participating_fraction, /*stall_t=*/0);
+  charge_local(combine_mem_t, combine_comp_t, e.participating_fraction,
+               /*stall_t=*/0);
 }
 
 RunReport CostModel::report() const {

@@ -61,6 +61,14 @@ struct RunReport {
   std::uint64_t sweep_runs = 0;
   std::uint64_t sweep_passes_saved = 0;
 
+  /// Overlapped-pipeline accounting (all zero unless the run used
+  /// CommPolicy::kOverlapped with more than one chunk in flight): exchanges
+  /// that streamed chunks through the double-buffered pipeline, and the
+  /// wire time their combines hid — (C−1)/C · min(t_comm, t_combine) per
+  /// exchange, already subtracted from runtime_s / phases.mpi_s above.
+  std::uint64_t overlapped_exchanges = 0;
+  double overlap_saved_s = 0;
+
   /// Fault-recovery accounting (all zero on fault-free runs): retried
   /// exchange traffic and injected straggler/backoff delay, priced into
   /// runtime_s / node_energy_j above.

@@ -410,17 +410,26 @@ void apply_gate_slice(S& s, const Gate& g, int local_qubits,
 /// new[i] = u[my_row][my_row]*mine[i] + u[my_row][1-my_row]*theirs[i].
 /// `local_ctrl_mask` gates per-amplitude updates (high controls are decided
 /// before the exchange).
+///
+/// The _range forms update amplitudes [first, first + count) only — the
+/// overlapped exchange pipeline applies them chunk by chunk as payloads
+/// arrive. Each amplitude's update is independent and written by exactly
+/// the same expression as the full-slice form (which delegates here), so
+/// region-at-a-time application is bitwise identical to one whole pass.
 template <class S>
-void combine_matrix1(S& mine, const S& theirs, int my_row, const Mat2& u,
-                     amp_index local_ctrl_mask) {
+void combine_matrix1_range(S& mine, const S& theirs, int my_row, const Mat2& u,
+                           amp_index local_ctrl_mask, amp_index first,
+                           amp_index count) {
   QSV_REQUIRE(mine.size() == theirs.size(), "slice size mismatch");
+  QSV_REQUIRE(first + count <= mine.size(), "combine region out of range");
   const cplx diag = u.m[my_row][my_row];
   const cplx off = u.m[my_row][1 - my_row];
-  const amp_index n = mine.size();
+  const std::int64_t lo = static_cast<std::int64_t>(first);
+  const std::int64_t hi = static_cast<std::int64_t>(first + count);
 #ifdef _OPENMP
 #pragma omp parallel for schedule(static)
 #endif
-  for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
+  for (std::int64_t i = lo; i < hi; ++i) {
     if (!bits::all_set(static_cast<amp_index>(i), local_ctrl_mask)) {
       continue;
     }
@@ -428,17 +437,33 @@ void combine_matrix1(S& mine, const S& theirs, int my_row, const Mat2& u,
   }
 }
 
+template <class S>
+void combine_matrix1(S& mine, const S& theirs, int my_row, const Mat2& u,
+                     amp_index local_ctrl_mask) {
+  combine_matrix1_range(mine, theirs, my_row, u, local_ctrl_mask, 0,
+                        mine.size());
+}
+
 /// Distributed SWAP with one local target `a` and the distributed target in
 /// the rank bits: amplitudes whose local bit `a` differs from this rank's
 /// bit of the distributed target are replaced from the peer slice.
+/// Range form for the overlapped pipeline. An amplitude i in the region
+/// reads theirs[flip_bit(i, a)], which may sit outside [first, first+count):
+/// callers must only pass regions closed under flipping bit `a` — i.e.
+/// aligned to (and a multiple of) 2^(a+1) amplitudes, which the frontier
+/// driver guarantees (sv/sweep.hpp).
 template <class S>
-void combine_swap_one_high(S& mine, const S& theirs, int a, int my_high_bit) {
+void combine_swap_one_high_range(S& mine, const S& theirs, int a,
+                                 int my_high_bit, amp_index first,
+                                 amp_index count) {
   QSV_REQUIRE(mine.size() == theirs.size(), "slice size mismatch");
-  const amp_index n = mine.size();
+  QSV_REQUIRE(first + count <= mine.size(), "combine region out of range");
+  const std::int64_t lo = static_cast<std::int64_t>(first);
+  const std::int64_t hi = static_cast<std::int64_t>(first + count);
 #ifdef _OPENMP
 #pragma omp parallel for schedule(static)
 #endif
-  for (std::int64_t ii = 0; ii < static_cast<std::int64_t>(n); ++ii) {
+  for (std::int64_t ii = lo; ii < hi; ++ii) {
     const amp_index i = static_cast<amp_index>(ii);
     if (bits::bit(i, a) != my_high_bit) {
       mine.set(i, theirs.get(bits::flip_bit(i, a)));
@@ -446,18 +471,31 @@ void combine_swap_one_high(S& mine, const S& theirs, int a, int my_high_bit) {
   }
 }
 
+template <class S>
+void combine_swap_one_high(S& mine, const S& theirs, int a, int my_high_bit) {
+  combine_swap_one_high_range(mine, theirs, a, my_high_bit, 0, mine.size());
+}
+
 /// Distributed SWAP with both targets in the rank bits: the slices are
 /// exchanged wholesale (pure relabelling).
 template <class S>
-void combine_swap_two_high(S& mine, const S& theirs) {
+void combine_swap_two_high_range(S& mine, const S& theirs, amp_index first,
+                                 amp_index count) {
   QSV_REQUIRE(mine.size() == theirs.size(), "slice size mismatch");
-  const amp_index n = mine.size();
+  QSV_REQUIRE(first + count <= mine.size(), "combine region out of range");
+  const std::int64_t lo = static_cast<std::int64_t>(first);
+  const std::int64_t hi = static_cast<std::int64_t>(first + count);
 #ifdef _OPENMP
 #pragma omp parallel for schedule(static)
 #endif
-  for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
+  for (std::int64_t i = lo; i < hi; ++i) {
     mine.set(i, theirs.get(i));
   }
+}
+
+template <class S>
+void combine_swap_two_high(S& mine, const S& theirs) {
+  combine_swap_two_high_range(mine, theirs, 0, mine.size());
 }
 
 // ---------------------------------------------------------------------------
@@ -493,14 +531,23 @@ void gather_half(const S& src, int a, int value, std::byte* out) {
 
 /// Inverse of gather_half: writes the packed stream into amplitudes whose
 /// bit `a` == `value`, in increasing index order.
+/// Range form: scatters packed amplitudes [first, first + count) of the
+/// stream (`in` still points at the stream's base). The overlapped pipeline
+/// calls this per arrived chunk; packed index k maps to one amplitude
+/// independently of every other k, so chunk-at-a-time scatter is bitwise
+/// identical to one whole pass (which delegates here).
 template <class S>
-void scatter_half(S& dst, int a, int value, const std::byte* in) {
-  const amp_index halves = dst.size() / 2;
+void scatter_half_range(S& dst, int a, int value, const std::byte* in,
+                        amp_index first, amp_index count) {
+  QSV_REQUIRE(first + count <= dst.size() / 2,
+              "scatter region out of range");
   const real_t* p = reinterpret_cast<const real_t*>(in);
+  const std::int64_t lo = static_cast<std::int64_t>(first);
+  const std::int64_t hi = static_cast<std::int64_t>(first + count);
 #ifdef _OPENMP
 #pragma omp parallel for schedule(static)
 #endif
-  for (std::int64_t kk = 0; kk < static_cast<std::int64_t>(halves); ++kk) {
+  for (std::int64_t kk = lo; kk < hi; ++kk) {
     const amp_index k = static_cast<amp_index>(kk);
     amp_index i = bits::insert_zero_bit(k, a);
     if (value) {
@@ -508,6 +555,11 @@ void scatter_half(S& dst, int a, int value, const std::byte* in) {
     }
     dst.set(i, cplx{p[2 * k], p[2 * k + 1]});
   }
+}
+
+template <class S>
+void scatter_half(S& dst, int a, int value, const std::byte* in) {
+  scatter_half_range(dst, a, value, in, 0, dst.size() / 2);
 }
 
 }  // namespace qsv::kern

@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Chaos soak: a 16-seed deterministic fault matrix driven through the CLI.
+# Chaos soak: a deterministic fault matrix driven through the CLI — 16
+# serial seeds, plus threaded and overlapped-pipeline subsets (26 runs).
 # Every seed's schedule is pure arithmetic on the seed index (node loss in
 # the recoverable tail; a message drop, straggle or corruption rotating by
 # seed; an exponent-bit flip on every fifth seed; a replacement arrival on
@@ -146,6 +147,17 @@ done
 for seed in 2 6 10 14; do
   soak "$seed" thr --threads auto --placement compact
 done
+# Overlapped subset: the chunk pipeline (64 B cap = 4 tagged chunks per
+# slice exchange) through drop/delay/corrupt plus node loss, serial and
+# threaded — chunk-granular retries and recovery replay must land on the
+# same clean digest as every other engine.
+for seed in 1 5 9 13; do
+  soak "$seed" ovl --policy overlapped --max-message 64
+done
+for seed in 2 10; do
+  soak "$seed" ovlt --policy overlapped --max-message 64 \
+    --threads auto --placement compact
+done
 
 echo
 cat "$out"
@@ -161,7 +173,7 @@ if [ "${CHAOS_SKIP_BENCH:-0}" != 1 ]; then
 fi
 
 if [ "$status" -eq 0 ]; then
-  echo "chaos soak passed: 20 runs, digest $clean_crc every time ($out)"
+  echo "chaos soak passed: 26 runs, digest $clean_crc every time ($out)"
 else
   echo "chaos soak FAILED (see $out)" >&2
 fi

@@ -110,6 +110,28 @@ check "thr: grow-back   " "$qsv" run "$tmp/c.qc" "${threaded[@]}" \
 check "thr: restart     " "$qsv" run "$tmp/c.qc" "${threaded[@]}" \
       "${common[@]}" --checkpoint-dir "$tmp/ck_trestart" --recovery restart
 
+# Overlapped exchange pipeline: a 64 B message cap splits each 256 B slice
+# exchange into 4 tagged chunks, so the combine really chases the arrival
+# frontier. The pipeline must be just as reproducible through every
+# recovery tier, and a chunk-granular retry must replay identical charges.
+overlapped=(--policy overlapped --max-message 64)
+check "ovl: clean       " "$qsv" run "$tmp/c.qc" "${overlapped[@]}"
+check "ovl: retry (drop)" "$qsv" run "$tmp/c.qc" "${overlapped[@]}" \
+      --faults drop@3
+check "ovl: substitute  " "$qsv" run "$tmp/c.qc" "${overlapped[@]}" \
+      "${common[@]}" --checkpoint-dir "$tmp/ck_osub" --spares 1
+check "ovl: shrink      " "$qsv" run "$tmp/c.qc" "${overlapped[@]}" \
+      "${common[@]}" --checkpoint-dir "$tmp/ck_oshrink"
+check "ovl: grow-back   " "$qsv" run "$tmp/c.qc" "${overlapped[@]}" \
+      --faults fail@12:1,revive@16 --checkpoint-interval 5 \
+      --checkpoint-dir "$tmp/ck_ogrow"
+check "ovl: restart     " "$qsv" run "$tmp/c.qc" "${overlapped[@]}" \
+      "${common[@]}" --checkpoint-dir "$tmp/ck_orestart" --recovery restart
+check "ovl thr: clean   " "$qsv" run "$tmp/c.qc" "${overlapped[@]}" \
+      "${threaded[@]}"
+check "ovl thr: retry   " "$qsv" run "$tmp/c.qc" "${overlapped[@]}" \
+      "${threaded[@]}" --faults drop@3:1
+
 # Serial/threaded digest identity: the clean threaded run must land on the
 # serial clean digest bit-for-bit (all floating-point reductions stay on
 # the orchestrating thread).
@@ -121,6 +143,21 @@ if [ "$thr_crc" != "$serial_crc" ]; then
   status=1
 else
   echo "ok   serial/threaded identity: $serial_crc"
+fi
+
+# Overlapped digest identity: the chunk pipeline applies regions strictly in
+# order with the serial kernels, so serial, overlapped and threaded-
+# overlapped runs must all land on the same bits.
+ovl_crc=$("$qsv" run "$tmp/c.qc" "${overlapped[@]}" 2>&1 \
+          | grep -o 'state crc32: [0-9a-f]*')
+ovl_thr_crc=$("$qsv" run "$tmp/c.qc" "${overlapped[@]}" "${threaded[@]}" \
+              2>&1 | grep -o 'state crc32: [0-9a-f]*')
+if [ "$ovl_crc" != "$serial_crc" ] || [ "$ovl_thr_crc" != "$serial_crc" ]; then
+  echo "FAIL overlapped identity: serial '$serial_crc'," \
+       "overlapped '$ovl_crc', threaded overlapped '$ovl_thr_crc'" >&2
+  status=1
+else
+  echo "ok   overlapped identity: $serial_crc"
 fi
 
 # Cross-tier bit-identity: every recovered run must land on the clean run's
@@ -142,7 +179,18 @@ for tier in sub shrink growback restart; do
     echo "FAIL bit-identity ($tier): '$crc' != clean '$clean_crc'" >&2
     status=1
   fi
+  # The same tier recovered under the overlapped pipeline must land on the
+  # same clean digest: retries, re-shards and replays all preserve the
+  # chunk application order.
+  "$qsv" run "$tmp/c.qc" "${overlapped[@]}" "${common[@]}" \
+      --checkpoint-dir "$tmp/ck3_$tier" "${args[@]}" >"$tmp/out" 2>&1
+  crc=$(grep -o 'state crc32: [0-9a-f]*' "$tmp/out")
+  if [ "$crc" != "$clean_crc" ]; then
+    echo "FAIL bit-identity (overlapped $tier): '$crc' != clean" \
+         "'$clean_crc'" >&2
+    status=1
+  fi
 done
-[ "$status" -eq 0 ] && echo "ok   bit-identity: all tiers match the clean digest"
+[ "$status" -eq 0 ] && echo "ok   bit-identity: all tiers match the clean digest (plain and overlapped)"
 
 exit $status

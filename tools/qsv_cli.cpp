@@ -2,6 +2,7 @@
 //
 //   qsv run <file.qc> [--ranks N] [--shots K] [--seed S]
 //                 [--no-sweep] [--tile T]
+//                 [--policy blocking|nonblocking|overlapped] [--max-message B]
 //                 [--faults PLAN] [--mtbf HOURS] [--bitflip G[:R[:B]]]
 //                 [--checkpoint-interval GATES] [--checkpoint-dir DIR]
 //                 [--keep-last N] [--guards K] [--guard-crc]
@@ -11,7 +12,8 @@
 //   qsv transpile <file.qc> --local L [--pass cache|greedy|fusion|cleanup]
 //                 [--min-reuse K] [--out out.qc]
 //   qsv price (<file.qc> | --qft N | --fast-qft N) [--nodes N] [--highmem]
-//             [--freq low|medium|high] [--nonblocking] [--half-exchange]
+//             [--freq low|medium|high] [--half-exchange]
+//             [--policy blocking|nonblocking|overlapped] [--nonblocking]
 //             [--timeline out.csv] [--machine overrides.machine]
 //             [--mtbf HOURS] [--checkpoint-interval SECONDS]
 //             [--guards K] [--guard-crc] [--spares N]
@@ -85,6 +87,14 @@ CpuFreq parse_freq(const std::string& s) {
   throw ArgError("--freq must be low|medium|high, got '" + s + "'");
 }
 
+CommPolicy parse_policy(const std::string& s) {
+  if (s == "blocking") return CommPolicy::kBlocking;
+  if (s == "nonblocking") return CommPolicy::kNonBlocking;
+  if (s == "overlapped") return CommPolicy::kOverlapped;
+  throw ArgError("--policy must be blocking|nonblocking|overlapped, got '" +
+                 s + "'");
+}
+
 /// std::stoi minus the raw std::invalid_argument escape hatch: bad input
 /// surfaces as a one-line usage error like every other CLI mistake.
 int parse_int(const std::string& s, const std::string& what) {
@@ -111,6 +121,7 @@ int cmd_run(int argc, const char* const* argv) {
   args.option("checkpoint-dir").option("bitflip").option("guards");
   args.option("keep-last").option("spares").option("recovery");
   args.option("threads").option("placement").option("machine");
+  args.option("policy").option("max-message");
   args.flag("no-sweep").flag("guard-crc");
   args.parse(argc, argv);
   require_arg(args.positionals().size() == 1,
@@ -126,6 +137,21 @@ int cmd_run(int argc, const char* const* argv) {
   DistOptions opts;
   opts.sweep.enabled = !args.has("no-sweep");
   opts.sweep.tile_qubits = args.int_or("tile", kDefaultSweepTileQubits);
+
+  // Exchange policy (QSV_POLICY): blocking Sendrecv chain, non-blocking
+  // post-all-then-wait, or the overlapped chunk pipeline. --max-message
+  // shrinks the MPI message cap (bytes) to force multi-chunk streams on
+  // small registers — the determinism checker drives the overlapped
+  // pipeline through real chunking with it.
+  const std::string policy_s =
+      args.value_or("policy", env_value("QSV_POLICY").value_or("blocking"));
+  opts.policy = parse_policy(policy_s);
+  if (const auto cap = args.value("max-message")) {
+    const int bytes = parse_int(*cap, "--max-message");
+    require_arg(bytes >= static_cast<int>(kBytesPerAmp),
+                "--max-message must be >= one amplitude (16 bytes)");
+    opts.max_message_bytes = static_cast<std::uint64_t>(bytes);
+  }
 
   // Ranks-as-threads: --threads N|auto (env QSV_THREADS; "auto" = one
   // thread per rank) and --placement compact|scatter|none (QSV_PLACEMENT).
@@ -257,7 +283,8 @@ int cmd_run(int argc, const char* const* argv) {
   }
   std::cout << "ran '" << c.name() << "' (" << c.size() << " gates) on "
             << ranks << " ranks; " << sv.comm_stats().messages
-            << " messages, " << fmt::bytes(sv.comm_stats().bytes) << "\n";
+            << " messages, " << fmt::bytes(sv.comm_stats().bytes) << " ("
+            << comm_policy_name(opts.policy) << ")\n";
   std::cout << "kernel backend: " << simd::backend_name(simd::active_backend())
             << " (" << simd::active_backend_origin() << ")\n";
   {
@@ -436,7 +463,7 @@ int cmd_transpile(int argc, const char* const* argv) {
 int cmd_price(int argc, const char* const* argv) {
   ArgParser args;
   args.option("qft").option("fast-qft").option("nodes").option("freq");
-  args.option("timeline").option("machine");
+  args.option("timeline").option("machine").option("policy");
   args.option("mtbf").option("checkpoint-interval").option("guards");
   args.option("spares");
   args.flag("highmem").flag("nonblocking").flag("half-exchange");
@@ -482,8 +509,13 @@ int cmd_price(int argc, const char* const* argv) {
   require_arg(job.spares >= 0, "--spares must be >= 0");
 
   DistOptions opts;
+  // --policy names all three; --nonblocking is the pre-overlap spelling and
+  // stays as an alias for existing scripts.
   opts.policy = args.has("nonblocking") ? CommPolicy::kNonBlocking
                                         : CommPolicy::kBlocking;
+  if (const auto p = args.value("policy")) {
+    opts.policy = parse_policy(*p);
+  }
   opts.half_exchange_swaps = args.has("half-exchange");
 
   TraceSim sim(c.num_qubits(), job.nodes, opts);
@@ -549,6 +581,10 @@ int cmd_price(int argc, const char* const* argv) {
   t.row({"total energy", fmt::energy_j(r.total_energy_j())});
   t.row({"CU cost", fmt::fixed(r.cu, 2)});
   t.row({"MPI fraction", fmt::percent(r.phases.mpi_fraction())});
+  if (r.overlapped_exchanges > 0) {
+    t.row({"overlapped exchanges", std::to_string(r.overlapped_exchanges)});
+    t.row({"overlap saved", fmt::seconds(r.overlap_saved_s)});
+  }
   if (r.guard_checks > 0) {
     t.row({"guard checks", std::to_string(r.guard_checks)});
     t.row({"guard time", fmt::seconds(r.guard_s)});
