@@ -1,0 +1,291 @@
+// Load generator for the serve front end: drives an in-process server (or,
+// with --connect PATH, an external `qsv serve`) through 1x / 4x / overload
+// request rates with hostile-input injection, and reports joules/request
+// and latency percentiles per scenario — the fleet-level analogue of the
+// per-run energy tables.
+//
+// Emits BENCH_serve.json with `--json`: joules/request, p50/p99 latency and
+// plan-cache hit counts per scenario, cache on and off. Exits nonzero if
+// any request fails to get a typed response, or if the cache-on scenarios
+// produce zero plan-cache hits (the cache's contract is observable reuse).
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "machine/archer2.hpp"
+#include "serve/json.hpp"
+#include "serve/server.hpp"
+
+namespace qsv::bench {
+namespace {
+
+/// Blocking newline-framed client over a Unix socket.
+class LineClient {
+ public:
+  explicit LineClient(const std::string& path) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~LineClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  [[nodiscard]] bool ok() const { return fd_ >= 0; }
+
+  /// Sends one line, reads one line; empty string on connection error.
+  std::string rpc(const std::string& line) {
+    const std::string framed = line + "\n";
+    if (::send(fd_, framed.data(), framed.size(), MSG_NOSIGNAL) !=
+        static_cast<ssize_t>(framed.size())) {
+      return {};
+    }
+    std::string buf;
+    char c = 0;
+    while (::recv(fd_, &c, 1, 0) == 1) {
+      if (c == '\n') return buf;
+      buf.push_back(c);
+    }
+    return {};
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+const char* kCircuits[] = {
+    "qubits 6\nh 0\nh 1\nh 2\nh 3\nh 4\nh 5\ncx 0 5\ncx 1 4\n",
+    "qubits 8\nh 0\ncx 0 1\ncx 1 2\ncx 2 3\ncx 3 4\ncx 4 5\ncx 5 6\ncx 6 7\n",
+    "qubits 7\nh 0\nrz 1 0.5\ncx 0 6\nswap 1 2\ncp 3 4 0.25\n",
+};
+constexpr int kCircuitCount = 3;
+
+struct ScenarioResult {
+  std::string name;
+  int requests = 0;
+  int ok = 0;
+  int shed = 0;
+  int rejected = 0;
+  int deadline = 0;
+  int typed_errors = 0;
+  int untyped = 0;  // no response / unparsable response — a contract breach
+  double p50_ms = 0;
+  double p99_ms = 0;
+  double joules_per_ok = 0;
+};
+
+double pct(std::vector<double> v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  return v[std::min(v.size() - 1,
+                    static_cast<std::size_t>(p * static_cast<double>(
+                                                     v.size() - 1)))];
+}
+
+/// Drives `clients` concurrent connections, each issuing `per_client`
+/// requests round-robin over the circuit set; every 7th request is a
+/// malformed payload (the server must answer it typed and keep going).
+ScenarioResult run_scenario(const std::string& name,
+                            const std::string& socket_path, int clients,
+                            int per_client, bool inject_malformed) {
+  ScenarioResult r;
+  r.name = name;
+  std::vector<std::thread> threads;
+  std::mutex mu;
+  std::vector<double> latencies_ms;
+  double energy_j = 0;
+  for (int cidx = 0; cidx < clients; ++cidx) {
+    threads.emplace_back([&, cidx] {
+      LineClient client(socket_path);
+      if (!client.ok()) {
+        std::lock_guard<std::mutex> lock(mu);
+        r.untyped += per_client;
+        return;
+      }
+      for (int i = 0; i < per_client; ++i) {
+        std::string request;
+        const bool hostile = inject_malformed && i % 7 == 3;
+        if (hostile) {
+          request = i % 2 == 0 ? "{broken json" : R"({"op":"run","circuit":"qubits 99\nh 0\n"})";
+        } else {
+          const std::string circuit =
+              kCircuits[(cidx + i) % kCircuitCount];
+          std::string escaped;
+          for (char ch : circuit) {
+            if (ch == '\n') escaped += "\\n";
+            else escaped += ch;
+          }
+          request = R"({"op":"run","id":"c)" + std::to_string(cidx) + "r" +
+                    std::to_string(i) + R"(","circuit":")" + escaped +
+                    R"(","ranks":2})";
+        }
+        const auto t0 = std::chrono::steady_clock::now();
+        const std::string line = client.rpc(request);
+        const double ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+        std::lock_guard<std::mutex> lock(mu);
+        ++r.requests;
+        if (line.empty()) {
+          ++r.untyped;
+          continue;
+        }
+        try {
+          const serve::Json j = serve::parse_json(line);
+          const std::string status = j.find("status")->as_string();
+          if (status == "ok") {
+            ++r.ok;
+            latencies_ms.push_back(ms);
+            energy_j += j.find("energy_j")->as_number();
+          } else if (status == "shed") {
+            ++r.shed;
+          } else if (status == "rejected") {
+            ++r.rejected;
+          } else if (status == "deadline") {
+            ++r.deadline;
+          } else if (status == "error") {
+            ++r.typed_errors;
+          } else {
+            ++r.untyped;
+          }
+        } catch (const std::exception&) {
+          ++r.untyped;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  r.p50_ms = pct(latencies_ms, 0.50);
+  r.p99_ms = pct(latencies_ms, 0.99);
+  if (r.ok > 0) r.joules_per_ok = energy_j / r.ok;
+  return r;
+}
+
+void print_row(const ScenarioResult& r) {
+  std::printf(
+      "%-18s %5d requests: %4d ok, %3d shed, %3d rejected, %3d typed "
+      "errors, %d untyped; p50 %.2f ms, p99 %.2f ms, %.4g J/request\n",
+      r.name.c_str(), r.requests, r.ok, r.shed, r.rejected, r.typed_errors,
+      r.untyped, r.p50_ms, r.p99_ms, r.joules_per_ok);
+}
+
+int run_self_hosted(JsonReport& report) {
+  const MachineModel m = archer2();
+  int untyped_total = 0;
+  bool cache_contract_ok = true;
+
+  for (const bool cache_on : {true, false}) {
+    const std::string socket_path = "loadgen_" + std::to_string(::getpid()) +
+                                    (cache_on ? "_on" : "_off") + ".sock";
+    serve::ServerOptions so;
+    so.socket_path = socket_path;
+    so.workers = 2;
+    so.queue_capacity = 4;
+    so.plan_cache_capacity = cache_on ? 64 : 0;
+    serve::Server server(m, so);
+    server.start();
+
+    const std::string tag = cache_on ? "cache-on" : "cache-off";
+    std::cout << "== " << tag << " ==\n";
+    // 1x: as many clients as workers. 4x: four times that. Overload: well
+    // past workers + queue, so load-shedding must engage.
+    const ScenarioResult r1 =
+        run_scenario(tag + "/1x", socket_path, 2, 20, true);
+    const ScenarioResult r4 =
+        run_scenario(tag + "/4x", socket_path, 8, 10, true);
+    const ScenarioResult ro =
+        run_scenario(tag + "/overload", socket_path, 24, 6, true);
+    print_row(r1);
+    print_row(r4);
+    print_row(ro);
+
+    server.request_drain();
+    server.wait_until_drained();
+    const serve::PlanCacheStats cs = server.cache_stats();
+    const FleetSnapshot fs = server.fleet();
+    std::cout << "plan cache: " << cs.hits << " hits, " << cs.misses
+              << " misses, " << cs.transpiles << " transpiles\n\n";
+
+    untyped_total += r1.untyped + r4.untyped + ro.untyped;
+    if (cache_on && cs.hits == 0) {
+      cache_contract_ok = false;  // repeats of 3 circuits must hit
+    }
+    if (!cache_on && cs.hits != 0) {
+      cache_contract_ok = false;  // capacity 0 must never hit
+    }
+
+    for (const ScenarioResult* r : {&r1, &r4, &ro}) {
+      const std::string prefix = r->name;
+      report.add(prefix + " J/request", r->joules_per_ok, "J");
+      report.add(prefix + " p50", r->p50_ms, "ms");
+      report.add(prefix + " p99", r->p99_ms, "ms");
+      report.add(prefix + " shed", r->shed, "requests");
+    }
+    report.add(tag + " plan-cache hits", static_cast<double>(cs.hits),
+               "hits");
+    report.add(tag + " transpiles", static_cast<double>(cs.transpiles),
+               "builds");
+    report.add(tag + " completed", static_cast<double>(fs.completed),
+               "requests");
+  }
+
+  if (untyped_total > 0) {
+    std::cerr << "loadgen: FAIL — " << untyped_total
+              << " request(s) did not get a typed response\n";
+    return 1;
+  }
+  if (!cache_contract_ok) {
+    std::cerr << "loadgen: FAIL — plan-cache hit contract violated\n";
+    return 1;
+  }
+  std::cout << "loadgen: every request settled typed; cache contract held\n";
+  return 0;
+}
+
+/// CI smoke mode: brief burst against an already-running server socket.
+int run_connect(const std::string& socket_path) {
+  const ScenarioResult r =
+      run_scenario("smoke", socket_path, 4, 8, true);
+  print_row(r);
+  if (r.untyped > 0) {
+    std::cerr << "loadgen: FAIL — " << r.untyped << " untyped response(s)\n";
+    return 1;
+  }
+  if (r.ok == 0) {
+    std::cerr << "loadgen: FAIL — no request completed\n";
+    return 1;
+  }
+  std::cout << "loadgen: smoke ok (" << r.ok << " completed)\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace qsv::bench
+
+int main(int argc, char** argv) {
+  using namespace qsv::bench;
+  print_header("the serve front end under load (fleet J/request, p50/p99)");
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--connect") {
+      return run_connect(argv[i + 1]);
+    }
+  }
+  JsonReport report = JsonReport::from_args(argc, argv);
+  const int rc = run_self_hosted(report);
+  report.write("serve");
+  return rc;
+}

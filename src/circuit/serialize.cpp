@@ -1,5 +1,6 @@
 #include "circuit/serialize.hpp"
 
+#include <cmath>
 #include <fstream>
 #include <iomanip>
 #include <limits>
@@ -47,6 +48,11 @@ std::string num(real_t v) {
                   what);
   std::abort();  // unreachable
 }
+
+/// Hard cap on parsed gates: a hostile payload cannot make the parser
+/// allocate without bound, and anything near this is absurd for a text
+/// circuit anyway (the serve front end caps payloads far below it).
+constexpr std::size_t kMaxCircuitGates = std::size_t{1} << 22;  // ~4M
 
 }  // namespace
 
@@ -221,6 +227,11 @@ Circuit parse_circuit(const std::string& text) {
       if (!(ls >> v)) {
         fail(line_no, std::string("missing ") + what);
       }
+      // "inf"/"nan" parse cleanly but poison every amplitude they touch —
+      // a hostile payload must not turn the statevector into NaNs.
+      if (!std::isfinite(v)) {
+        fail(line_no, std::string("non-finite ") + what);
+      }
       return v;
     };
 
@@ -283,6 +294,9 @@ Circuit parse_circuit(const std::string& text) {
         } catch (const std::exception&) {
           fail(line_no, "bad fphase factor: " + tok);
         }
+        if (!std::isfinite(angles.back())) {
+          fail(line_no, "non-finite fphase angle: " + tok);
+        }
       }
       g = make_fused_phase(t, std::move(controls), std::move(angles));
     } else if (op == "u2q") {
@@ -295,6 +309,9 @@ Circuit parse_circuit(const std::string& text) {
       std::vector<real_t> vals;
       real_t v = 0;
       while (ls >> v) {
+        if (!std::isfinite(v)) {
+          fail(line_no, "non-finite u2q entry");
+        }
         vals.push_back(v);
       }
       if (vals.size() != 32) {
@@ -310,6 +327,9 @@ Circuit parse_circuit(const std::string& text) {
       std::vector<real_t> vals;
       real_t v = 0;
       while (ls >> v) {
+        if (!std::isfinite(v)) {
+          fail(line_no, "non-finite u1q entry");
+        }
         vals.push_back(v);
       }
       if (vals.size() != 8) {
@@ -322,6 +342,10 @@ Circuit parse_circuit(const std::string& text) {
 
     for (qubit_t c : extra_controls) {
       g.controls.push_back(c);
+    }
+    if (gates.size() >= kMaxCircuitGates) {
+      fail(line_no, "circuit exceeds the gate-count cap (" +
+                        std::to_string(kMaxCircuitGates) + " gates)");
     }
     gates.push_back(std::move(g));
   }

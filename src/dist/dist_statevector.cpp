@@ -1390,12 +1390,20 @@ void DistStateVector<S>::apply(const Circuit& c) {
   const std::vector<GateRun> runs =
       plan_sweep_runs(c.gates(), local_qubits_, opts_.sweep);
   for (const GateRun& run : runs) {
-    if (run.sweep) {
-      apply_sweep_run(c, run.first, run.count);
-    } else {
-      for (std::size_t i = 0; i < run.count; ++i) {
-        apply(c.gate(run.first + i));
-      }
+    apply_run(c, run);
+  }
+}
+
+template <class S>
+void DistStateVector<S>::apply_run(const Circuit& c, const GateRun& run) {
+  QSV_REQUIRE(c.num_qubits() == num_qubits_, "register size mismatch");
+  QSV_REQUIRE(run.first + run.count <= c.gates().size(),
+              "gate run out of range");
+  if (run.sweep) {
+    apply_sweep_run(c, run.first, run.count);
+  } else {
+    for (std::size_t i = 0; i < run.count; ++i) {
+      apply(c.gate(run.first + i));
     }
   }
 }

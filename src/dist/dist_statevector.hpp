@@ -51,6 +51,13 @@ class DistStateVector {
   void apply(const Gate& g);
   void apply(const Circuit& c);
 
+  /// Applies one planned run (see plan_sweep_runs) — either a cache-tiled
+  /// sweep or a gate-by-gate stretch. apply(Circuit) is exactly a loop over
+  /// these; exposing the step lets drivers with deadlines or cancellation
+  /// (qsv run --deadline-s, the serve executor) stop between runs, the
+  /// safe points where every rank's slice reflects the same gate prefix.
+  void apply_run(const Circuit& c, const GateRun& run);
+
   /// Re-applies `g` (and its decomposition) to rank `r`'s slice only: the
   /// rebuilt rank's solo catch-up replay after a spare-node substitution.
   /// Requires every sub-gate to run locally (see gate_runs_local). Emits

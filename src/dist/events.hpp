@@ -59,6 +59,13 @@ struct ExecEvent {
                  // separate events for its I/O phase (checkpoint reads) and
                  // network phase (re-shard movement), each with its own
                  // participating fraction
+    kWarning,    // a tolerated degradation (e.g. a checkpoint write that
+                 // failed and was skipped): emitted by the driver, never by
+                 // the engine, so healthy streams are unchanged. Priced as
+                 // the I/O time the failed attempt burned before erroring
+                 // (warning_io_bytes at filesystem write bandwidth), and
+                 // counted into RunReport::warnings so fleet reporting can
+                 // surface degraded-but-successful runs
   };
 
   Kind kind{};
@@ -120,6 +127,11 @@ struct ExecEvent {
   /// record; the replay itself is priced by its ordinary kLocalGate events
   /// at a 1/R participating fraction).
   std::uint64_t recovery_replayed_gates = 0;
+
+  // --- warning-only fields (kWarning; zero on every other kind) ---
+  /// Bytes the failed/abandoned I/O attempt would have written; priced at
+  /// filesystem write bandwidth (skipped when the model has none).
+  std::uint64_t warning_io_bytes = 0;
 
   // --- sweep-only fields ---
   /// Gates folded into the tiled run.

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/log.hpp"
 #include "dist/plan.hpp"
 #include "dist/snapshot.hpp"
 
@@ -180,7 +181,8 @@ IntegrityStats run_verified(DistStateVector<S>& sv, const Circuit& c,
                             const CheckpointOptions& ck,
                             const GuardOptions& guards,
                             const RecoveryPolicy& policy,
-                            const ElasticOptions& elastic) {
+                            const ElasticOptions& elastic,
+                            const StopToken* stop) {
   QSV_REQUIRE(c.num_qubits() == sv.num_qubits(), "register size mismatch");
   IntegrityStats stats;
   StateGuard<S> guard(sv, guards);
@@ -195,10 +197,41 @@ IntegrityStats run_verified(DistStateVector<S>& sv, const Circuit& c,
   HealthMonitor monitor(sv.num_ranks(), policy.health);
   std::size_t fault_log_seen = inj != nullptr ? inj->log().size() : 0;
 
-  const bool checkpointing = ck.interval_gates > 0;
+  int spares_left = elastic.spares;
+  auto emit_recovery = [&](const ExecEvent& e) {
+    if (ExecListener* listener = sv.listener()) {
+      listener->on_event(e);
+    }
+  };
+
+  // A checkpoint write failure must not abort a healthy simulation: log it,
+  // price the abandoned attempt as a kWarning event, and keep going without
+  // further writes. The last committed snapshot stays the rollback target.
+  bool ckpt_writable = true;
+  auto warn_ckpt_failure = [&](const std::string& what) {
+    ckpt_writable = false;
+    ++stats.checkpoint_write_failures;
+    QSV_WARN("checkpoint write failed, continuing uncheckpointed: " << what);
+    ExecEvent w;
+    w.kind = ExecEvent::Kind::kWarning;
+    w.local_amps = sv.local_amps();
+    w.participating_fraction = 1.0;
+    w.warning_io_bytes =
+        (std::uint64_t{1} << sv.num_qubits()) * kBytesPerAmp;
+    emit_recovery(w);
+  };
+
+  bool checkpointing = ck.interval_gates > 0;
   std::optional<CheckpointStore> store;
   if (checkpointing) {
-    store.emplace(ck.dir.empty() ? std::string(".") : ck.dir, ck.keep_last);
+    try {
+      store.emplace(ck.dir.empty() ? std::string(".") : ck.dir, ck.keep_last);
+    } catch (const std::exception& e) {
+      // Unwritable/uncreatable directory: no store at all, so no rollback
+      // target either — recovery semantics degrade to checkpointing-off.
+      checkpointing = false;
+      warn_ckpt_failure(e.what());
+    }
   }
   auto drop_ckpt = [&] {
     if (checkpointing && !ck.keep_checkpoints) {
@@ -206,14 +239,25 @@ IntegrityStats run_verified(DistStateVector<S>& sv, const Circuit& c,
     }
   };
   int ckpt_ranks = sv.num_ranks();  // rank width the checkpoint was taken at
-  auto save_ckpt = [&](std::size_t gates) {
-    save_state(store->path_for(gates), sv);
+  bool have_ckpt = false;  // at least one snapshot committed successfully
+  auto save_ckpt = [&](std::size_t gates) -> bool {
+    if (!ckpt_writable) {
+      return false;
+    }
+    try {
+      save_state(store->path_for(gates), sv);
+    } catch (const Error& e) {
+      warn_ckpt_failure(e.what());
+      return false;
+    }
     store->committed(gates, sv.num_ranks());
+    have_ckpt = true;
     ckpt_ranks = sv.num_ranks();
     ++stats.checkpoints_written;
     // Fingerprint what we just trusted to disk, so a restore can prove it
     // came back intact.
     guard.capture_signature();
+    return true;
   };
 
   std::size_t ckpt_gate = 0;  // circuit gates completed at the checkpoint
@@ -222,13 +266,6 @@ IntegrityStats run_verified(DistStateVector<S>& sv, const Circuit& c,
     // still has a rollback target.
     save_ckpt(0);
   }
-
-  int spares_left = elastic.spares;
-  auto emit_recovery = [&](const ExecEvent& e) {
-    if (ExecListener* listener = sv.listener()) {
-      listener->on_event(e);
-    }
-  };
 
   // Rolls back to the last verified checkpoint after a detection. A restore
   // that fails its own signature check is unsalvageable: reloading the same
@@ -435,6 +472,18 @@ IntegrityStats run_verified(DistStateVector<S>& sv, const Circuit& c,
   };
 
   while (i < c.size()) {
+    // Deadline/cancel poll at the gate boundary — the safe point where
+    // every rank's slice reflects the same circuit prefix. The partial
+    // state is left intact for the caller to digest and price.
+    if (stop != nullptr && stop->possible() && stop->expired()) {
+      drop_ckpt();
+      const bool cancelled = stop->cancelled();
+      throw DeadlineExceeded(
+          std::string(cancelled ? "cancelled" : "deadline exceeded") +
+              " at gate " + std::to_string(i) + " of " +
+              std::to_string(c.size()),
+          i, c.size(), cancelled);
+    }
     // Engine gate count before this circuit gate: a boundary failure whose
     // gate_index still equals this fired before any sub-gate of the
     // expansion ran, so the surviving slices are at the circuit boundary.
@@ -455,12 +504,13 @@ IntegrityStats run_verified(DistStateVector<S>& sv, const Circuit& c,
            i == c.size())) {
         guard.check(i - 1);
       }
-      if (at_ckpt) {
-        save_ckpt(i);
+      if (at_ckpt && save_ckpt(i)) {
+        // Advance the rollback target only on a committed write: after a
+        // tolerated failure the run keeps the last good snapshot.
         ckpt_gate = i;
       }
     } catch (const NodeFailure& f) {
-      if (!checkpointing) {
+      if (!checkpointing || !have_ckpt) {
         ++stats.restarts;
         throw;  // PR 2 semantics: nothing to recover from
       }
@@ -554,7 +604,7 @@ IntegrityStats run_verified(DistStateVector<S>& sv, const Circuit& c,
       }
     } catch (const GuardViolation& v) {
       ++stats.rollbacks;
-      if (!checkpointing) {
+      if (!checkpointing || !have_ckpt) {
         throw IntegrityAbort(
             "integrity abort at gate " + std::to_string(v.gate()) +
                 " (rank " + std::to_string(v.rank()) +
@@ -594,12 +644,14 @@ template IntegrityStats run_verified<SoaStorage>(DistStateVector<SoaStorage>&,
                                                  const CheckpointOptions&,
                                                  const GuardOptions&,
                                                  const RecoveryPolicy&,
-                                                 const ElasticOptions&);
+                                                 const ElasticOptions&,
+                                                 const StopToken*);
 template IntegrityStats run_verified<AosStorage>(DistStateVector<AosStorage>&,
                                                  const Circuit&,
                                                  const CheckpointOptions&,
                                                  const GuardOptions&,
                                                  const RecoveryPolicy&,
-                                                 const ElasticOptions&);
+                                                 const ElasticOptions&,
+                                                 const StopToken*);
 
 }  // namespace qsv

@@ -35,6 +35,7 @@
 
 #include "circuit/circuit.hpp"
 #include "cluster/health.hpp"
+#include "common/stop.hpp"
 #include "dist/guards.hpp"
 #include "dist/resilience.hpp"
 
@@ -176,6 +177,11 @@ struct IntegrityStats {
   /// Tier chosen for each recovered node failure, in firing order.
   std::vector<RecoveryTier> tiers_used;
   int checkpoints_written = 0;
+  /// Checkpoint writes that failed (disk full, unwritable directory) and
+  /// were tolerated: the run continued uncheckpointed from that point, with
+  /// the last good snapshot kept as the rollback target. Each failure is
+  /// priced as a kWarning event.
+  int checkpoint_write_failures = 0;
   /// Circuit gates re-executed after restarts/rollbacks/solo replays
   /// (lost work).
   std::uint64_t gates_replayed = 0;
@@ -196,11 +202,22 @@ struct IntegrityStats {
 /// checkpointing is off (PR 2 semantics). Node failures route through
 /// choose_tier(elastic, ...); the default ElasticOptions reduce that to the
 /// PR 4 restart-only path.
+///
+/// Checkpoint write failures (disk full, unwritable directory) do not kill
+/// a healthy run: the failure is logged, priced as a kWarning event, counted
+/// in stats.checkpoint_write_failures, and the run continues uncheckpointed
+/// — the last successfully committed snapshot stays the rollback target.
+///
+/// `stop` (optional) is polled at every gate boundary; when it fires the
+/// run raises DeadlineExceeded carrying the applied prefix length, leaving
+/// `sv` in the consistent state after exactly that prefix so callers can
+/// digest/price the partial work.
 template <class S>
 IntegrityStats run_verified(DistStateVector<S>& sv, const Circuit& c,
                             const CheckpointOptions& ck,
                             const GuardOptions& guards,
                             const RecoveryPolicy& policy = {},
-                            const ElasticOptions& elastic = {});
+                            const ElasticOptions& elastic = {},
+                            const StopToken* stop = nullptr);
 
 }  // namespace qsv

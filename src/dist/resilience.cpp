@@ -4,8 +4,10 @@
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
+#include <optional>
 
 #include "common/error.hpp"
+#include "common/log.hpp"
 #include "dist/snapshot.hpp"
 
 namespace qsv {
@@ -46,15 +48,39 @@ RecoveryStats run_with_recovery(DistStateVector<S>& sv, const Circuit& c,
     return stats;
   }
 
-  CheckpointStore store(opts.dir.empty() ? std::string(".") : opts.dir,
-                        opts.keep_last);
+  // A failed checkpoint write (disk full, unwritable directory) must not
+  // kill a healthy run: warn, stop writing, and keep the last committed
+  // snapshot as the restart target. With nothing ever committed, a later
+  // NodeFailure propagates exactly as with checkpointing off.
+  std::optional<CheckpointStore> store;
+  bool ckpt_writable = true;
+  auto warn_ckpt_failure = [&](const std::string& what) {
+    ckpt_writable = false;
+    ++stats.checkpoint_write_failures;
+    QSV_WARN("checkpoint write failed, continuing uncheckpointed: " << what);
+  };
+  try {
+    store.emplace(opts.dir.empty() ? std::string(".") : opts.dir,
+                  opts.keep_last);
+  } catch (const std::exception& e) {
+    warn_ckpt_failure(e.what());
+  }
 
-  // Initial checkpoint: a failure before the first interval boundary still
-  // has a snapshot to restart from.
-  auto save_ckpt = [&](std::size_t gates) {
-    save_state(store.path_for(gates), sv);
-    store.committed(gates);
+  bool have_ckpt = false;
+  auto save_ckpt = [&](std::size_t gates) -> bool {
+    if (!ckpt_writable) {
+      return false;
+    }
+    try {
+      save_state(store->path_for(gates), sv);
+    } catch (const Error& e) {
+      warn_ckpt_failure(e.what());
+      return false;
+    }
+    store->committed(gates);
+    have_ckpt = true;
     ++stats.checkpoints_written;
+    return true;
   };
   save_ckpt(0);
   std::size_t ckpt_gate = 0;  // circuit gates completed at the checkpoint
@@ -64,15 +90,17 @@ RecoveryStats run_with_recovery(DistStateVector<S>& sv, const Circuit& c,
     try {
       sv.apply(c.gate(i));
       ++i;
-      if (i % opts.interval_gates == 0 && i < c.size()) {
-        save_ckpt(i);
+      if (i % opts.interval_gates == 0 && i < c.size() && save_ckpt(i)) {
         ckpt_gate = i;
       }
     } catch (const NodeFailure&) {
       ++stats.restarts;
+      if (!have_ckpt) {
+        throw;  // nothing ever committed: same contract as checkpointing off
+      }
       if (stats.restarts > opts.max_restarts) {
         if (!opts.keep_checkpoints) {
-          store.clear();
+          store->clear();
         }
         throw;
       }
@@ -82,7 +110,7 @@ RecoveryStats run_with_recovery(DistStateVector<S>& sv, const Circuit& c,
       if (FaultInjector* inj = sv.fault_injector()) {
         inj->restart();
       }
-      load_state(store.path_for(ckpt_gate), sv);
+      load_state(store->path_for(ckpt_gate), sv);
       stats.gates_replayed += i - ckpt_gate;
       i = ckpt_gate;
     }
@@ -92,8 +120,8 @@ RecoveryStats run_with_recovery(DistStateVector<S>& sv, const Circuit& c,
   if (FaultInjector* inj = sv.fault_injector()) {
     stats.faults = inj->log();
   }
-  if (!opts.keep_checkpoints) {
-    store.clear();
+  if (store.has_value() && !opts.keep_checkpoints) {
+    store->clear();
   }
   return stats;
 }

@@ -54,6 +54,9 @@ struct RecoveryStats {
   bool completed = false;
   int restarts = 0;
   int checkpoints_written = 0;
+  /// Checkpoint writes that failed and were tolerated (the run continued
+  /// uncheckpointed; the last committed snapshot stays the restart target).
+  int checkpoint_write_failures = 0;
   /// Circuit gates re-executed after restarts (the "lost work").
   std::uint64_t gates_replayed = 0;
   /// Copy of the injector's fault log (empty when no injector is attached).

@@ -157,6 +157,32 @@ void CostModel::on_event(const ExecEvent& e) {
     }
     return;
   }
+  if (e.kind == ExecEvent::Kind::kWarning) {
+    // A tolerated degradation (e.g. a skipped checkpoint after a write
+    // failure): charge the I/O time the abandoned attempt burned. Unlike a
+    // recovery read, a warning must never abort pricing, so a model with no
+    // write bandwidth simply prices the event at zero.
+    ++acc_.warnings;
+    if (e.warning_io_bytes > 0 &&
+        machine_.filesystem.write_bw_bytes_per_s > 0) {
+      const double active = job_.nodes * e.participating_fraction;
+      const double idle = job_.nodes - active;
+      const double p_idle = machine_.node_power(MachineModel::Phase::kIdle,
+                                                job_.freq, job_.node_kind);
+      const double p_io = machine_.node_power(MachineModel::Phase::kIo,
+                                              job_.freq, job_.node_kind);
+      const double t_io = static_cast<double>(e.warning_io_bytes) /
+                          machine_.filesystem.write_bw_bytes_per_s;
+      acc_.runtime_s += t_io;
+      acc_.phases.memory_s += t_io;
+      const double energy = t_io * (active * p_io + idle * p_idle);
+      acc_.node_energy_j += energy;
+      acc_.warning_s += t_io;
+      acc_.warning_energy_j += energy;
+      sample(MachineModel::Phase::kIo, t_io, active * p_io + idle * p_idle);
+    }
+    return;
+  }
   ++acc_.gates;
   const double slice_bytes =
       static_cast<double>(e.local_amps) * kBytesPerAmp;

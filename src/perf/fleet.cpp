@@ -1,0 +1,118 @@
+#include "perf/fleet.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace qsv {
+namespace {
+
+constexpr std::size_t kMaxLatencySamples = 1 << 16;
+
+double percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) {
+    return 0;
+  }
+  const double idx = p * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return sorted[lo] * (1 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+void FleetMetrics::bump(std::uint64_t FleetMetrics::* counter) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++(this->*counter);
+}
+
+void FleetMetrics::on_deadline(double energy_j) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++deadline_expired_;
+  total_energy_j_ += energy_j;  // partial prefixes still burned joules
+}
+
+void FleetMetrics::on_completed(double latency_s, double energy_j) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++completed_;
+  total_energy_j_ += energy_j;
+  if (latencies_s_.size() >= kMaxLatencySamples) {
+    // Decimate in place: keep every other sample so the reservoir stays a
+    // uniform thinning of the whole history, not just the recent tail.
+    std::vector<double> halved;
+    halved.reserve(latencies_s_.size() / 2);
+    for (std::size_t i = 0; i < latencies_s_.size(); i += 2) {
+      halved.push_back(latencies_s_[i]);
+    }
+    latencies_s_ = std::move(halved);
+  }
+  latencies_s_.push_back(latency_s);
+}
+
+void FleetMetrics::on_nodes_busy(int busy) {
+  std::lock_guard<std::mutex> lock(mu_);
+  peak_nodes_busy_ = std::max(peak_nodes_busy_, busy);
+}
+
+FleetSnapshot FleetMetrics::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  FleetSnapshot s;
+  s.received = received_;
+  s.protocol_errors = protocol_errors_;
+  s.parse_errors = parse_errors_;
+  s.rejected = rejected_;
+  s.accepted = accepted_;
+  s.shed = shed_;
+  s.deadline_expired = deadline_expired_;
+  s.completed = completed_;
+  s.failed = failed_;
+  s.pings = pings_;
+  s.stats_requests = stats_requests_;
+  s.priced = priced_;
+  s.total_energy_j = total_energy_j_;
+  s.peak_nodes_busy = peak_nodes_busy_;
+  if (!latencies_s_.empty()) {
+    std::vector<double> sorted = latencies_s_;
+    std::sort(sorted.begin(), sorted.end());
+    s.max_latency_s = sorted.back();
+    s.p50_latency_s = percentile(sorted, 0.50);
+    s.p99_latency_s = percentile(std::move(sorted), 0.99);
+  }
+  if (s.completed > 0) {
+    s.joules_per_request =
+        s.total_energy_j / static_cast<double>(s.completed);
+  }
+  return s;
+}
+
+std::string FleetMetrics::render(const FleetSnapshot& s) {
+  std::ostringstream os;
+  char line[160];
+  std::snprintf(line, sizeof line,
+                "fleet: %llu requests (%llu completed, %llu rejected, %llu "
+                "shed, %llu deadline, %llu failed, %llu protocol/parse "
+                "errors)\n",
+                static_cast<unsigned long long>(s.received),
+                static_cast<unsigned long long>(s.completed),
+                static_cast<unsigned long long>(s.rejected),
+                static_cast<unsigned long long>(s.shed),
+                static_cast<unsigned long long>(s.deadline_expired),
+                static_cast<unsigned long long>(s.failed),
+                static_cast<unsigned long long>(s.protocol_errors +
+                                                s.parse_errors));
+  os << line;
+  std::snprintf(line, sizeof line,
+                "fleet: latency p50 %.1f ms, p99 %.1f ms, max %.1f ms\n",
+                s.p50_latency_s * 1e3, s.p99_latency_s * 1e3,
+                s.max_latency_s * 1e3);
+  os << line;
+  std::snprintf(line, sizeof line,
+                "fleet: %.3g J modeled energy, %.3g J/request, peak %d "
+                "nodes busy\n",
+                s.total_energy_j, s.joules_per_request, s.peak_nodes_busy);
+  os << line;
+  return os.str();
+}
+
+}  // namespace qsv

@@ -1,0 +1,87 @@
+// Fleet-level service metrics: what `qsv price` is to one run, this is to a
+// stream of them — joules/request, p50/p99 latency, and the admission /
+// shed / deadline counters that describe how the service degraded under
+// load. Thread-safe: every connection and worker thread reports here.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace qsv {
+
+/// Point-in-time copy of the fleet counters (lock-free to read once taken).
+struct FleetSnapshot {
+  // Request dispositions — every request lands in exactly one bucket.
+  std::uint64_t received = 0;         // lines read off connections
+  std::uint64_t protocol_errors = 0;  // malformed JSON / bad fields
+  std::uint64_t parse_errors = 0;     // well-formed JSON, hostile circuit
+  std::uint64_t rejected = 0;         // admission said no
+  std::uint64_t accepted = 0;         // admitted to the queue
+  std::uint64_t shed = 0;             // evicted under overload / drain
+  std::uint64_t deadline_expired = 0; // cancelled at a safe point
+  std::uint64_t completed = 0;        // ran to the end, digest returned
+  std::uint64_t failed = 0;           // typed execution error (isolated)
+  std::uint64_t pings = 0;
+  std::uint64_t stats_requests = 0;
+  std::uint64_t priced = 0;           // op:price estimates served
+
+  // Completed-request latency (seconds, admission to response).
+  double p50_latency_s = 0;
+  double p99_latency_s = 0;
+  double max_latency_s = 0;
+
+  // Modeled energy of completed work (full runs + priced partial prefixes).
+  double total_energy_j = 0;
+  double joules_per_request = 0;  // total_energy_j / completed
+
+  // Peak concurrently-reserved virtual nodes (bin-packing high-water mark).
+  int peak_nodes_busy = 0;
+};
+
+class FleetMetrics {
+ public:
+  void on_received() { bump(&FleetMetrics::received_); }
+  void on_protocol_error() { bump(&FleetMetrics::protocol_errors_); }
+  void on_parse_error() { bump(&FleetMetrics::parse_errors_); }
+  void on_rejected() { bump(&FleetMetrics::rejected_); }
+  void on_accepted() { bump(&FleetMetrics::accepted_); }
+  void on_shed() { bump(&FleetMetrics::shed_); }
+  void on_deadline(double energy_j);
+  void on_completed(double latency_s, double energy_j);
+  void on_failed() { bump(&FleetMetrics::failed_); }
+  void on_ping() { bump(&FleetMetrics::pings_); }
+  void on_stats() { bump(&FleetMetrics::stats_requests_); }
+  void on_priced() { bump(&FleetMetrics::priced_); }
+  void on_nodes_busy(int busy);
+
+  [[nodiscard]] FleetSnapshot snapshot() const;
+
+  /// Multi-line human-readable summary (the drain banner).
+  [[nodiscard]] static std::string render(const FleetSnapshot& s);
+
+ private:
+  void bump(std::uint64_t FleetMetrics::* counter);
+
+  mutable std::mutex mu_;
+  std::uint64_t received_ = 0;
+  std::uint64_t protocol_errors_ = 0;
+  std::uint64_t parse_errors_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t accepted_ = 0;
+  std::uint64_t shed_ = 0;
+  std::uint64_t deadline_expired_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t failed_ = 0;
+  std::uint64_t pings_ = 0;
+  std::uint64_t stats_requests_ = 0;
+  std::uint64_t priced_ = 0;
+  double total_energy_j_ = 0;
+  int peak_nodes_busy_ = 0;
+  /// Latency samples for completed requests; bounded by pairwise decimation
+  /// so a long-lived server cannot grow it without limit.
+  std::vector<double> latencies_s_;
+};
+
+}  // namespace qsv

@@ -93,6 +93,13 @@ struct RunReport {
   double recovery_s = 0;
   double recovery_energy_j = 0;
 
+  /// Tolerated-degradation accounting (kWarning events — e.g. a checkpoint
+  /// write that failed and was skipped): count, wall time of the abandoned
+  /// I/O, and its share of node energy (included in the totals above).
+  std::uint64_t warnings = 0;
+  double warning_s = 0;
+  double warning_energy_j = 0;
+
   [[nodiscard]] double total_energy_j() const {
     return node_energy_j + switch_energy_j;
   }

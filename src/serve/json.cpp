@@ -1,0 +1,361 @@
+#include "serve/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace qsv::serve {
+namespace {
+
+constexpr int kMaxDepth = 32;
+
+[[noreturn]] void bad(std::size_t pos, const std::string& what) {
+  throw ProtocolError("bad json at byte " + std::to_string(pos) + ": " + what);
+}
+
+struct Parser {
+  const std::string& text;
+  std::size_t pos = 0;
+
+  [[nodiscard]] bool done() const { return pos >= text.size(); }
+  [[nodiscard]] char peek() const { return text[pos]; }
+
+  void skip_ws() {
+    while (!done() && (text[pos] == ' ' || text[pos] == '\t' ||
+                       text[pos] == '\n' || text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  void expect(char c) {
+    if (done() || text[pos] != c) {
+      bad(pos, std::string("expected '") + c + "'");
+    }
+    ++pos;
+  }
+
+  bool consume_literal(const char* lit) {
+    const std::size_t n = std::string::traits_type::length(lit);
+    if (text.compare(pos, n, lit) == 0) {
+      pos += n;
+      return true;
+    }
+    return false;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (done()) {
+        bad(pos, "unterminated string");
+      }
+      const char c = text[pos++];
+      if (c == '"') {
+        return out;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        bad(pos - 1, "raw control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (done()) {
+        bad(pos, "dangling escape");
+      }
+      const char e = text[pos++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos + 4 > text.size()) {
+            bad(pos, "truncated \\u escape");
+          }
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text[pos++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') {
+              cp |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              cp |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              cp |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              bad(pos - 1, "bad \\u hex digit");
+            }
+          }
+          // UTF-8 encode; surrogates are passed through as replacement-free
+          // 3-byte sequences (the protocol never carries them).
+          if (cp < 0x80) {
+            out.push_back(static_cast<char>(cp));
+          } else if (cp < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          }
+          break;
+        }
+        default:
+          bad(pos - 1, "unknown escape");
+      }
+    }
+  }
+
+  double parse_number() {
+    const std::size_t start = pos;
+    if (!done() && text[pos] == '-') {
+      ++pos;
+    }
+    while (!done() && ((text[pos] >= '0' && text[pos] <= '9') ||
+                       text[pos] == '.' || text[pos] == 'e' ||
+                       text[pos] == 'E' || text[pos] == '+' ||
+                       text[pos] == '-')) {
+      ++pos;
+    }
+    if (pos == start) {
+      bad(pos, "expected a number");
+    }
+    const std::string tok = text.substr(start, pos - start);
+    char* end = nullptr;
+    const double v = std::strtod(tok.c_str(), &end);
+    if (end == nullptr || *end != '\0' || !std::isfinite(v)) {
+      bad(start, "bad number: " + tok);
+    }
+    return v;
+  }
+
+  Json parse_value(int depth) {
+    if (depth > kMaxDepth) {
+      bad(pos, "nesting too deep");
+    }
+    skip_ws();
+    if (done()) {
+      bad(pos, "unexpected end of input");
+    }
+    const char c = peek();
+    if (c == '{') {
+      ++pos;
+      JsonObject obj;
+      skip_ws();
+      if (!done() && peek() == '}') {
+        ++pos;
+        return Json(std::move(obj));
+      }
+      while (true) {
+        skip_ws();
+        std::string key = parse_string();
+        skip_ws();
+        expect(':');
+        obj[std::move(key)] = parse_value(depth + 1);
+        skip_ws();
+        if (done()) {
+          bad(pos, "unterminated object");
+        }
+        if (peek() == ',') {
+          ++pos;
+          continue;
+        }
+        expect('}');
+        return Json(std::move(obj));
+      }
+    }
+    if (c == '[') {
+      ++pos;
+      JsonArray arr;
+      skip_ws();
+      if (!done() && peek() == ']') {
+        ++pos;
+        return Json(std::move(arr));
+      }
+      while (true) {
+        arr.push_back(parse_value(depth + 1));
+        skip_ws();
+        if (done()) {
+          bad(pos, "unterminated array");
+        }
+        if (peek() == ',') {
+          ++pos;
+          continue;
+        }
+        expect(']');
+        return Json(std::move(arr));
+      }
+    }
+    if (c == '"') {
+      return Json(parse_string());
+    }
+    if (consume_literal("true")) {
+      return Json(true);
+    }
+    if (consume_literal("false")) {
+      return Json(false);
+    }
+    if (consume_literal("null")) {
+      return Json();
+    }
+    return Json(parse_number());
+  }
+};
+
+void dump_string(const std::string& s, std::string& out) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void dump_value(const Json& v, std::string& out) {
+  switch (v.type()) {
+    case Json::Type::kNull:
+      out += "null";
+      break;
+    case Json::Type::kBool:
+      out += v.as_bool() ? "true" : "false";
+      break;
+    case Json::Type::kNumber: {
+      const double n = v.as_number();
+      if (!std::isfinite(n)) {
+        out += "null";
+        break;
+      }
+      // Integers (the common case: counters, gate counts) print exactly.
+      char buf[32];
+      if (n == static_cast<double>(static_cast<std::int64_t>(n)) &&
+          std::abs(n) < 9.0e15) {
+        std::snprintf(buf, sizeof buf, "%lld",
+                      static_cast<long long>(n));
+      } else {
+        std::snprintf(buf, sizeof buf, "%.17g", n);
+      }
+      out += buf;
+      break;
+    }
+    case Json::Type::kString:
+      dump_string(v.as_string(), out);
+      break;
+    case Json::Type::kArray: {
+      out.push_back('[');
+      bool first = true;
+      for (const Json& e : v.as_array()) {
+        if (!first) {
+          out.push_back(',');
+        }
+        first = false;
+        dump_value(e, out);
+      }
+      out.push_back(']');
+      break;
+    }
+    case Json::Type::kObject: {
+      out.push_back('{');
+      bool first = true;
+      for (const auto& [k, e] : v.as_object()) {
+        if (!first) {
+          out.push_back(',');
+        }
+        first = false;
+        dump_string(k, out);
+        out.push_back(':');
+        dump_value(e, out);
+      }
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+bool Json::as_bool() const {
+  if (type_ != Type::kBool) {
+    throw ProtocolError("expected a boolean");
+  }
+  return bool_;
+}
+
+double Json::as_number() const {
+  if (type_ != Type::kNumber) {
+    throw ProtocolError("expected a number");
+  }
+  return num_;
+}
+
+const std::string& Json::as_string() const {
+  if (type_ != Type::kString) {
+    throw ProtocolError("expected a string");
+  }
+  return str_;
+}
+
+const JsonArray& Json::as_array() const {
+  if (type_ != Type::kArray) {
+    throw ProtocolError("expected an array");
+  }
+  return arr_;
+}
+
+const JsonObject& Json::as_object() const {
+  if (type_ != Type::kObject) {
+    throw ProtocolError("expected an object");
+  }
+  return obj_;
+}
+
+const Json* Json::find(const std::string& key) const {
+  if (type_ != Type::kObject) {
+    return nullptr;
+  }
+  const auto it = obj_.find(key);
+  return it == obj_.end() ? nullptr : &it->second;
+}
+
+std::string Json::dump() const {
+  std::string out;
+  dump_value(*this, out);
+  return out;
+}
+
+Json parse_json(const std::string& text, std::size_t max_bytes) {
+  if (max_bytes > 0 && text.size() > max_bytes) {
+    throw ProtocolError("payload exceeds the " + std::to_string(max_bytes) +
+                        "-byte cap");
+  }
+  Parser p{text};
+  Json v = p.parse_value(0);
+  p.skip_ws();
+  if (!p.done()) {
+    bad(p.pos, "trailing garbage after the document");
+  }
+  return v;
+}
+
+}  // namespace qsv::serve

@@ -1,0 +1,82 @@
+// Minimal JSON for the serve wire protocol: a tagged value type, a
+// recursive-descent parser hardened against hostile input (depth cap, size
+// cap, strict UTF-8-agnostic string escapes), and a writer.
+//
+// Deliberately tiny — the protocol needs flat objects of strings, numbers
+// and booleans, not a general JSON library (the repo has none and the serve
+// layer must not grow a dependency for this).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace qsv::serve {
+
+/// A malformed or oversized protocol payload. Always a typed response, never
+/// a crash: the connection handler converts it into a status:"error" reply.
+class ProtocolError : public Error {
+ public:
+  explicit ProtocolError(const std::string& what) : Error(what) {}
+};
+
+class Json;
+using JsonObject = std::map<std::string, Json>;
+using JsonArray = std::vector<Json>;
+
+/// One JSON value. Numbers are doubles (the protocol's integers are all
+/// well inside the 2^53 exact range).
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() = default;
+  Json(bool b) : type_(Type::kBool), bool_(b) {}                // NOLINT
+  Json(double n) : type_(Type::kNumber), num_(n) {}             // NOLINT
+  Json(int n) : Json(static_cast<double>(n)) {}                 // NOLINT
+  Json(std::int64_t n) : Json(static_cast<double>(n)) {}        // NOLINT
+  Json(std::uint64_t n) : Json(static_cast<double>(n)) {}       // NOLINT
+  Json(std::string s) : type_(Type::kString), str_(std::move(s)) {}  // NOLINT
+  Json(const char* s) : Json(std::string(s)) {}                 // NOLINT
+  Json(JsonArray a) : type_(Type::kArray), arr_(std::move(a)) {}     // NOLINT
+  Json(JsonObject o) : type_(Type::kObject), obj_(std::move(o)) {}   // NOLINT
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_null() const { return type_ == Type::kNull; }
+  [[nodiscard]] bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors: throw ProtocolError on a type mismatch so a hostile
+  /// payload ("circuit": 42) surfaces as a typed response.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const JsonArray& as_array() const;
+  [[nodiscard]] const JsonObject& as_object() const;
+
+  /// Object field lookup; nullptr when absent.
+  [[nodiscard]] const Json* find(const std::string& key) const;
+
+  /// Serializes (compact, no trailing newline). Strings are escaped;
+  /// non-finite numbers render as null (they never appear in practice).
+  [[nodiscard]] std::string dump() const;
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0;
+  std::string str_;
+  JsonArray arr_;
+  JsonObject obj_;
+};
+
+/// Parses one JSON document. Throws ProtocolError on malformed input,
+/// trailing garbage, nesting deeper than 32 levels, or input longer than
+/// `max_bytes` (0 = no cap).
+[[nodiscard]] Json parse_json(const std::string& text,
+                              std::size_t max_bytes = 0);
+
+}  // namespace qsv::serve

@@ -1,0 +1,131 @@
+#include "serve/protocol.hpp"
+
+#include <cmath>
+
+namespace qsv::serve {
+namespace {
+
+constexpr std::size_t kMaxIdLength = 64;
+
+double number_field(const Json& req, const char* key, double fallback) {
+  const Json* v = req.find(key);
+  if (v == nullptr || v->is_null()) {
+    return fallback;
+  }
+  const double n = v->as_number();
+  if (!std::isfinite(n)) {
+    throw ProtocolError(std::string(key) + " must be finite");
+  }
+  return n;
+}
+
+bool bool_field(const Json& req, const char* key, bool fallback) {
+  const Json* v = req.find(key);
+  if (v == nullptr || v->is_null()) {
+    return fallback;
+  }
+  return v->as_bool();
+}
+
+}  // namespace
+
+JobRequest parse_request(const std::string& line, std::size_t max_bytes) {
+  const Json req = parse_json(line, max_bytes);
+  if (!req.is_object()) {
+    throw ProtocolError("request must be a JSON object");
+  }
+  JobRequest out;
+
+  if (const Json* id = req.find("id"); id != nullptr && !id->is_null()) {
+    out.id = id->as_string();
+    if (out.id.size() > kMaxIdLength) {
+      throw ProtocolError("id exceeds " + std::to_string(kMaxIdLength) +
+                          " characters");
+    }
+  }
+
+  std::string op = "run";
+  if (const Json* v = req.find("op"); v != nullptr && !v->is_null()) {
+    op = v->as_string();
+  }
+  if (op == "run") {
+    out.op = Op::kRun;
+  } else if (op == "price") {
+    out.op = Op::kPrice;
+  } else if (op == "ping") {
+    out.op = Op::kPing;
+  } else if (op == "stats") {
+    out.op = Op::kStats;
+  } else {
+    throw ProtocolError("unknown op '" + op +
+                        "' (want run|price|ping|stats)");
+  }
+
+  if (const Json* v = req.find("circuit"); v != nullptr && !v->is_null()) {
+    out.circuit_text = v->as_string();
+  }
+  if ((out.op == Op::kRun || out.op == Op::kPrice) &&
+      out.circuit_text.empty()) {
+    throw ProtocolError("missing circuit");
+  }
+
+  if (const Json* v = req.find("crc32"); v != nullptr && !v->is_null()) {
+    const double n = v->as_number();
+    if (n < 0 || n > 4294967295.0 || n != std::floor(n)) {
+      throw ProtocolError("crc32 must be an integer in [0, 2^32)");
+    }
+    out.crc32 = static_cast<std::uint32_t>(n);
+  }
+
+  const double ranks = number_field(req, "ranks", 4);
+  if (ranks < 1 || ranks > 65536 || ranks != std::floor(ranks)) {
+    throw ProtocolError("ranks must be an integer in [1, 65536]");
+  }
+  out.ranks = static_cast<int>(ranks);
+
+  out.deadline_s = number_field(req, "deadline_s", 0);
+  if (out.deadline_s < 0) {
+    throw ProtocolError("deadline_s must be non-negative");
+  }
+  out.sheddable = bool_field(req, "sheddable", true);
+  out.transpile = bool_field(req, "transpile", true);
+  return out;
+}
+
+std::string make_error_response(const std::string& id,
+                                const std::string& kind,
+                                const std::string& message) {
+  JsonObject o;
+  o["id"] = id;
+  o["status"] = "error";
+  o["error_kind"] = kind;
+  o["error"] = message;
+  return Json(std::move(o)).dump();
+}
+
+std::string make_rejected_response(const std::string& id,
+                                   const std::string& reason) {
+  JsonObject o;
+  o["id"] = id;
+  o["status"] = "rejected";
+  o["reason"] = reason;
+  return Json(std::move(o)).dump();
+}
+
+std::string make_shed_response(const std::string& id,
+                               const std::string& reason) {
+  JsonObject o;
+  o["id"] = id;
+  o["status"] = "shed";
+  o["reason"] = reason;
+  return Json(std::move(o)).dump();
+}
+
+std::string make_pong_response(const std::string& id) {
+  JsonObject o;
+  o["id"] = id;
+  o["status"] = "pong";
+  return Json(std::move(o)).dump();
+}
+
+}  // namespace qsv::serve

@@ -1,0 +1,73 @@
+// The serve wire protocol: newline-delimited JSON, one request per line,
+// one response line per request, in order, per connection.
+//
+// Request object:
+//   { "op": "run" | "price" | "ping" | "stats",     // default "run"
+//     "id": "<client tag, <=64 chars>",             // echoed back
+//     "circuit": "<text circuit, circuit/serialize format>",
+//     "crc32": <number>,          // optional: CRC-32 of the circuit text;
+//                                 //   a mismatch is rejected pre-admission
+//     "ranks": <number>,          // virtual ranks (power of two), default 4
+//     "deadline_s": <number>,     // wall-clock budget incl. queue wait
+//     "sheddable": <bool>,        // may be evicted under overload (default
+//                                 //   true; false survives load-shedding)
+//     "transpile": <bool> }       // cache-blocking transpile (default true)
+//
+// Response object (fields beyond id/status are status-dependent):
+//   { "id": ..., "status": "ok" | "rejected" | "shed" | "deadline" |
+//                "error" | "pong" | "stats",
+//     "reason": ...,              // rejected / shed
+//     "error_kind": "protocol" | "parse" | "integrity" | "node_failure" |
+//                   "internal",   // error
+//     "error": "<message>",       // error
+//     "digest": "<state crc32, 8 hex chars>",       // ok — matches the
+//                                 //   `state crc32:` line of `qsv run`
+//     "gates": N, "ranks": R,     // ok / deadline
+//     "gates_done": N,            // deadline (partial prefix applied)
+//     "runtime_s": ..., "energy_j": ...,  // ok / deadline (modeled cost;
+//                                 //   deadline prices the applied prefix)
+//     "queue_s": ...,             // ok / deadline: real seconds queued
+//     "cache": "hit" | "miss" }   // ok: transpiled-plan cache outcome
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "serve/json.hpp"
+
+namespace qsv::serve {
+
+enum class Op { kRun, kPrice, kPing, kStats };
+
+struct JobRequest {
+  Op op = Op::kRun;
+  std::string id;
+  std::string circuit_text;
+  /// CRC-32 the client claims for circuit_text; checked when present.
+  std::optional<std::uint32_t> crc32;
+  int ranks = 4;
+  /// Wall-clock budget in seconds from admission (includes queue wait);
+  /// <= 0 means none.
+  double deadline_s = 0;
+  bool sheddable = true;
+  bool transpile = true;
+};
+
+/// Parses one request line. Throws ProtocolError on malformed JSON, wrong
+/// field types, an over-long id, or a payload over `max_bytes`.
+[[nodiscard]] JobRequest parse_request(const std::string& line,
+                                       std::size_t max_bytes);
+
+/// Response builders — every request, however hostile, gets exactly one of
+/// these. All return a single line WITHOUT the trailing newline.
+[[nodiscard]] std::string make_error_response(const std::string& id,
+                                              const std::string& kind,
+                                              const std::string& message);
+[[nodiscard]] std::string make_rejected_response(const std::string& id,
+                                                 const std::string& reason);
+[[nodiscard]] std::string make_shed_response(const std::string& id,
+                                             const std::string& reason);
+[[nodiscard]] std::string make_pong_response(const std::string& id);
+
+}  // namespace qsv::serve

@@ -1,0 +1,115 @@
+#include "serve/queue.hpp"
+
+#include "serve/protocol.hpp"
+
+namespace qsv::serve {
+
+PushResult JobQueue::push(std::unique_ptr<QueuedJob> job) {
+  std::unique_ptr<QueuedJob> victim;
+  PushResult result;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_) {
+      result = PushResult::kRejectedDraining;
+      job->response.set_value(
+          {JobSettlement::Kind::kShed,
+           make_shed_response(job->id, "draining"), 0});
+      return result;
+    }
+    if (queue_.size() >= capacity_) {
+      // Oldest-sheddable-first: scan from the front so the work evicted is
+      // the stalest (it has waited longest and is most likely past caring).
+      auto it = queue_.begin();
+      while (it != queue_.end() && !(*it)->sheddable) {
+        ++it;
+      }
+      if (it == queue_.end()) {
+        result = PushResult::kRejectedFull;
+        job->response.set_value(
+            {JobSettlement::Kind::kRejected,
+             make_rejected_response(
+                 job->id, "queue full (" + std::to_string(queue_.size()) +
+                              " unsheddable jobs waiting)"),
+             0});
+        return result;
+      }
+      victim = std::move(*it);
+      queue_.erase(it);
+      result = PushResult::kQueuedAfterShed;
+    } else {
+      result = PushResult::kQueued;
+    }
+    queue_.push_back(std::move(job));
+  }
+  cv_.notify_all();
+  if (victim != nullptr) {
+    victim->response.set_value(
+        {JobSettlement::Kind::kShed,
+         make_shed_response(victim->id, "evicted under overload"), 0});
+  }
+  return result;
+}
+
+std::unique_ptr<QueuedJob> JobQueue::pop_ready() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] {
+    if (draining_) {
+      return true;
+    }
+    return !queue_.empty() && queue_.front()->ranks <= nodes_free_;
+  });
+  if (queue_.empty()) {
+    // Draining with nothing left: the worker exits. (Draining with jobs
+    // still queued cannot happen — drain() flushes the queue first.)
+    return nullptr;
+  }
+  std::unique_ptr<QueuedJob> job = std::move(queue_.front());
+  queue_.pop_front();
+  nodes_free_ -= job->ranks;
+  // A narrower job behind the old head may now fit alongside this one.
+  cv_.notify_all();
+  return job;
+}
+
+void JobQueue::release(int ranks) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    nodes_free_ += ranks;
+  }
+  cv_.notify_all();
+}
+
+void JobQueue::drain() {
+  std::deque<std::unique_ptr<QueuedJob>> flushed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_) {
+      return;
+    }
+    draining_ = true;
+    flushed.swap(queue_);
+  }
+  cv_.notify_all();
+  for (std::unique_ptr<QueuedJob>& job : flushed) {
+    job->response.set_value(
+        {JobSettlement::Kind::kShed,
+         make_shed_response(job->id, "draining"), 0});
+  }
+}
+
+bool JobQueue::draining() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return draining_;
+}
+
+int JobQueue::nodes_busy() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return nodes_total_ - nodes_free_;
+}
+
+std::size_t JobQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace qsv::serve

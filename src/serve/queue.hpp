@@ -1,0 +1,105 @@
+// The bounded job queue with backpressure, load-shedding and node
+// bin-packing — the server's pressure-relief valve.
+//
+// Invariants (docs/SERVING.md has the full state machine):
+//  * the queue NEVER grows past its capacity — when full, the oldest
+//    sheddable queued job is evicted (its client gets status:"shed"
+//    immediately) to make room; if nothing queued is sheddable the
+//    newcomer itself is turned away ("queue full");
+//  * jobs dispatch in FIFO order, but only when the head's rank demand
+//    fits the free virtual-node pool — concurrent jobs bin-pack onto
+//    disjoint slices of the pool and a wide job at the head waits for
+//    nodes to free (head-of-line blocking, accepted for fairness);
+//  * drain flushes every queued job with a typed "shed (draining)"
+//    response and unblocks all waiting workers, which then exit.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "common/stop.hpp"
+#include "serve/plan_cache.hpp"
+
+namespace qsv::serve {
+
+/// How an admitted job ended. The connection thread that owns the request
+/// blocks on the future and turns the kind into fleet-metric attribution.
+struct JobSettlement {
+  enum class Kind { kOk, kDeadline, kShed, kRejected, kError };
+  Kind kind = Kind::kError;
+  /// The response line (no trailing newline).
+  std::string line;
+  /// Modeled joules of the work performed (full run or priced prefix).
+  double energy_j = 0;
+};
+
+/// One admitted job travelling from connection thread to worker. The
+/// connection thread blocks on `response`'s future; whoever settles the
+/// job (worker, shedder, drain) fulfils the promise with the response line.
+struct QueuedJob {
+  std::string id;
+  int num_qubits = 0;
+  int ranks = 0;
+  bool sheddable = true;
+  bool cache_hit = false;
+  double deadline_s = 0;
+  StopToken token;
+  std::shared_ptr<const CachedPlan> plan;
+  std::chrono::steady_clock::time_point admitted_at;
+  std::promise<JobSettlement> response;
+};
+
+/// Outcome of a push attempt.
+enum class PushResult {
+  kQueued,        // the job is in the queue
+  kQueuedAfterShed,  // in the queue; the oldest sheddable job was evicted
+  kRejectedFull,  // queue full of unsheddable work — the newcomer bounced
+  kRejectedDraining,  // server is draining, not admitting
+};
+
+class JobQueue {
+ public:
+  /// `capacity` bounds queued (not running) jobs; `nodes` is the virtual
+  /// node pool concurrent jobs bin-pack onto.
+  JobQueue(std::size_t capacity, int nodes)
+      : capacity_(capacity), nodes_free_(nodes), nodes_total_(nodes) {}
+
+  /// Admission hands an accepted job over. On kQueuedAfterShed the evicted
+  /// job's promise has already been fulfilled with a shed response.
+  PushResult push(std::unique_ptr<QueuedJob> job);
+
+  /// Worker side: blocks until the FIFO head fits the free node pool (and
+  /// reserves its ranks) or the queue is draining and empty — then nullptr.
+  /// The caller must release(ranks) when the job finishes.
+  [[nodiscard]] std::unique_ptr<QueuedJob> pop_ready();
+
+  /// Returns a finished job's reserved nodes to the pool.
+  void release(int ranks);
+
+  /// Stops admitting, flushes every queued job with a shed("draining")
+  /// response, and wakes all waiting workers. Idempotent.
+  void drain();
+
+  [[nodiscard]] bool draining() const;
+  /// Nodes currently reserved by running jobs (bin-packing load).
+  [[nodiscard]] int nodes_busy() const;
+  [[nodiscard]] std::size_t depth() const;
+
+ private:
+  std::size_t capacity_;
+  int nodes_free_;
+  const int nodes_total_;
+  bool draining_ = false;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::unique_ptr<QueuedJob>> queue_;
+};
+
+}  // namespace qsv::serve

@@ -6,6 +6,8 @@
 #   3  degraded completion (valid digest, but below the planned rank width)
 #   4  node failure no recovery tier could absorb
 #   5  integrity abort (corruption with nothing to roll back to)
+#   6  deadline exceeded (--deadline-s; cancelled at a gate boundary with a
+#      partial cost report)
 #
 # Driven by ctest: cli_exit_codes.sh <path-to-qsv-binary>.
 set -u
@@ -63,6 +65,19 @@ expect_exit 2 "$qsv" run "$tmp/c.qc" --no-such-flag    # unknown option
 expect_exit 2 "$qsv" run "$tmp/c.qc" --ranks banana    # non-integer value
 expect_exit 2 "$qsv" run "$tmp/c.qc" --recovery warp   # unknown tier name
 expect_exit 2 "$qsv" run "$tmp/c.qc" --spares -1
+expect_exit 2 "$qsv" run "$tmp/c.qc" --deadline-s -1   # negative deadline
+expect_exit 2 "$qsv" serve --workers 0                 # serve usage errors
+expect_exit 2 "$qsv" serve --queue -3
+
+# --- exit 6: deadline exceeded ----------------------------------------------
+# A deadline that has already passed cancels at the first gate boundary;
+# the partial cost (gates applied, modeled joules) is still reported.
+expect_exit 6 "$qsv" run "$tmp/c.qc" --deadline-s 0.000001
+grep -q "^deadline: " "$tmp/out" || fail "deadline line missing"
+grep -q "^partial cost: " "$tmp/out" || fail "partial cost report missing"
+
+# The verified driver honours the same deadline at its gate loop.
+expect_exit 6 "$qsv" run "$tmp/c.qc" --deadline-s 0.000001 --guards 1
 
 # --- exit 4: unrecovered node failure ---------------------------------------
 # No checkpointing: NodeFailure propagates unchanged (PR 2 semantics).
@@ -124,6 +139,18 @@ expect_exit 0 "$qsv" run "$tmp/c.qc" --faults fail@12:1 \
 crc_restart=$(grep -o 'state crc32: [0-9a-f]*' "$tmp/out")
 [ "$crc_restart" = "$crc_clean" ] ||
   fail "restart run digest '$crc_restart' != clean '$crc_clean'"
+
+# Checkpoint write failure mid-run must not kill the run: pointing the
+# checkpoint dir at a regular file makes every write fail, but the run
+# completes with a priced warning and the same digest as the clean run.
+: >"$tmp/not_a_dir"
+expect_exit 0 "$qsv" run "$tmp/c.qc" --checkpoint-interval 5 \
+  --checkpoint-dir "$tmp/not_a_dir"
+grep -q "^checkpoint warning: " "$tmp/out" ||
+  fail "checkpoint-write-failure warning missing"
+crc_nockpt=$(grep -o 'state crc32: [0-9a-f]*' "$tmp/out")
+[ "$crc_nockpt" = "$crc_clean" ] ||
+  fail "uncheckpointed run digest '$crc_nockpt' != clean '$crc_clean'"
 
 # Checkpoint hygiene: a successful run cleans its checkpoints up, leaving
 # neither committed files nor temp files behind (keep-last bounds the

@@ -1,7 +1,7 @@
 // qsv — command-line front end to the library.
 //
 //   qsv run <file.qc> [--ranks N] [--shots K] [--seed S]
-//                 [--no-sweep] [--tile T]
+//                 [--no-sweep] [--tile T] [--deadline-s S]
 //                 [--policy blocking|nonblocking|overlapped] [--max-message B]
 //                 [--faults PLAN] [--mtbf HOURS] [--bitflip G[:R[:B]]]
 //                 [--checkpoint-interval GATES] [--checkpoint-dir DIR]
@@ -18,6 +18,9 @@
 //             [--mtbf HOURS] [--checkpoint-interval SECONDS]
 //             [--guards K] [--guard-crc] [--spares N]
 //   qsv sbatch --qubits N [--highmem] [--freq ...] [--name J] [--cmd CMD]
+//   qsv serve [--socket PATH] [--port N] [--workers N] [--queue N]
+//             [--nodes N] [--max-qubits N] [--energy-budget J]
+//             [--cache N] [--machine (archer2 | overrides.machine)]
 //
 // Every subcommand prints a short usage string on error. Exit codes are
 // part of the interface (scripts and the CI determinism check key off
@@ -30,6 +33,8 @@
 //   4  unrecovered node failure (NodeFailure escaped every recovery tier)
 //   5  integrity abort (recovery budget exhausted or unrecoverable
 //      corruption; forensics on stderr)
+//   6  deadline exceeded (--deadline-s elapsed; the run was cancelled at a
+//      gate boundary and the partial cost was reported)
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -52,6 +57,7 @@
 #include "common/format.hpp"
 #include "common/csv.hpp"
 #include "common/rng.hpp"
+#include "common/stop.hpp"
 #include "common/table.hpp"
 #include "cluster/faults.hpp"
 #include "dist/dist_statevector.hpp"
@@ -67,7 +73,9 @@
 #include "machine/archer2.hpp"
 #include "machine/config.hpp"
 #include "machine/slurm.hpp"
+#include "perf/fleet.hpp"
 #include "perf/runner.hpp"
+#include "serve/server.hpp"
 
 namespace qsv::cli {
 namespace {
@@ -121,7 +129,7 @@ int cmd_run(int argc, const char* const* argv) {
   args.option("checkpoint-dir").option("bitflip").option("guards");
   args.option("keep-last").option("spares").option("recovery");
   args.option("threads").option("placement").option("machine");
-  args.option("policy").option("max-message");
+  args.option("policy").option("max-message").option("deadline-s");
   args.flag("no-sweep").flag("guard-crc");
   args.parse(argc, argv);
   require_arg(args.positionals().size() == 1,
@@ -271,15 +279,68 @@ int cmd_run(int argc, const char* const* argv) {
   // observational, so this changes only the reported stats.
   policy.health.enabled = injector.has_value();
 
+  // Wall-clock budget: the run is cancelled at the next gate boundary once
+  // the deadline passes, the partial cost is reported, and the process
+  // exits with the contractual code 6.
+  const double deadline_s = args.double_or("deadline-s", 0);
+  require_arg(deadline_s >= 0, "--deadline-s must be >= 0");
+  StopToken stop;
+  if (deadline_s > 0) {
+    stop = StopToken::after_seconds(deadline_s);
+  }
+
   IntegrityStats rec;
   const bool verified = injector || ck.interval_gates > 0 || guards.enabled();
-  if (verified) {
-    // Gate-by-gate integrity driver: checkpoints, guard checks, rollbacks,
-    // elastic node-failure recovery. A NodeFailure that no tier can recover
-    // propagates out of here to exit code 4, an IntegrityAbort to 5.
-    rec = run_verified(sv, c, ck, guards, policy, elastic);
-  } else {
-    sv.apply(c);  // fault-free fast path (keeps the sweep executor active)
+  try {
+    if (verified) {
+      // Gate-by-gate integrity driver: checkpoints, guard checks, rollbacks,
+      // elastic node-failure recovery. A NodeFailure that no tier can recover
+      // propagates out of here to exit code 4, an IntegrityAbort to 5.
+      rec = run_verified(sv, c, ck, guards, policy, elastic,
+                         deadline_s > 0 ? &stop : nullptr);
+    } else if (deadline_s > 0) {
+      // Fault-free path with a deadline: step the sweep plan run by run so
+      // the token is polled at every safe point.
+      const std::vector<GateRun> runs =
+          plan_sweep_runs(c.gates(), sv.local_qubits(), opts.sweep);
+      std::uint64_t gates_done = 0;
+      for (const GateRun& run : runs) {
+        if (stop.expired()) {
+          throw DeadlineExceeded("deadline of " + fmt::seconds(deadline_s) +
+                                     " exceeded at gate " +
+                                     std::to_string(gates_done) + " of " +
+                                     std::to_string(c.size()),
+                                 gates_done, c.size(), stop.cancelled());
+        }
+        sv.apply_run(c, run);
+        gates_done += run.count;
+      }
+    } else {
+      sv.apply(c);  // fault-free fast path (keeps the sweep executor active)
+    }
+  } catch (const DeadlineExceeded& e) {
+    // Partial cost report: price the applied prefix on the machine model so
+    // the joules already burned are accounted, not discarded.
+    std::cout << "deadline: " << e.what() << "\n";
+    const MachineModel m =
+        args.has("machine") && args.value_or("machine", "") != "archer2"
+            ? load_machine_config(archer2(), args.value_or("machine", ""))
+            : archer2();
+    JobConfig job;
+    job.num_qubits = c.num_qubits();
+    job.nodes = ranks;
+    TraceSim sim(c.num_qubits(), ranks, opts);
+    CostModel cost(m, job);
+    sim.set_listener(&cost);
+    for (std::uint64_t g = 0; g < e.gates_done(); ++g) {
+      sim.apply(c.gate(g));
+    }
+    const RunReport partial = cost.report();
+    std::cout << "partial cost: " << e.gates_done() << " of "
+              << e.gates_total() << " gates applied, modeled "
+              << fmt::seconds(partial.runtime_s) << ", "
+              << fmt::fixed(partial.total_energy_j(), 3) << " J\n";
+    return 6;
   }
   std::cout << "ran '" << c.name() << "' (" << c.size() << " gates) on "
             << ranks << " ranks; " << sv.comm_stats().messages
@@ -331,6 +392,13 @@ int cmd_run(int argc, const char* const* argv) {
               << " shrinks, " << rec.grow_backs << " grow-backs, "
               << rec.checkpoints_written << " checkpoints written, "
               << rec.gates_replayed << " gates replayed\n";
+    if (rec.checkpoint_write_failures > 0) {
+      // Tolerated degradation: the run finished, just without the safety
+      // net it asked for. Scripts key off this line (exit stays 0).
+      std::cout << "checkpoint warning: " << rec.checkpoint_write_failures
+                << " write failure(s) tolerated — run continued "
+                   "uncheckpointed\n";
+    }
     if (rec.shrinks > 0 && sv.num_ranks() < ranks) {
       std::cout << "shrink-to-survive: finished at " << sv.num_ranks()
                 << " ranks (started at " << ranks << ")\n";
@@ -702,6 +770,69 @@ int cmd_sbatch(int argc, const char* const* argv) {
   return 0;
 }
 
+int cmd_serve(int argc, const char* const* argv) {
+  ArgParser args;
+  args.option("socket").option("port").option("workers").option("queue");
+  args.option("nodes").option("max-qubits").option("energy-budget");
+  args.option("cache").option("machine");
+  args.parse(argc, argv);
+  require_arg(args.positionals().empty(),
+              "usage: qsv serve [--socket PATH] [--port N] ...");
+
+  serve::ServerOptions so;
+  so.socket_path = args.value_or("socket", "qsv-serve.sock");
+  so.tcp_port = args.int_or("port", 0);
+  require_arg(so.tcp_port >= 0 && so.tcp_port <= 65535,
+              "--port must be in [0, 65535]");
+  so.workers = args.int_or("workers", 2);
+  require_arg(so.workers >= 1, "--workers must be >= 1");
+  const int queue = args.int_or("queue", 16);
+  require_arg(queue >= 1, "--queue must be >= 1");
+  so.queue_capacity = static_cast<std::size_t>(queue);
+  const int cache = args.int_or("cache", 64);
+  require_arg(cache >= 0, "--cache must be >= 0");
+  so.plan_cache_capacity = static_cast<std::size_t>(cache);
+  so.limits.nodes = args.int_or("nodes", 64);
+  require_arg(so.limits.nodes >= 1, "--nodes must be >= 1");
+  so.limits.max_qubits = args.int_or("max-qubits", 22);
+  require_arg(so.limits.max_qubits >= 1 && so.limits.max_qubits <= 24,
+              "--max-qubits must be in [1, 24] (functional engine cap)");
+  so.limits.energy_budget_j = args.double_or("energy-budget", 0);
+  require_arg(so.limits.energy_budget_j >= 0,
+              "--energy-budget must be >= 0 (0 = unlimited)");
+
+  const std::string machine_s = args.value_or("machine", "archer2");
+  const MachineModel m = machine_s == "archer2"
+                             ? archer2()
+                             : load_machine_config(archer2(), machine_s);
+
+  // The self-pipe is the only async-signal-safe drain trigger: SIGTERM and
+  // SIGINT write one byte, serve_until's poll wakes, the drain runs.
+  const int wake_fd = serve::make_signal_wake_fd();
+  serve::Server server(m, so);
+  server.start();
+  std::cout << "serving on " << so.socket_path;
+  if (server.bound_tcp_port() > 0) {
+    std::cout << " and 127.0.0.1:" << server.bound_tcp_port();
+  }
+  std::cout << " (" << so.workers << " workers, queue " << so.queue_capacity
+            << ", " << so.limits.nodes << " nodes, cap "
+            << so.limits.max_qubits << " qubits, plan cache "
+            << so.plan_cache_capacity << ", " << machine_s << ")\n"
+            << std::flush;
+  server.serve_until(wake_fd);
+
+  // Drain banner: the fleet table is the service's closing cost report.
+  std::cout << FleetMetrics::render(server.fleet());
+  const serve::PlanCacheStats cs = server.cache_stats();
+  std::cout << "plan cache: " << cs.hits << " hits, " << cs.misses
+            << " misses, " << cs.transpiles << " transpiles, "
+            << cs.evictions << " evictions, " << cs.entries
+            << " entries\n";
+  std::cout << "drained cleanly\n";
+  return 0;
+}
+
 int usage() {
   std::cerr
       << "usage: qsv <command> ...\n"
@@ -732,9 +863,15 @@ int usage() {
       << "             recovery-tier tables, --spares prices the spare\n"
       << "             pool's standing cost)\n"
       << "  sbatch    print the SLURM job script for a register size\n"
+      << "  serve     long-lived local job server (newline-delimited JSON\n"
+      << "            over a Unix socket and/or --port on loopback TCP;\n"
+      << "            admission control, bounded queue with load-shedding,\n"
+      << "            per-job deadlines, transpiled-plan cache; SIGTERM/\n"
+      << "            SIGINT drain gracefully and print the fleet table)\n"
       << "exit codes: 0 ok, 1 error, 2 bad arguments, 3 degraded completion\n"
       << "(finished below planned width), 4 unrecovered node failure,\n"
-      << "5 integrity abort\n";
+      << "5 integrity abort, 6 deadline exceeded (--deadline-s; partial\n"
+      << "cost reported)\n";
   return 2;
 }
 
@@ -749,6 +886,12 @@ int main(int argc, const char* const* argv) {
     if (cmd == "transpile") return cmd_transpile(argc - 1, argv + 1);
     if (cmd == "price") return cmd_price(argc - 1, argv + 1);
     if (cmd == "sbatch") return cmd_sbatch(argc - 1, argv + 1);
+    if (cmd == "serve") return cmd_serve(argc - 1, argv + 1);
+  } catch (const DeadlineExceeded& e) {
+    // A deadline that fired outside cmd_run's partial-cost path (it is an
+    // Error subtype, so it must be caught first). Documented exit code 6.
+    std::cerr << "qsv: deadline exceeded: " << e.what() << "\n";
+    return 6;
   } catch (const IntegrityAbort& e) {
     // Recovery budget exhausted or unrecoverable corruption: forensics
     // (rank, gate, cause) are in the message. Documented exit code 5.
